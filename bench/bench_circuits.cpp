@@ -1,0 +1,78 @@
+// Experiment T2-circ — the benchmark-circuit half of the paper's test
+// suite (§3). The paper ran the same ten algorithms on cyclic
+// sequential multi-level logic circuits from the 1991 LGSynth suite
+// (results relegated to TR [9] for space); we run them on the synthetic
+// circuit family documented in gen/circuit.h and DESIGN.md.
+//
+// Circuit graphs differ from SPRAND in exactly the ways that matter:
+// near-unit density, many small SCCs, locality — so DG's unfolding and
+// Howard's policy iteration both look even better here.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "benchkit/report.h"
+#include "benchkit/runner.h"
+#include "benchkit/workloads.h"
+#include "gen/circuit.h"
+#include "graph/scc.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace mcr;
+using namespace mcr::bench;
+
+int run() {
+  banner("T2-circ runtime comparison on circuits", "Section 3 / TR[9] (DAC'99)");
+  const std::vector<std::string> solvers{"burns", "ko",  "yto",    "howard", "ho",
+                                         "karp",  "dg",  "lawler", "karp2",  "oa1"};
+
+  std::vector<std::string> header{"circuit", "regs", "arcs", "sccs"};
+  header.insert(header.end(), solvers.begin(), solvers.end());
+  TextTable table(header);
+
+  TimeBudget budget(default_time_budget());
+  constexpr int kVariants = 3;  // average over generator seeds
+  for (const CircuitCase& c : circuit_suite(bench_scale())) {
+    std::vector<Graph> variants;
+    for (int v = 0; v < kVariants; ++v) {
+      gen::CircuitConfig cfg = c.config;
+      cfg.seed = c.config.seed + static_cast<std::uint64_t>(v) * 100;
+      variants.push_back(gen::circuit(cfg));
+    }
+    const auto scc = strongly_connected_components(variants[0]);
+    std::vector<std::string> row{c.name, std::to_string(variants[0].num_nodes()),
+                                 std::to_string(variants[0].num_arcs()),
+                                 std::to_string(scc.num_components)};
+    for (const std::string& solver : solvers) {
+      if (budget.should_skip(solver)) {
+        row.push_back("N/A(time)");
+        continue;
+      }
+      RunStats stats;
+      bool guarded = false;
+      for (const Graph& g : variants) {
+        const TimedRun run = time_solver(solver, g);
+        if (!run.ran) {
+          guarded = true;
+          break;
+        }
+        stats.add(run.seconds);
+        budget.record(solver, run.seconds);
+      }
+      row.push_back(guarded ? "N/A(mem)" : fmt_ms(stats.mean()));
+    }
+    table.add_row(std::move(row));
+    std::cout << "." << std::flush;
+  }
+  std::cout << '\n';
+  emit("Synthetic LGSynth-style circuits: running time [ms] per algorithm", "circuits",
+       table);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,59 @@
+// Ablation A4 — the precision knob ε that the paper attaches to its
+// approximate algorithms (§1.2: "the amount of error that can be
+// tolerated ... is denoted by ε"). Sweeps Lawler's bisection precision:
+// probe counts fall linearly in lg(1/ε) while the returned value stays
+// exact (the witness + cycle-canceling finish absorbs the slack) — the
+// practical argument for treating Lawler's ε as a speed knob, not an
+// accuracy knob.
+#include <iostream>
+#include <string>
+
+#include "algo/algorithms.h"
+#include "benchkit/report.h"
+#include "benchkit/workloads.h"
+#include "core/driver.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace mcr;
+using namespace mcr::bench;
+
+int run() {
+  banner("A4 Lawler epsilon sweep", "the paper's precision parameter (§1.2)");
+  const Scale scale = bench_scale();
+  const int trials = trials_per_cell(scale);
+
+  TextTable table({"n", "m", "epsilon", "probes", "ms", "exact?"});
+  for (const GridCell cell : table2_grid(scale)) {
+    if (cell.m != 2 * cell.n) continue;  // one density column
+    for (const double eps : {1e-9, 1e-4, 1e-1, 10.0, 1000.0}) {
+      RunStats probes, ms;
+      bool all_exact = true;
+      for (int t = 0; t < trials; ++t) {
+        const Graph g = table2_instance(cell, t);
+        SolverConfig cfg;
+        cfg.epsilon = eps;
+        const auto solver = make_lawler_solver(cfg);
+        Timer timer;
+        const auto r = minimum_cycle_mean(g, *solver);
+        ms.add(timer.seconds() * 1e3);
+        probes.add(static_cast<double>(r.counters.feasibility_checks));
+        const auto exact = minimum_cycle_mean(g, "howard");
+        all_exact = all_exact && r.value == exact.value;
+      }
+      table.add_row({std::to_string(cell.n), std::to_string(cell.m),
+                     fmt_fixed(eps, 9), fmt_fixed(probes.mean(), 1),
+                     fmt_fixed(ms.mean(), 2), all_exact ? "yes" : "NO"});
+    }
+  }
+  emit("Lawler precision sweep: probes ~ lg(range/epsilon); result exact at every "
+       "epsilon thanks to witness snapping + cycle canceling",
+       "epsilon", table);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

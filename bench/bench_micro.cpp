@@ -1,0 +1,104 @@
+// B1 — google-benchmark microbenchmarks: one benchmark per solver on a
+// fixed mid-size SPRAND instance plus substrate microbenchmarks (heaps,
+// Bellman-Ford, SCC). These give CI-grade tracked numbers; the
+// table-style experiments live in the bench_* table binaries.
+#include <benchmark/benchmark.h>
+
+#include "core/driver.h"
+#include "core/registry.h"
+#include "ds/binary_heap.h"
+#include "ds/fibonacci_heap.h"
+#include "ds/pairing_heap.h"
+#include "gen/circuit.h"
+#include "gen/sprand.h"
+#include "graph/bellman_ford.h"
+#include "graph/scc.h"
+#include "support/prng.h"
+
+namespace {
+
+using namespace mcr;
+
+const Graph& sprand_instance() {
+  static const Graph g = [] {
+    gen::SprandConfig cfg;
+    cfg.n = 512;
+    cfg.m = 1024;
+    cfg.seed = 42;
+    return gen::sprand(cfg);
+  }();
+  return g;
+}
+
+const Graph& circuit_instance() {
+  static const Graph g = [] {
+    gen::CircuitConfig cfg;
+    cfg.registers = 512;
+    cfg.seed = 42;
+    return gen::circuit(cfg);
+  }();
+  return g;
+}
+
+void BM_Solver(benchmark::State& state, const std::string& name, bool circuit) {
+  const Graph& g = circuit ? circuit_instance() : sprand_instance();
+  const auto solver = SolverRegistry::instance().create(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minimum_cycle_mean(g, *solver));
+  }
+}
+
+void BM_Scc(benchmark::State& state) {
+  const Graph& g = circuit_instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strongly_connected_components(g));
+  }
+}
+BENCHMARK(BM_Scc);
+
+void BM_BellmanFord(benchmark::State& state) {
+  const Graph& g = sprand_instance();
+  std::vector<std::int64_t> cost(static_cast<std::size_t>(g.num_arcs()));
+  for (ArcId a = 0; a < g.num_arcs(); ++a) cost[static_cast<std::size_t>(a)] = g.weight(a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bellman_ford_all(g, cost));
+  }
+}
+BENCHMARK(BM_BellmanFord);
+
+template <typename Heap>
+void BM_HeapSortPattern(benchmark::State& state) {
+  const std::int32_t n = static_cast<std::int32_t>(state.range(0));
+  Prng rng(7);
+  std::vector<std::int64_t> keys(static_cast<std::size_t>(n));
+  for (auto& k : keys) k = rng.uniform_int(0, 1 << 20);
+  for (auto _ : state) {
+    Heap h(n);
+    for (std::int32_t i = 0; i < n; ++i) h.insert(i, keys[static_cast<std::size_t>(i)]);
+    for (std::int32_t i = 0; i < n / 2; ++i) {
+      h.decrease_key(static_cast<std::int32_t>(rng.uniform_int(0, n - 1)), -i);
+    }
+    while (!h.empty()) benchmark::DoNotOptimize(h.extract_min());
+  }
+}
+BENCHMARK_TEMPLATE(BM_HeapSortPattern, BinaryHeap<std::int64_t>)->Arg(4096);
+BENCHMARK_TEMPLATE(BM_HeapSortPattern, PairingHeap<std::int64_t>)->Arg(4096);
+BENCHMARK_TEMPLATE(BM_HeapSortPattern, FibonacciHeap<std::int64_t>)->Arg(4096);
+
+}  // namespace
+
+// Per-solver registrations (sprand + circuit).
+#define MCR_SOLVER_BENCH(name)                                               \
+  BENCHMARK_CAPTURE(BM_Solver, name##_sprand, #name, false);                 \
+  BENCHMARK_CAPTURE(BM_Solver, name##_circuit, #name, true)
+
+MCR_SOLVER_BENCH(howard);
+MCR_SOLVER_BENCH(ho);
+MCR_SOLVER_BENCH(dg);
+MCR_SOLVER_BENCH(karp);
+MCR_SOLVER_BENCH(karp2);
+MCR_SOLVER_BENCH(ko);
+MCR_SOLVER_BENCH(yto);
+MCR_SOLVER_BENCH(burns);
+MCR_SOLVER_BENCH(lawler);
+MCR_SOLVER_BENCH(oa1);

@@ -1,0 +1,54 @@
+// Tour of the whole algorithm registry: run every minimum-mean-cycle
+// solver on one instance, print a mini Table-2 row with timings and the
+// paper's Table-1 metadata, and check that all agree exactly.
+//
+//   $ ./algorithm_tour [n] [m]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/driver.h"
+#include "core/registry.h"
+#include "gen/sprand.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mcr;
+
+  gen::SprandConfig cfg;
+  cfg.n = argc > 1 ? std::atoi(argv[1]) : 256;
+  cfg.m = argc > 2 ? std::atoi(argv[2]) : 3 * cfg.n;
+  cfg.seed = 7;
+  const Graph g = gen::sprand(cfg);
+  std::cout << "SPRAND instance: n=" << g.num_nodes() << " m=" << g.num_arcs()
+            << " weights in [1,10000]\n\n";
+
+  const auto& registry = SolverRegistry::instance();
+  TextTable table({"algorithm", "source", "year", "bound", "exact", "lambda*", "ms",
+                   "iterations"});
+  bool all_agree = true;
+  Rational reference;
+  bool have_reference = false;
+
+  for (const std::string& name : registry.names(ProblemKind::kCycleMean)) {
+    if (name == "brute_force") continue;  // exponential oracle, skip
+    const SolverInfo& info = registry.info(name);
+    const auto solver = registry.create(name);
+    Timer timer;
+    const CycleResult r = minimum_cycle_mean(g, *solver);
+    const double ms = timer.millis();
+    if (!have_reference) {
+      reference = r.value;
+      have_reference = true;
+    } else if (r.value != reference) {
+      all_agree = false;
+    }
+    table.add_row({info.display, info.source, std::to_string(info.year), info.bound,
+                   info.exact ? "exact" : "approx", r.value.to_string(), fmt_fixed(ms, 2),
+                   std::to_string(r.counters.iterations)});
+  }
+  table.print(std::cout);
+  std::cout << "\nall algorithms agree on lambda*: " << (all_agree ? "yes" : "NO!")
+            << "\n";
+  return all_agree ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// Max-plus spectral analysis of a discrete event system (the
+// Baccelli-Cohen-Olsder-Quadrat setting the paper cites as [3]).
+//
+// A small manufacturing cell: three machines in a loop with transport
+// delays, plus a downstream packaging line. The max-plus eigenvalue of
+// the core loop is its cycle time (throughput = 1/eigenvalue); the
+// eigenvector is a stationary schedule: firing machine v at
+// x[v], x[v]+lambda, x[v]+2*lambda, ... meets every precedence.
+//
+//   $ ./event_system
+#include <iostream>
+
+#include "apps/maxplus.h"
+#include "apps/selftimed.h"
+#include "graph/builder.h"
+#include "graph/scc.h"
+
+int main() {
+  using namespace mcr;
+
+  // Core production loop (strongly connected): processing + transport.
+  GraphBuilder core(3);
+  core.add_arc(0, 1, 5);  // M0 -> M1 takes 5
+  core.add_arc(1, 2, 3);  // M1 -> M2 takes 3
+  core.add_arc(2, 0, 4);  // M2 -> M0 takes 4 (pallet returns)
+  core.add_arc(1, 0, 6);  // rework path M1 -> M0 takes 6
+  const Graph loop = core.build();
+
+  const apps::MaxPlusSpectrum spec = apps::maxplus_spectrum(loop);
+  std::cout << "core loop eigenvalue (cycle time): " << spec.eigenvalue << " = "
+            << spec.eigenvalue.to_double() << " time units/part\n";
+  std::cout << "throughput: " << 1.0 / spec.eigenvalue.to_double() << " parts/unit\n";
+  std::cout << "stationary schedule (x[v]/" << spec.eigenvalue.den() << "):";
+  for (const auto x : spec.scaled_eigenvector) std::cout << " " << x;
+  std::cout << "\ncritical machines:";
+  for (const NodeId v : spec.critical_nodes) std::cout << " M" << v;
+  std::cout << "\neigen equation holds: "
+            << (apps::is_maxplus_eigenpair(loop, spec.eigenvalue, spec.scaled_eigenvector)
+                    ? "yes"
+                    : "NO")
+            << "\n\n";
+
+  // Whole plant: the loop feeds a two-stage packaging line, and a
+  // second slower loop feeds the same line.
+  GraphBuilder plant(7);
+  plant.add_arc(0, 1, 5);
+  plant.add_arc(1, 2, 3);
+  plant.add_arc(2, 0, 4);
+  plant.add_arc(1, 0, 6);
+  plant.add_arc(3, 4, 9);  // slow loop: 9 + 6 over 2 events = 7.5
+  plant.add_arc(4, 3, 6);
+  plant.add_arc(2, 5, 2);  // both feed packaging
+  plant.add_arc(4, 5, 2);
+  plant.add_arc(5, 6, 1);
+  const Graph plant_g = plant.build();
+
+  const apps::CycleTimeVector chi = apps::maxplus_cycle_time(plant_g);
+  std::cout << "plant cycle-time vector (per node growth rate):\n";
+  for (NodeId v = 0; v < plant_g.num_nodes(); ++v) {
+    std::cout << "  node " << v << ": ";
+    if (chi.has_rate[static_cast<std::size_t>(v)]) {
+      std::cout << chi.chi[static_cast<std::size_t>(v)] << "\n";
+    } else {
+      std::cout << "(source-fed, no intrinsic rate)\n";
+    }
+  }
+  std::cout << "packaging line is paced by the slow loop: rate(node 5) = "
+            << chi.chi[5] << "\n";
+
+  // Operational cross-check: run the plant self-timed for 500 cycles
+  // and compare the measured rates with the analysis. (Tokens: one per
+  // arc here, so weight doubles as the delay and transit as tokens.)
+  GraphBuilder sim_b(plant_g.num_nodes());
+  for (ArcId a = 0; a < plant_g.num_arcs(); ++a) {
+    sim_b.add_arc(plant_g.src(a), plant_g.dst(a), plant_g.weight(a), 1);
+  }
+  const Graph sim_g = sim_b.build();
+  const auto sim = apps::simulate_self_timed(sim_g, 500);
+  const auto predicted = apps::analytic_rates(sim_g);
+  std::cout << "self-timed simulation vs analysis (node: measured ~ predicted):\n";
+  for (NodeId v = 0; v < sim_g.num_nodes(); ++v) {
+    std::cout << "  node " << v << ": " << sim.measured_rate(v) << " ~ "
+              << predicted[static_cast<std::size_t>(v)].to_double() << "\n";
+  }
+  return 0;
+}

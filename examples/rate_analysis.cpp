@@ -1,0 +1,61 @@
+// Rate analysis of an embedded real-time process network (the
+// Mathur-Dasdan-Gupta application from §1.1 of the paper).
+//
+// Processes exchange events along arcs; arc weight = processing latency
+// and transit = number of initial tokens. Each strongly connected
+// component runs at its own steady-state rate, bounded by the worst
+// cycle in that component: rate(SCC) = 1 / max_C (latency(C)/tokens(C)).
+// The per-SCC structure is exactly what the library's driver computes;
+// here we surface it per component rather than taking the global min.
+//
+//   $ ./rate_analysis
+#include <iostream>
+
+#include "core/driver.h"
+#include "core/registry.h"
+#include "graph/builder.h"
+#include "graph/scc.h"
+
+int main() {
+  using namespace mcr;
+
+  // A producer pipeline (SCC A: 0,1) feeding a consumer loop
+  // (SCC B: 2,3,4) and an uncontrolled logger (node 5, no feedback).
+  GraphBuilder b(6);
+  b.add_arc(0, 1, 4, 1);   // produce -> filter, 4 ms, 1 token
+  b.add_arc(1, 0, 2, 1);   // backpressure, 2 ms            loop: 6 ms / 2 tok
+  b.add_arc(1, 2, 1, 1);   // hand-off into the consumer SCC
+  b.add_arc(2, 3, 5, 1);   // decode, 5 ms
+  b.add_arc(3, 4, 3, 1);   // render, 3 ms
+  b.add_arc(4, 2, 2, 1);   // ack, 2 ms                     loop: 10 ms / 3 tok
+  b.add_arc(3, 2, 1, 1);   // retry path                    loop: 6 ms / 2 tok
+  b.add_arc(4, 5, 1, 1);   // log tap (acyclic)
+  const Graph g = b.build();
+
+  const auto scc = strongly_connected_components(g);
+  const auto solver = SolverRegistry::instance().create("howard_ratio");
+  std::cout << "process network: " << g.num_nodes() << " processes, "
+            << scc.num_components << " components\n";
+
+  for (NodeId c = 0; c < scc.num_components; ++c) {
+    std::cout << "component " << c << " {";
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (scc.component[static_cast<std::size_t>(v)] == c) std::cout << " P" << v;
+    }
+    std::cout << " }: ";
+    if (!scc.component_is_cyclic[static_cast<std::size_t>(c)]) {
+      std::cout << "feed-forward (rate limited only by its inputs)\n";
+      continue;
+    }
+    const InducedSubgraph sub = induced_subgraph(g, scc, c);
+    const CycleResult worst = maximum_cycle_ratio(sub.graph, *solver);
+    std::cout << "worst loop latency/token = " << worst.value << " ms"
+              << " -> max sustainable rate = " << 1000.0 / worst.value.to_double()
+              << " events/s\n";
+  }
+
+  // Global figure: the system rate is set by the slowest component.
+  const CycleResult system = maximum_cycle_ratio(g, *solver);
+  std::cout << "system-wide bottleneck ratio: " << system.value << " ms/token\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "algo/detail.h"
+
+#include "core/critical.h"
+#include "graph/bellman_ford.h"
+
+namespace mcr::detail {
+
+Rational exact_cycle_value(const Graph& g, ProblemKind kind,
+                           const std::vector<ArcId>& cycle) {
+  std::int64_t w = 0;
+  std::int64_t t = 0;
+  for (const ArcId a : cycle) {
+    w += g.weight(a);
+    t += kind == ProblemKind::kCycleMean ? 1 : g.transit(a);
+  }
+  return Rational(w, t);
+}
+
+void refine_to_exact(const Graph& g, ProblemKind kind, Rational& value,
+                     std::vector<ArcId>& cycle, OpCounters& counters) {
+  for (;;) {
+    ++counters.feasibility_checks;
+    const std::vector<std::int64_t> cost = lambda_costs(g, value, kind);
+    BellmanFordResult bf = bellman_ford_all(g, cost, &counters);
+    if (!bf.has_negative_cycle) return;
+    cycle = std::move(bf.cycle);
+    value = exact_cycle_value(g, kind, cycle);
+  }
+}
+
+}  // namespace mcr::detail

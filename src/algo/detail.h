@@ -1,0 +1,33 @@
+// Shared internals for the solver implementations. Not public API.
+#ifndef MCR_ALGO_DETAIL_H
+#define MCR_ALGO_DETAIL_H
+
+#include <vector>
+
+#include "core/problem.h"
+#include "graph/graph.h"
+#include "support/op_counters.h"
+#include "support/rational.h"
+
+namespace mcr::detail {
+
+/// Exact cycle-canceling refinement: given a candidate (value, cycle)
+/// where `cycle` is a real cycle achieving `value`, repeatedly test
+/// G_value for a negative cycle and adopt it until none exists. On
+/// return (value, cycle) is the exact optimum with an exact witness.
+///
+/// The iterative solvers that do floating-point work internally (Burns,
+/// Lawler, OA1) finish with this pass so that every solver in the
+/// library returns exact rationals; it converges in one Bellman-Ford
+/// check when the float phase already found the optimum (the common
+/// case), and each extra round strictly decreases the candidate value.
+void refine_to_exact(const Graph& g, ProblemKind kind, Rational& value,
+                     std::vector<ArcId>& cycle, OpCounters& counters);
+
+/// Exact mean/ratio of a cycle (transit treated as 1 for kCycleMean).
+[[nodiscard]] Rational exact_cycle_value(const Graph& g, ProblemKind kind,
+                                         const std::vector<ArcId>& cycle);
+
+}  // namespace mcr::detail
+
+#endif  // MCR_ALGO_DETAIL_H

@@ -1,0 +1,247 @@
+// HO: Hartmann & Orlin's early-terminating variant of Karp's algorithm
+// (Hartmann & Orlin, Networks 1993; §2.2 of the paper).
+//
+// HO runs Karp's recurrence unchanged but notices that "many of the
+// shortest paths computed by Karp's algorithm will contain cycles. If
+// one of these cycles is critical, then the minimum cycle mean is
+// found". Realization here:
+//
+//  * After each level k we walk the parent chain of the node with the
+//    smallest D_k (O(k) with stamps; O(n^2) in total — the overhead the
+//    paper quotes). The first cycle on that path becomes the candidate
+//    mu = its exact mean, if it improves the incumbent.
+//  * Criticality test: mu equals lambda* iff the potentials
+//    pi(v) = min_{0<=j<=k} (D_j(v) - j*mu) are feasible for G_mu, i.e.
+//    pi(v) <= pi(u) + w(u,v) - mu on every arc. The test is exact — all
+//    quantities are scaled by den(mu) and checked in integers. It runs
+//    when mu improves and at geometrically spaced checkpoints
+//    (adding the O(m lg n) term of the paper's overhead bound).
+//  * On success the algorithm exits at level k ("the number of
+//    iterations" reported for HO, always < n, §4.3); otherwise level n
+//    is reached and Karp's formula finishes exactly.
+//
+// Space is Theta(n^2) like Karp's — the reason Table 2 shows N/A for HO
+// at n >= 4096; the Karp2 rolling-row trick would apply here as well
+// (§4.4), at the cost of a second pass.
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "algo/algorithms.h"
+#include "core/result.h"
+
+namespace mcr {
+
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+class HoSolver final : public Solver {
+ public:
+  explicit HoSolver(const SolverConfig&) {}
+
+  [[nodiscard]] std::string name() const override { return "ho"; }
+  [[nodiscard]] ProblemKind kind() const override { return ProblemKind::kCycleMean; }
+
+  [[nodiscard]] CycleResult solve_scc(const Graph& g) const override {
+    const NodeId n = g.num_nodes();
+    const std::size_t un = static_cast<std::size_t>(n);
+    CycleResult result;
+
+    // D and parent tables, (n+1) rows.
+    std::vector<std::int64_t> d((un + 1) * un, kInf);
+    std::vector<ArcId> parent((un + 1) * un, kInvalidArc);
+    d[0] = 0;
+
+    // Incumbent candidate.
+    bool have_mu = false;
+    Rational mu;
+    std::vector<ArcId> witness;
+
+    // Scaled potentials pi(v) = min_j (D_j(v)*den(mu) - j*num(mu)),
+    // maintained incrementally; fully recomputed when mu changes.
+    std::vector<std::int64_t> pi(un, kInf);
+
+    // Walk scratch.
+    std::vector<NodeId> walk_stamp(un, -1);
+    std::vector<std::int32_t> walk_pos(un, 0);
+    NodeId next_checkpoint = 4;
+
+    for (NodeId k = 1; k <= n; ++k) {
+      const std::size_t prev = static_cast<std::size_t>(k - 1) * un;
+      const std::size_t cur = static_cast<std::size_t>(k) * un;
+      NodeId argmin = kInvalidNode;
+      for (NodeId v = 0; v < n; ++v) {
+        std::int64_t best = kInf;
+        ArcId best_arc = kInvalidArc;
+        for (const ArcId a : g.in_arcs(v)) {
+          ++result.counters.arc_scans;
+          const std::int64_t du = d[prev + static_cast<std::size_t>(g.src(a))];
+          if (du == kInf) continue;
+          const std::int64_t cand = du + g.weight(a);
+          if (cand < best) {
+            best = cand;
+            best_arc = a;
+          }
+        }
+        d[cur + static_cast<std::size_t>(v)] = best;
+        parent[cur + static_cast<std::size_t>(v)] = best_arc;
+        if (best < kInf &&
+            (argmin == kInvalidNode || best < d[cur + static_cast<std::size_t>(argmin)])) {
+          argmin = v;
+        }
+      }
+      result.counters.iterations = static_cast<std::uint64_t>(k);
+      if (k == n) break;  // level n only feeds Karp's formula
+
+      // Look for a cycle on the shortest k-arc path to the argmin node.
+      bool mu_changed = false;
+      if (argmin != kInvalidNode) {
+        const std::vector<ArcId> cyc = find_cycle_on_path(g, d, parent, walk_stamp,
+                                                          walk_pos, k, argmin, n);
+        if (!cyc.empty()) {
+          ++result.counters.cycle_evaluations;
+          const Rational cand_mu = cycle_mean(g, cyc);
+          if (!have_mu || cand_mu < mu) {
+            have_mu = true;
+            mu = cand_mu;
+            witness = cyc;
+            mu_changed = true;
+          }
+        }
+      }
+
+      if (!have_mu) continue;
+
+      if (mu_changed) {
+        // Recompute scaled potentials from all levels 0..k.
+        std::fill(pi.begin(), pi.end(), kInf);
+        for (NodeId j = 0; j <= k; ++j) {
+          const std::size_t row = static_cast<std::size_t>(j) * un;
+          for (NodeId v = 0; v < n; ++v) {
+            const std::int64_t dj = d[row + static_cast<std::size_t>(v)];
+            if (dj == kInf) continue;
+            const std::int64_t scaled = dj * mu.den() - static_cast<std::int64_t>(j) * mu.num();
+            if (scaled < pi[static_cast<std::size_t>(v)]) {
+              pi[static_cast<std::size_t>(v)] = scaled;
+            }
+          }
+        }
+      } else {
+        // Fold in the new level only.
+        for (NodeId v = 0; v < n; ++v) {
+          const std::int64_t dk = d[cur + static_cast<std::size_t>(v)];
+          if (dk == kInf) continue;
+          const std::int64_t scaled = dk * mu.den() - static_cast<std::int64_t>(k) * mu.num();
+          if (scaled < pi[static_cast<std::size_t>(v)]) {
+            pi[static_cast<std::size_t>(v)] = scaled;
+          }
+        }
+      }
+
+      // Criticality (feasibility) test at mu — exact, in scaled integers.
+      if (mu_changed || k >= next_checkpoint) {
+        if (k >= next_checkpoint) next_checkpoint *= 2;
+        ++result.counters.feasibility_checks;
+        if (potentials_feasible(g, pi, mu)) {
+          result.has_cycle = true;
+          result.value = mu;
+          result.cycle = std::move(witness);
+          return result;  // early termination at level k
+        }
+      }
+    }
+
+    // No early exit: finish with Karp's formula (exact).
+    const std::size_t last = un * un;
+    bool found = false;
+    Rational best_value;
+    for (NodeId v = 0; v < n; ++v) {
+      const std::int64_t dn = d[last + static_cast<std::size_t>(v)];
+      if (dn == kInf) continue;
+      bool have_max = false;
+      Rational vmax;
+      for (NodeId k = 0; k < n; ++k) {
+        const std::int64_t dk =
+            d[static_cast<std::size_t>(k) * un + static_cast<std::size_t>(v)];
+        if (dk == kInf) continue;
+        const Rational frac(dn - dk, n - k);
+        if (!have_max || frac > vmax) {
+          vmax = frac;
+          have_max = true;
+        }
+      }
+      if (have_max && (!found || vmax < best_value)) {
+        best_value = vmax;
+        found = true;
+      }
+    }
+    if (!found) return result;
+    result.has_cycle = true;
+    result.value = best_value;
+    // Witness recovery is left to the driver (extract_optimal_cycle).
+    return result;
+  }
+
+ private:
+  /// Walks the parent chain of (level k, node v) and returns the first
+  /// cycle encountered (arcs in forward order), or empty.
+  static std::vector<ArcId> find_cycle_on_path(const Graph& g,
+                                               const std::vector<std::int64_t>& d,
+                                               const std::vector<ArcId>& parent,
+                                               std::vector<NodeId>& stamp,
+                                               std::vector<std::int32_t>& pos, NodeId k,
+                                               NodeId v, NodeId n) {
+    static_cast<void>(d);
+    const std::size_t un = static_cast<std::size_t>(n);
+    // Stamp with a per-walk id derived from k and v (unique per call).
+    // Simpler: clear-by-visit using the walk list.
+    std::vector<ArcId> walk_arcs;
+    std::vector<NodeId> walk_nodes;
+    NodeId node = v;
+    NodeId level = k;
+    std::vector<ArcId> cycle;
+    for (;;) {
+      if (stamp[static_cast<std::size_t>(node)] == 1) {
+        const std::int32_t first = pos[static_cast<std::size_t>(node)];
+        // walk_arcs[first..] lead backwards around the cycle.
+        cycle.assign(walk_arcs.begin() + first, walk_arcs.end());
+        std::reverse(cycle.begin(), cycle.end());
+        break;
+      }
+      stamp[static_cast<std::size_t>(node)] = 1;
+      pos[static_cast<std::size_t>(node)] = static_cast<std::int32_t>(walk_arcs.size());
+      walk_nodes.push_back(node);
+      if (level == 0) break;
+      const ArcId a = parent[static_cast<std::size_t>(level) * un +
+                             static_cast<std::size_t>(node)];
+      if (a == kInvalidArc) break;
+      walk_arcs.push_back(a);
+      node = g.src(a);
+      --level;
+    }
+    for (const NodeId u : walk_nodes) stamp[static_cast<std::size_t>(u)] = -1;
+    return cycle;
+  }
+
+  /// Exact feasibility of the scaled potentials for G_mu.
+  static bool potentials_feasible(const Graph& g, const std::vector<std::int64_t>& pi,
+                                  const Rational& mu) {
+    for (ArcId a = 0; a < g.num_arcs(); ++a) {
+      const std::int64_t pu = pi[static_cast<std::size_t>(g.src(a))];
+      const std::int64_t pv = pi[static_cast<std::size_t>(g.dst(a))];
+      if (pu == kInf) return false;  // node not yet reached: cannot certify
+      if (pv == kInf) return false;
+      if (pv > pu + g.weight(a) * mu.den() - mu.num()) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> make_ho_solver(const SolverConfig& config) {
+  return std::make_unique<HoSolver>(config);
+}
+
+}  // namespace mcr

@@ -1,0 +1,112 @@
+// Karp's minimum mean cycle algorithm (Karp 1978), Theta(nm) time,
+// Theta(n^2) space.
+//
+// Karp's theorem: for any source s in a strongly connected graph,
+//   lambda* = min_v max_{0<=k<=n-1} (D_n(v) - D_k(v)) / (n - k),
+// where D_k(v) is the minimum weight of a k-arc path from s to v
+// (+infinity if none). The D table is filled by the recurrence
+//   D_k(v) = min over arcs (u,v) of D_{k-1}(u) + w(u,v),
+// which makes the best and worst cases identical — the reason the
+// paper's variants (DG, HO, Karp2) exist.
+//
+// The witness cycle is recovered generically from the critical subgraph
+// at lambda* (core/critical.h), keeping this implementation exactly the
+// three simple nested loops whose compiler-friendliness the paper
+// remarks on (§4.5).
+#include <limits>
+#include <vector>
+
+#include "algo/algorithms.h"
+#include "core/result.h"
+#include "support/int128.h"
+
+namespace mcr {
+
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+class KarpSolver final : public Solver {
+ public:
+  explicit KarpSolver(const SolverConfig&) {}
+
+  [[nodiscard]] std::string name() const override { return "karp"; }
+  [[nodiscard]] ProblemKind kind() const override { return ProblemKind::kCycleMean; }
+
+  [[nodiscard]] CycleResult solve_scc(const Graph& g) const override {
+    const NodeId n = g.num_nodes();
+    const std::size_t un = static_cast<std::size_t>(n);
+    CycleResult result;
+
+    // D[k][v], k = 0..n. Row-major in one allocation.
+    std::vector<std::int64_t> d((un + 1) * un, kInf);
+    d[0] = 0;  // D_0(source = node 0)
+
+    for (NodeId k = 1; k <= n; ++k) {
+      const std::size_t prev = static_cast<std::size_t>(k - 1) * un;
+      const std::size_t cur = static_cast<std::size_t>(k) * un;
+      for (NodeId v = 0; v < n; ++v) {
+        std::int64_t best = kInf;
+        for (const ArcId a : g.in_arcs(v)) {
+          ++result.counters.arc_scans;
+          const std::int64_t du = d[prev + static_cast<std::size_t>(g.src(a))];
+          if (du == kInf) continue;
+          const std::int64_t cand = du + g.weight(a);
+          if (cand < best) best = cand;
+        }
+        d[cur + static_cast<std::size_t>(v)] = best;
+      }
+    }
+    result.counters.iterations = static_cast<std::uint64_t>(n);
+
+    // lambda* = min_v max_k (D_n(v) - D_k(v)) / (n - k). Fractions are
+    // compared raw (128-bit cross multiplication); the Rational is
+    // built once at the end. The witness cycle is left to the driver
+    // (extract_optimal_cycle), keeping this the paper's "three simple
+    // nested loops".
+    const std::size_t last = static_cast<std::size_t>(n) * un;
+    bool found = false;
+    std::int64_t best_num = 0;
+    std::int64_t best_den = 1;
+    for (NodeId v = 0; v < n; ++v) {
+      const std::int64_t dn = d[last + static_cast<std::size_t>(v)];
+      if (dn == kInf) continue;  // no n-arc path to v
+      bool have_max = false;
+      std::int64_t vmax_num = 0;
+      std::int64_t vmax_den = 1;
+      for (NodeId k = 0; k < n; ++k) {
+        const std::int64_t dk =
+            d[static_cast<std::size_t>(k) * un + static_cast<std::size_t>(v)];
+        if (dk == kInf) continue;
+        const std::int64_t num = dn - dk;
+        const std::int64_t den = n - k;
+        if (!have_max || static_cast<int128>(num) * vmax_den >
+                             static_cast<int128>(vmax_num) * den) {
+          vmax_num = num;
+          vmax_den = den;
+          have_max = true;
+        }
+      }
+      // In a strongly connected graph D_k(v) is finite for some k < n.
+      if (have_max && (!found || static_cast<int128>(vmax_num) * best_den <
+                                     static_cast<int128>(best_num) * vmax_den)) {
+        best_num = vmax_num;
+        best_den = vmax_den;
+        found = true;
+      }
+    }
+    if (!found) return result;  // no cycle (cannot happen per contract)
+
+    result.has_cycle = true;
+    result.value = Rational(best_num, best_den);
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> make_karp_solver(const SolverConfig& config) {
+  return std::make_unique<KarpSolver>(config);
+}
+
+}  // namespace mcr

@@ -1,0 +1,110 @@
+// Karp2: the space-efficient two-pass version of Karp's algorithm
+// (suggested to the authors by S. Gaubert; §2.2 of the paper).
+//
+// Karp's algorithm needs the whole Theta(n^2) D table only to evaluate
+// min_v max_k (D_n(v) - D_k(v)) / (n - k) at the end. Karp2 runs the
+// recurrence twice with two rolling rows of Theta(n) space: pass 1
+// computes D_n(v); pass 2 recomputes each D_k(v) in order and folds it
+// into the running max for each v. The paper observes this "roughly
+// doubles the running time, as expected" (§4.4) — the shape
+// bench_karp_variants reproduces.
+#include <limits>
+#include <vector>
+
+#include "algo/algorithms.h"
+#include "core/result.h"
+#include "support/int128.h"
+
+namespace mcr {
+
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+class Karp2Solver final : public Solver {
+ public:
+  explicit Karp2Solver(const SolverConfig&) {}
+
+  [[nodiscard]] std::string name() const override { return "karp2"; }
+  [[nodiscard]] ProblemKind kind() const override { return ProblemKind::kCycleMean; }
+
+  [[nodiscard]] CycleResult solve_scc(const Graph& g) const override {
+    const NodeId n = g.num_nodes();
+    const std::size_t un = static_cast<std::size_t>(n);
+    CycleResult result;
+
+    std::vector<std::int64_t> prev(un, kInf);
+    std::vector<std::int64_t> cur(un, kInf);
+
+    const auto advance = [&]() {
+      for (NodeId v = 0; v < n; ++v) {
+        std::int64_t best = kInf;
+        for (const ArcId a : g.in_arcs(v)) {
+          ++result.counters.arc_scans;
+          const std::int64_t du = prev[static_cast<std::size_t>(g.src(a))];
+          if (du == kInf) continue;
+          const std::int64_t cand = du + g.weight(a);
+          if (cand < best) best = cand;
+        }
+        cur[static_cast<std::size_t>(v)] = best;
+      }
+      prev.swap(cur);
+    };
+
+    // Pass 1: compute D_n into `prev`.
+    prev[0] = 0;
+    for (NodeId k = 1; k <= n; ++k) advance();
+    std::vector<std::int64_t> dn = prev;
+
+    // Pass 2: recompute D_k for k = 0..n-1, folding the max ratio with
+    // raw 128-bit fraction comparisons.
+    std::vector<std::int64_t> vmax_num(un, 0);
+    std::vector<std::int64_t> vmax_den(un, 0);  // 0 marks "no value yet"
+    prev.assign(un, kInf);
+    cur.assign(un, kInf);
+    prev[0] = 0;
+    for (NodeId k = 0; k < n; ++k) {
+      if (k > 0) advance();
+      for (NodeId v = 0; v < n; ++v) {
+        const std::int64_t dk = prev[static_cast<std::size_t>(v)];
+        if (dk == kInf || dn[static_cast<std::size_t>(v)] == kInf) continue;
+        const std::int64_t num = dn[static_cast<std::size_t>(v)] - dk;
+        const std::int64_t den = n - k;
+        if (vmax_den[static_cast<std::size_t>(v)] == 0 ||
+            static_cast<int128>(num) * vmax_den[static_cast<std::size_t>(v)] >
+                static_cast<int128>(vmax_num[static_cast<std::size_t>(v)]) * den) {
+          vmax_num[static_cast<std::size_t>(v)] = num;
+          vmax_den[static_cast<std::size_t>(v)] = den;
+        }
+      }
+    }
+    result.counters.iterations = 2 * static_cast<std::uint64_t>(n);
+
+    bool found = false;
+    std::int64_t best_num = 0;
+    std::int64_t best_den = 1;
+    for (NodeId v = 0; v < n; ++v) {
+      if (vmax_den[static_cast<std::size_t>(v)] == 0) continue;
+      if (!found ||
+          static_cast<int128>(vmax_num[static_cast<std::size_t>(v)]) * best_den <
+              static_cast<int128>(best_num) * vmax_den[static_cast<std::size_t>(v)]) {
+        best_num = vmax_num[static_cast<std::size_t>(v)];
+        best_den = vmax_den[static_cast<std::size_t>(v)];
+        found = true;
+      }
+    }
+    if (!found) return result;
+
+    result.has_cycle = true;
+    result.value = Rational(best_num, best_den);
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> make_karp2_solver(const SolverConfig& config) {
+  return std::make_unique<Karp2Solver>(config);
+}
+
+}  // namespace mcr

@@ -1,0 +1,231 @@
+// Central registration: wires every algorithm into the SolverRegistry
+// with its Table-1 metadata.
+#include "algo/algorithms.h"
+#include "core/brute_force.h"
+#include "core/registry.h"
+
+namespace mcr {
+
+void register_all_solvers(SolverRegistry& r) {
+  using PK = ProblemKind;
+  const auto mean = [](SolverInfo i) {
+    i.kind = PK::kCycleMean;
+    return i;
+  };
+  const auto ratio = [](SolverInfo i) {
+    i.kind = PK::kCycleRatio;
+    return i;
+  };
+
+  // --- Minimum cycle mean (ordered as in the paper's Table 2) ---
+  r.add(mean({.name = "burns",
+              .display = "Burns",
+              .source = "Burns",
+              .year = 1991,
+              .bound = "O(n^2 m)",
+              .exact = true,
+              .in_paper_table2 = true}),
+        [](const SolverConfig& c) { return make_burns_solver(c); });
+  r.add(mean({.name = "ko",
+              .display = "KO",
+              .source = "Karp & Orlin",
+              .year = 1981,
+              .bound = "O(nm lg n)",
+              .exact = true,
+              .in_paper_table2 = true}),
+        [](const SolverConfig& c) { return make_ko_solver(c); });
+  r.add(mean({.name = "yto",
+              .display = "YTO",
+              .source = "Young, Tarjan & Orlin",
+              .year = 1991,
+              .bound = "O(nm + n^2 lg n)",
+              .exact = true,
+              .in_paper_table2 = true}),
+        [](const SolverConfig& c) { return make_yto_solver(c); });
+  r.add(mean({.name = "howard",
+              .display = "Howard",
+              .source = "Cochet-Terrasson et al.",
+              .year = 1997,
+              .bound = "O(N m)",
+              .exact = true,
+              .in_paper_table2 = true}),
+        [](const SolverConfig& c) { return make_howard_solver(c); });
+  r.add(mean({.name = "ho",
+              .display = "HO",
+              .source = "Hartmann & Orlin",
+              .year = 1993,
+              .bound = "O(nm)",
+              .exact = true,
+              .in_paper_table2 = true}),
+        [](const SolverConfig& c) { return make_ho_solver(c); });
+  r.add(mean({.name = "karp",
+              .display = "Karp",
+              .source = "Karp",
+              .year = 1978,
+              .bound = "Theta(nm)",
+              .exact = true,
+              .in_paper_table2 = true}),
+        [](const SolverConfig& c) { return make_karp_solver(c); });
+  r.add(mean({.name = "dg",
+              .display = "DG",
+              .source = "Dasdan & Gupta",
+              .year = 1997,
+              .bound = "O(nm)",
+              .exact = true,
+              .in_paper_table2 = true}),
+        [](const SolverConfig& c) { return make_dg_solver(c); });
+  r.add(mean({.name = "lawler",
+              .display = "Lawler",
+              .source = "Lawler",
+              .year = 1976,
+              .bound = "O(nm lg(nW))",
+              .exact = false,
+              .in_paper_table2 = true}),
+        [](const SolverConfig& c) { return make_lawler_solver(c); });
+  r.add(mean({.name = "karp2",
+              .display = "Karp2",
+              .source = "Karp (space-efficient; Gaubert)",
+              .year = 1998,
+              .bound = "Theta(nm)",
+              .exact = true,
+              .in_paper_table2 = true}),
+        [](const SolverConfig& c) { return make_karp2_solver(c); });
+  r.add(mean({.name = "oa1",
+              .display = "OA1",
+              .source = "Orlin & Ahuja",
+              .year = 1992,
+              .bound = "O(sqrt(n) m lg(nW))",
+              .exact = false,
+              .in_paper_table2 = true}),
+        [](const SolverConfig& c) { return make_oa1_solver(c); });
+
+  // --- Heap-ablation variants (not separate rows in the paper) ---
+  r.add(mean({.name = "ko_bin",
+              .display = "KO/bin",
+              .source = "Karp & Orlin (binary heap)",
+              .year = 1981,
+              .bound = "O(nm lg n)",
+              .exact = true}),
+        [](const SolverConfig& c) { return make_ko_solver(c, HeapKind::kBinary); });
+  r.add(mean({.name = "ko_pair",
+              .display = "KO/pair",
+              .source = "Karp & Orlin (pairing heap)",
+              .year = 1981,
+              .bound = "O(nm lg n)",
+              .exact = true}),
+        [](const SolverConfig& c) { return make_ko_solver(c, HeapKind::kPairing); });
+  r.add(mean({.name = "yto_bin",
+              .display = "YTO/bin",
+              .source = "Young, Tarjan & Orlin (binary heap)",
+              .year = 1991,
+              .bound = "O(nm + n^2 lg n)",
+              .exact = true}),
+        [](const SolverConfig& c) { return make_yto_solver(c, HeapKind::kBinary); });
+  r.add(mean({.name = "yto_pair",
+              .display = "YTO/pair",
+              .source = "Young, Tarjan & Orlin (pairing heap)",
+              .year = 1991,
+              .bound = "O(nm + n^2 lg n)",
+              .exact = true}),
+        [](const SolverConfig& c) { return make_yto_solver(c, HeapKind::kPairing); });
+
+  // --- Extension variants (§5 "improved versions", ablations) ---
+  r.add(mean({.name = "lawler_improved",
+              .display = "Lawler+",
+              .source = "Lawler (witness-tightened, per §5)",
+              .year = 1999,
+              .bound = "O(nm lg(nW))",
+              .exact = true}),
+        [](const SolverConfig& c) { return make_lawler_improved_solver(c); });
+  r.add(mean({.name = "howard_naive_init",
+              .display = "Howard/naive",
+              .source = "Cochet-Terrasson et al. (naive init)",
+              .year = 1997,
+              .bound = "O(N m)",
+              .exact = true}),
+        [](const SolverConfig& c) { return make_howard_naive_init_solver(c); });
+
+  r.add(mean({.name = "megiddo",
+              .display = "Megiddo",
+              .source = "Megiddo",
+              .year = 1979,
+              .bound = "O(n^2 m lg n)",
+              .exact = true}),
+        [](const SolverConfig& c) { return make_megiddo_solver(c); });
+  r.add(mean({.name = "cycle_cancel",
+              .display = "CycleCancel",
+              .source = "folklore baseline",
+              .year = 0,
+              .bound = "O(nm * cycles)",
+              .exact = true}),
+        [](const SolverConfig&) { return make_cycle_cancel_solver(PK::kCycleMean); });
+  r.add(ratio({.name = "megiddo_ratio",
+               .display = "Megiddo (ratio)",
+               .source = "Megiddo",
+               .year = 1979,
+               .bound = "O(n^2 m lg n)",
+               .exact = true}),
+        [](const SolverConfig& c) { return make_megiddo_ratio_solver(c); });
+  r.add(ratio({.name = "cycle_cancel_ratio",
+               .display = "CycleCancel (ratio)",
+               .source = "folklore baseline",
+               .year = 0,
+               .bound = "O(nm * cycles)",
+               .exact = true}),
+        [](const SolverConfig&) { return make_cycle_cancel_solver(PK::kCycleRatio); });
+
+  // --- Test oracle ---
+  r.add(mean({.name = "brute_force",
+              .display = "BruteForce",
+              .source = "cycle enumeration",
+              .year = 0,
+              .bound = "O(2^m)",
+              .exact = true}),
+        [](const SolverConfig&) { return make_brute_force_solver(PK::kCycleMean); });
+
+  // --- Minimum cost-to-time ratio ---
+  r.add(ratio({.name = "howard_ratio",
+               .display = "Howard (ratio)",
+               .source = "Cochet-Terrasson et al.",
+               .year = 1997,
+               .bound = "O(N m)",
+               .exact = true}),
+        [](const SolverConfig& c) { return make_howard_ratio_solver(c); });
+  r.add(ratio({.name = "yto_ratio",
+               .display = "YTO (ratio)",
+               .source = "Young, Tarjan & Orlin",
+               .year = 1991,
+               .bound = "O(nm + n^2 lg n)",
+               .exact = true}),
+        [](const SolverConfig& c) { return make_yto_ratio_solver(c); });
+  r.add(ratio({.name = "burns_ratio",
+               .display = "Burns (ratio)",
+               .source = "Burns",
+               .year = 1991,
+               .bound = "O(n^2 m)",
+               .exact = true}),
+        [](const SolverConfig& c) { return make_burns_ratio_solver(c); });
+  r.add(ratio({.name = "ho_ratio",
+               .display = "Hartmann-Orlin (ratio)",
+               .source = "Hartmann & Orlin",
+               .year = 1993,
+               .bound = "O(Tm)",
+               .exact = true}),
+        [](const SolverConfig& c) { return make_hartmann_orlin_ratio_solver(c); });
+  r.add(ratio({.name = "lawler_ratio",
+               .display = "Lawler (ratio)",
+               .source = "Lawler",
+               .year = 1976,
+               .bound = "O(nm lg(nW))",
+               .exact = false}),
+        [](const SolverConfig& c) { return make_lawler_ratio_solver(c); });
+  r.add(ratio({.name = "brute_force_ratio",
+               .display = "BruteForce (ratio)",
+               .source = "cycle enumeration",
+               .year = 0,
+               .bound = "O(2^m)",
+               .exact = true}),
+        [](const SolverConfig&) { return make_brute_force_solver(PK::kCycleRatio); });
+}
+
+}  // namespace mcr

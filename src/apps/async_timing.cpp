@@ -1,0 +1,104 @@
+#include "apps/async_timing.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/critical.h"
+#include "core/driver.h"
+#include "graph/builder.h"
+#include "graph/scc.h"
+#include "graph/transforms.h"
+#include "graph/traversal.h"
+
+namespace mcr::apps {
+
+namespace {
+
+constexpr std::int64_t kNegInf = std::numeric_limits<std::int64_t>::min() / 4;
+
+Graph rule_graph(const ErSystem& sys) {
+  GraphBuilder b(sys.num_events);
+  for (const EventRule& r : sys.rules) {
+    if (r.delay < 0) throw std::invalid_argument("er_system: negative delay");
+    if (r.occurrence < 0) {
+      throw std::invalid_argument("er_system: negative occurrence offset");
+    }
+    b.add_arc(r.from, r.to, r.delay, r.occurrence);
+  }
+  return b.build();
+}
+
+}  // namespace
+
+ErAnalysis analyze_er_system(const ErSystem& sys) {
+  const Graph g = rule_graph(sys);
+  if (!is_strongly_connected(g)) {
+    throw std::invalid_argument("er_system: rule graph must be strongly connected");
+  }
+  ErAnalysis out;
+
+  // Causality/liveness: a cycle of zero-occurrence rules means an event
+  // waits on its own current occurrence — deadlock.
+  std::vector<ArcSpec> zero;
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    if (g.transit(a) == 0) zero.push_back(ArcSpec{g.src(a), g.dst(a), 0, 0});
+  }
+  if (has_cycle(Graph(g.num_nodes(), zero))) {
+    out.live = false;
+    return out;
+  }
+  out.live = true;
+
+  const CycleResult worst = maximum_cycle_ratio(g, "howard_ratio");
+  out.period = worst.value;
+
+  // Critical events + periodic offsets from the max-problem critical
+  // structure (same construction as the max-plus eigenvector).
+  const Graph neg = negate_weights(g);
+  const auto optimal_arcs =
+      optimal_arc_set(neg, -out.period, ProblemKind::kCycleRatio);
+  std::vector<bool> seed(static_cast<std::size_t>(g.num_nodes()), false);
+  for (const ArcId a : optimal_arcs) {
+    seed[static_cast<std::size_t>(g.src(a))] = true;
+    seed[static_cast<std::size_t>(g.dst(a))] = true;
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (seed[static_cast<std::size_t>(v)]) out.critical_events.push_back(v);
+  }
+
+  // Longest paths from the critical events under the scaled costs
+  // delay*den - num*occurrence (no positive cycles at the optimum).
+  const std::int64_t den = out.period.den();
+  const std::int64_t num = out.period.num();
+  auto& x = out.scaled_offset;
+  x.assign(static_cast<std::size_t>(g.num_nodes()), kNegInf);
+  for (const NodeId v : out.critical_events) x[static_cast<std::size_t>(v)] = 0;
+  for (NodeId pass = 0; pass <= g.num_nodes(); ++pass) {
+    bool changed = false;
+    for (ArcId a = 0; a < g.num_arcs(); ++a) {
+      const std::int64_t xu = x[static_cast<std::size_t>(g.src(a))];
+      if (xu == kNegInf) continue;
+      const std::int64_t cand = xu + g.weight(a) * den - num * g.transit(a);
+      if (cand > x[static_cast<std::size_t>(g.dst(a))]) {
+        x[static_cast<std::size_t>(g.dst(a))] = cand;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return out;
+}
+
+bool is_valid_timing(const ErSystem& sys, const Rational& period,
+                     const std::vector<std::int64_t>& scaled_offset) {
+  if (scaled_offset.size() != static_cast<std::size_t>(sys.num_events)) return false;
+  for (const EventRule& r : sys.rules) {
+    const std::int64_t lhs = scaled_offset[static_cast<std::size_t>(r.to)];
+    const std::int64_t rhs = scaled_offset[static_cast<std::size_t>(r.from)] +
+                             r.delay * period.den() - period.num() * r.occurrence;
+    if (lhs < rhs) return false;
+  }
+  return true;
+}
+
+}  // namespace mcr::apps

@@ -1,0 +1,70 @@
+// Performance analysis of asynchronous circuits via timed event-rule
+// systems (Burns' thesis — reference [4] of the paper — and the
+// Hulgaard-Burns-Amon-Borriello line of work [13]).
+//
+// An ER system has events (signal transitions) and rules
+// e' -> e  with delay δ and occurrence-index offset ε:
+// the k-th occurrence of e waits for the (k - ε)-th occurrence of e'
+// plus δ. The steady-state *cycle period* of the circuit — the paper's
+// motivating quantity for Burns' algorithm — is the maximum cycle ratio
+//     max over cycles C of  δ(C) / ε(C)
+// of the rule graph, and a valid timing assignment (occurrence
+// timestamps t_k(e) = k*period + offset(e)) comes from the max-plus
+// eigen structure. This module is a thin, domain-named layer over the
+// mcr core: it exists so asynchronous-design users get the vocabulary
+// and validation they expect (occurrence offsets, liveness) without
+// hand-translating to graphs.
+#ifndef MCR_APPS_ASYNC_TIMING_H
+#define MCR_APPS_ASYNC_TIMING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/rational.h"
+
+namespace mcr::apps {
+
+struct EventRule {
+  NodeId from = 0;  // triggering event
+  NodeId to = 0;    // triggered event
+  std::int64_t delay = 0;       // δ >= 0
+  std::int64_t occurrence = 0;  // ε >= 0 (0 = same occurrence index)
+};
+
+struct ErSystem {
+  NodeId num_events = 0;
+  std::vector<EventRule> rules;
+};
+
+struct ErAnalysis {
+  /// A live system fires every event infinitely often; false when some
+  /// zero-offset rule cycle deadlocks it or events are unconstrained by
+  /// any cycle ("unbounded" rate — reported per event below).
+  bool live = false;
+  /// The steady-state cycle period: max_C delay(C)/occurrence(C).
+  Rational period;
+  /// Events on period-critical cycles (the performance bottleneck the
+  /// paper says the critical subgraph identifies).
+  std::vector<NodeId> critical_events;
+  /// A periodic timing assignment scaled by period.den():
+  /// t_k(e) = (k*period.num() + offset[e]) / period.den() satisfies
+  /// every rule with equality on the critical cycles.
+  std::vector<std::int64_t> scaled_offset;
+};
+
+/// Analyzes a strongly connected ER system (every event constrains
+/// every other — the usual closed-circuit model). Throws
+/// std::invalid_argument on malformed rules, a non-strongly-connected
+/// rule graph, or a zero-occurrence cycle (causality violation).
+[[nodiscard]] ErAnalysis analyze_er_system(const ErSystem& sys);
+
+/// Exact check that (period, scaled_offset) is a valid periodic timing:
+/// for every rule, offset[to] >= offset[from] + delay*den - period.num*occurrence.
+[[nodiscard]] bool is_valid_timing(const ErSystem& sys, const Rational& period,
+                                   const std::vector<std::int64_t>& scaled_offset);
+
+}  // namespace mcr::apps
+
+#endif  // MCR_APPS_ASYNC_TIMING_H

@@ -1,0 +1,156 @@
+#include "apps/clock_skew.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/critical.h"
+#include "core/driver.h"
+#include "graph/bellman_ford.h"
+#include "graph/builder.h"
+
+namespace mcr::apps {
+
+namespace {
+
+void validate(const Graph& g) {
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    if (g.transit(a) < 0 || g.transit(a) > g.weight(a)) {
+      throw std::invalid_argument(
+          "clock_skew: need 0 <= min delay (transit) <= max delay (weight)");
+    }
+  }
+}
+
+/// Constraint graph for period T = num/den, costs scaled by den:
+///   setup arc  dst->src  with cost  num - maxd*den
+///   hold  arc  src->dst  with cost  mind*den
+/// plus a record of which constraint arcs are setup arcs (transit 1 in
+/// the race-cycle reading) for exact ratio extraction.
+struct ConstraintGraph {
+  Graph graph;
+  std::vector<std::int64_t> cost;
+  std::vector<bool> is_setup;
+  /// Original circuit arc behind each constraint arc.
+  std::vector<ArcId> origin;
+};
+
+ConstraintGraph build_constraints(const Graph& g, std::int64_t num, std::int64_t den) {
+  GraphBuilder b(g.num_nodes());
+  ConstraintGraph out{Graph(0, {}), {}, {}, {}};
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    b.add_arc(g.dst(a), g.src(a), 0);  // setup
+    out.cost.push_back(num - g.weight(a) * den);
+    out.is_setup.push_back(true);
+    out.origin.push_back(a);
+    b.add_arc(g.src(a), g.dst(a), 0);  // hold
+    out.cost.push_back(g.transit(a) * den);
+    out.is_setup.push_back(false);
+    out.origin.push_back(a);
+  }
+  out.graph = b.build();
+  return out;
+}
+
+}  // namespace
+
+std::optional<ClockSchedule> feasible_schedule(const Graph& circuit, std::int64_t period) {
+  validate(circuit);
+  const ConstraintGraph cg = build_constraints(circuit, period, 1);
+  BellmanFordResult bf = bellman_ford_all(cg.graph, cg.cost);
+  if (bf.has_negative_cycle) return std::nullopt;
+  return ClockSchedule{std::move(bf.dist)};
+}
+
+std::int64_t zero_skew_period(const Graph& circuit) {
+  validate(circuit);
+  std::int64_t period = 0;
+  for (ArcId a = 0; a < circuit.num_arcs(); ++a) {
+    period = std::max(period, circuit.weight(a));
+  }
+  return period;
+}
+
+ClockPeriodResult min_clock_period(const Graph& circuit) {
+  validate(circuit);
+  // Dinkelbach-style ascent on exact rationals: start at T = 0; while
+  // infeasible, the violated constraint cycle's race ratio
+  //   (sum maxd over its setup arcs - sum mind over its hold arcs) / #setup
+  // is a valid lower bound strictly above T — adopt it and retry. The
+  // first feasible T is exactly the maximum race-cycle ratio, i.e. the
+  // optimum. Each round strictly increases T over the finite set of
+  // cycle ratios, so this terminates.
+  Rational period(0);
+  for (;;) {
+    const ConstraintGraph cg = build_constraints(circuit, period.num(), period.den());
+    BellmanFordResult bf = bellman_ford_all(cg.graph, cg.cost);
+    if (!bf.has_negative_cycle) break;
+    std::int64_t setup_count = 0;
+    std::int64_t max_sum = 0;
+    std::int64_t min_sum = 0;
+    for (const ArcId ca : bf.cycle) {
+      const ArcId a = cg.origin[static_cast<std::size_t>(ca)];
+      if (cg.is_setup[static_cast<std::size_t>(ca)]) {
+        ++setup_count;
+        max_sum += circuit.weight(a);
+      } else {
+        min_sum += circuit.transit(a);
+      }
+    }
+    if (setup_count == 0) {
+      // A pure hold cycle is infeasible at every period (its total
+      // min-delay is negative only if validation was bypassed; with
+      // mind >= 0 this cannot happen).
+      throw std::invalid_argument("min_clock_period: unfixable hold violation");
+    }
+    const Rational race(max_sum - min_sum, setup_count);
+    if (race <= period) {
+      // Defensive: numeric impossibility with exact arithmetic; avoid
+      // a livelock if it ever changes.
+      throw std::logic_error("min_clock_period: no progress in ascent");
+    }
+    period = race;
+  }
+
+  ClockPeriodResult out;
+  out.min_period = period;
+  const std::int64_t ceiling =
+      (period.num() + period.den() - 1) / period.den();  // ceil for num >= 0
+  const auto sched = feasible_schedule(circuit, std::max<std::int64_t>(0, ceiling));
+  if (!sched.has_value()) {
+    throw std::logic_error("min_clock_period: ceiling schedule infeasible");
+  }
+  out.skew_at_ceiling = sched->skew;
+  return out;
+}
+
+MarginSchedule max_margin_schedule(const Graph& circuit, std::int64_t period) {
+  validate(circuit);
+  // Margin graph: weight(e) = T - maxd(e); the best uniform margin is
+  // its minimum cycle mean, and the skews are shortest-path potentials
+  // at that value (critical arcs have exactly the optimal margin).
+  GraphBuilder b(circuit.num_nodes());
+  for (ArcId a = 0; a < circuit.num_arcs(); ++a) {
+    b.add_arc(circuit.src(a), circuit.dst(a), period - circuit.weight(a));
+  }
+  const Graph margin_graph = b.build();
+  const CycleResult r = minimum_cycle_mean(margin_graph, "howard");
+  MarginSchedule out;
+  if (!r.has_cycle) {
+    // Feed-forward circuit: margin limited by the single worst stage.
+    out.margin = Rational(period - zero_skew_period(circuit));
+    out.scaled_skew = feasible_schedule(circuit, period)
+                          ? feasible_schedule(circuit, period)->skew
+                          : std::vector<std::int64_t>();
+    return out;
+  }
+  out.margin = r.value;
+  const CriticalSubgraph crit =
+      critical_subgraph(margin_graph, r.value, ProblemKind::kCycleMean);
+  // Potentials satisfy d(v) - d(u) <= (T - maxd - t)*den per arc (u,v);
+  // the setup constraint needs s(u) - s(v) <= the same, so s = -d.
+  out.scaled_skew.reserve(crit.scaled_potential.size());
+  for (const std::int64_t d : crit.scaled_potential) out.scaled_skew.push_back(-d);
+  return out;
+}
+
+}  // namespace mcr::apps

@@ -1,0 +1,80 @@
+// Optimal clock-skew scheduling (Szymanski, "Computing optimal clock
+// schedules", DAC 1992 — reference [22] of the DAC'99 paper; also
+// Fishburn's "Clock skew optimization").
+//
+// Model: nodes are registers; an arc e = (u, v) is the combinational
+// logic from u to v with a maximum path delay (Graph weight) and a
+// minimum path delay (Graph transit — reusing the field; both in the
+// same time unit). With per-register skews s(v), a clock period T is
+// met iff every arc satisfies
+//   setup: s(u) + maxd(e) <= s(v) + T   ->  s(u) - s(v) <= T - maxd(e)
+//   hold:  s(u) + mind(e) >= s(v)       ->  s(v) - s(u) <= mind(e)
+// Both are difference constraints, so feasibility of a given T is one
+// Bellman-Ford run, and the minimum feasible T is found by binary
+// search. The limiting structure is a *critical race cycle*: a cycle
+// alternating setup arcs (each contributing maxd - T) and hold arcs
+// (each contributing -mind); T* equals the maximum over such cycles of
+//   (sum of maxd on setup arcs - sum of mind on hold arcs) / #setup arcs
+// — a cycle-ratio quantity, which is why this sits next to the MCR
+// machinery. min_period() returns that exact rational optimum by
+// running the library's maximum_cycle_ratio on the constraint structure.
+#ifndef MCR_APPS_CLOCK_SKEW_H
+#define MCR_APPS_CLOCK_SKEW_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/rational.h"
+
+namespace mcr::apps {
+
+struct ClockSchedule {
+  /// Feasible skews (one per register) for the queried period.
+  std::vector<std::int64_t> skew;
+};
+
+struct ClockPeriodResult {
+  /// The exact minimum feasible period (a cycle ratio; may be fractional).
+  Rational min_period;
+  /// A feasible skew schedule at ceil(min_period) (integer clocks);
+  /// scaled by min_period.den() when you need the exact-rational point.
+  std::vector<std::int64_t> skew_at_ceiling;
+};
+
+/// Is period T feasible? If so, returns skews; otherwise nullopt.
+/// Requirements: 0 <= mind(e) <= maxd(e) for every arc.
+[[nodiscard]] std::optional<ClockSchedule> feasible_schedule(const Graph& circuit,
+                                                             std::int64_t period);
+
+/// The exact minimum feasible clock period with optimal skews, plus an
+/// integer-period schedule. Throws std::invalid_argument if no finite
+/// period works (a hold violation no skew assignment can fix: a cycle
+/// of hold constraints with negative total min-delay).
+[[nodiscard]] ClockPeriodResult min_clock_period(const Graph& circuit);
+
+/// The zero-skew baseline: the largest max-delay of any arc (every
+/// register sees the same edge, so each stage must fit in one period).
+[[nodiscard]] std::int64_t zero_skew_period(const Graph& circuit);
+
+/// Margin-maximizing schedule at a given period T (Fishburn's "minimize
+/// the worst slack" objective): the largest margin t such that skews
+/// exist with  s(u) + maxd(e) + t <= s(v) + T  on every arc — i.e.
+/// every setup check passes with at least t to spare. That largest t is
+/// exactly the minimum cycle mean of the graph with arc weights
+/// T - maxd(e) (an MCM instance!), and the skews are its critical
+/// potentials. Returns margin < 0 when T itself is infeasible (the
+/// margin then says how far). Hold constraints are not included (pad
+/// mind into maxd or check separately via feasible_schedule).
+struct MarginSchedule {
+  Rational margin;
+  /// Skews scaled by margin.den().
+  std::vector<std::int64_t> scaled_skew;
+};
+[[nodiscard]] MarginSchedule max_margin_schedule(const Graph& circuit,
+                                                 std::int64_t period);
+
+}  // namespace mcr::apps
+
+#endif  // MCR_APPS_CLOCK_SKEW_H

@@ -1,0 +1,86 @@
+// Synchronous dataflow (SDF) analysis — the DSP application domain of
+// the paper's Ito & Parhi reference (Table 1 rows 15-17: "determining
+// the minimum iteration period of an algorithm").
+//
+// A multirate SDF graph has actors with execution times and channels
+// that produce/consume fixed token counts per firing, with initial
+// tokens (delays). The standard analysis pipeline, implemented here on
+// top of the mcr core:
+//
+//   1. consistency — solve the balance equations
+//        q[src] * produce == q[dst] * consume        (per channel)
+//      for the smallest positive integer repetition vector q (exact
+//      rational arithmetic; inconsistent graphs have no bounded-memory
+//      periodic schedule);
+//   2. HSDF expansion — unfold each actor into its q copies and expand
+//      every channel into precedence arcs with iteration-shift delays;
+//   3. deadlock check — the zero-delay precedence subgraph must be
+//      acyclic;
+//   4. iteration period bound — the MAXIMUM cycle ratio (total
+//      execution time / delays) of the expansion: no schedule, with
+//      unlimited processors, completes an iteration faster.
+#ifndef MCR_APPS_DATAFLOW_H
+#define MCR_APPS_DATAFLOW_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/rational.h"
+
+namespace mcr::apps {
+
+struct SdfActor {
+  std::int64_t exec_time = 1;
+};
+
+struct SdfChannel {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::int64_t produce = 1;  // tokens produced per src firing
+  std::int64_t consume = 1;  // tokens consumed per dst firing
+  std::int64_t initial_tokens = 0;
+};
+
+struct SdfGraph {
+  std::vector<SdfActor> actors;
+  std::vector<SdfChannel> channels;
+};
+
+/// Smallest positive integer repetition vector, or empty if the graph
+/// is inconsistent (rate mismatch around some cycle of channels).
+/// Disconnected graphs get independent minimal components.
+[[nodiscard]] std::vector<std::int64_t> repetition_vector(const SdfGraph& sdf);
+
+struct HsdfExpansion {
+  /// Precedence event graph: one node per (actor, firing index) pair;
+  /// arc weight = source copy's execution time, transit = iteration
+  /// delay (0 = same iteration).
+  Graph graph;
+  /// actor_of[node] = original actor, firing_of[node] = firing index.
+  std::vector<NodeId> actor_of;
+  std::vector<std::int64_t> firing_of;
+};
+
+/// Homogeneous expansion; requires a consistent graph (throws
+/// std::invalid_argument otherwise).
+[[nodiscard]] HsdfExpansion expand_to_hsdf(const SdfGraph& sdf);
+
+struct SdfAnalysis {
+  bool consistent = false;
+  bool deadlock_free = false;
+  /// Repetitions per actor per iteration (empty when inconsistent).
+  std::vector<std::int64_t> repetitions;
+  /// Minimum iteration period (valid when consistent && deadlock_free).
+  /// Zero when the expansion has no cycle (fully pipelineable).
+  Rational iteration_period;
+  /// Throughput of actor a = repetitions[a] / iteration_period
+  /// (callers compute; exposed via the two fields above).
+};
+
+/// Full pipeline: consistency, expansion, deadlock, iteration bound.
+[[nodiscard]] SdfAnalysis analyze_sdf(const SdfGraph& sdf);
+
+}  // namespace mcr::apps
+
+#endif  // MCR_APPS_DATAFLOW_H

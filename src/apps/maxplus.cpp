@@ -1,0 +1,151 @@
+#include "apps/maxplus.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/critical.h"
+#include "core/problem.h"
+#include "core/driver.h"
+#include "graph/scc.h"
+#include "graph/transforms.h"
+#include "graph/traversal.h"
+
+namespace mcr::apps {
+
+namespace {
+
+constexpr std::int64_t kNegInf = std::numeric_limits<std::int64_t>::min() / 4;
+
+}  // namespace
+
+MaxPlusSpectrum maxplus_spectrum(const Graph& g) {
+  if (!is_strongly_connected(g) || !has_cycle(g)) {
+    throw std::invalid_argument("maxplus_spectrum: graph must be strongly connected "
+                                "and cyclic");
+  }
+  MaxPlusSpectrum out;
+  const CycleResult mx = maximum_cycle_mean(g, "howard");
+  out.eigenvalue = mx.value;
+
+  // Critical structure of the max problem = critical structure of the
+  // min problem on the negated graph at -lambda.
+  const Graph neg = negate_weights(g);
+  // Only nodes on critical *cycles* seed the eigenvector.
+  const auto optimal_arcs = optimal_arc_set(neg, -out.eigenvalue, ProblemKind::kCycleMean);
+  std::vector<bool> is_seed(static_cast<std::size_t>(g.num_nodes()), false);
+  for (const ArcId a : optimal_arcs) {
+    is_seed[static_cast<std::size_t>(g.src(a))] = true;
+    is_seed[static_cast<std::size_t>(g.dst(a))] = true;
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (is_seed[static_cast<std::size_t>(v)]) out.critical_nodes.push_back(v);
+  }
+
+  // Eigenvector: longest-path distances from the critical nodes under
+  // the scaled weights w' = w*den - num (no positive cycles remain).
+  const std::int64_t den = out.eigenvalue.den();
+  const std::int64_t num = out.eigenvalue.num();
+  std::vector<std::int64_t>& x = out.scaled_eigenvector;
+  x.assign(static_cast<std::size_t>(g.num_nodes()), kNegInf);
+  for (const NodeId v : out.critical_nodes) x[static_cast<std::size_t>(v)] = 0;
+  // Bellman-Ford style longest path; at most n passes (no positive cycle).
+  for (NodeId pass = 0; pass <= g.num_nodes(); ++pass) {
+    bool changed = false;
+    for (ArcId a = 0; a < g.num_arcs(); ++a) {
+      const std::int64_t xu = x[static_cast<std::size_t>(g.src(a))];
+      if (xu == kNegInf) continue;
+      const std::int64_t cand = xu + g.weight(a) * den - num;
+      if (cand > x[static_cast<std::size_t>(g.dst(a))]) {
+        x[static_cast<std::size_t>(g.dst(a))] = cand;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return out;
+}
+
+bool is_maxplus_eigenpair(const Graph& g, const Rational& eigenvalue,
+                          const std::vector<std::int64_t>& scaled_vector) {
+  if (scaled_vector.size() != static_cast<std::size_t>(g.num_nodes())) return false;
+  const std::int64_t den = eigenvalue.den();
+  const std::int64_t num = eigenvalue.num();
+  // max over in-arcs of (x[u] + w*den - num) must equal x[v], for all v.
+  std::vector<std::int64_t> best(static_cast<std::size_t>(g.num_nodes()), kNegInf);
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const std::int64_t cand =
+        scaled_vector[static_cast<std::size_t>(g.src(a))] + g.weight(a) * den - num;
+    if (cand > best[static_cast<std::size_t>(g.dst(a))]) {
+      best[static_cast<std::size_t>(g.dst(a))] = cand;
+    }
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (best[static_cast<std::size_t>(v)] != scaled_vector[static_cast<std::size_t>(v)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+CycleTimeVector cycle_time_impl(const Graph& g, ProblemKind kind) {
+  const SccDecomposition scc = strongly_connected_components(g);
+  const std::size_t num_comp = static_cast<std::size_t>(scc.num_components);
+  std::vector<Rational> rate(num_comp);
+  std::vector<bool> has(num_comp, false);
+
+  // Own eigenvalue of each cyclic component.
+  for (NodeId c = 0; c < scc.num_components; ++c) {
+    if (!scc.component_is_cyclic[static_cast<std::size_t>(c)]) continue;
+    const InducedSubgraph sub = induced_subgraph(g, scc, c);
+    const CycleResult r = kind == ProblemKind::kCycleMean
+                              ? maximum_cycle_mean(sub.graph, "howard")
+                              : maximum_cycle_ratio(sub.graph, "howard_ratio");
+    rate[static_cast<std::size_t>(c)] = r.value;
+    has[static_cast<std::size_t>(c)] = true;
+  }
+  // Tarjan numbers components in reverse topological order (an arc
+  // u -> v has comp(u) >= comp(v)); propagate rates downstream by
+  // scanning components from sources (high ids) to sinks (low ids).
+  // One pass over arcs per component would be quadratic; instead sweep
+  // arcs grouped by source component id, descending.
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> cross(num_comp);
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const NodeId cu = scc.component[static_cast<std::size_t>(g.src(a))];
+    const NodeId cv = scc.component[static_cast<std::size_t>(g.dst(a))];
+    if (cu != cv) cross[static_cast<std::size_t>(cu)].push_back({cu, cv});
+  }
+  for (std::size_t c = num_comp; c-- > 0;) {
+    if (!has[c]) continue;
+    for (const auto& [cu, cv] : cross[c]) {
+      const auto dst = static_cast<std::size_t>(cv);
+      if (!has[dst] || rate[dst] < rate[c]) {
+        rate[dst] = rate[c];
+        has[dst] = true;
+      }
+    }
+  }
+
+  CycleTimeVector out;
+  out.chi.assign(static_cast<std::size_t>(g.num_nodes()), Rational(0));
+  out.has_rate.assign(static_cast<std::size_t>(g.num_nodes()), false);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto c = static_cast<std::size_t>(scc.component[static_cast<std::size_t>(v)]);
+    out.chi[static_cast<std::size_t>(v)] = rate[c];
+    out.has_rate[static_cast<std::size_t>(v)] = has[c];
+  }
+  return out;
+}
+
+}  // namespace
+
+CycleTimeVector maxplus_cycle_time(const Graph& g) {
+  return cycle_time_impl(g, ProblemKind::kCycleMean);
+}
+
+CycleTimeVector maxplus_cycle_time_ratio(const Graph& g) {
+  return cycle_time_impl(g, ProblemKind::kCycleRatio);
+}
+
+}  // namespace mcr::apps

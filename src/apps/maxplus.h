@@ -1,0 +1,63 @@
+// Max-plus spectral analysis of timed event graphs.
+//
+// The DAC'99 paper's Howard reference (Cochet-Terrasson et al., "Numerical
+// computation of spectral elements in max-plus algebra") frames MCM as
+// an eigenproblem: for the max-plus matrix A with A[v][u] = w(u, v)
+// (-inf where no arc), a strongly connected graph has a unique
+// eigenvalue lambda = the MAXIMUM cycle mean, with eigenvectors x
+// satisfying  max_u (x[u] + w(u, v)) = lambda + x[v]  for every v.
+//
+// In discrete event systems x is the stationary schedule: firing node v
+// at time x[v] + k*lambda for k = 0, 1, ... respects every precedence
+// arc with delay w. This module computes the spectrum from the library
+// primitives: lambda from maximum_cycle_mean, the eigenvector from
+// longest-path distances out of the critical nodes, and the per-SCC
+// cycle-time vector for non-strongly-connected systems.
+#ifndef MCR_APPS_MAXPLUS_H
+#define MCR_APPS_MAXPLUS_H
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/rational.h"
+
+namespace mcr::apps {
+
+struct MaxPlusSpectrum {
+  /// The unique eigenvalue (maximum cycle mean).
+  Rational eigenvalue;
+  /// An eigenvector, scaled by eigenvalue.den(): x[v] = scaled[v]/den.
+  /// Satisfies max_u (x[u] + w(u,v)) = eigenvalue + x[v] for all v.
+  std::vector<std::int64_t> scaled_eigenvector;
+  /// Nodes on critical (eigenvalue-achieving) cycles.
+  std::vector<NodeId> critical_nodes;
+};
+
+/// Spectral elements of a strongly connected, cyclic graph. Throws
+/// std::invalid_argument otherwise.
+[[nodiscard]] MaxPlusSpectrum maxplus_spectrum(const Graph& g);
+
+/// Cycle-time vector for an arbitrary graph: chi[v] = the asymptotic
+/// growth rate of v's firing times = the largest eigenvalue among the
+/// SCCs that can reach v (nodes in acyclic components that nothing
+/// cyclic feeds have no rate; their entry is nullopt-like, encoded as
+/// has_rate[v] = false).
+struct CycleTimeVector {
+  std::vector<Rational> chi;
+  std::vector<bool> has_rate;
+};
+[[nodiscard]] CycleTimeVector maxplus_cycle_time(const Graph& g);
+
+/// Ratio flavor: per-SCC rate = maximum cycle ratio w(C)/t(C) (delay
+/// per token) instead of the mean — the cycle-time vector of a timed
+/// event graph whose arcs carry t initial tokens (see apps/selftimed.h).
+[[nodiscard]] CycleTimeVector maxplus_cycle_time_ratio(const Graph& g);
+
+/// Checks the eigen equation exactly; used by tests and exposed for
+/// callers validating externally produced schedules.
+[[nodiscard]] bool is_maxplus_eigenpair(const Graph& g, const Rational& eigenvalue,
+                                        const std::vector<std::int64_t>& scaled_vector);
+
+}  // namespace mcr::apps
+
+#endif  // MCR_APPS_MAXPLUS_H

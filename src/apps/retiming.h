@@ -1,0 +1,68 @@
+// Minimum clock-period retiming (Leiserson & Saxe, "Retiming
+// synchronous circuitry", Algorithmica 1991) — the flagship CAD
+// application of cycle-ratio analysis (§1.1 of the DAC'99 paper).
+//
+// Circuit model: nodes are combinational gates with delay d(v) >= 0;
+// an arc e = (u, v) with *register count* w(e) >= 0 (stored in the
+// Graph's weight field; transit is unused) carries u's output through
+// w(e) flip-flops into v. The clock period is the largest total gate
+// delay along any register-free path. A retiming r : V -> Z moves
+// registers across gates, w_r(e) = w(e) + r(v) - r(u), preserving
+// behaviour; minimum-period retiming finds the r minimizing the period.
+//
+// Connection to this library: the best achievable period is lower-
+// bounded by the maximum cycle ratio  max_C (total gate delay on C) /
+// (registers on C) — no retiming can change either cycle sum. The
+// implementation reports that bound (computed with the library's
+// maximum_cycle_ratio) next to the achieved optimum.
+//
+// Algorithm: the classic OPT1 — W/D matrices by all-pairs lexicographic
+// shortest paths (O(n^3)), binary search over the distinct D values,
+// feasibility of a candidate period by Bellman-Ford over the difference
+// constraints. Intended for circuits up to a few thousand gates.
+#ifndef MCR_APPS_RETIMING_H
+#define MCR_APPS_RETIMING_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/rational.h"
+
+namespace mcr::apps {
+
+struct RetimingResult {
+  /// The minimum achievable clock period.
+  std::int64_t period = 0;
+  /// Retiming labels r(v); registers move as w_r(e) = w(e)+r(dst)-r(src).
+  std::vector<std::int64_t> labels;
+  /// Register counts after retiming, indexed by arc id.
+  std::vector<std::int64_t> retimed_registers;
+  /// The cycle-ratio lower bound max_C delay(C)/registers(C); the
+  /// achieved period always satisfies period >= ceil-ish of this bound.
+  Rational cycle_ratio_bound;
+  /// True iff the graph has a cycle (the bound is meaningless otherwise).
+  bool has_cycle = false;
+};
+
+/// Clock period of the circuit as-is: the maximum total gate delay over
+/// register-free paths. Throws std::invalid_argument on a combinational
+/// loop (a cycle with zero registers) or negative delays/registers.
+[[nodiscard]] std::int64_t clock_period(const Graph& circuit,
+                                        std::span<const std::int64_t> gate_delay);
+
+/// Minimum-period retiming. Requirements as clock_period. The returned
+/// labels give a legal retiming (all retimed register counts >= 0)
+/// achieving `period`, which is minimal over all retimings.
+[[nodiscard]] RetimingResult min_period_retiming(const Graph& circuit,
+                                                 std::span<const std::int64_t> gate_delay);
+
+/// The circuit with registers redistributed per `labels` (weights
+/// become the retimed register counts; delays/transits unchanged).
+[[nodiscard]] Graph apply_retiming(const Graph& circuit,
+                                   std::span<const std::int64_t> labels);
+
+}  // namespace mcr::apps
+
+#endif  // MCR_APPS_RETIMING_H

@@ -1,0 +1,86 @@
+#include "apps/selftimed.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "apps/maxplus.h"
+#include "graph/traversal.h"
+
+namespace mcr::apps {
+
+double SimulationResult::measured_rate(NodeId v) const {
+  if (iterations < 4) return 0.0;
+  const std::int64_t k1 = iterations / 2;
+  const std::int64_t k2 = iterations - 1;
+  return static_cast<double>(at(k2, v) - at(k1, v)) / static_cast<double>(k2 - k1);
+}
+
+SimulationResult simulate_self_timed(const Graph& g, std::int64_t iterations) {
+  if (iterations < 1) throw std::invalid_argument("simulate_self_timed: iterations >= 1");
+  const NodeId n = g.num_nodes();
+  const std::size_t un = static_cast<std::size_t>(n);
+
+  // Validate and find the zero-token subgraph's topological order (for
+  // same-iteration dependencies).
+  std::vector<ArcSpec> zero_arcs;
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    if (g.weight(a) < 0) {
+      throw std::invalid_argument("simulate_self_timed: negative delay");
+    }
+    if (g.transit(a) < 0) {
+      throw std::invalid_argument("simulate_self_timed: negative token count");
+    }
+    if (g.transit(a) == 0) {
+      zero_arcs.push_back(ArcSpec{g.src(a), g.dst(a), 0, 0});
+    }
+  }
+  std::vector<NodeId> order;
+  if (zero_arcs.empty()) {
+    order.resize(un);
+    for (NodeId v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  } else {
+    order = topological_order(Graph(n, zero_arcs));
+    if (order.empty()) {
+      throw std::invalid_argument("simulate_self_timed: token-free cycle (deadlock)");
+    }
+  }
+
+  SimulationResult out;
+  out.iterations = iterations;
+  out.num_nodes = n;
+  out.firing.assign(static_cast<std::size_t>(iterations) * un, 0);
+
+  for (std::int64_t k = 0; k < iterations; ++k) {
+    for (const NodeId v : order) {
+      std::int64_t t = 0;
+      for (const ArcId a : g.in_arcs(v)) {
+        const std::int64_t kk = k - g.transit(a);
+        if (kk < 0) {
+          // Initial tokens were available at time 0; the firing still
+          // waits for the arc's delay measured from t = 0.
+          t = std::max(t, g.weight(a));
+          continue;
+        }
+        t = std::max(t, out.at(kk, g.src(a)) + g.weight(a));
+      }
+      out.firing[static_cast<std::size_t>(k) * un + static_cast<std::size_t>(v)] = t;
+    }
+  }
+  return out;
+}
+
+std::vector<Rational> analytic_rates(const Graph& g) {
+  // The simulator's recurrence uses arc delay as "weight" and tokens as
+  // "transit"; the cycle-time vector of exactly that system comes from
+  // apps::maxplus_cycle_time on the same graph.
+  const CycleTimeVector chi = maxplus_cycle_time_ratio(g);
+  std::vector<Rational> out(static_cast<std::size_t>(g.num_nodes()), Rational(0));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (chi.has_rate[static_cast<std::size_t>(v)]) {
+      out[static_cast<std::size_t>(v)] = chi.chi[static_cast<std::size_t>(v)];
+    }
+  }
+  return out;
+}
+
+}  // namespace mcr::apps

@@ -1,0 +1,33 @@
+#include "benchkit/report.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "benchkit/workloads.h"
+
+namespace mcr::bench {
+
+void emit(const std::string& title, const std::string& slug, const TextTable& table) {
+  std::cout << '\n' << title << '\n';
+  table.print(std::cout);
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  if (!ec) {
+    std::ofstream csv("bench_out/" + slug + ".csv");
+    if (csv) {
+      table.print_csv(csv);
+      std::cout << "[csv: bench_out/" << slug << ".csv]\n";
+      return;
+    }
+  }
+  std::cout << "[csv not written for " << slug << "]\n";
+}
+
+void banner(const std::string& experiment, const std::string& reproduces) {
+  std::cout << "=== " << experiment << " — reproduces " << reproduces
+            << " (scale: " << scale_name(bench_scale())
+            << "; set MCR_BENCH_SCALE=medium|full for more) ===\n";
+}
+
+}  // namespace mcr::bench

@@ -1,0 +1,22 @@
+// Report emission for the bench binaries: paper-style text tables on
+// stdout plus CSV files under bench_out/ for downstream plotting.
+#ifndef MCR_BENCHKIT_REPORT_H
+#define MCR_BENCHKIT_REPORT_H
+
+#include <string>
+
+#include "support/table.h"
+
+namespace mcr::bench {
+
+/// Prints a titled table to stdout and, when possible, writes
+/// bench_out/<slug>.csv (failures to write are reported, not fatal).
+void emit(const std::string& title, const std::string& slug, const TextTable& table);
+
+/// Prints the standard header for a bench binary: experiment id, the
+/// paper table/figure it reproduces, and the active scale.
+void banner(const std::string& experiment, const std::string& reproduces);
+
+}  // namespace mcr::bench
+
+#endif  // MCR_BENCHKIT_REPORT_H

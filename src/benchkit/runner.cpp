@@ -1,0 +1,58 @@
+#include "benchkit/runner.h"
+
+#include "benchkit/workloads.h"
+#include "core/driver.h"
+#include "core/registry.h"
+#include "support/stats.h"
+
+namespace mcr::bench {
+
+std::size_t estimated_bytes(const std::string& name, NodeId n, ArcId m) {
+  const std::size_t un = static_cast<std::size_t>(n);
+  const std::size_t um = static_cast<std::size_t>(m);
+  if (name == "karp") return (un + 1) * un * 8;
+  if (name == "ho") return (un + 1) * un * 12;  // D + parent tables
+  if (name == "dg") {
+    // Worst case: every level touches every node (random graphs do).
+    return (un + 1) * un * 12;
+  }
+  if (name == "ho_ratio") {
+    // Theta(T n) rows; T <= 10 * m on the ratio workloads.
+    return 10 * um * un * 8;
+  }
+  // Everything else is O(n + m).
+  return (un + um) * 64;
+}
+
+TimedRun time_solver(const std::string& name, const Graph& g,
+                     std::size_t mem_budget_bytes) {
+  TimedRun out;
+  if (estimated_bytes(name, g.num_nodes(), g.num_arcs()) > mem_budget_bytes) {
+    out.skip_reason = "mem";
+    return out;
+  }
+  const auto solver = SolverRegistry::instance().create(name);
+  Timer timer;
+  if (solver->kind() == ProblemKind::kCycleMean) {
+    out.result = minimum_cycle_mean(g, *solver);
+  } else {
+    out.result = minimum_cycle_ratio(g, *solver);
+  }
+  out.seconds = timer.seconds();
+  out.ran = true;
+  return out;
+}
+
+double default_time_budget() {
+  switch (bench_scale()) {
+    case Scale::kSmall:
+      return 5.0;
+    case Scale::kMedium:
+      return 30.0;
+    case Scale::kFull:
+      return 3600.0;
+  }
+  return 5.0;
+}
+
+}  // namespace mcr::bench

@@ -1,0 +1,61 @@
+// Timed solver execution with the guard rails the paper applied:
+// quadratic-space algorithms are skipped (reported N/A) when the D
+// table would not fit, and a per-solver time budget stops scaling a
+// solver up once a row exceeds it ("we could not get a result in a
+// day", Table 2 caption).
+#ifndef MCR_BENCHKIT_RUNNER_H
+#define MCR_BENCHKIT_RUNNER_H
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/result.h"
+#include "graph/graph.h"
+
+namespace mcr::bench {
+
+struct TimedRun {
+  bool ran = false;        // false => N/A (guarded out)
+  std::string skip_reason;  // "mem" or "time" when !ran
+  double seconds = 0.0;
+  CycleResult result;
+};
+
+/// Runs the registry solver `name` on g through the SCC driver, wall-
+/// clock timed. Returns ran == false without running when the solver's
+/// estimated memory exceeds `mem_budget_bytes`.
+[[nodiscard]] TimedRun time_solver(const std::string& name, const Graph& g,
+                                   std::size_t mem_budget_bytes = 2ULL << 30);
+
+/// Estimated peak scratch bytes for a solver on an (n, m) instance;
+/// only the Karp-family quadratic-space algorithms matter.
+[[nodiscard]] std::size_t estimated_bytes(const std::string& name, NodeId n, ArcId m);
+
+/// Tracks per-solver worst-case times; once a solver exceeds the budget
+/// it is skipped for all subsequent (larger) instances, like the
+/// paper's day-long cutoffs.
+class TimeBudget {
+ public:
+  explicit TimeBudget(double per_run_seconds) : budget_(per_run_seconds) {}
+
+  [[nodiscard]] bool should_skip(const std::string& name) const {
+    const auto it = worst_.find(name);
+    return it != worst_.end() && it->second > budget_;
+  }
+  void record(const std::string& name, double seconds) {
+    auto& w = worst_[name];
+    if (seconds > w) w = seconds;
+  }
+
+ private:
+  double budget_;
+  std::map<std::string, double> worst_;
+};
+
+/// Per-run time budget by scale: small 5s, medium 30s, full 3600s.
+[[nodiscard]] double default_time_budget();
+
+}  // namespace mcr::bench
+
+#endif  // MCR_BENCHKIT_RUNNER_H

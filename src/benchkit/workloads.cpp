@@ -1,0 +1,95 @@
+#include "benchkit/workloads.h"
+
+#include <cstdlib>
+
+namespace mcr::bench {
+
+Scale bench_scale() {
+  const char* env = std::getenv("MCR_BENCH_SCALE");
+  if (env == nullptr) return Scale::kSmall;
+  const std::string v(env);
+  if (v == "full") return Scale::kFull;
+  if (v == "medium") return Scale::kMedium;
+  return Scale::kSmall;
+}
+
+std::string scale_name(Scale s) {
+  switch (s) {
+    case Scale::kSmall:
+      return "small";
+    case Scale::kMedium:
+      return "medium";
+    case Scale::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+std::vector<GridCell> table2_grid(Scale s) {
+  std::vector<NodeId> sizes;
+  switch (s) {
+    case Scale::kSmall:
+      sizes = {128, 256, 512};
+      break;
+    case Scale::kMedium:
+      sizes = {512, 1024, 2048};
+      break;
+    case Scale::kFull:
+      sizes = {512, 1024, 2048, 4096, 8192};
+      break;
+  }
+  std::vector<GridCell> grid;
+  for (const NodeId n : sizes) {
+    // m/n in {1, 1.5, 2, 2.5, 3} — the paper's five density columns.
+    for (const ArcId m : {n, n + n / 2, 2 * n, 2 * n + n / 2, 3 * n}) {
+      grid.push_back(GridCell{n, m});
+    }
+  }
+  return grid;
+}
+
+int trials_per_cell(Scale s) { return s == Scale::kSmall ? 5 : 10; }
+
+Graph table2_instance(GridCell cell, int trial) {
+  gen::SprandConfig cfg;
+  cfg.n = cell.n;
+  cfg.m = cell.m;
+  cfg.min_weight = 1;
+  cfg.max_weight = 10000;  // SPRAND's default interval, used by the paper
+  cfg.seed = 0x5eed0000ULL + static_cast<std::uint64_t>(cell.n) * 131 +
+             static_cast<std::uint64_t>(cell.m) * 7 + static_cast<std::uint64_t>(trial);
+  return gen::sprand(cfg);
+}
+
+std::vector<CircuitCase> circuit_suite(Scale s) {
+  std::vector<CircuitCase> cases;
+  const auto add = [&](std::string name, NodeId regs, NodeId module, double fanout,
+                       double feedback, std::uint64_t seed) {
+    gen::CircuitConfig cfg;
+    cfg.registers = regs;
+    cfg.module_size = module;
+    cfg.avg_fanout = fanout;
+    cfg.feedback_prob = feedback;
+    cfg.seed = seed;
+    cases.push_back(CircuitCase{std::move(name), cfg});
+  };
+  // Densities and feedback rates follow the spread of real sequential-
+  // suite register graphs: small controllers are nearly chains
+  // (m/n ~ 1.2) of shift-ring SCCs, big datapaths run denser (m/n up
+  // to ~2) with more global control feedback merging modules.
+  add("s208-like", 32, 8, 1.2, 0.02, 11);
+  add("s400-like", 64, 16, 1.25, 0.03, 12);
+  add("s838-like", 128, 16, 1.3, 0.03, 13);
+  add("s1488-like", 256, 32, 1.4, 0.05, 14);
+  add("s5378-like", 512, 32, 1.45, 0.04, 15);
+  if (s != Scale::kSmall) {
+    add("s9234-like", 1024, 64, 1.7, 0.08, 16);
+    add("s15850-like", 2048, 64, 2.0, 0.1, 17);
+  }
+  if (s == Scale::kFull) {
+    add("s38584-like", 8192, 128, 2.0, 0.1, 18);
+  }
+  return cases;
+}
+
+}  // namespace mcr::bench

@@ -1,0 +1,55 @@
+// Benchmark workloads: the paper's experimental grid.
+//
+// Table 2 uses SPRAND graphs with n in {512, 1024, 2048, 4096, 8192}
+// and m/n in {1, 1.5, 2, 2.5, 3}, ten seeds per cell, weights uniform
+// in [1, 10000]. The default bench scale trims the grid so the whole
+// harness finishes in minutes; MCR_BENCH_SCALE=full reproduces the
+// paper's full grid (hours, like the original).
+#ifndef MCR_BENCHKIT_WORKLOADS_H
+#define MCR_BENCHKIT_WORKLOADS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/circuit.h"
+#include "gen/sprand.h"
+#include "graph/graph.h"
+
+namespace mcr::bench {
+
+enum class Scale { kSmall, kMedium, kFull };
+
+/// Reads MCR_BENCH_SCALE (small | medium | full); default small.
+[[nodiscard]] Scale bench_scale();
+[[nodiscard]] std::string scale_name(Scale s);
+
+struct GridCell {
+  NodeId n;
+  ArcId m;
+};
+
+/// The (n, m) grid of the paper's Table 2, trimmed per scale:
+///   small:  n in {128, 256, 512},        m/n in {1, 1.5, 2, 2.5, 3}
+///   medium: n in {512, 1024, 2048},      same densities
+///   full:   n in {512 .. 8192},          same densities (paper grid)
+[[nodiscard]] std::vector<GridCell> table2_grid(Scale s);
+
+/// Seeds per cell (paper: 10; small scale: 5).
+[[nodiscard]] int trials_per_cell(Scale s);
+
+/// The paper's SPRAND instance for a grid cell and trial index.
+[[nodiscard]] Graph table2_instance(GridCell cell, int trial);
+
+/// Synthetic circuit suite standing in for the 1991 LGSynth benchmarks
+/// (see gen/circuit.h and DESIGN.md §1). Names mimic the flavor of the
+/// MCNC sequential suite; sizes span small FSMs to large datapaths.
+struct CircuitCase {
+  std::string name;
+  gen::CircuitConfig config;
+};
+[[nodiscard]] std::vector<CircuitCase> circuit_suite(Scale s);
+
+}  // namespace mcr::bench
+
+#endif  // MCR_BENCHKIT_WORKLOADS_H

@@ -1,0 +1,58 @@
+#include "core/brute_force.h"
+
+#include <vector>
+
+#include "core/result.h"
+#include "graph/cycle_enum.h"
+
+namespace mcr {
+
+namespace {
+
+class BruteForceSolver final : public Solver {
+ public:
+  BruteForceSolver(ProblemKind kind, std::uint64_t max_cycles)
+      : kind_(kind), max_cycles_(max_cycles) {}
+
+  [[nodiscard]] std::string name() const override {
+    return kind_ == ProblemKind::kCycleMean ? "brute_force" : "brute_force_ratio";
+  }
+
+  [[nodiscard]] ProblemKind kind() const override { return kind_; }
+
+  [[nodiscard]] CycleResult solve_scc(const Graph& g) const override {
+    CycleResult best;
+    enumerate_simple_cycles(
+        g,
+        [&](std::span<const ArcId> cycle) {
+          ++best.counters.cycle_evaluations;
+          std::int64_t w = 0;
+          std::int64_t t = 0;
+          for (const ArcId a : cycle) {
+            w += g.weight(a);
+            t += kind_ == ProblemKind::kCycleMean ? 1 : g.transit(a);
+          }
+          const Rational value(w, t);
+          if (!best.has_cycle || value < best.value) {
+            best.has_cycle = true;
+            best.value = value;
+            best.cycle.assign(cycle.begin(), cycle.end());
+          }
+          return true;
+        },
+        max_cycles_);
+    return best;
+  }
+
+ private:
+  ProblemKind kind_;
+  std::uint64_t max_cycles_;
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> make_brute_force_solver(ProblemKind kind, std::uint64_t max_cycles) {
+  return std::make_unique<BruteForceSolver>(kind, max_cycles);
+}
+
+}  // namespace mcr

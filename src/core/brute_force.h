@@ -1,0 +1,24 @@
+// Brute-force oracle: exhaustive simple-cycle enumeration.
+//
+// Exponential; exists as the ground truth the test suite validates all
+// real solvers against, and to measure alpha (the simple-cycle count in
+// the paper's O(nm*alpha) Howard bound). Registered as "brute_force"
+// and "brute_force_ratio".
+#ifndef MCR_CORE_BRUTE_FORCE_H
+#define MCR_CORE_BRUTE_FORCE_H
+
+#include <cstdint>
+#include <memory>
+
+#include "core/solver.h"
+
+namespace mcr {
+
+/// Creates the oracle. `max_cycles` aborts (throws) on graphs with more
+/// simple cycles than the cap, so tests fail loudly instead of hanging.
+[[nodiscard]] std::unique_ptr<Solver> make_brute_force_solver(
+    ProblemKind kind, std::uint64_t max_cycles = 50'000'000);
+
+}  // namespace mcr
+
+#endif  // MCR_CORE_BRUTE_FORCE_H

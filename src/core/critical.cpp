@@ -1,0 +1,103 @@
+#include "core/critical.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/bellman_ford.h"
+#include "graph/scc.h"
+#include "graph/traversal.h"
+
+namespace mcr {
+
+std::vector<std::int64_t> lambda_costs(const Graph& g, const Rational& value,
+                                       ProblemKind kind) {
+  std::vector<std::int64_t> cost(static_cast<std::size_t>(g.num_arcs()));
+  const std::int64_t num = value.num();
+  const std::int64_t den = value.den();
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const std::int64_t t = kind == ProblemKind::kCycleMean ? 1 : g.transit(a);
+    cost[static_cast<std::size_t>(a)] = g.weight(a) * den - num * t;
+  }
+  return cost;
+}
+
+CriticalSubgraph critical_subgraph(const Graph& g, const Rational& value,
+                                   ProblemKind kind) {
+  const std::vector<std::int64_t> cost = lambda_costs(g, value, kind);
+  BellmanFordResult bf = bellman_ford_all(g, cost);
+  if (bf.has_negative_cycle) {
+    throw std::invalid_argument(
+        "critical_subgraph: value exceeds the optimum (negative cycle exists)");
+  }
+  CriticalSubgraph out;
+  out.scaled_potential = std::move(bf.dist);
+  std::vector<bool> node_critical(static_cast<std::size_t>(g.num_nodes()), false);
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const NodeId u = g.src(a);
+    const NodeId v = g.dst(a);
+    if (out.scaled_potential[static_cast<std::size_t>(v)] ==
+        out.scaled_potential[static_cast<std::size_t>(u)] + cost[static_cast<std::size_t>(a)]) {
+      out.arcs.push_back(a);
+      node_critical[static_cast<std::size_t>(u)] = true;
+      node_critical[static_cast<std::size_t>(v)] = true;
+    }
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (node_critical[static_cast<std::size_t>(v)]) out.nodes.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> arc_slacks(const Graph& g, const Rational& value,
+                                     ProblemKind kind) {
+  const std::vector<std::int64_t> cost = lambda_costs(g, value, kind);
+  BellmanFordResult bf = bellman_ford_all(g, cost);
+  if (bf.has_negative_cycle) {
+    throw std::invalid_argument("arc_slacks: value exceeds the optimum");
+  }
+  std::vector<std::int64_t> slack(static_cast<std::size_t>(g.num_arcs()));
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    slack[static_cast<std::size_t>(a)] =
+        bf.dist[static_cast<std::size_t>(g.src(a))] + cost[static_cast<std::size_t>(a)] -
+        bf.dist[static_cast<std::size_t>(g.dst(a))];
+  }
+  return slack;
+}
+
+std::vector<ArcId> optimal_arc_set(const Graph& g, const Rational& value,
+                                   ProblemKind kind) {
+  const CriticalSubgraph crit = critical_subgraph(g, value, kind);
+  // Build the critical subgraph as its own Graph (nodes unchanged) and
+  // decompose; arcs inside cyclic components are exactly the arcs on
+  // optimum cycles.
+  std::vector<ArcSpec> specs;
+  specs.reserve(crit.arcs.size());
+  for (const ArcId a : crit.arcs) {
+    specs.push_back(ArcSpec{g.src(a), g.dst(a), 0, 0});
+  }
+  const Graph crit_graph(g.num_nodes(), specs);
+  const SccDecomposition scc = strongly_connected_components(crit_graph);
+  std::vector<ArcId> out;
+  for (std::size_t i = 0; i < crit.arcs.size(); ++i) {
+    const ArcId a = crit.arcs[i];
+    const NodeId cu = scc.component[static_cast<std::size_t>(g.src(a))];
+    const NodeId cv = scc.component[static_cast<std::size_t>(g.dst(a))];
+    if (cu == cv && scc.component_is_cyclic[static_cast<std::size_t>(cu)]) {
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+std::vector<ArcId> extract_optimal_cycle(const Graph& g, const Rational& value,
+                                         ProblemKind kind) {
+  const CriticalSubgraph crit = critical_subgraph(g, value, kind);
+  std::vector<ArcId> cycle = find_any_cycle(g, crit.arcs);
+  if (cycle.empty()) {
+    throw std::invalid_argument(
+        "extract_optimal_cycle: no cycle in the critical subgraph (value below optimum?)");
+  }
+  return cycle;
+}
+
+}  // namespace mcr

@@ -1,0 +1,72 @@
+// Critical subgraph extraction (§2 of the paper).
+//
+// Given lambda*, an arc (u,v) is *critical* when d(v) - d(u) =
+// w(u,v) - lambda* * t(u,v), where d are shortest-path potentials in
+// G_lambda*. The critical subgraph contains every optimum cycle; it is
+// "the arcs and nodes that determine the performance of the system".
+// We compute it exactly with integer arithmetic: scale all quantities by
+// den(lambda*).
+#ifndef MCR_CORE_CRITICAL_H
+#define MCR_CORE_CRITICAL_H
+
+#include <vector>
+
+#include "core/problem.h"
+#include "graph/graph.h"
+#include "support/rational.h"
+
+namespace mcr {
+
+struct CriticalSubgraph {
+  /// Arcs satisfying the criticality criterion.
+  std::vector<ArcId> arcs;
+  /// Nodes adjacent to at least one critical arc, sorted ascending.
+  std::vector<NodeId> nodes;
+  /// Shortest-path potentials used (scaled by den(lambda)); exposed for
+  /// clock-schedule style applications that need slacks.
+  std::vector<std::int64_t> scaled_potential;
+};
+
+/// Computes the critical subgraph of g at the given optimum value.
+/// `kind` selects mean (transit ignored) or ratio. Throws
+/// std::invalid_argument if `value` exceeds the true optimum (then
+/// G_value has a negative cycle, so potentials do not exist).
+[[nodiscard]] CriticalSubgraph critical_subgraph(const Graph& g, const Rational& value,
+                                                 ProblemKind kind);
+
+/// Extracts one optimum cycle given the optimum value: every cycle made
+/// solely of critical arcs achieves `value` exactly (summing the tight
+/// inequalities around the cycle), and at least one such cycle exists.
+/// O(n + m) after the O(nm) potential computation. Throws if `value` is
+/// not the exact optimum of a cyclic graph.
+[[nodiscard]] std::vector<ArcId> extract_optimal_cycle(const Graph& g,
+                                                       const Rational& value,
+                                                       ProblemKind kind);
+
+/// Per-arc slack at the given value, scaled by den(value):
+///   slack(e) = d(u) + w(e)*den - num*t(e) - d(v)  >= 0,
+/// where d are the scaled shortest-path potentials. Zero slack ==
+/// critical arc. For clock-scheduling applications the slack is the
+/// timing margin of the register-to-register path at the optimum
+/// period. Throws like critical_subgraph when value exceeds the optimum.
+[[nodiscard]] std::vector<std::int64_t> arc_slacks(const Graph& g, const Rational& value,
+                                                   ProblemKind kind);
+
+/// The arcs lying on at least one *optimum* cycle: the union of the
+/// cyclic strongly connected components of the critical subgraph (a
+/// critical arc chains into an optimum cycle iff it sits inside such a
+/// component — every cycle of critical arcs achieves the optimum).
+/// `value` must be the exact optimum of a cyclic graph.
+[[nodiscard]] std::vector<ArcId> optimal_arc_set(const Graph& g, const Rational& value,
+                                                 ProblemKind kind);
+
+/// The lambda-transformed integer arc costs used throughout the library:
+/// cost(e) = w(e)*den(value) - num(value)*t(e), with t(e) == 1 for mean
+/// problems. A cycle is negative under these costs iff its mean/ratio is
+/// below `value`.
+[[nodiscard]] std::vector<std::int64_t> lambda_costs(const Graph& g, const Rational& value,
+                                                     ProblemKind kind);
+
+}  // namespace mcr
+
+#endif  // MCR_CORE_CRITICAL_H

@@ -1,0 +1,134 @@
+#include "core/driver.h"
+
+#include <stdexcept>
+
+#include "core/critical.h"
+#include "core/registry.h"
+#include "graph/scc.h"
+#include "graph/transforms.h"
+
+namespace mcr {
+
+namespace {
+
+CycleResult solve_decomposed(const Graph& g, const Solver& solver) {
+  CycleResult best;
+  const SccDecomposition scc = strongly_connected_components(g);
+  const std::size_t num_comp = static_cast<std::size_t>(scc.num_components);
+
+  // Group nodes and arcs by cyclic component in one pass each (building
+  // per-component subgraphs via induced_subgraph would rescan all arcs
+  // once per component — O(m * #components) on circuit-like graphs with
+  // hundreds of SCCs).
+  std::vector<NodeId> local_id(static_cast<std::size_t>(g.num_nodes()), kInvalidNode);
+  std::vector<NodeId> comp_size(num_comp, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto c = static_cast<std::size_t>(scc.component[static_cast<std::size_t>(v)]);
+    if (!scc.component_is_cyclic[c]) continue;
+    local_id[static_cast<std::size_t>(v)] = comp_size[c]++;
+  }
+  std::vector<std::vector<ArcSpec>> comp_arcs(num_comp);
+  std::vector<std::vector<ArcId>> comp_parent_arc(num_comp);
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const NodeId u = g.src(a);
+    const NodeId v = g.dst(a);
+    const auto c = static_cast<std::size_t>(scc.component[static_cast<std::size_t>(u)]);
+    if (scc.component[static_cast<std::size_t>(v)] != scc.component[static_cast<std::size_t>(u)]) {
+      continue;
+    }
+    if (!scc.component_is_cyclic[c]) continue;
+    comp_arcs[c].push_back(ArcSpec{local_id[static_cast<std::size_t>(u)],
+                                   local_id[static_cast<std::size_t>(v)], g.weight(a),
+                                   g.transit(a)});
+    comp_parent_arc[c].push_back(a);
+  }
+
+  std::size_t best_comp = num_comp;  // sentinel: none
+  std::vector<ArcId> best_local_cycle;
+  for (std::size_t c = 0; c < num_comp; ++c) {
+    if (!scc.component_is_cyclic[c]) continue;
+    const Graph sub(comp_size[c], comp_arcs[c]);
+    CycleResult r = solver.solve_scc(sub);
+    if (!r.has_cycle) {
+      throw std::logic_error("solver " + solver.name() +
+                             " returned no cycle on a cyclic SCC");
+    }
+    best.counters += r.counters;
+    if (!best.has_cycle || r.value < best.value) {
+      best.has_cycle = true;
+      best.value = r.value;
+      best_comp = c;
+      best_local_cycle = std::move(r.cycle);
+    }
+  }
+
+  if (best.has_cycle) {
+    // Value-only solvers leave the witness to us: recover it once, for
+    // the winning component only.
+    if (best_local_cycle.empty()) {
+      const Graph sub(comp_size[best_comp], comp_arcs[best_comp]);
+      best_local_cycle = extract_optimal_cycle(sub, best.value, solver.kind());
+    }
+    best.cycle.reserve(best_local_cycle.size());
+    for (const ArcId a : best_local_cycle) {
+      best.cycle.push_back(comp_parent_arc[best_comp][static_cast<std::size_t>(a)]);
+    }
+  }
+  return best;
+}
+
+void check_kind(const Solver& solver, ProblemKind expected, const char* fn) {
+  if (solver.kind() != expected) {
+    throw std::invalid_argument(std::string(fn) + ": solver " + solver.name() +
+                                " solves the wrong problem kind");
+  }
+}
+
+CycleResult negate_back(CycleResult r) {
+  if (r.has_cycle) r.value = -r.value;
+  return r;
+}
+
+}  // namespace
+
+CycleResult minimum_cycle_mean(const Graph& g, const Solver& solver) {
+  check_kind(solver, ProblemKind::kCycleMean, "minimum_cycle_mean");
+  return solve_decomposed(g, solver);
+}
+
+CycleResult minimum_cycle_ratio(const Graph& g, const Solver& solver) {
+  check_kind(solver, ProblemKind::kCycleRatio, "minimum_cycle_ratio");
+  validate_ratio_instance(g);
+  return solve_decomposed(g, solver);
+}
+
+CycleResult maximum_cycle_mean(const Graph& g, const Solver& solver) {
+  check_kind(solver, ProblemKind::kCycleMean, "maximum_cycle_mean");
+  const Graph neg = negate_weights(g);
+  return negate_back(solve_decomposed(neg, solver));
+}
+
+CycleResult maximum_cycle_ratio(const Graph& g, const Solver& solver) {
+  check_kind(solver, ProblemKind::kCycleRatio, "maximum_cycle_ratio");
+  validate_ratio_instance(g);
+  const Graph neg = negate_weights(g);
+  return negate_back(solve_decomposed(neg, solver));
+}
+
+CycleResult minimum_cycle_mean(const Graph& g, const std::string& solver_name) {
+  return minimum_cycle_mean(g, *SolverRegistry::instance().create(solver_name));
+}
+
+CycleResult minimum_cycle_ratio(const Graph& g, const std::string& solver_name) {
+  return minimum_cycle_ratio(g, *SolverRegistry::instance().create(solver_name));
+}
+
+CycleResult maximum_cycle_mean(const Graph& g, const std::string& solver_name) {
+  return maximum_cycle_mean(g, *SolverRegistry::instance().create(solver_name));
+}
+
+CycleResult maximum_cycle_ratio(const Graph& g, const std::string& solver_name) {
+  return maximum_cycle_ratio(g, *SolverRegistry::instance().create(solver_name));
+}
+
+}  // namespace mcr

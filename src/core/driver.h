@@ -1,0 +1,44 @@
+// Public entry points: solve MCM/MCR on arbitrary graphs.
+//
+// The driver reproduces the paper's experimental setup (§2): partition
+// the input into strongly connected components, run the solver on each
+// cyclic component, and return the minimum over components. Graphs with
+// no cycle at all yield has_cycle == false.
+#ifndef MCR_CORE_DRIVER_H
+#define MCR_CORE_DRIVER_H
+
+#include <string>
+
+#include "core/result.h"
+#include "core/solver.h"
+#include "graph/graph.h"
+
+namespace mcr {
+
+/// Minimum cycle mean of g using `solver` (a kCycleMean solver).
+/// Arc ids in the returned cycle refer to g.
+[[nodiscard]] CycleResult minimum_cycle_mean(const Graph& g, const Solver& solver);
+
+/// Minimum cycle ratio of g using `solver` (a kCycleRatio solver).
+/// Validates the transit times (see validate_ratio_instance).
+[[nodiscard]] CycleResult minimum_cycle_ratio(const Graph& g, const Solver& solver);
+
+/// Maximum variants via weight negation. The returned value and cycle
+/// are for the original graph (value is the true maximum).
+[[nodiscard]] CycleResult maximum_cycle_mean(const Graph& g, const Solver& solver);
+[[nodiscard]] CycleResult maximum_cycle_ratio(const Graph& g, const Solver& solver);
+
+/// Conveniences that look the solver up by registry name with a default
+/// configuration. "howard" / "howard_ratio" are the recommended defaults.
+[[nodiscard]] CycleResult minimum_cycle_mean(const Graph& g,
+                                             const std::string& solver_name = "howard");
+[[nodiscard]] CycleResult minimum_cycle_ratio(
+    const Graph& g, const std::string& solver_name = "howard_ratio");
+[[nodiscard]] CycleResult maximum_cycle_mean(const Graph& g,
+                                             const std::string& solver_name = "howard");
+[[nodiscard]] CycleResult maximum_cycle_ratio(
+    const Graph& g, const std::string& solver_name = "howard_ratio");
+
+}  // namespace mcr
+
+#endif  // MCR_CORE_DRIVER_H

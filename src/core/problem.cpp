@@ -1,0 +1,29 @@
+#include "core/problem.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/traversal.h"
+
+namespace mcr {
+
+void validate_ratio_instance(const Graph& g) {
+  std::vector<ArcSpec> zero_arcs;
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    if (g.transit(a) < 0) {
+      throw std::invalid_argument("ratio instance: negative transit time on arc " +
+                                  std::to_string(a));
+    }
+    if (g.transit(a) == 0) {
+      zero_arcs.push_back(ArcSpec{g.src(a), g.dst(a), 0, 0});
+    }
+  }
+  if (zero_arcs.empty()) return;
+  const Graph zero_sub(g.num_nodes(), zero_arcs);
+  if (has_cycle(zero_sub)) {
+    throw std::invalid_argument(
+        "ratio instance: contains a cycle of total transit time 0");
+  }
+}
+
+}  // namespace mcr

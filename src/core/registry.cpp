@@ -1,0 +1,60 @@
+#include "core/registry.h"
+
+#include <stdexcept>
+
+namespace mcr {
+
+SolverRegistry& SolverRegistry::instance() {
+  static SolverRegistry* registry = [] {
+    auto* r = new SolverRegistry();
+    register_all_solvers(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void SolverRegistry::add(SolverInfo info, SolverFactory factory) {
+  if (find(info.name) != nullptr) {
+    throw std::invalid_argument("SolverRegistry: duplicate name " + info.name);
+  }
+  entries_.push_back(Entry{std::move(info), std::move(factory)});
+}
+
+const SolverRegistry::Entry* SolverRegistry::find(const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.info.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Solver> SolverRegistry::create(const std::string& name,
+                                               const SolverConfig& config) const {
+  const Entry* e = find(name);
+  if (e == nullptr) throw std::out_of_range("SolverRegistry: unknown solver " + name);
+  return e->factory(config);
+}
+
+bool SolverRegistry::has(const std::string& name) const { return find(name) != nullptr; }
+
+const SolverInfo& SolverRegistry::info(const std::string& name) const {
+  const Entry* e = find(name);
+  if (e == nullptr) throw std::out_of_range("SolverRegistry: unknown solver " + name);
+  return e->info;
+}
+
+std::vector<std::string> SolverRegistry::names(ProblemKind kind) const {
+  std::vector<std::string> out;
+  for (const Entry& e : entries_) {
+    if (e.info.kind == kind) out.push_back(e.info.name);
+  }
+  return out;
+}
+
+std::vector<std::string> SolverRegistry::all_names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.info.name);
+  return out;
+}
+
+}  // namespace mcr

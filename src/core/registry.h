@@ -1,0 +1,70 @@
+// Solver registry: string name -> factory + metadata.
+//
+// Benches, tests, and the examples enumerate algorithms through this
+// registry so that adding an algorithm is one registration away from
+// appearing in every experiment. The metadata reproduces the columns of
+// the paper's Table 1 (source, year, bound, exact/approximate).
+#ifndef MCR_CORE_REGISTRY_H
+#define MCR_CORE_REGISTRY_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+#include "core/solver.h"
+
+namespace mcr {
+
+/// Table-1-style metadata for one registered algorithm.
+struct SolverInfo {
+  std::string name;        // registry key, e.g. "yto"
+  std::string display;     // e.g. "YTO"
+  std::string source;      // e.g. "Young, Tarjan & Orlin"
+  int year = 0;            // publication year
+  std::string bound;       // e.g. "O(nm + n^2 lg n)"
+  bool exact = true;       // exact vs approximate result
+  ProblemKind kind = ProblemKind::kCycleMean;
+  /// True for the solvers the DAC'99 study times in Table 2.
+  bool in_paper_table2 = false;
+};
+
+using SolverFactory = std::function<std::unique_ptr<Solver>(const SolverConfig&)>;
+
+class SolverRegistry {
+ public:
+  /// The process-wide registry, populated by register_all_solvers().
+  static SolverRegistry& instance();
+
+  void add(SolverInfo info, SolverFactory factory);
+
+  /// Creates a solver by name; throws std::out_of_range for unknown names.
+  [[nodiscard]] std::unique_ptr<Solver> create(const std::string& name,
+                                               const SolverConfig& config = {}) const;
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] const SolverInfo& info(const std::string& name) const;
+
+  /// All names of the given kind, in registration order.
+  [[nodiscard]] std::vector<std::string> names(ProblemKind kind) const;
+  /// All registered names.
+  [[nodiscard]] std::vector<std::string> all_names() const;
+
+ private:
+  struct Entry {
+    SolverInfo info;
+    SolverFactory factory;
+  };
+  std::vector<Entry> entries_;
+
+  [[nodiscard]] const Entry* find(const std::string& name) const;
+};
+
+/// Registers every algorithm in the library (idempotent). Called lazily
+/// by SolverRegistry::instance(), so user code never needs to call it.
+void register_all_solvers(SolverRegistry& registry);
+
+}  // namespace mcr
+
+#endif  // MCR_CORE_REGISTRY_H

@@ -1,0 +1,44 @@
+#include "core/result.h"
+
+#include <stdexcept>
+
+namespace mcr {
+
+std::int64_t cycle_weight(const Graph& g, const std::vector<ArcId>& cycle) {
+  std::int64_t w = 0;
+  for (const ArcId a : cycle) w += g.weight(a);
+  return w;
+}
+
+std::int64_t cycle_transit(const Graph& g, const std::vector<ArcId>& cycle) {
+  std::int64_t t = 0;
+  for (const ArcId a : cycle) t += g.transit(a);
+  return t;
+}
+
+Rational cycle_mean(const Graph& g, const std::vector<ArcId>& cycle) {
+  if (cycle.empty()) throw std::invalid_argument("cycle_mean: empty cycle");
+  return Rational(cycle_weight(g, cycle), static_cast<std::int64_t>(cycle.size()));
+}
+
+Rational cycle_ratio(const Graph& g, const std::vector<ArcId>& cycle) {
+  if (cycle.empty()) throw std::invalid_argument("cycle_ratio: empty cycle");
+  const std::int64_t t = cycle_transit(g, cycle);
+  if (t <= 0) throw std::invalid_argument("cycle_ratio: non-positive cycle transit");
+  return Rational(cycle_weight(g, cycle), t);
+}
+
+bool is_valid_cycle(const Graph& g, const std::vector<ArcId>& cycle) {
+  if (cycle.empty()) return false;
+  for (const ArcId a : cycle) {
+    if (a < 0 || a >= g.num_arcs()) return false;
+  }
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const ArcId cur = cycle[i];
+    const ArcId next = cycle[(i + 1) % cycle.size()];
+    if (g.dst(cur) != g.src(next)) return false;
+  }
+  return true;
+}
+
+}  // namespace mcr

@@ -1,0 +1,37 @@
+// Exact certificate checking for solver results.
+//
+// A CycleResult claiming optimum `value` with witness `cycle` is correct
+// iff (a) the cycle is well-formed and achieves `value` exactly, and
+// (b) G_value has no negative cycle (so no cycle does better). Both are
+// checked in integer arithmetic — no floating point, no tolerance. The
+// test suite runs this on every solver x instance combination.
+#ifndef MCR_CORE_VERIFY_H
+#define MCR_CORE_VERIFY_H
+
+#include <string>
+
+#include "core/problem.h"
+#include "core/result.h"
+#include "graph/graph.h"
+
+namespace mcr {
+
+struct VerifyOutcome {
+  bool ok = false;
+  /// Human-readable reason on failure, empty on success.
+  std::string message;
+};
+
+/// Verifies that `result` is a correct *optimal* answer for g.
+[[nodiscard]] VerifyOutcome verify_result(const Graph& g, const CycleResult& result,
+                                          ProblemKind kind);
+
+/// Weaker check for approximate solvers: the witness cycle is valid and
+/// achieves `result.value`, and no cycle beats it by more than
+/// `epsilon` (checked as: G_{value - epsilon} has no negative cycle).
+[[nodiscard]] VerifyOutcome verify_result_approx(const Graph& g, const CycleResult& result,
+                                                 ProblemKind kind, double epsilon);
+
+}  // namespace mcr
+
+#endif  // MCR_CORE_VERIFY_H

@@ -1,0 +1,59 @@
+// Synthetic sequential-circuit graph generator.
+//
+// The paper's second test family is "cyclic sequential multi-level logic
+// benchmark circuits" from the 1991 MCNC/LGSynth suite (§3). Those
+// tapes are not available here, so this generator synthesizes
+// register-to-register latency graphs with the structural properties
+// that matter to MCM/MCR algorithms on circuits (DESIGN.md §1):
+//
+//   * near-unit density (m/n around 1.1 - 2.5, circuits are sparse),
+//   * locality: registers mostly talk to registers in the same module,
+//   * hierarchical structure: a forward pipeline of modules with local
+//     feedback inside modules and a few long global feedback arcs,
+//   * self-loops (counters/accumulators hold their own state),
+//   * small integer weights (combinational path delays in gate units),
+//   * typically several SCCs of very different sizes (unlike SPRAND,
+//     which is strongly connected by construction).
+//
+// Nodes are registers; an arc u -> v with weight w means a combinational
+// path of delay w from register u to register v; transit is 1 register
+// stage (so cycle ratio = delay per stage around a loop, the quantity
+// clock scheduling bounds).
+#ifndef MCR_GEN_CIRCUIT_H
+#define MCR_GEN_CIRCUIT_H
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace mcr::gen {
+
+struct CircuitConfig {
+  /// Number of registers (graph nodes).
+  NodeId registers = 64;
+  /// Registers per module (locality window).
+  NodeId module_size = 16;
+  /// Average out-degree of a register (controls density; >= 1).
+  double avg_fanout = 1.6;
+  /// Probability that a register carries a self-loop (state-holding).
+  double self_loop_prob = 0.05;
+  /// Probability that a module is a pure shift-ring (counter / shift
+  /// register / LFSR-style: backbone + closing arc only). The remainder
+  /// are datapath modules that also get forwarding skip arcs. Rings are
+  /// what keeps real circuit unfoldings thin (see gen/circuit.cpp).
+  double ring_module_prob = 0.5;
+  /// Probability that an inter-module arc is a long feedback arc to an
+  /// earlier module (rather than a forward pipeline arc).
+  double feedback_prob = 0.25;
+  /// Combinational delay range (arc weights), in gate-delay units.
+  std::int64_t min_delay = 1;
+  std::int64_t max_delay = 40;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a synthetic circuit latency graph. All transit times are 1.
+[[nodiscard]] Graph circuit(const CircuitConfig& config);
+
+}  // namespace mcr::gen
+
+#endif  // MCR_GEN_CIRCUIT_H

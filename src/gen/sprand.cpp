@@ -1,0 +1,42 @@
+#include "gen/sprand.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "support/prng.h"
+
+namespace mcr::gen {
+
+Graph sprand(const SprandConfig& config) {
+  if (config.n < 1) throw std::invalid_argument("sprand: need at least one node");
+  if (config.m < config.n) throw std::invalid_argument("sprand: need m >= n");
+  if (config.min_weight > config.max_weight || config.min_transit > config.max_transit) {
+    throw std::invalid_argument("sprand: empty weight or transit interval");
+  }
+  Prng rng(config.seed);
+  const auto weight = [&] { return rng.uniform_int(config.min_weight, config.max_weight); };
+  const auto transit = [&] {
+    return rng.uniform_int(config.min_transit, config.max_transit);
+  };
+
+  std::vector<ArcSpec> arcs;
+  arcs.reserve(static_cast<std::size_t>(config.m));
+  // Hamiltonian cycle 0 -> 1 -> ... -> n-1 -> 0.
+  for (NodeId v = 0; v < config.n; ++v) {
+    const NodeId next = (v + 1 == config.n) ? 0 : v + 1;
+    arcs.push_back(ArcSpec{v, next, weight(), transit()});
+  }
+  // m - n uniformly random arcs (no self-loops; parallels allowed).
+  for (ArcId a = config.n; a < config.m; ++a) {
+    NodeId u = 0;
+    NodeId v = 0;
+    do {
+      u = static_cast<NodeId>(rng.uniform_int(0, config.n - 1));
+      v = static_cast<NodeId>(rng.uniform_int(0, config.n - 1));
+    } while (u == v && config.n > 1);
+    arcs.push_back(ArcSpec{u, v, weight(), transit()});
+  }
+  return Graph(config.n, arcs);
+}
+
+}  // namespace mcr::gen

@@ -1,0 +1,36 @@
+// SPRAND random-graph generator (Cherkassky, Goldberg & Radzik).
+//
+// This is the generator the paper's random test suite comes from (§3):
+// a Hamiltonian cycle over the n nodes — which makes the graph strongly
+// connected — plus m - n arcs chosen uniformly at random. Default arc
+// weights are uniform in [1, 10000], SPRAND's default weight interval
+// and the one the paper used.
+#ifndef MCR_GEN_SPRAND_H
+#define MCR_GEN_SPRAND_H
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace mcr::gen {
+
+struct SprandConfig {
+  NodeId n = 0;
+  ArcId m = 0;  // total arcs; must be >= n
+  std::int64_t min_weight = 1;
+  std::int64_t max_weight = 10000;
+  /// Transit times for ratio experiments; default 1 reproduces the
+  /// paper's mean instances.
+  std::int64_t min_transit = 1;
+  std::int64_t max_transit = 1;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a SPRAND graph. The random arcs avoid self-loops; parallel
+/// arcs may occur (as in the original generator). Throws
+/// std::invalid_argument on m < n or n < 1.
+[[nodiscard]] Graph sprand(const SprandConfig& config);
+
+}  // namespace mcr::gen
+
+#endif  // MCR_GEN_SPRAND_H

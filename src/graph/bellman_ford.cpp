@@ -1,0 +1,88 @@
+#include "graph/bellman_ford.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcr {
+
+namespace {
+
+/// Follows parent arcs from `start` to locate and return one cycle in
+/// the parent forest. `parent[v]` is the arc that last relaxed v.
+std::vector<ArcId> extract_cycle(const Graph& g, const std::vector<ArcId>& parent,
+                                 NodeId start) {
+  const std::size_t n = static_cast<std::size_t>(g.num_nodes());
+  // Walk n steps to guarantee we are standing on the cycle itself.
+  NodeId v = start;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ArcId pa = parent[static_cast<std::size_t>(v)];
+    v = g.src(pa);
+  }
+  // Collect arcs around the cycle.
+  std::vector<ArcId> rev;
+  NodeId u = v;
+  do {
+    const ArcId pa = parent[static_cast<std::size_t>(u)];
+    rev.push_back(pa);
+    u = g.src(pa);
+  } while (u != v);
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+/// Shared Bellman-Ford core over any arithmetic cost type.
+template <typename Cost, typename Result>
+Result run_bellman_ford(const Graph& g, std::span<const Cost> cost, OpCounters* counters) {
+  if (cost.size() != static_cast<std::size_t>(g.num_arcs())) {
+    throw std::invalid_argument("bellman_ford: cost array size mismatch");
+  }
+  const NodeId n = g.num_nodes();
+  Result out;
+  out.dist.assign(static_cast<std::size_t>(n), Cost{0});
+  std::vector<ArcId> parent(static_cast<std::size_t>(n), kInvalidArc);
+
+  NodeId relaxed_node = kInvalidNode;
+  for (NodeId pass = 0; pass <= n; ++pass) {
+    relaxed_node = kInvalidNode;
+    for (ArcId a = 0; a < g.num_arcs(); ++a) {
+      if (counters) ++counters->arc_scans;
+      const NodeId u = g.src(a);
+      const NodeId v = g.dst(a);
+      const Cost cand =
+          out.dist[static_cast<std::size_t>(u)] + cost[static_cast<std::size_t>(a)];
+      if (cand < out.dist[static_cast<std::size_t>(v)]) {
+        out.dist[static_cast<std::size_t>(v)] = cand;
+        parent[static_cast<std::size_t>(v)] = a;
+        relaxed_node = v;
+        if (counters) ++counters->relaxations;
+      }
+    }
+    if (relaxed_node == kInvalidNode) break;  // converged early
+  }
+
+  if (relaxed_node != kInvalidNode) {
+    out.has_negative_cycle = true;
+    out.cycle = extract_cycle(g, parent, relaxed_node);
+    out.dist.clear();
+  }
+  return out;
+}
+
+}  // namespace
+
+BellmanFordResult bellman_ford_all(const Graph& g, std::span<const std::int64_t> cost,
+                                   OpCounters* counters) {
+  return run_bellman_ford<std::int64_t, BellmanFordResult>(g, cost, counters);
+}
+
+BellmanFordRealResult bellman_ford_all_real(const Graph& g, std::span<const double> cost,
+                                            OpCounters* counters) {
+  return run_bellman_ford<double, BellmanFordRealResult>(g, cost, counters);
+}
+
+bool has_negative_cycle(const Graph& g, std::span<const std::int64_t> cost,
+                        OpCounters* counters) {
+  return bellman_ford_all(g, cost, counters).has_negative_cycle;
+}
+
+}  // namespace mcr

@@ -1,0 +1,61 @@
+// Bellman-Ford shortest paths with negative-cycle detection and
+// extraction.
+//
+// Lawler's algorithm probes "does G_lambda contain a negative cycle?"
+// once per binary-search step; callers pass the lambda-transformed arc
+// costs explicitly (cost'(e) = w(e)*den - num*t(e)), keeping this module
+// a pure integer-cost routine. Costs and path sums must fit in int64;
+// with the paper's weights (<= 10^4), n <= 10^6 and den <= T this holds
+// with orders of magnitude to spare.
+#ifndef MCR_GRAPH_BELLMAN_FORD_H
+#define MCR_GRAPH_BELLMAN_FORD_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/op_counters.h"
+
+namespace mcr {
+
+struct BellmanFordResult {
+  bool has_negative_cycle = false;
+  /// When a negative cycle exists: its arcs in traversal order
+  /// (dst of cycle[i] == src of cycle[i+1], cyclically).
+  std::vector<ArcId> cycle;
+  /// When no negative cycle: dist[v] = shortest distance from the
+  /// virtual super-source (all nodes start at 0), i.e. a feasible
+  /// potential: dist[dst] <= dist[src] + cost for every arc.
+  std::vector<std::int64_t> dist;
+};
+
+/// Runs Bellman-Ford over g with per-arc costs `cost` (size == num_arcs),
+/// from a virtual super-source connected to every node with cost 0.
+/// Detects any negative cycle anywhere in the graph. O(nm) worst case
+/// with early exit when a pass makes no improvement.
+[[nodiscard]] BellmanFordResult bellman_ford_all(const Graph& g,
+                                                 std::span<const std::int64_t> cost,
+                                                 OpCounters* counters = nullptr);
+
+struct BellmanFordRealResult {
+  bool has_negative_cycle = false;
+  std::vector<ArcId> cycle;
+  std::vector<double> dist;
+};
+
+/// Floating-point variant for the binary-search solvers (Lawler, OA1),
+/// whose probes use real-valued lambda-transformed costs. Cycles found
+/// are exact witnesses (their true integer mean is computed by the
+/// caller); only the probe threshold is approximate.
+[[nodiscard]] BellmanFordRealResult bellman_ford_all_real(const Graph& g,
+                                                          std::span<const double> cost,
+                                                          OpCounters* counters = nullptr);
+
+/// Convenience: true iff g with costs `cost` has a negative cycle.
+[[nodiscard]] bool has_negative_cycle(const Graph& g, std::span<const std::int64_t> cost,
+                                      OpCounters* counters = nullptr);
+
+}  // namespace mcr
+
+#endif  // MCR_GRAPH_BELLMAN_FORD_H

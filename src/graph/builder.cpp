@@ -1,0 +1,24 @@
+#include "graph/builder.h"
+
+#include <stdexcept>
+
+namespace mcr {
+
+NodeId GraphBuilder::add_node() { return num_nodes_++; }
+
+void GraphBuilder::ensure_node(NodeId v) {
+  if (v < 0) throw std::out_of_range("GraphBuilder: negative node id");
+  if (v >= num_nodes_) num_nodes_ = v + 1;
+}
+
+ArcId GraphBuilder::add_arc(NodeId u, NodeId v, std::int64_t weight, std::int64_t transit) {
+  if (u < 0 || u >= num_nodes_ || v < 0 || v >= num_nodes_) {
+    throw std::out_of_range("GraphBuilder: arc endpoint out of range");
+  }
+  arcs_.push_back(ArcSpec{u, v, weight, transit});
+  return static_cast<ArcId>(arcs_.size() - 1);
+}
+
+Graph GraphBuilder::build() const { return Graph(num_nodes_, arcs_); }
+
+}  // namespace mcr

@@ -1,0 +1,45 @@
+// Incremental construction of immutable Graphs.
+#ifndef MCR_GRAPH_BUILDER_H
+#define MCR_GRAPH_BUILDER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mcr {
+
+/// Accumulates nodes and arcs, then produces an immutable Graph.
+/// Node ids are dense and assigned in add_node() order; arcs may also
+/// reference nodes created implicitly via ensure_node().
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+  /// Pre-creates `n` nodes 0..n-1.
+  explicit GraphBuilder(NodeId n) : num_nodes_(n) {}
+
+  /// Creates a new node and returns its id.
+  NodeId add_node();
+
+  /// Grows the node count so that `v` is a valid id.
+  void ensure_node(NodeId v);
+
+  /// Adds u -> v with the given weight and transit time (default 1).
+  /// Returns the arc id the arc will have in the built graph.
+  ArcId add_arc(NodeId u, NodeId v, std::int64_t weight, std::int64_t transit = 1);
+
+  [[nodiscard]] NodeId num_nodes() const { return num_nodes_; }
+  [[nodiscard]] ArcId num_arcs() const { return static_cast<ArcId>(arcs_.size()); }
+
+  /// Builds the graph. The builder remains usable (e.g. to keep adding
+  /// arcs and build a larger graph later).
+  [[nodiscard]] Graph build() const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<ArcSpec> arcs_;
+};
+
+}  // namespace mcr
+
+#endif  // MCR_GRAPH_BUILDER_H

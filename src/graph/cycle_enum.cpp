@@ -1,0 +1,118 @@
+#include "graph/cycle_enum.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace mcr {
+
+namespace {
+
+/// State for one Johnson enumeration pass rooted at start node s.
+class JohnsonSearch {
+ public:
+  JohnsonSearch(const Graph& g, const std::function<bool(std::span<const ArcId>)>& visit,
+                std::uint64_t max_cycles)
+      : g_(g),
+        visit_(visit),
+        max_cycles_(max_cycles),
+        blocked_(static_cast<std::size_t>(g.num_nodes()), false),
+        block_map_(static_cast<std::size_t>(g.num_nodes())) {}
+
+  /// Enumerates all simple cycles whose smallest node is `s`.
+  /// Returns false if the visitor requested a stop.
+  bool run(NodeId s) {
+    start_ = s;
+    for (auto& list : block_map_) list.clear();
+    std::fill(blocked_.begin(), blocked_.end(), false);
+    return circuit(s);
+  }
+
+  [[nodiscard]] std::uint64_t cycles_found() const { return found_; }
+  [[nodiscard]] bool stopped() const { return stop_; }
+
+ private:
+  bool circuit(NodeId v) {
+    bool found_here = false;
+    blocked_[static_cast<std::size_t>(v)] = true;
+    for (const ArcId a : g_.out_arcs(v)) {
+      const NodeId w = g_.dst(a);
+      if (w < start_) continue;  // only cycles whose minimum node is start_
+      if (w == start_) {
+        path_.push_back(a);
+        if (++found_ > max_cycles_) {
+          throw std::runtime_error("enumerate_simple_cycles: max_cycles exceeded");
+        }
+        if (!visit_(path_)) {
+          path_.pop_back();
+          stop_ = true;
+          return found_here;
+        }
+        path_.pop_back();
+        found_here = true;
+      } else if (!blocked_[static_cast<std::size_t>(w)]) {
+        path_.push_back(a);
+        if (circuit(w)) found_here = true;
+        path_.pop_back();
+        if (stop_) return found_here;
+      }
+    }
+    if (found_here) {
+      unblock(v);
+    } else {
+      for (const ArcId a : g_.out_arcs(v)) {
+        const NodeId w = g_.dst(a);
+        if (w < start_) continue;
+        auto& list = block_map_[static_cast<std::size_t>(w)];
+        bool present = false;
+        for (const NodeId x : list) {
+          if (x == v) {
+            present = true;
+            break;
+          }
+        }
+        if (!present) list.push_back(v);
+      }
+    }
+    return found_here && !stop_;
+  }
+
+  void unblock(NodeId v) {
+    blocked_[static_cast<std::size_t>(v)] = false;
+    auto& list = block_map_[static_cast<std::size_t>(v)];
+    std::vector<NodeId> pending;
+    pending.swap(list);
+    for (const NodeId u : pending) {
+      if (blocked_[static_cast<std::size_t>(u)]) unblock(u);
+    }
+  }
+
+  const Graph& g_;
+  const std::function<bool(std::span<const ArcId>)>& visit_;
+  std::uint64_t max_cycles_;
+  std::uint64_t found_ = 0;
+  bool stop_ = false;
+  NodeId start_ = 0;
+  std::vector<ArcId> path_;
+  std::vector<bool> blocked_;
+  std::vector<std::vector<NodeId>> block_map_;
+};
+
+}  // namespace
+
+std::uint64_t enumerate_simple_cycles(
+    const Graph& g, const std::function<bool(std::span<const ArcId>)>& visit,
+    std::uint64_t max_cycles) {
+  JohnsonSearch search(g, visit, max_cycles);
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    search.run(s);
+    if (search.stopped()) break;
+  }
+  return search.cycles_found();
+}
+
+std::uint64_t count_simple_cycles(const Graph& g, std::uint64_t max_cycles) {
+  return enumerate_simple_cycles(
+      g, [](std::span<const ArcId>) { return true; }, max_cycles);
+}
+
+}  // namespace mcr

@@ -1,0 +1,34 @@
+// Simple-cycle enumeration (Johnson's algorithm, generalized to
+// multigraphs: parallel arcs yield distinct cycles, self-loops are
+// length-1 cycles).
+//
+// This exists for the brute-force oracle that validates every solver in
+// the test suite, and for the paper's bound on Howard's iteration count
+// (O(nm * alpha) where alpha is the number of simple cycles). It is
+// exponential in the worst case; callers cap the number of cycles.
+#ifndef MCR_GRAPH_CYCLE_ENUM_H
+#define MCR_GRAPH_CYCLE_ENUM_H
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "graph/graph.h"
+
+namespace mcr {
+
+/// Calls `visit` once per simple cycle with the cycle's arcs in order.
+/// Enumeration stops early if `visit` returns false. Returns the number
+/// of cycles visited. `max_cycles` bounds the enumeration (throws
+/// std::runtime_error if exceeded, so tests never silently truncate).
+std::uint64_t enumerate_simple_cycles(
+    const Graph& g, const std::function<bool(std::span<const ArcId>)>& visit,
+    std::uint64_t max_cycles = UINT64_MAX);
+
+/// Counts simple cycles (capped).
+[[nodiscard]] std::uint64_t count_simple_cycles(const Graph& g,
+                                                std::uint64_t max_cycles = UINT64_MAX);
+
+}  // namespace mcr
+
+#endif  // MCR_GRAPH_CYCLE_ENUM_H

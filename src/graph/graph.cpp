@@ -1,0 +1,58 @@
+#include "graph/graph.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace mcr {
+
+Graph::Graph(NodeId num_nodes, const std::vector<ArcSpec>& arcs) : num_nodes_(num_nodes) {
+  if (num_nodes < 0) throw std::invalid_argument("Graph: negative node count");
+  const std::size_t n = static_cast<std::size_t>(num_nodes);
+  const std::size_t m = arcs.size();
+  if (m > static_cast<std::size_t>(std::numeric_limits<ArcId>::max())) {
+    throw std::invalid_argument("Graph: too many arcs for 32-bit arc ids");
+  }
+
+  src_.reserve(m);
+  dst_.reserve(m);
+  weight_.reserve(m);
+  transit_.reserve(m);
+  min_weight_ = m ? std::numeric_limits<std::int64_t>::max() : 0;
+  max_weight_ = m ? std::numeric_limits<std::int64_t>::min() : 0;
+  for (const ArcSpec& a : arcs) {
+    if (a.src < 0 || a.src >= num_nodes || a.dst < 0 || a.dst >= num_nodes) {
+      throw std::out_of_range("Graph: arc endpoint out of range");
+    }
+    src_.push_back(a.src);
+    dst_.push_back(a.dst);
+    weight_.push_back(a.weight);
+    transit_.push_back(a.transit);
+    if (a.weight < min_weight_) min_weight_ = a.weight;
+    if (a.weight > max_weight_) max_weight_ = a.weight;
+    total_transit_ += a.transit;
+  }
+
+  // Counting sort of arc ids into the two CSR structures.
+  out_first_.assign(n + 1, 0);
+  in_first_.assign(n + 1, 0);
+  for (std::size_t a = 0; a < m; ++a) {
+    ++out_first_[static_cast<std::size_t>(src_[a]) + 1];
+    ++in_first_[static_cast<std::size_t>(dst_[a]) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    out_first_[v + 1] += out_first_[v];
+    in_first_[v + 1] += in_first_[v];
+  }
+  out_arcs_.resize(m);
+  in_arcs_.resize(m);
+  std::vector<std::int32_t> out_pos(out_first_.begin(), out_first_.end() - 1);
+  std::vector<std::int32_t> in_pos(in_first_.begin(), in_first_.end() - 1);
+  for (std::size_t a = 0; a < m; ++a) {
+    out_arcs_[static_cast<std::size_t>(out_pos[static_cast<std::size_t>(src_[a])]++)] =
+        static_cast<ArcId>(a);
+    in_arcs_[static_cast<std::size_t>(in_pos[static_cast<std::size_t>(dst_[a])]++)] =
+        static_cast<ArcId>(a);
+  }
+}
+
+}  // namespace mcr

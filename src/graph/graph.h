@@ -1,0 +1,105 @@
+// Immutable directed multigraph in compressed-sparse-row form.
+//
+// This is the substrate every algorithm in the study runs on. Design
+// points:
+//   * Arcs carry an integer weight w(e) and an integer transit time
+//     t(e) (§1 of the paper). Mean problems simply ignore transit.
+//   * Both forward (out-arc) and reverse (in-arc) adjacency are built
+//     once at construction: Karp's recurrence iterates over
+//     predecessors, Howard's reverse BFS needs in-arcs, DG iterates
+//     over successors.
+//   * The graph is immutable after construction; solvers keep their own
+//     scratch arrays. This makes concurrent solves of the same graph
+//     safe and keeps solver state explicit.
+#ifndef MCR_GRAPH_GRAPH_H
+#define MCR_GRAPH_GRAPH_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mcr {
+
+using NodeId = std::int32_t;
+using ArcId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr ArcId kInvalidArc = -1;
+
+/// One arc as supplied to GraphBuilder: u -> v with weight w and transit
+/// time t. Transit defaults to 1, which makes every ratio problem a mean
+/// problem unless the caller says otherwise.
+struct ArcSpec {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::int64_t weight = 0;
+  std::int64_t transit = 1;
+};
+
+class Graph {
+ public:
+  /// Builds a graph with `num_nodes` nodes and the given arcs. Parallel
+  /// arcs and self-loops are allowed (circuits have both). Endpoints
+  /// must be in range. Prefer GraphBuilder for incremental construction.
+  Graph(NodeId num_nodes, const std::vector<ArcSpec>& arcs);
+
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  [[nodiscard]] NodeId num_nodes() const { return num_nodes_; }
+  [[nodiscard]] ArcId num_arcs() const { return static_cast<ArcId>(src_.size()); }
+
+  [[nodiscard]] NodeId src(ArcId a) const { return src_[static_cast<std::size_t>(a)]; }
+  [[nodiscard]] NodeId dst(ArcId a) const { return dst_[static_cast<std::size_t>(a)]; }
+  [[nodiscard]] std::int64_t weight(ArcId a) const {
+    return weight_[static_cast<std::size_t>(a)];
+  }
+  [[nodiscard]] std::int64_t transit(ArcId a) const {
+    return transit_[static_cast<std::size_t>(a)];
+  }
+
+  /// Arc ids leaving u, in insertion order.
+  [[nodiscard]] std::span<const ArcId> out_arcs(NodeId u) const {
+    const auto b = out_first_[static_cast<std::size_t>(u)];
+    const auto e = out_first_[static_cast<std::size_t>(u) + 1];
+    return {out_arcs_.data() + b, static_cast<std::size_t>(e - b)};
+  }
+
+  /// Arc ids entering v.
+  [[nodiscard]] std::span<const ArcId> in_arcs(NodeId v) const {
+    const auto b = in_first_[static_cast<std::size_t>(v)];
+    const auto e = in_first_[static_cast<std::size_t>(v) + 1];
+    return {in_arcs_.data() + b, static_cast<std::size_t>(e - b)};
+  }
+
+  [[nodiscard]] std::size_t out_degree(NodeId u) const { return out_arcs(u).size(); }
+  [[nodiscard]] std::size_t in_degree(NodeId v) const { return in_arcs(v).size(); }
+
+  /// Extremes over all arcs; 0 for an arc-free graph.
+  [[nodiscard]] std::int64_t min_weight() const { return min_weight_; }
+  [[nodiscard]] std::int64_t max_weight() const { return max_weight_; }
+  /// Sum of all transit times (the paper's T).
+  [[nodiscard]] std::int64_t total_transit() const { return total_transit_; }
+
+ private:
+  NodeId num_nodes_ = 0;
+  // Struct-of-arrays arc storage: contiguous scans are the hot path.
+  std::vector<NodeId> src_;
+  std::vector<NodeId> dst_;
+  std::vector<std::int64_t> weight_;
+  std::vector<std::int64_t> transit_;
+  // CSR indices.
+  std::vector<std::int32_t> out_first_;
+  std::vector<ArcId> out_arcs_;
+  std::vector<std::int32_t> in_first_;
+  std::vector<ArcId> in_arcs_;
+  std::int64_t min_weight_ = 0;
+  std::int64_t max_weight_ = 0;
+  std::int64_t total_transit_ = 0;
+};
+
+}  // namespace mcr
+
+#endif  // MCR_GRAPH_GRAPH_H

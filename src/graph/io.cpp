@@ -1,0 +1,76 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mcr {
+
+void write_dimacs(std::ostream& os, const Graph& g, const std::string& comment) {
+  if (!comment.empty()) os << "c " << comment << '\n';
+  os << "p mcr " << g.num_nodes() << ' ' << g.num_arcs() << '\n';
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    os << "a " << (g.src(a) + 1) << ' ' << (g.dst(a) + 1) << ' ' << g.weight(a);
+    if (g.transit(a) != 1) os << ' ' << g.transit(a);
+    os << '\n';
+  }
+}
+
+Graph read_dimacs(std::istream& is) {
+  std::string line;
+  std::size_t lineno = 0;
+  NodeId n = -1;
+  ArcId declared_m = 0;
+  std::vector<ArcSpec> arcs;
+  const auto fail = [&](const std::string& msg) {
+    throw std::runtime_error("read_dimacs: line " + std::to_string(lineno) + ": " + msg);
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    char kind = 0;
+    ls >> kind;
+    if (kind == 'p') {
+      std::string tag;
+      long long nn = 0, mm = 0;
+      if (!(ls >> tag >> nn >> mm) || tag != "mcr" || nn < 0 || mm < 0) {
+        fail("malformed problem line (expected 'p mcr <n> <m>')");
+      }
+      n = static_cast<NodeId>(nn);
+      declared_m = static_cast<ArcId>(mm);
+      arcs.reserve(static_cast<std::size_t>(mm));
+    } else if (kind == 'a') {
+      if (n < 0) fail("arc line before problem line");
+      long long u = 0, v = 0, w = 0, t = 1;
+      if (!(ls >> u >> v >> w)) fail("malformed arc line");
+      if (!(ls >> t)) t = 1;
+      if (u < 1 || u > n || v < 1 || v > n) fail("arc endpoint out of range");
+      arcs.push_back(ArcSpec{static_cast<NodeId>(u - 1), static_cast<NodeId>(v - 1), w, t});
+    } else {
+      fail(std::string("unknown line kind '") + kind + "'");
+    }
+  }
+  if (n < 0) throw std::runtime_error("read_dimacs: missing problem line");
+  if (static_cast<ArcId>(arcs.size()) != declared_m) {
+    throw std::runtime_error("read_dimacs: arc count mismatch (declared " +
+                             std::to_string(declared_m) + ", found " +
+                             std::to_string(arcs.size()) + ")");
+  }
+  return Graph(n, arcs);
+}
+
+void save_dimacs(const std::string& path, const Graph& g, const std::string& comment) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_dimacs: cannot open " + path);
+  write_dimacs(os, g, comment);
+}
+
+Graph load_dimacs(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_dimacs: cannot open " + path);
+  return read_dimacs(is);
+}
+
+}  // namespace mcr

@@ -1,0 +1,33 @@
+// Text serialization of graphs.
+//
+// The format is the DIMACS shortest-path format extended with a transit
+// time:
+//   c <comment>
+//   p mcr <num_nodes> <num_arcs>
+//   a <src> <dst> <weight> [<transit>]
+// Node ids in files are 1-based (DIMACS convention); in memory they are
+// 0-based. Omitted transit defaults to 1.
+#ifndef MCR_GRAPH_IO_H
+#define MCR_GRAPH_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace mcr {
+
+/// Writes g in the extended DIMACS format.
+void write_dimacs(std::ostream& os, const Graph& g, const std::string& comment = "");
+
+/// Parses a graph; throws std::runtime_error with a line number on
+/// malformed input.
+[[nodiscard]] Graph read_dimacs(std::istream& is);
+
+/// File-path conveniences.
+void save_dimacs(const std::string& path, const Graph& g, const std::string& comment = "");
+[[nodiscard]] Graph load_dimacs(const std::string& path);
+
+}  // namespace mcr
+
+#endif  // MCR_GRAPH_IO_H

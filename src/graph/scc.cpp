@@ -1,0 +1,139 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+
+namespace mcr {
+
+SccDecomposition strongly_connected_components(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  SccDecomposition out;
+  out.component.assign(static_cast<std::size_t>(n), kInvalidNode);
+
+  // Iterative Tarjan. index/lowlink per node; explicit DFS stack holding
+  // (node, position in its out-arc list).
+  constexpr NodeId kUnvisited = -1;
+  std::vector<NodeId> index(static_cast<std::size_t>(n), kUnvisited);
+  std::vector<NodeId> lowlink(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<NodeId> scc_stack;
+  scc_stack.reserve(static_cast<std::size_t>(n));
+
+  struct Frame {
+    NodeId v;
+    std::size_t next_arc;
+  };
+  std::vector<Frame> dfs;
+  NodeId next_index = 0;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    index[static_cast<std::size_t>(root)] = lowlink[static_cast<std::size_t>(root)] =
+        next_index++;
+    scc_stack.push_back(root);
+    on_stack[static_cast<std::size_t>(root)] = true;
+
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const auto arcs = g.out_arcs(f.v);
+      bool descended = false;
+      while (f.next_arc < arcs.size()) {
+        const NodeId w = g.dst(arcs[f.next_arc]);
+        ++f.next_arc;
+        if (index[static_cast<std::size_t>(w)] == kUnvisited) {
+          index[static_cast<std::size_t>(w)] = lowlink[static_cast<std::size_t>(w)] =
+              next_index++;
+          scc_stack.push_back(w);
+          on_stack[static_cast<std::size_t>(w)] = true;
+          dfs.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[static_cast<std::size_t>(w)]) {
+          lowlink[static_cast<std::size_t>(f.v)] = std::min(
+              lowlink[static_cast<std::size_t>(f.v)], index[static_cast<std::size_t>(w)]);
+        }
+      }
+      if (descended) continue;
+
+      // f.v is fully expanded.
+      const NodeId v = f.v;
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        const NodeId parent = dfs.back().v;
+        lowlink[static_cast<std::size_t>(parent)] = std::min(
+            lowlink[static_cast<std::size_t>(parent)], lowlink[static_cast<std::size_t>(v)]);
+      }
+      if (lowlink[static_cast<std::size_t>(v)] == index[static_cast<std::size_t>(v)]) {
+        // v is the root of an SCC; pop it.
+        const NodeId c = out.num_components++;
+        for (;;) {
+          const NodeId w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          out.component[static_cast<std::size_t>(w)] = c;
+          if (w == v) break;
+        }
+      }
+    }
+  }
+
+  // Cyclicity: a component with an internal arc between two nodes is
+  // cyclic iff it has >=2 nodes or the arc is a self-loop.
+  std::vector<NodeId> size(static_cast<std::size_t>(out.num_components), 0);
+  for (NodeId v = 0; v < n; ++v) ++size[static_cast<std::size_t>(out.component[static_cast<std::size_t>(v)])];
+  out.component_is_cyclic.assign(static_cast<std::size_t>(out.num_components), false);
+  for (NodeId c = 0; c < out.num_components; ++c) {
+    if (size[static_cast<std::size_t>(c)] >= 2) out.component_is_cyclic[static_cast<std::size_t>(c)] = true;
+  }
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    if (g.src(a) == g.dst(a)) {
+      out.component_is_cyclic[static_cast<std::size_t>(
+          out.component[static_cast<std::size_t>(g.src(a))])] = true;
+    }
+  }
+  return out;
+}
+
+bool is_strongly_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return false;
+  return strongly_connected_components(g).num_components == 1;
+}
+
+InducedSubgraph induced_subgraph(const Graph& g, const SccDecomposition& scc, NodeId c) {
+  InducedSubgraph out{Graph(0, {}), {}, {}};
+  std::vector<NodeId> to_local(static_cast<std::size_t>(g.num_nodes()), kInvalidNode);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (scc.component[static_cast<std::size_t>(v)] == c) {
+      to_local[static_cast<std::size_t>(v)] = static_cast<NodeId>(out.to_parent_node.size());
+      out.to_parent_node.push_back(v);
+    }
+  }
+  std::vector<ArcSpec> arcs;
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const NodeId lu = to_local[static_cast<std::size_t>(g.src(a))];
+    const NodeId lv = to_local[static_cast<std::size_t>(g.dst(a))];
+    if (lu != kInvalidNode && lv != kInvalidNode) {
+      arcs.push_back(ArcSpec{lu, lv, g.weight(a), g.transit(a)});
+      out.to_parent_arc.push_back(a);
+    }
+  }
+  out.graph = Graph(static_cast<NodeId>(out.to_parent_node.size()), arcs);
+  return out;
+}
+
+Condensation condensation(const Graph& g, const SccDecomposition& scc) {
+  Condensation out{Graph(0, {}), {}};
+  std::vector<ArcSpec> arcs;
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const NodeId cu = scc.component[static_cast<std::size_t>(g.src(a))];
+    const NodeId cv = scc.component[static_cast<std::size_t>(g.dst(a))];
+    if (cu == cv) continue;
+    arcs.push_back(ArcSpec{cu, cv, g.weight(a), g.transit(a)});
+    out.to_parent_arc.push_back(a);
+  }
+  out.graph = Graph(scc.num_components, arcs);
+  return out;
+}
+
+}  // namespace mcr

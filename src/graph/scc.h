@@ -1,0 +1,63 @@
+// Strongly connected components (Tarjan, iterative).
+//
+// The paper (§2) runs every MCM/MCR algorithm per strongly connected
+// component and takes the minimum over components; this module provides
+// that decomposition plus the per-component subgraph extraction the
+// driver needs.
+#ifndef MCR_GRAPH_SCC_H
+#define MCR_GRAPH_SCC_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mcr {
+
+/// Result of an SCC decomposition.
+struct SccDecomposition {
+  /// component[v] in [0, num_components); components are numbered in
+  /// reverse topological order of the condensation (Tarjan's order).
+  std::vector<NodeId> component;
+  NodeId num_components = 0;
+
+  /// True iff component c contains a cycle: it has >= 2 nodes, or its
+  /// single node has a self-loop.
+  std::vector<bool> component_is_cyclic;
+};
+
+/// Computes the SCCs of g. Runs in O(n + m), iteratively (no recursion,
+/// so deep circuits cannot overflow the stack).
+[[nodiscard]] SccDecomposition strongly_connected_components(const Graph& g);
+
+/// True iff g is strongly connected (and nonempty).
+[[nodiscard]] bool is_strongly_connected(const Graph& g);
+
+/// A subgraph induced by one SCC, with node ids renumbered densely.
+struct InducedSubgraph {
+  Graph graph;
+  /// to_parent[local node id] = node id in the parent graph.
+  std::vector<NodeId> to_parent_node;
+  /// to_parent_arc[local arc id] = arc id in the parent graph.
+  std::vector<ArcId> to_parent_arc;
+};
+
+/// Extracts component `c` of `scc` from g, including only arcs whose
+/// endpoints both lie in the component.
+[[nodiscard]] InducedSubgraph induced_subgraph(const Graph& g, const SccDecomposition& scc,
+                                               NodeId c);
+
+/// The condensation: one node per component, one arc per cross-
+/// component arc of g (weights/transits preserved; parallel condensed
+/// arcs are kept). Acyclic by construction, and — because Tarjan
+/// numbers components in reverse topological order — an arc always goes
+/// from a higher component id to a lower one.
+struct Condensation {
+  Graph graph;
+  /// to_parent_arc[condensation arc] = the originating arc in g.
+  std::vector<ArcId> to_parent_arc;
+};
+[[nodiscard]] Condensation condensation(const Graph& g, const SccDecomposition& scc);
+
+}  // namespace mcr
+
+#endif  // MCR_GRAPH_SCC_H

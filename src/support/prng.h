@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All generators in src/gen take an explicit seed so that every
+// experiment in the paper reproduction is replayable bit-for-bit. We use
+// xoshiro256** (Blackman & Vigna) rather than std::mt19937 because its
+// state is small, it is fast, and — unlike the standard distributions —
+// our uniform_* helpers produce identical streams on every platform and
+// standard library.
+#ifndef MCR_SUPPORT_PRNG_H
+#define MCR_SUPPORT_PRNG_H
+
+#include <cstdint>
+
+namespace mcr {
+
+/// xoshiro256** engine with splitmix64 seeding.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform_real();
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle of [first, first+n).
+  template <typename T>
+  void shuffle(T* first, std::size_t n) {
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      T tmp = first[i - 1];
+      first[i - 1] = first[j];
+      first[j] = tmp;
+    }
+  }
+
+  /// Derive an independent stream (for per-trial seeds).
+  std::uint64_t fork_seed();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mcr
+
+#endif  // MCR_SUPPORT_PRNG_H

@@ -1,0 +1,74 @@
+// Exact rational arithmetic for cycle means and cycle ratios.
+//
+// A cycle mean is w(C)/|C| and a cycle ratio is w(C)/t(C); with 64-bit
+// integer arc weights these are ratios of 64-bit integers. All solver
+// results in this library are reported as Rational so that tests can
+// compare answers exactly, with no epsilon tuning. Comparisons and
+// arithmetic cross-multiply in __int128, so any pair of in-range
+// rationals compares without overflow.
+#ifndef MCR_SUPPORT_RATIONAL_H
+#define MCR_SUPPORT_RATIONAL_H
+
+#include <cstdint>
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+namespace mcr {
+
+/// An exact rational number num/den with den > 0, kept in lowest terms.
+///
+/// The default value is 0/1. A Rational is a regular type: cheap to copy,
+/// totally ordered, hashable via (num, den).
+class Rational {
+ public:
+  constexpr Rational() = default;
+  /// Implicit from integers: the rational value n/1.
+  constexpr Rational(std::int64_t n) : num_(n), den_(1) {}  // NOLINT(google-explicit-constructor)
+  /// The rational n/d. Requires d != 0; the sign is normalized onto the
+  /// numerator and the fraction is reduced.
+  Rational(std::int64_t n, std::int64_t d);
+
+  [[nodiscard]] constexpr std::int64_t num() const { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const { return den_; }
+
+  /// Closest double; exact when representable.
+  [[nodiscard]] double to_double() const;
+
+  /// "num/den", or just "num" when den == 1.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool is_integer() const { return den_ == 1; }
+
+  Rational operator-() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  /// Requires o != 0.
+  Rational operator/(const Rational& o) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a, const Rational& b);
+
+ private:
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+/// Compares the rational a/b (b > 0) against r without constructing a
+/// Rational; used in solver inner loops.
+[[nodiscard]] std::strong_ordering compare_fraction(std::int64_t a, std::int64_t b,
+                                                    const Rational& r);
+
+}  // namespace mcr
+
+#endif  // MCR_SUPPORT_RATIONAL_H

@@ -1,0 +1,52 @@
+// Small descriptive-statistics accumulator and wall-clock timing used by
+// the benchmark harness. The paper averages every random-graph data
+// point over 10 seeds; RunStats is how benches aggregate those runs.
+#ifndef MCR_SUPPORT_STATS_H
+#define MCR_SUPPORT_STATS_H
+
+#include <chrono>
+#include <cstddef>
+#include <limits>
+
+namespace mcr {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample standard deviation (n-1 denominator); 0 when n < 2.
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double total() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Monotonic stopwatch reporting elapsed seconds (double) or milliseconds.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mcr
+
+#endif  // MCR_SUPPORT_STATS_H

@@ -1,0 +1,43 @@
+// Plain-text and CSV table emission for the benchmark harness. Each
+// bench binary prints the same row layout as the paper's tables so the
+// output can be compared against the published numbers side by side.
+#ifndef MCR_SUPPORT_TABLE_H
+#define MCR_SUPPORT_TABLE_H
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcr {
+
+/// A simple right-aligned column table. Collect rows of strings, then
+/// print to a stream; column widths are computed from the content.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a header underline and two-space gutters.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (no quoting needed for our content).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helpers used by the benches.
+[[nodiscard]] std::string fmt_fixed(double v, int digits);
+[[nodiscard]] std::string fmt_ms(double seconds);
+
+}  // namespace mcr
+
+#endif  // MCR_SUPPORT_TABLE_H

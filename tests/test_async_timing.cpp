@@ -1,0 +1,112 @@
+#include "apps/async_timing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcr::apps {
+namespace {
+
+// A two-stage asynchronous micropipeline: request/acknowledge
+// handshakes between stages. Events: 0 = stage-A done, 1 = stage-B
+// done. A's next token needs B's ack (previous occurrence), and B needs
+// A's data (same occurrence).
+ErSystem micropipeline(std::int64_t da, std::int64_t db) {
+  ErSystem sys;
+  sys.num_events = 2;
+  sys.rules.push_back({0, 1, db, 0});  // A_k triggers B_k after db
+  sys.rules.push_back({1, 0, da, 1});  // B_{k-1} frees A_k after da
+  return sys;
+}
+
+TEST(AsyncTiming, MicropipelinePeriod) {
+  const ErAnalysis a = analyze_er_system(micropipeline(3, 5));
+  ASSERT_TRUE(a.live);
+  EXPECT_EQ(a.period, Rational(8));  // (3+5)/1 occurrence around the loop
+  EXPECT_EQ(a.critical_events.size(), 2u);
+}
+
+TEST(AsyncTiming, TimingAssignmentIsValid) {
+  const ErSystem sys = micropipeline(3, 5);
+  const ErAnalysis a = analyze_er_system(sys);
+  EXPECT_TRUE(is_valid_timing(sys, a.period, a.scaled_offset));
+  // Perturbing an offset downward must break a rule somewhere.
+  auto bad = a.scaled_offset;
+  bad[1] -= 1;
+  EXPECT_FALSE(is_valid_timing(sys, a.period, bad));
+}
+
+TEST(AsyncTiming, MoreConcurrencyShortensPeriod) {
+  // A second token (occurrence offset 2) lets both stages overlap.
+  ErSystem sys;
+  sys.num_events = 2;
+  sys.rules.push_back({0, 1, 5, 0});
+  sys.rules.push_back({1, 0, 3, 2});
+  const ErAnalysis a = analyze_er_system(sys);
+  ASSERT_TRUE(a.live);
+  EXPECT_EQ(a.period, Rational(8, 2));
+}
+
+TEST(AsyncTiming, SlowestLoopDominates) {
+  // Three events, two loops: 0<->1 with total 10/1, 1<->2 with 4/1.
+  ErSystem sys;
+  sys.num_events = 3;
+  sys.rules.push_back({0, 1, 6, 0});
+  sys.rules.push_back({1, 0, 4, 1});
+  sys.rules.push_back({1, 2, 1, 0});
+  sys.rules.push_back({2, 1, 3, 1});
+  const ErAnalysis a = analyze_er_system(sys);
+  EXPECT_EQ(a.period, Rational(10));
+  // Critical events are exactly the slow loop's.
+  EXPECT_NE(std::find(a.critical_events.begin(), a.critical_events.end(), 0),
+            a.critical_events.end());
+  EXPECT_NE(std::find(a.critical_events.begin(), a.critical_events.end(), 1),
+            a.critical_events.end());
+  EXPECT_EQ(std::find(a.critical_events.begin(), a.critical_events.end(), 2),
+            a.critical_events.end());
+}
+
+TEST(AsyncTiming, CriticalRulesAreTight) {
+  const ErSystem sys = micropipeline(3, 5);
+  const ErAnalysis a = analyze_er_system(sys);
+  // Both rules sit on the unique critical cycle: equality holds.
+  for (const EventRule& r : sys.rules) {
+    const std::int64_t lhs = a.scaled_offset[static_cast<std::size_t>(r.to)];
+    const std::int64_t rhs = a.scaled_offset[static_cast<std::size_t>(r.from)] +
+                             r.delay * a.period.den() - a.period.num() * r.occurrence;
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(AsyncTiming, ZeroOccurrenceCycleIsDeadlock) {
+  ErSystem sys;
+  sys.num_events = 2;
+  sys.rules.push_back({0, 1, 1, 0});
+  sys.rules.push_back({1, 0, 1, 0});
+  const ErAnalysis a = analyze_er_system(sys);
+  EXPECT_FALSE(a.live);
+}
+
+TEST(AsyncTiming, Validation) {
+  ErSystem sys;
+  sys.num_events = 2;
+  sys.rules.push_back({0, 1, -1, 0});
+  sys.rules.push_back({1, 0, 1, 1});
+  EXPECT_THROW((void)analyze_er_system(sys), std::invalid_argument);
+  sys.rules[0] = {0, 1, 1, -1};
+  EXPECT_THROW((void)analyze_er_system(sys), std::invalid_argument);
+  // Not strongly connected:
+  ErSystem open_sys;
+  open_sys.num_events = 2;
+  open_sys.rules.push_back({0, 1, 1, 1});
+  EXPECT_THROW((void)analyze_er_system(open_sys), std::invalid_argument);
+}
+
+TEST(AsyncTiming, IsValidTimingRejectsSizeMismatch) {
+  const ErSystem sys = micropipeline(1, 1);
+  EXPECT_FALSE(is_valid_timing(sys, Rational(2), {0}));
+}
+
+}  // namespace
+}  // namespace mcr::apps

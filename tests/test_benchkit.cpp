@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "benchkit/runner.h"
+#include "benchkit/workloads.h"
+#include "graph/scc.h"
+
+namespace mcr::bench {
+namespace {
+
+TEST(Workloads, DefaultScaleIsSmall) {
+  // The test environment does not set MCR_BENCH_SCALE.
+  if (std::getenv("MCR_BENCH_SCALE") == nullptr) {
+    EXPECT_EQ(bench_scale(), Scale::kSmall);
+  }
+  EXPECT_EQ(scale_name(Scale::kFull), "full");
+}
+
+TEST(Workloads, FullGridMatchesPaper) {
+  const auto grid = table2_grid(Scale::kFull);
+  EXPECT_EQ(grid.size(), 25u);  // 5 sizes x 5 densities
+  EXPECT_EQ(grid.front().n, 512);
+  EXPECT_EQ(grid.front().m, 512);
+  EXPECT_EQ(grid.back().n, 8192);
+  EXPECT_EQ(grid.back().m, 24576);
+}
+
+TEST(Workloads, DensitiesAreTheFivePaperColumns) {
+  const auto grid = table2_grid(Scale::kMedium);
+  // For n = 1024: m in {1024, 1536, 2048, 2560, 3072}.
+  std::vector<ArcId> ms;
+  for (const auto& cell : grid) {
+    if (cell.n == 1024) ms.push_back(cell.m);
+  }
+  EXPECT_EQ(ms, (std::vector<ArcId>{1024, 1536, 2048, 2560, 3072}));
+}
+
+TEST(Workloads, InstancesAreDeterministicPerTrial) {
+  const GridCell cell{128, 256};
+  const Graph a = table2_instance(cell, 0);
+  const Graph b = table2_instance(cell, 0);
+  const Graph c = table2_instance(cell, 1);
+  EXPECT_EQ(a.num_arcs(), 256);
+  EXPECT_EQ(a.weight(10), b.weight(10));
+  // Different trials differ.
+  int diff = 0;
+  for (ArcId e = 0; e < a.num_arcs(); ++e) diff += a.weight(e) != c.weight(e) ? 1 : 0;
+  EXPECT_GT(diff, 50);
+}
+
+TEST(Workloads, InstancesAreStronglyConnected) {
+  EXPECT_TRUE(is_strongly_connected(table2_instance({64, 128}, 2)));
+}
+
+TEST(Workloads, CircuitSuiteNonEmptyAndSized) {
+  const auto suite = circuit_suite(Scale::kSmall);
+  ASSERT_GE(suite.size(), 5u);
+  EXPECT_EQ(suite.front().config.registers, 32);
+}
+
+TEST(Runner, TimesASolver) {
+  const Graph g = table2_instance({64, 128}, 0);
+  const auto run = time_solver("howard", g);
+  ASSERT_TRUE(run.ran);
+  EXPECT_GT(run.seconds, 0.0);
+  ASSERT_TRUE(run.result.has_cycle);
+}
+
+TEST(Runner, MemoryGuardSkipsQuadraticSpaceSolvers) {
+  const Graph g = table2_instance({64, 128}, 0);
+  // With a 1 KiB budget even n=64 Karp (34 KB) must be guarded out.
+  const auto run = time_solver("karp", g, 1024);
+  EXPECT_FALSE(run.ran);
+  EXPECT_EQ(run.skip_reason, "mem");
+  // Howard is linear-space and passes the same budget check... 64+128
+  // times 64 bytes exceeds 1 KiB, so use a roomier budget for it.
+  const auto run2 = time_solver("howard", g, 1 << 20);
+  EXPECT_TRUE(run2.ran);
+}
+
+TEST(Runner, EstimatedBytesOrdering) {
+  EXPECT_GT(estimated_bytes("karp", 1000, 3000), estimated_bytes("howard", 1000, 3000));
+  EXPECT_GT(estimated_bytes("ho", 1000, 3000), estimated_bytes("karp", 1000, 3000));
+}
+
+TEST(Runner, TimeBudgetSkipsAfterExceeding) {
+  TimeBudget budget(0.5);
+  EXPECT_FALSE(budget.should_skip("lawler"));
+  budget.record("lawler", 0.1);
+  EXPECT_FALSE(budget.should_skip("lawler"));
+  budget.record("lawler", 1.0);
+  EXPECT_TRUE(budget.should_skip("lawler"));
+  EXPECT_FALSE(budget.should_skip("howard"));
+}
+
+}  // namespace
+}  // namespace mcr::bench

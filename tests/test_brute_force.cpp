@@ -1,0 +1,66 @@
+#include "core/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "core/driver.h"
+#include "core/verify.h"
+#include "gen/structured.h"
+#include "graph/builder.h"
+
+namespace mcr {
+namespace {
+
+TEST(BruteForce, RingMean) {
+  const auto solver = make_brute_force_solver(ProblemKind::kCycleMean);
+  const auto r = minimum_cycle_mean(gen::ring({1, 2, 3}), *solver);
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(2));
+  EXPECT_EQ(r.cycle.size(), 3u);
+}
+
+TEST(BruteForce, PicksBestOfManyCycles) {
+  const Graph g = gen::complete(5, 1, 100, 42);
+  const auto solver = make_brute_force_solver(ProblemKind::kCycleMean);
+  const auto r = minimum_cycle_mean(g, *solver);
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_TRUE(verify_result(g, r, ProblemKind::kCycleMean).ok);
+  EXPECT_GT(r.counters.cycle_evaluations, 20u);  // many cycles examined
+}
+
+TEST(BruteForce, RatioKind) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 10, 1);
+  b.add_arc(1, 0, 10, 9);  // ratio 2
+  b.add_arc(0, 0, 30, 10);  // ratio 3
+  const Graph g = b.build();
+  const auto solver = make_brute_force_solver(ProblemKind::kCycleRatio);
+  const auto r = minimum_cycle_ratio(g, *solver);
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(2));
+}
+
+TEST(BruteForce, MeanIgnoresTransit) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 10, 5);
+  b.add_arc(1, 0, 20, 5);
+  const auto solver = make_brute_force_solver(ProblemKind::kCycleMean);
+  const auto r = minimum_cycle_mean(b.build(), *solver);
+  EXPECT_EQ(r.value, Rational(15));
+}
+
+TEST(BruteForce, CapThrows) {
+  const Graph g = gen::complete(7, 1, 9, 1);
+  const auto solver = make_brute_force_solver(ProblemKind::kCycleMean, 5);
+  EXPECT_THROW((void)solver->solve_scc(g), std::runtime_error);
+}
+
+TEST(BruteForce, NamesAndKinds) {
+  EXPECT_EQ(make_brute_force_solver(ProblemKind::kCycleMean)->name(), "brute_force");
+  EXPECT_EQ(make_brute_force_solver(ProblemKind::kCycleRatio)->name(),
+            "brute_force_ratio");
+  EXPECT_EQ(make_brute_force_solver(ProblemKind::kCycleRatio)->kind(),
+            ProblemKind::kCycleRatio);
+}
+
+}  // namespace
+}  // namespace mcr

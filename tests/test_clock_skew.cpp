@@ -1,0 +1,183 @@
+#include "apps/clock_skew.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/builder.h"
+#include "support/prng.h"
+
+namespace mcr::apps {
+namespace {
+
+// Two registers in a loop; arcs carry (max delay, min delay).
+Graph two_reg(std::int64_t max01, std::int64_t min01, std::int64_t max10,
+              std::int64_t min10) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1, max01, min01);
+  b.add_arc(1, 0, max10, min10);
+  return b.build();
+}
+
+TEST(ClockSkew, SymmetricLoopNeedsAverage) {
+  // maxd 10 and 2: zero-skew period is 10, but skews average the loop:
+  // T* = (10 + 2) / 2 = 6.
+  const Graph g = two_reg(10, 10, 2, 2);
+  EXPECT_EQ(zero_skew_period(g), 10);
+  const ClockPeriodResult r = min_clock_period(g);
+  EXPECT_EQ(r.min_period, Rational(6));
+}
+
+TEST(ClockSkew, HoldConstraintsLimitBorrowing) {
+  // Large spread between min and max delay on one stage: the race cycle
+  // pairing that stage's setup with its own hold binds:
+  //   T >= maxd(e) - mind(e) = 10 - 2 = 8, beating the loop average 6.
+  const Graph g = two_reg(10, 2, 2, 1);
+  const ClockPeriodResult r = min_clock_period(g);
+  EXPECT_EQ(r.min_period, Rational(8));
+}
+
+TEST(ClockSkew, FeasibleScheduleSatisfiesAllConstraints) {
+  const Graph g = two_reg(10, 8, 4, 1);
+  const ClockPeriodResult r = min_clock_period(g);
+  const std::int64_t T =
+      (r.min_period.num() + r.min_period.den() - 1) / r.min_period.den();
+  const auto sched = feasible_schedule(g, T);
+  ASSERT_TRUE(sched.has_value());
+  const auto& s = sched->skew;
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const auto u = static_cast<std::size_t>(g.src(a));
+    const auto v = static_cast<std::size_t>(g.dst(a));
+    EXPECT_LE(s[u] + g.weight(a), s[v] + T) << "setup, arc " << a;
+    EXPECT_GE(s[u] + g.transit(a), s[v]) << "hold, arc " << a;
+  }
+}
+
+TEST(ClockSkew, InfeasiblePeriodRejected) {
+  const Graph g = two_reg(10, 10, 2, 2);
+  EXPECT_FALSE(feasible_schedule(g, 5).has_value());  // below T* = 6
+  EXPECT_TRUE(feasible_schedule(g, 6).has_value());
+}
+
+TEST(ClockSkew, FractionalOptimum) {
+  // Triangle of slow/fast stages: T* = (9 + 3 + 1) / 3 = 13/3.
+  GraphBuilder b(3);
+  b.add_arc(0, 1, 9, 9);
+  b.add_arc(1, 2, 3, 3);
+  b.add_arc(2, 0, 1, 1);
+  const ClockPeriodResult r = min_clock_period(b.build());
+  EXPECT_EQ(r.min_period, Rational(13, 3));
+  // Integer clocks need ceil(13/3) = 5.
+  EXPECT_EQ(static_cast<std::int64_t>(r.skew_at_ceiling.size()), 3);
+}
+
+TEST(ClockSkew, SkewNeverHelpsBelowLoopAverage) {
+  // Whatever the skews, T* >= average of the dominant loop.
+  Prng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    GraphBuilder b(4);
+    Rational loop_avg(0);
+    std::int64_t total = 0;
+    for (NodeId v = 0; v < 4; ++v) {
+      const std::int64_t d = rng.uniform_int(1, 30);
+      total += d;
+      b.add_arc(v, (v + 1) % 4, d, d);
+    }
+    loop_avg = Rational(total, 4);
+    const ClockPeriodResult r = min_clock_period(b.build());
+    EXPECT_EQ(r.min_period, loop_avg) << "trial " << trial;
+  }
+}
+
+TEST(ClockSkew, ZeroSkewMatchesLargestStage) {
+  GraphBuilder b(3);
+  b.add_arc(0, 1, 7, 2);
+  b.add_arc(1, 2, 12, 4);
+  b.add_arc(2, 0, 3, 1);
+  EXPECT_EQ(zero_skew_period(b.build()), 12);
+}
+
+TEST(ClockSkew, OptimalNeverWorseThanZeroSkew) {
+  Prng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    GraphBuilder b(6);
+    for (NodeId v = 0; v < 6; ++v) {
+      const std::int64_t maxd = rng.uniform_int(2, 40);
+      b.add_arc(v, (v + 1) % 6, maxd, rng.uniform_int(1, maxd));
+      if (rng.bernoulli(0.5)) {
+        const std::int64_t m2 = rng.uniform_int(2, 40);
+        b.add_arc(v, static_cast<NodeId>(rng.uniform_int(0, 5)), m2,
+                  rng.uniform_int(1, m2));
+      }
+    }
+    const Graph g = b.build();
+    const ClockPeriodResult r = min_clock_period(g);
+    EXPECT_LE(r.min_period, Rational(zero_skew_period(g))) << trial;
+    // And feasibility flips exactly at the optimum for integer periods.
+    const std::int64_t ceil_t =
+        (r.min_period.num() + r.min_period.den() - 1) / r.min_period.den();
+    EXPECT_TRUE(feasible_schedule(g, ceil_t).has_value());
+    if (Rational(ceil_t - 1) < r.min_period) {
+      EXPECT_FALSE(feasible_schedule(g, ceil_t - 1).has_value());
+    }
+  }
+}
+
+TEST(ClockSkew, ValidationRejectsBadDelays) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 5, 7);  // min > max
+  b.add_arc(1, 0, 5, 1);
+  EXPECT_THROW((void)min_clock_period(b.build()), std::invalid_argument);
+  GraphBuilder b2(2);
+  b2.add_arc(0, 1, 5, -1);  // negative min
+  b2.add_arc(1, 0, 5, 1);
+  EXPECT_THROW((void)zero_skew_period(b2.build()), std::invalid_argument);
+}
+
+TEST(ClockSkew, SelfLoopRegister) {
+  GraphBuilder b(1);
+  b.add_arc(0, 0, 8, 8);
+  const ClockPeriodResult r = min_clock_period(b.build());
+  EXPECT_EQ(r.min_period, Rational(8));  // skew cannot help a self-loop
+}
+
+TEST(MarginSchedule, UniformLoopMargin) {
+  // Loop delays 10 and 2 at period 8: margin = MCM of (8-10, 8-2) = 2.
+  const Graph g = two_reg(10, 10, 2, 2);
+  const MarginSchedule m = max_margin_schedule(g, 8);
+  EXPECT_EQ(m.margin, Rational(2));
+}
+
+TEST(MarginSchedule, SkewsSatisfyMarginOnEveryArc) {
+  GraphBuilder b(3);
+  b.add_arc(0, 1, 9, 9);
+  b.add_arc(1, 2, 3, 3);
+  b.add_arc(2, 0, 1, 1);
+  b.add_arc(0, 2, 6, 6);
+  const Graph g = b.build();
+  const std::int64_t T = 10;
+  const MarginSchedule m = max_margin_schedule(g, T);
+  const std::int64_t den = m.margin.den();
+  // s(u) + maxd + t <= s(v) + T, scaled by den.
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const auto u = static_cast<std::size_t>(g.src(a));
+    const auto v = static_cast<std::size_t>(g.dst(a));
+    EXPECT_LE(m.scaled_skew[u] + g.weight(a) * den + m.margin.num(),
+              m.scaled_skew[v] + T * den)
+        << "arc " << a;
+  }
+}
+
+TEST(MarginSchedule, NegativeMarginWhenPeriodInfeasible) {
+  const Graph g = two_reg(10, 10, 2, 2);  // T* (setup-only) = 6
+  const MarginSchedule m = max_margin_schedule(g, 5);
+  EXPECT_EQ(m.margin, Rational(-1));  // one unit short of T* = 6
+}
+
+TEST(MarginSchedule, MarginZeroExactlyAtOptimum) {
+  const Graph g = two_reg(10, 10, 2, 2);
+  EXPECT_EQ(max_margin_schedule(g, 6).margin, Rational(0));
+}
+
+}  // namespace
+}  // namespace mcr::apps

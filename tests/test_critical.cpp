@@ -1,0 +1,238 @@
+#include "core/critical.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/result.h"
+#include "gen/structured.h"
+#include "graph/builder.h"
+
+namespace mcr {
+namespace {
+
+// Two triangles sharing no nodes, joined one-way; means 2 and 4.
+Graph two_triangles() {
+  GraphBuilder b(6);
+  b.add_arc(0, 1, 1);
+  b.add_arc(1, 2, 2);
+  b.add_arc(2, 0, 3);  // mean 2
+  b.add_arc(2, 3, 100);
+  b.add_arc(3, 4, 4);
+  b.add_arc(4, 5, 4);
+  b.add_arc(5, 3, 4);  // mean 4
+  return b.build();
+}
+
+TEST(LambdaCosts, MeanIgnoresTransit) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 10, 7);
+  b.add_arc(1, 0, 20, 3);
+  const Graph g = b.build();
+  const auto mean_costs = lambda_costs(g, Rational(3, 2), ProblemKind::kCycleMean);
+  EXPECT_EQ(mean_costs[0], 10 * 2 - 3 * 1);
+  EXPECT_EQ(mean_costs[1], 20 * 2 - 3 * 1);
+  const auto ratio_costs = lambda_costs(g, Rational(3, 2), ProblemKind::kCycleRatio);
+  EXPECT_EQ(ratio_costs[0], 10 * 2 - 3 * 7);
+  EXPECT_EQ(ratio_costs[1], 20 * 2 - 3 * 3);
+}
+
+TEST(LambdaCosts, NegativeCycleIffBelowValue) {
+  const Graph g = gen::ring({1, 2, 3});  // mean 2
+  // At lambda = 2 the ring has cost 0; at 5/2 it is negative.
+  const auto at2 = lambda_costs(g, Rational(2), ProblemKind::kCycleMean);
+  std::int64_t total = 0;
+  for (const auto c : at2) total += c;
+  EXPECT_EQ(total, 0);
+  const auto at52 = lambda_costs(g, Rational(5, 2), ProblemKind::kCycleMean);
+  total = 0;
+  for (const auto c : at52) total += c;
+  EXPECT_LT(total, 0);
+}
+
+TEST(CriticalSubgraph, RingEntirelyCritical) {
+  const Graph g = gen::ring({1, 2, 3});
+  const CriticalSubgraph crit = critical_subgraph(g, Rational(2), ProblemKind::kCycleMean);
+  EXPECT_EQ(crit.arcs.size(), 3u);
+  EXPECT_EQ(crit.nodes.size(), 3u);
+}
+
+TEST(CriticalSubgraph, OnlyOptimalTriangleCritical) {
+  const Graph g = two_triangles();
+  const CriticalSubgraph crit = critical_subgraph(g, Rational(2), ProblemKind::kCycleMean);
+  // The mean-4 triangle's arcs cannot all be critical; the mean-2
+  // triangle's arcs must all be.
+  for (const ArcId a : {0, 1, 2}) {
+    EXPECT_NE(std::find(crit.arcs.begin(), crit.arcs.end(), a), crit.arcs.end())
+        << "arc " << a << " should be critical";
+  }
+  // No cycle among critical arcs within the second triangle: the
+  // optimum cycle extraction must return the first triangle.
+  const auto cycle = extract_optimal_cycle(g, Rational(2), ProblemKind::kCycleMean);
+  EXPECT_EQ(cycle_mean(g, cycle), Rational(2));
+}
+
+TEST(CriticalSubgraph, ValueAboveOptimumThrows) {
+  // At lambda > lambda* the transformed graph has a negative cycle, so
+  // no feasible potentials exist.
+  const Graph g = gen::ring({1, 2, 3});
+  EXPECT_THROW(critical_subgraph(g, Rational(3), ProblemKind::kCycleMean),
+               std::invalid_argument);
+}
+
+TEST(CriticalSubgraph, ValueBelowOptimumHasNoCriticalCycle) {
+  // At lambda < lambda* potentials exist but no cycle is tight: the
+  // extraction reports that by throwing.
+  const Graph g = gen::ring({1, 2, 3});
+  const CriticalSubgraph crit = critical_subgraph(g, Rational(1), ProblemKind::kCycleMean);
+  EXPECT_LT(crit.arcs.size(), 3u);  // cannot all be tight below optimum
+  EXPECT_THROW(extract_optimal_cycle(g, Rational(1), ProblemKind::kCycleMean),
+               std::invalid_argument);
+}
+
+TEST(CriticalSubgraph, PotentialsAreFeasible) {
+  const Graph g = two_triangles();
+  const CriticalSubgraph crit = critical_subgraph(g, Rational(2), ProblemKind::kCycleMean);
+  const auto cost = lambda_costs(g, Rational(2), ProblemKind::kCycleMean);
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    EXPECT_LE(crit.scaled_potential[static_cast<std::size_t>(g.dst(a))],
+              crit.scaled_potential[static_cast<std::size_t>(g.src(a))] +
+                  cost[static_cast<std::size_t>(a)]);
+  }
+}
+
+TEST(ExtractOptimalCycle, ReturnsValidOptimalCycle) {
+  const Graph g = gen::ring({5, 5, 5});
+  const auto cycle = extract_optimal_cycle(g, Rational(5), ProblemKind::kCycleMean);
+  EXPECT_TRUE(is_valid_cycle(g, cycle));
+  EXPECT_EQ(cycle_mean(g, cycle), Rational(5));
+}
+
+TEST(ExtractOptimalCycle, SelfLoopOptimum) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 10);
+  b.add_arc(1, 0, 10);
+  b.add_arc(1, 1, 3);
+  const Graph g = b.build();
+  const auto cycle = extract_optimal_cycle(g, Rational(3), ProblemKind::kCycleMean);
+  ASSERT_EQ(cycle.size(), 1u);
+  EXPECT_EQ(cycle_mean(g, cycle), Rational(3));
+}
+
+TEST(ExtractOptimalCycle, RatioKind) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 6, 2);
+  b.add_arc(1, 0, 6, 4);  // cycle ratio 12/6 = 2
+  const Graph g = b.build();
+  const auto cycle = extract_optimal_cycle(g, Rational(2), ProblemKind::kCycleRatio);
+  EXPECT_EQ(cycle_ratio(g, cycle), Rational(2));
+}
+
+TEST(ExtractOptimalCycle, ValueAboveOptimumThrows) {
+  const Graph g = gen::ring({1, 2, 3});
+  // 5/2 is above the optimum 2: a negative cycle exists there, caught
+  // by the potential computation.
+  EXPECT_THROW(extract_optimal_cycle(g, Rational(5, 2), ProblemKind::kCycleMean),
+               std::invalid_argument);
+}
+
+TEST(CycleHelpers, WeightTransitMeanRatio) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 3, 2);
+  b.add_arc(1, 0, 5, 6);
+  const Graph g = b.build();
+  const std::vector<ArcId> cycle{0, 1};
+  EXPECT_EQ(cycle_weight(g, cycle), 8);
+  EXPECT_EQ(cycle_transit(g, cycle), 8);
+  EXPECT_EQ(cycle_mean(g, cycle), Rational(4));
+  EXPECT_EQ(cycle_ratio(g, cycle), Rational(1));
+  EXPECT_THROW((void)cycle_mean(g, {}), std::invalid_argument);
+}
+
+TEST(CycleHelpers, IsValidCycleChecks) {
+  const Graph g = gen::ring({1, 2, 3});
+  EXPECT_TRUE(is_valid_cycle(g, {0, 1, 2}));
+  EXPECT_FALSE(is_valid_cycle(g, {0, 2}));   // does not chain
+  EXPECT_FALSE(is_valid_cycle(g, {0, 1}));   // does not close
+  EXPECT_FALSE(is_valid_cycle(g, {}));       // empty
+  EXPECT_FALSE(is_valid_cycle(g, {0, 99}));  // out of range
+}
+
+TEST(ArcSlacks, CriticalArcsHaveZeroSlack) {
+  const Graph g = two_triangles();
+  const auto slack = arc_slacks(g, Rational(2), ProblemKind::kCycleMean);
+  const CriticalSubgraph crit = critical_subgraph(g, Rational(2), ProblemKind::kCycleMean);
+  std::vector<bool> is_critical(static_cast<std::size_t>(g.num_arcs()), false);
+  for (const ArcId a : crit.arcs) is_critical[static_cast<std::size_t>(a)] = true;
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    EXPECT_GE(slack[static_cast<std::size_t>(a)], 0);
+    EXPECT_EQ(slack[static_cast<std::size_t>(a)] == 0,
+              is_critical[static_cast<std::size_t>(a)])
+        << "arc " << a;
+  }
+}
+
+TEST(ArcSlacks, ScaledByDenominator) {
+  // Ring {1,2}: lambda* = 3/2; slacks are in halves.
+  const Graph g = gen::ring({1, 2});
+  const auto slack = arc_slacks(g, Rational(3, 2), ProblemKind::kCycleMean);
+  // Both arcs are critical (the unique cycle is optimal).
+  EXPECT_EQ(slack[0], 0);
+  EXPECT_EQ(slack[1], 0);
+}
+
+TEST(ArcSlacks, AboveOptimumThrows) {
+  const Graph g = gen::ring({1, 2, 3});
+  EXPECT_THROW(arc_slacks(g, Rational(3), ProblemKind::kCycleMean),
+               std::invalid_argument);
+}
+
+TEST(OptimalArcSet, ExactlyTheOptimalTriangle) {
+  const Graph g = two_triangles();
+  const auto arcs = optimal_arc_set(g, Rational(2), ProblemKind::kCycleMean);
+  EXPECT_EQ(arcs, (std::vector<ArcId>{0, 1, 2}));
+}
+
+TEST(OptimalArcSet, TiedCyclesAllIncluded) {
+  // Two disjoint rings with the same mean 3: all six arcs optimal.
+  GraphBuilder b(6);
+  b.add_arc(0, 1, 2);
+  b.add_arc(1, 2, 3);
+  b.add_arc(2, 0, 4);
+  b.add_arc(3, 4, 3);
+  b.add_arc(4, 5, 3);
+  b.add_arc(5, 3, 3);
+  b.add_arc(0, 3, 100);
+  const Graph g = b.build();
+  const auto arcs = optimal_arc_set(g, Rational(3), ProblemKind::kCycleMean);
+  EXPECT_EQ(arcs.size(), 6u);
+}
+
+TEST(OptimalArcSet, ExcludesTightNonCycleArcs) {
+  // A tight arc hanging off the optimal cycle is critical but on no
+  // optimum cycle.
+  GraphBuilder b(3);
+  b.add_arc(0, 1, 2);
+  b.add_arc(1, 0, 2);   // optimal 2-cycle, mean 2
+  b.add_arc(1, 2, 2);   // tight continuation (slack 0) but dead end
+  b.add_arc(2, 0, 50);  // way off
+  const Graph g = b.build();
+  const CriticalSubgraph crit = critical_subgraph(g, Rational(2), ProblemKind::kCycleMean);
+  EXPECT_GE(crit.arcs.size(), 3u);  // includes the dead-end tight arc
+  const auto arcs = optimal_arc_set(g, Rational(2), ProblemKind::kCycleMean);
+  EXPECT_EQ(arcs, (std::vector<ArcId>{0, 1}));
+}
+
+TEST(OptimalArcSet, RatioKind) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 6, 2);
+  b.add_arc(1, 0, 6, 4);   // ratio 2 (optimal)
+  b.add_arc(0, 0, 30, 10);  // ratio 3
+  const Graph g = b.build();
+  const auto arcs = optimal_arc_set(g, Rational(2), ProblemKind::kCycleRatio);
+  EXPECT_EQ(arcs, (std::vector<ArcId>{0, 1}));
+}
+
+}  // namespace
+}  // namespace mcr

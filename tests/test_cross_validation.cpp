@@ -1,0 +1,135 @@
+// The heart of the reproduction's correctness story: every algorithm in
+// the study must produce the exact same minimum cycle mean as Karp's
+// algorithm (the Theta(nm) exact reference) on a broad sweep of random
+// and structured instances, and every result must pass the exact
+// optimality certificate.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/driver.h"
+#include "core/registry.h"
+#include "core/verify.h"
+#include "gen/circuit.h"
+#include "gen/sprand.h"
+#include "gen/structured.h"
+
+namespace mcr {
+namespace {
+
+struct Instance {
+  std::string family;
+  Graph graph;
+};
+
+Graph make_instance(const std::string& family, int size_class, std::uint64_t seed) {
+  const NodeId n = size_class == 0 ? 24 : (size_class == 1 ? 60 : 120);
+  if (family == "sprand_sparse") {
+    gen::SprandConfig cfg;
+    cfg.n = n;
+    cfg.m = n + n / 2;
+    cfg.seed = seed;
+    return gen::sprand(cfg);
+  }
+  if (family == "sprand_dense") {
+    gen::SprandConfig cfg;
+    cfg.n = n;
+    cfg.m = 3 * n;
+    cfg.seed = seed;
+    return gen::sprand(cfg);
+  }
+  if (family == "sprand_hamiltonian") {
+    gen::SprandConfig cfg;
+    cfg.n = n;
+    cfg.m = n;
+    cfg.seed = seed;
+    return gen::sprand(cfg);
+  }
+  if (family == "sprand_negative") {
+    gen::SprandConfig cfg;
+    cfg.n = n;
+    cfg.m = 2 * n;
+    cfg.min_weight = -1000;
+    cfg.max_weight = 1000;
+    cfg.seed = seed;
+    return gen::sprand(cfg);
+  }
+  if (family == "circuit") {
+    gen::CircuitConfig cfg;
+    cfg.registers = n;
+    cfg.module_size = 8;
+    cfg.seed = seed;
+    return gen::circuit(cfg);
+  }
+  if (family == "torus") {
+    const NodeId side = size_class == 0 ? 5 : (size_class == 1 ? 8 : 11);
+    return gen::torus(side, side, 1, 100, seed);
+  }
+  if (family == "layered") {
+    return gen::layered_feedback(size_class == 0 ? 4 : 8, 3, 1, 50, seed);
+  }
+  ADD_FAILURE() << "unknown family " << family;
+  return Graph(0, {});
+}
+
+using Param = std::tuple<std::string, std::string, int, int>;  // solver, family, size, seed
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  const auto& [solver, family, size_class, seed] = info.param;
+  return solver + "_" + family + "_s" + std::to_string(size_class) + "_r" +
+         std::to_string(seed);
+}
+
+class CrossValidation : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CrossValidation, MatchesKarpAndCertifies) {
+  const auto& [solver_name, family, size_class, seed] = GetParam();
+  const Graph g = make_instance(family, size_class, 0xC0FFEE + static_cast<std::uint64_t>(seed));
+
+  const auto reference = minimum_cycle_mean(g, "karp");
+  const auto solver = SolverRegistry::instance().create(solver_name);
+  const auto r = minimum_cycle_mean(g, *solver);
+
+  ASSERT_EQ(r.has_cycle, reference.has_cycle);
+  if (!r.has_cycle) return;
+  EXPECT_EQ(r.value, reference.value)
+      << solver_name << " disagrees with karp on " << family << "/" << size_class << "/"
+      << seed << ": " << r.value << " vs " << reference.value;
+  const auto cert = verify_result(g, r, ProblemKind::kCycleMean);
+  EXPECT_TRUE(cert.ok) << solver_name << " failed certification: " << cert.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CrossValidation,
+    ::testing::Combine(
+        ::testing::Values("burns", "ko", "yto", "howard", "ho", "dg", "lawler", "karp2",
+                          "oa1", "ko_bin", "yto_pair", "lawler_improved",
+                          "howard_naive_init", "cycle_cancel", "megiddo"),
+        ::testing::Values("sprand_sparse", "sprand_dense", "sprand_hamiltonian",
+                          "sprand_negative", "circuit", "torus", "layered"),
+        ::testing::Values(0, 1), ::testing::Values(1, 2, 3)),
+    param_name);
+
+// Larger instances, fewer combos: the fast exact solvers on all families.
+class CrossValidationLarge : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CrossValidationLarge, MatchesKarp) {
+  const auto& [solver_name, family, size_class, seed] = GetParam();
+  const Graph g = make_instance(family, size_class, 0xFACE + static_cast<std::uint64_t>(seed));
+  const auto reference = minimum_cycle_mean(g, "karp");
+  const auto r = minimum_cycle_mean(g, solver_name);
+  ASSERT_EQ(r.has_cycle, reference.has_cycle);
+  if (r.has_cycle) {
+    EXPECT_EQ(r.value, reference.value) << solver_name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepLarge, CrossValidationLarge,
+    ::testing::Combine(::testing::Values("howard", "yto", "ho", "dg"),
+                       ::testing::Values("sprand_sparse", "sprand_dense", "circuit"),
+                       ::testing::Values(2), ::testing::Values(1, 2)),
+    param_name);
+
+}  // namespace
+}  // namespace mcr

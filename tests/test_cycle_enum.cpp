@@ -1,0 +1,108 @@
+#include "graph/cycle_enum.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/result.h"
+#include "gen/structured.h"
+#include "graph/builder.h"
+
+namespace mcr {
+namespace {
+
+TEST(CycleEnum, RingHasExactlyOne) {
+  const Graph g = gen::ring({1, 2, 3, 4});
+  EXPECT_EQ(count_simple_cycles(g), 1u);
+}
+
+TEST(CycleEnum, PathHasNone) {
+  EXPECT_EQ(count_simple_cycles(gen::path(5)), 0u);
+}
+
+TEST(CycleEnum, SelfLoopCounts) {
+  GraphBuilder b(2);
+  b.add_arc(0, 0, 1);
+  b.add_arc(0, 1, 1);
+  b.add_arc(1, 1, 1);
+  EXPECT_EQ(count_simple_cycles(b.build()), 2u);
+}
+
+TEST(CycleEnum, CompleteDigraphK3) {
+  // 3 two-cycles + 2 three-cycles = 5.
+  const Graph g = gen::complete(3, 1, 1, 1);
+  EXPECT_EQ(count_simple_cycles(g), 5u);
+}
+
+TEST(CycleEnum, CompleteDigraphK4) {
+  // K4: C(4,2)*1 + C(4,3)*2 + C(4,4)*6 = 6 + 8 + 6 = 20.
+  const Graph g = gen::complete(4, 1, 1, 1);
+  EXPECT_EQ(count_simple_cycles(g), 20u);
+}
+
+TEST(CycleEnum, ParallelArcsGiveDistinctCycles) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 1);
+  b.add_arc(0, 1, 2);
+  b.add_arc(1, 0, 3);
+  // Two distinct 2-cycles through the two parallel arcs.
+  EXPECT_EQ(count_simple_cycles(b.build()), 2u);
+}
+
+TEST(CycleEnum, VisitedCyclesAreValidAndUnique) {
+  const Graph g = gen::complete(4, 1, 9, 7);
+  std::set<std::vector<ArcId>> seen;
+  enumerate_simple_cycles(g, [&](std::span<const ArcId> cycle) {
+    std::vector<ArcId> c(cycle.begin(), cycle.end());
+    EXPECT_TRUE(is_valid_cycle(g, c));
+    // Canonicalize by rotating smallest arc id first.
+    auto smallest = std::min_element(c.begin(), c.end());
+    std::rotate(c.begin(), smallest, c.end());
+    EXPECT_TRUE(seen.insert(c).second) << "duplicate cycle";
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(CycleEnum, EarlyStopViaVisitor) {
+  const Graph g = gen::complete(4, 1, 1, 1);
+  std::uint64_t visited = 0;
+  const std::uint64_t total = enumerate_simple_cycles(g, [&](std::span<const ArcId>) {
+    ++visited;
+    return visited < 3;
+  });
+  EXPECT_EQ(visited, 3u);
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(CycleEnum, MaxCyclesExceededThrows) {
+  const Graph g = gen::complete(5, 1, 1, 1);
+  EXPECT_THROW(count_simple_cycles(g, 10), std::runtime_error);
+}
+
+TEST(CycleEnum, TwoDisjointRings) {
+  const Graph g = gen::scc_chain(2, 3, 1, 5, 3);
+  EXPECT_EQ(count_simple_cycles(g), 2u);
+}
+
+TEST(CycleEnum, EmptyGraph) {
+  EXPECT_EQ(count_simple_cycles(Graph(0, {})), 0u);
+}
+
+TEST(CycleEnum, FigureEightSharedNode) {
+  // Two triangles sharing node 0: exactly 2 simple cycles.
+  GraphBuilder b(5);
+  b.add_arc(0, 1, 1);
+  b.add_arc(1, 2, 1);
+  b.add_arc(2, 0, 1);
+  b.add_arc(0, 3, 1);
+  b.add_arc(3, 4, 1);
+  b.add_arc(4, 0, 1);
+  EXPECT_EQ(count_simple_cycles(b.build()), 2u);
+}
+
+}  // namespace
+}  // namespace mcr

@@ -1,0 +1,158 @@
+#include "core/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/registry.h"
+#include "core/verify.h"
+#include "gen/structured.h"
+#include "graph/builder.h"
+
+namespace mcr {
+namespace {
+
+TEST(Driver, AcyclicGraphHasNoCycle) {
+  const auto r = minimum_cycle_mean(gen::path(5), "howard");
+  EXPECT_FALSE(r.has_cycle);
+}
+
+TEST(Driver, EmptyGraph) {
+  const auto r = minimum_cycle_mean(Graph(0, {}), "howard");
+  EXPECT_FALSE(r.has_cycle);
+}
+
+TEST(Driver, SingleSelfLoop) {
+  GraphBuilder b(1);
+  b.add_arc(0, 0, 42);
+  const auto r = minimum_cycle_mean(b.build(), "howard");
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(42));
+  EXPECT_EQ(r.cycle.size(), 1u);
+}
+
+TEST(Driver, TakesMinimumAcrossComponents) {
+  // Three rings with means 5, 2, 9 chained one-way.
+  GraphBuilder b(9);
+  const auto add_ring = [&](NodeId base, std::int64_t w) {
+    b.add_arc(base, base + 1, w);
+    b.add_arc(base + 1, base + 2, w);
+    b.add_arc(base + 2, base, w);
+  };
+  add_ring(0, 5);
+  add_ring(3, 2);
+  add_ring(6, 9);
+  b.add_arc(0, 3, 1000);
+  b.add_arc(3, 6, 1000);
+  const Graph g = b.build();
+  const auto r = minimum_cycle_mean(g, "karp");
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(2));
+  // Cycle arcs map back to parent-graph ids: all inside the middle ring.
+  for (const ArcId a : r.cycle) {
+    EXPECT_GE(g.src(a), 3);
+    EXPECT_LE(g.src(a), 5);
+  }
+  EXPECT_TRUE(verify_result(g, r, ProblemKind::kCycleMean).ok);
+}
+
+TEST(Driver, IgnoresAcyclicComponents) {
+  // A ring feeding a long acyclic tail.
+  GraphBuilder b(6);
+  b.add_arc(0, 1, 4);
+  b.add_arc(1, 0, 6);
+  b.add_arc(1, 2, 1);
+  b.add_arc(2, 3, 1);
+  b.add_arc(3, 4, 1);
+  b.add_arc(4, 5, 1);
+  const auto r = minimum_cycle_mean(b.build(), "yto");
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(5));
+}
+
+TEST(Driver, MaxCycleMeanViaNegation) {
+  GraphBuilder b(4);
+  b.add_arc(0, 1, 1);
+  b.add_arc(1, 0, 1);   // mean 1
+  b.add_arc(2, 3, 10);
+  b.add_arc(3, 2, 20);  // mean 15
+  const Graph g = b.build();
+  const auto mx = maximum_cycle_mean(g, "howard");
+  ASSERT_TRUE(mx.has_cycle);
+  EXPECT_EQ(mx.value, Rational(15));
+  const auto mn = minimum_cycle_mean(g, "howard");
+  EXPECT_EQ(mn.value, Rational(1));
+}
+
+TEST(Driver, RatioSolverOnMeanProblemThrows) {
+  const auto solver = SolverRegistry::instance().create("howard_ratio");
+  EXPECT_THROW((void)minimum_cycle_mean(gen::ring({1, 2}), *solver),
+               std::invalid_argument);
+}
+
+TEST(Driver, MeanSolverOnRatioProblemThrows) {
+  const auto solver = SolverRegistry::instance().create("howard");
+  EXPECT_THROW((void)minimum_cycle_ratio(gen::ring({1, 2}), *solver),
+               std::invalid_argument);
+}
+
+TEST(Driver, RatioValidatesTransitTimes) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 1, 0);
+  b.add_arc(1, 0, 1, 0);  // zero-transit cycle
+  EXPECT_THROW((void)minimum_cycle_ratio(b.build(), "howard_ratio"),
+               std::invalid_argument);
+
+  GraphBuilder b2(2);
+  b2.add_arc(0, 1, 1, -1);
+  b2.add_arc(1, 0, 1, 2);
+  EXPECT_THROW((void)minimum_cycle_ratio(b2.build(), "howard_ratio"),
+               std::invalid_argument);
+}
+
+TEST(Driver, RatioAllowsZeroTransitArcsOffCycles) {
+  GraphBuilder b(3);
+  b.add_arc(0, 1, 5, 0);  // zero transit, not on every cycle
+  b.add_arc(1, 0, 5, 2);
+  b.add_arc(1, 2, 1, 1);
+  b.add_arc(2, 1, 1, 1);
+  const Graph g = b.build();
+  const auto r = minimum_cycle_ratio(g, "howard_ratio");
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(1));  // the 1,1 cycle: 2/2
+}
+
+TEST(Driver, MaximumCycleRatio) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 10, 2);
+  b.add_arc(1, 0, 10, 2);  // ratio 5
+  b.add_arc(0, 0, 2, 1);   // ratio 2
+  const auto r = maximum_cycle_ratio(b.build(), "howard_ratio");
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(5));
+}
+
+TEST(Driver, UnknownSolverNameThrows) {
+  EXPECT_THROW((void)minimum_cycle_mean(gen::ring({1}), "does_not_exist"),
+               std::out_of_range);
+}
+
+TEST(Driver, CountersAggregateAcrossComponents) {
+  const Graph g = gen::scc_chain(3, 4, 1, 9, 5);
+  const auto r = minimum_cycle_mean(g, "howard");
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_GE(r.counters.iterations, 3u);  // at least one per component
+}
+
+TEST(Driver, NegativeWeights) {
+  GraphBuilder b(3);
+  b.add_arc(0, 1, -5);
+  b.add_arc(1, 2, -7);
+  b.add_arc(2, 0, 3);  // mean -3
+  const auto r = minimum_cycle_mean(b.build(), "howard");
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(-3));
+}
+
+}  // namespace
+}  // namespace mcr

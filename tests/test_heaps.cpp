@@ -1,0 +1,193 @@
+// Typed tests exercising the shared addressable-heap concept across the
+// binary, pairing, and Fibonacci heaps, including a randomized
+// differential test against a sorted-container reference model.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ds/binary_heap.h"
+#include "ds/fibonacci_heap.h"
+#include "ds/pairing_heap.h"
+#include "support/prng.h"
+
+namespace mcr {
+namespace {
+
+template <typename H>
+class HeapTest : public ::testing::Test {};
+
+using HeapTypes = ::testing::Types<BinaryHeap<std::int64_t>, PairingHeap<std::int64_t>,
+                                   FibonacciHeap<std::int64_t>>;
+TYPED_TEST_SUITE(HeapTest, HeapTypes);
+
+TYPED_TEST(HeapTest, StartsEmpty) {
+  TypeParam h(10);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_FALSE(h.contains(3));
+}
+
+TYPED_TEST(HeapTest, InsertAndMin) {
+  TypeParam h(10);
+  h.insert(3, 30);
+  h.insert(1, 10);
+  h.insert(2, 20);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_EQ(h.min_item(), 1);
+  EXPECT_EQ(h.key(3), 30);
+  EXPECT_TRUE(h.contains(2));
+}
+
+TYPED_TEST(HeapTest, ExtractMinOrdersKeys) {
+  TypeParam h(10);
+  const std::vector<std::int64_t> keys{50, 20, 90, 10, 70};
+  for (std::int32_t i = 0; i < 5; ++i) h.insert(i, keys[static_cast<std::size_t>(i)]);
+  std::vector<std::int64_t> got;
+  while (!h.empty()) got.push_back(keys[static_cast<std::size_t>(h.extract_min())]);
+  EXPECT_EQ(got, (std::vector<std::int64_t>{10, 20, 50, 70, 90}));
+}
+
+TYPED_TEST(HeapTest, ExtractRemovesItem) {
+  TypeParam h(4);
+  h.insert(0, 5);
+  h.insert(1, 6);
+  EXPECT_EQ(h.extract_min(), 0);
+  EXPECT_FALSE(h.contains(0));
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TYPED_TEST(HeapTest, DecreaseKeyPromotes) {
+  TypeParam h(4);
+  h.insert(0, 10);
+  h.insert(1, 20);
+  h.insert(2, 30);
+  h.decrease_key(2, 5);
+  EXPECT_EQ(h.min_item(), 2);
+  EXPECT_EQ(h.key(2), 5);
+}
+
+TYPED_TEST(HeapTest, DecreaseKeyToEqualIsAllowed) {
+  TypeParam h(2);
+  h.insert(0, 10);
+  h.decrease_key(0, 10);
+  EXPECT_EQ(h.key(0), 10);
+}
+
+TYPED_TEST(HeapTest, UpdateKeyBothDirections) {
+  TypeParam h(4);
+  h.insert(0, 10);
+  h.insert(1, 20);
+  h.update_key(0, 30);  // increase
+  EXPECT_EQ(h.min_item(), 1);
+  h.update_key(0, 1);  // decrease
+  EXPECT_EQ(h.min_item(), 0);
+}
+
+TYPED_TEST(HeapTest, EraseMiddle) {
+  TypeParam h(5);
+  for (std::int32_t i = 0; i < 5; ++i) h.insert(i, 10 * (i + 1));
+  h.erase(2);
+  EXPECT_FALSE(h.contains(2));
+  EXPECT_EQ(h.size(), 4u);
+  std::vector<std::int32_t> got;
+  while (!h.empty()) got.push_back(h.extract_min());
+  EXPECT_EQ(got, (std::vector<std::int32_t>{0, 1, 3, 4}));
+}
+
+TYPED_TEST(HeapTest, EraseMin) {
+  TypeParam h(3);
+  h.insert(0, 1);
+  h.insert(1, 2);
+  h.erase(0);
+  EXPECT_EQ(h.min_item(), 1);
+}
+
+TYPED_TEST(HeapTest, EraseLastLeavesEmpty) {
+  TypeParam h(2);
+  h.insert(1, 7);
+  h.erase(1);
+  EXPECT_TRUE(h.empty());
+}
+
+TYPED_TEST(HeapTest, ReinsertAfterExtract) {
+  TypeParam h(2);
+  h.insert(0, 5);
+  (void)h.extract_min();
+  h.insert(0, 3);
+  EXPECT_EQ(h.min_item(), 0);
+  EXPECT_EQ(h.key(0), 3);
+}
+
+TYPED_TEST(HeapTest, DuplicateKeysAllowed) {
+  TypeParam h(4);
+  for (std::int32_t i = 0; i < 4; ++i) h.insert(i, 42);
+  std::set<std::int32_t> items;
+  while (!h.empty()) items.insert(h.extract_min());
+  EXPECT_EQ(items.size(), 4u);
+}
+
+TYPED_TEST(HeapTest, RandomizedDifferentialAgainstReferenceModel) {
+  constexpr std::int32_t kCapacity = 200;
+  TypeParam h(kCapacity);
+  // Reference: item -> key plus an ordered (key, item) set.
+  std::map<std::int32_t, std::int64_t> ref;
+  std::set<std::pair<std::int64_t, std::int32_t>> ordered;
+  Prng rng(12345);
+
+  for (int step = 0; step < 20000; ++step) {
+    const int op = static_cast<int>(rng.uniform_int(0, 9));
+    if (op < 4) {  // insert
+      const std::int32_t item = static_cast<std::int32_t>(rng.uniform_int(0, kCapacity - 1));
+      if (ref.count(item)) continue;
+      const std::int64_t key = rng.uniform_int(-1000, 1000);
+      h.insert(item, key);
+      ref[item] = key;
+      ordered.insert({key, item});
+    } else if (op < 6) {  // decrease_key
+      if (ref.empty()) continue;
+      auto it = ref.begin();
+      std::advance(it, static_cast<long>(rng.uniform_int(0, static_cast<std::int64_t>(ref.size()) - 1)));
+      const std::int64_t nk = it->second - rng.uniform_int(0, 100);
+      h.decrease_key(it->first, nk);
+      ordered.erase({it->second, it->first});
+      ordered.insert({nk, it->first});
+      it->second = nk;
+    } else if (op < 7) {  // update_key (either direction)
+      if (ref.empty()) continue;
+      auto it = ref.begin();
+      std::advance(it, static_cast<long>(rng.uniform_int(0, static_cast<std::int64_t>(ref.size()) - 1)));
+      const std::int64_t nk = rng.uniform_int(-1000, 1000);
+      h.update_key(it->first, nk);
+      ordered.erase({it->second, it->first});
+      ordered.insert({nk, it->first});
+      it->second = nk;
+    } else if (op < 8) {  // erase
+      if (ref.empty()) continue;
+      auto it = ref.begin();
+      std::advance(it, static_cast<long>(rng.uniform_int(0, static_cast<std::int64_t>(ref.size()) - 1)));
+      h.erase(it->first);
+      ordered.erase({it->second, it->first});
+      ref.erase(it);
+    } else {  // extract_min
+      if (ref.empty()) {
+        EXPECT_TRUE(h.empty());
+        continue;
+      }
+      const std::int64_t min_key = ordered.begin()->first;
+      const std::int32_t got = h.extract_min();
+      // Any item with the minimal key is acceptable.
+      EXPECT_EQ(ref.at(got), min_key) << "step " << step;
+      ordered.erase({ref.at(got), got});
+      ref.erase(got);
+    }
+    ASSERT_EQ(h.size(), ref.size());
+    if (!ref.empty()) {
+      EXPECT_EQ(h.key(h.min_item()), ordered.begin()->first);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcr

@@ -1,0 +1,111 @@
+// Howard-specific behaviour: the paper's headline observations are
+// about its iteration counts (§4.3) and its epsilon semantics (Fig. 1).
+#include <gtest/gtest.h>
+
+#include "algo/algorithms.h"
+#include "core/driver.h"
+#include "core/verify.h"
+#include "gen/sprand.h"
+#include "gen/structured.h"
+#include "graph/builder.h"
+
+namespace mcr {
+namespace {
+
+TEST(Howard, IterationCountIsDrasticallySmall) {
+  // §4.3: "The number of iterations of the Howard's algorithm is
+  // drastically small compared to the other algorithms" (conjectured
+  // O(lg n) on average).
+  gen::SprandConfig cfg;
+  cfg.n = 500;
+  cfg.m = 1500;
+  cfg.seed = 1;
+  const Graph g = gen::sprand(cfg);
+  const auto howard = minimum_cycle_mean(g, "howard");
+  ASSERT_TRUE(howard.has_cycle);
+  EXPECT_LT(howard.counters.iterations, 60u);  // n/2 would be 250
+
+  const auto yto = minimum_cycle_mean(g, "yto");
+  EXPECT_LT(howard.counters.iterations, yto.counters.iterations / 2);
+}
+
+TEST(Howard, PolicyCycleEvaluationsCounted) {
+  gen::SprandConfig cfg;
+  cfg.n = 100;
+  cfg.m = 300;
+  cfg.seed = 2;
+  const auto r = minimum_cycle_mean(gen::sprand(cfg), "howard");
+  EXPECT_GT(r.counters.cycle_evaluations, 0u);
+  EXPECT_GT(r.counters.node_visits, 0u);
+}
+
+TEST(Howard, LargeEpsilonGivesApproximateResult) {
+  // With a coarse epsilon Howard may stop early; the result must still
+  // be a real cycle within epsilon of optimal.
+  gen::SprandConfig cfg;
+  cfg.n = 200;
+  cfg.m = 600;
+  cfg.seed = 3;
+  const Graph g = gen::sprand(cfg);
+  SolverConfig sc;
+  sc.epsilon = 50.0;  // huge: weights are in [1, 10000]
+  const auto solver = make_howard_solver(sc);
+  const auto r = minimum_cycle_mean(g, *solver);
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_TRUE(is_valid_cycle(g, r.cycle));
+  EXPECT_EQ(cycle_mean(g, r.cycle), r.value);
+  const auto approx = verify_result_approx(g, r, ProblemKind::kCycleMean, 50.0);
+  EXPECT_TRUE(approx.ok) << approx.message;
+  // And it is an upper bound on the true optimum.
+  const auto exact = minimum_cycle_mean(g, "karp");
+  EXPECT_GE(r.value, exact.value);
+}
+
+TEST(Howard, DefaultEpsilonIsExactOnAdversarialTies) {
+  // Many cycles with close means; exact comparisons must pick 13/7.
+  GraphBuilder b(20);
+  // Cycle A: 7 arcs totalling 13 -> 13/7 ~ 1.857
+  for (NodeId v = 0; v < 7; ++v) {
+    b.add_arc(v, (v + 1) % 7, v == 0 ? 7 : 1);
+  }
+  // Cycle B: 8 arcs totalling 15 -> 15/8 = 1.875
+  for (NodeId v = 7; v < 15; ++v) {
+    b.add_arc(v, v == 14 ? 7 : v + 1, v == 7 ? 8 : 1);
+  }
+  b.add_arc(0, 7, 100);
+  b.add_arc(7, 0, 100);
+  const auto r = minimum_cycle_mean(b.build(), "howard");
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(13, 7));
+}
+
+TEST(Howard, WorksOnSingleCycleGraphs) {
+  // Policy iteration degenerate case: out-degree 1 everywhere.
+  const auto r = minimum_cycle_mean(gen::ring({3, 1, 4, 1, 5}), "howard");
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(14, 5));
+  EXPECT_EQ(r.counters.iterations, 1u);  // policy is the whole graph
+}
+
+TEST(Howard, RatioVariantMatchesOracle) {
+  gen::SprandConfig cfg;
+  cfg.n = 14;
+  cfg.m = 30;
+  cfg.min_transit = 1;
+  cfg.max_transit = 5;
+  cfg.seed = 4;
+  const Graph g = gen::sprand(cfg);
+  const auto r = minimum_cycle_ratio(g, "howard_ratio");
+  const auto oracle = minimum_cycle_ratio(g, "brute_force_ratio");
+  EXPECT_EQ(r.value, oracle.value);
+}
+
+TEST(Howard, ManyComponentsViaDriver) {
+  const Graph g = gen::scc_chain(10, 6, 1, 100, 6);
+  const auto r = minimum_cycle_mean(g, "howard");
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_TRUE(verify_result(g, r, ProblemKind::kCycleMean).ok);
+}
+
+}  // namespace
+}  // namespace mcr

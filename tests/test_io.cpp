@@ -1,0 +1,106 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.h"
+
+namespace mcr {
+namespace {
+
+Graph sample() {
+  GraphBuilder b(3);
+  b.add_arc(0, 1, 10, 1);
+  b.add_arc(1, 2, -5, 3);
+  b.add_arc(2, 0, 7, 1);
+  return b.build();
+}
+
+TEST(DimacsIo, WriteFormat) {
+  std::ostringstream os;
+  write_dimacs(os, sample(), "hello");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("c hello"), std::string::npos);
+  EXPECT_NE(s.find("p mcr 3 3"), std::string::npos);
+  EXPECT_NE(s.find("a 1 2 10"), std::string::npos);
+  // Transit written only when != 1.
+  EXPECT_NE(s.find("a 2 3 -5 3"), std::string::npos);
+}
+
+TEST(DimacsIo, RoundTrip) {
+  std::stringstream ss;
+  write_dimacs(ss, sample());
+  const Graph g = read_dimacs(ss);
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_arcs(), 3);
+  EXPECT_EQ(g.weight(1), -5);
+  EXPECT_EQ(g.transit(1), 3);
+  EXPECT_EQ(g.transit(0), 1);
+  EXPECT_EQ(g.src(2), 2);
+  EXPECT_EQ(g.dst(2), 0);
+}
+
+TEST(DimacsIo, ReadSkipsCommentsAndBlankLines) {
+  std::istringstream is("c top comment\n\np mcr 2 1\nc mid\na 1 2 5\n");
+  const Graph g = read_dimacs(is);
+  EXPECT_EQ(g.num_nodes(), 2);
+  EXPECT_EQ(g.num_arcs(), 1);
+  EXPECT_EQ(g.weight(0), 5);
+}
+
+TEST(DimacsIo, DefaultTransitIsOne) {
+  std::istringstream is("p mcr 2 1\na 1 2 5\n");
+  const Graph g = read_dimacs(is);
+  EXPECT_EQ(g.transit(0), 1);
+}
+
+TEST(DimacsIo, MissingProblemLineThrows) {
+  std::istringstream is("a 1 2 5\n");
+  EXPECT_THROW(read_dimacs(is), std::runtime_error);
+}
+
+TEST(DimacsIo, NoProblemLineAtAllThrows) {
+  std::istringstream is("c nothing here\n");
+  EXPECT_THROW(read_dimacs(is), std::runtime_error);
+}
+
+TEST(DimacsIo, ArcCountMismatchThrows) {
+  std::istringstream is("p mcr 2 2\na 1 2 5\n");
+  EXPECT_THROW(read_dimacs(is), std::runtime_error);
+}
+
+TEST(DimacsIo, EndpointOutOfRangeThrows) {
+  std::istringstream is("p mcr 2 1\na 1 3 5\n");
+  EXPECT_THROW(read_dimacs(is), std::runtime_error);
+}
+
+TEST(DimacsIo, UnknownLineKindThrows) {
+  std::istringstream is("p mcr 2 1\nz nonsense\n");
+  EXPECT_THROW(read_dimacs(is), std::runtime_error);
+}
+
+TEST(DimacsIo, MalformedProblemLineThrows) {
+  std::istringstream is("p spx 2 1\na 1 2 5\n");
+  EXPECT_THROW(read_dimacs(is), std::runtime_error);
+}
+
+TEST(DimacsIo, FileSaveAndLoad) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mcr_io_test.dimacs").string();
+  save_dimacs(path, sample(), "file test");
+  const Graph g = load_dimacs(path);
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_arcs(), 3);
+  std::remove(path.c_str());
+}
+
+TEST(DimacsIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_dimacs("/nonexistent/path/graph.dimacs"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mcr

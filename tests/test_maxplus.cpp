@@ -1,0 +1,130 @@
+#include "apps/maxplus.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/driver.h"
+#include "gen/sprand.h"
+#include "gen/structured.h"
+#include "graph/builder.h"
+
+namespace mcr::apps {
+namespace {
+
+TEST(MaxPlus, RingSpectrum) {
+  const Graph g = gen::ring({2, 4, 6});  // max (and only) cycle mean: 4
+  const MaxPlusSpectrum s = maxplus_spectrum(g);
+  EXPECT_EQ(s.eigenvalue, Rational(4));
+  EXPECT_EQ(s.critical_nodes.size(), 3u);
+  EXPECT_TRUE(is_maxplus_eigenpair(g, s.eigenvalue, s.scaled_eigenvector));
+}
+
+TEST(MaxPlus, SelfLoopDominates) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 1);
+  b.add_arc(1, 0, 1);   // mean 1
+  b.add_arc(1, 1, 10);  // mean 10 — the eigenvalue
+  const Graph g = b.build();
+  const MaxPlusSpectrum s = maxplus_spectrum(g);
+  EXPECT_EQ(s.eigenvalue, Rational(10));
+  EXPECT_EQ(s.critical_nodes, (std::vector<NodeId>{1}));
+  EXPECT_TRUE(is_maxplus_eigenpair(g, s.eigenvalue, s.scaled_eigenvector));
+}
+
+TEST(MaxPlus, FractionalEigenvalueScaledVector) {
+  const Graph g = gen::ring({1, 2});  // eigenvalue 3/2
+  const MaxPlusSpectrum s = maxplus_spectrum(g);
+  EXPECT_EQ(s.eigenvalue, Rational(3, 2));
+  EXPECT_TRUE(is_maxplus_eigenpair(g, s.eigenvalue, s.scaled_eigenvector));
+}
+
+TEST(MaxPlus, EigenvalueEqualsMaximumCycleMean) {
+  gen::SprandConfig cfg;
+  cfg.n = 60;
+  cfg.m = 180;
+  cfg.seed = 17;
+  const Graph g = gen::sprand(cfg);
+  const MaxPlusSpectrum s = maxplus_spectrum(g);
+  EXPECT_EQ(s.eigenvalue, maximum_cycle_mean(g, "karp").value);
+}
+
+TEST(MaxPlus, EigenpairOnRandomStronglyConnectedGraphs) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    gen::SprandConfig cfg;
+    cfg.n = 40;
+    cfg.m = 120;
+    cfg.seed = seed;
+    const Graph g = gen::sprand(cfg);
+    const MaxPlusSpectrum s = maxplus_spectrum(g);
+    EXPECT_TRUE(is_maxplus_eigenpair(g, s.eigenvalue, s.scaled_eigenvector))
+        << "seed " << seed;
+    EXPECT_FALSE(s.critical_nodes.empty());
+  }
+}
+
+TEST(MaxPlus, RejectsNonStronglyConnected) {
+  EXPECT_THROW((void)maxplus_spectrum(gen::path(3)), std::invalid_argument);
+  GraphBuilder b(3);
+  b.add_arc(0, 1, 1);
+  b.add_arc(1, 0, 1);
+  b.add_arc(1, 2, 1);  // node 2 cannot reach back
+  EXPECT_THROW((void)maxplus_spectrum(b.build()), std::invalid_argument);
+}
+
+TEST(MaxPlus, IsEigenpairRejectsWrongVector) {
+  const Graph g = gen::ring({2, 4, 6});
+  const MaxPlusSpectrum s = maxplus_spectrum(g);
+  auto bad = s.scaled_eigenvector;
+  bad[0] += 1;
+  EXPECT_FALSE(is_maxplus_eigenpair(g, s.eigenvalue, bad));
+  EXPECT_FALSE(is_maxplus_eigenpair(g, s.eigenvalue + Rational(1), s.scaled_eigenvector));
+  EXPECT_FALSE(is_maxplus_eigenpair(g, s.eigenvalue, {}));
+}
+
+TEST(CycleTime, SingleSccUniformRate) {
+  const Graph g = gen::ring({3, 5});
+  const CycleTimeVector chi = maxplus_cycle_time(g);
+  EXPECT_TRUE(chi.has_rate[0]);
+  EXPECT_EQ(chi.chi[0], Rational(4));
+  EXPECT_EQ(chi.chi[1], Rational(4));
+}
+
+TEST(CycleTime, DownstreamInheritsFastestUpstreamClock) {
+  // Loop A (rate 7) feeds chain -> loop B (rate 2) also feeds it.
+  GraphBuilder b(5);
+  b.add_arc(0, 0, 7);  // loop A
+  b.add_arc(1, 1, 2);  // loop B
+  b.add_arc(0, 2, 1);
+  b.add_arc(1, 2, 1);
+  b.add_arc(2, 3, 1);
+  const Graph g = b.build();
+  const CycleTimeVector chi = maxplus_cycle_time(g);
+  EXPECT_EQ(chi.chi[0], Rational(7));
+  EXPECT_EQ(chi.chi[1], Rational(2));
+  // Node 2 and 3 are paced by the slower producer (max growth rate).
+  EXPECT_EQ(chi.chi[2], Rational(7));
+  EXPECT_EQ(chi.chi[3], Rational(7));
+  // Node 4 is untouched by any cycle.
+  EXPECT_FALSE(chi.has_rate[4]);
+}
+
+TEST(CycleTime, AcyclicGraphHasNoRates) {
+  const CycleTimeVector chi = maxplus_cycle_time(gen::path(4));
+  for (const bool h : chi.has_rate) EXPECT_FALSE(h);
+}
+
+TEST(CycleTime, UpstreamUnaffectedByDownstreamLoops) {
+  GraphBuilder b(3);
+  b.add_arc(0, 1, 1);  // 0 is acyclic, feeds the loop
+  b.add_arc(1, 2, 5);
+  b.add_arc(2, 1, 3);  // loop rate 4
+  const Graph g = b.build();
+  const CycleTimeVector chi = maxplus_cycle_time(g);
+  EXPECT_FALSE(chi.has_rate[0]);
+  EXPECT_EQ(chi.chi[1], Rational(4));
+  EXPECT_EQ(chi.chi[2], Rational(4));
+}
+
+}  // namespace
+}  // namespace mcr::apps

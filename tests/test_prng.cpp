@@ -1,0 +1,127 @@
+#include "support/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace mcr {
+namespace {
+
+TEST(Prng, SameSeedSameStream) {
+  Prng a(42);
+  Prng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng a(1);
+  Prng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Prng, UniformIntStaysInRange) {
+  Prng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Prng, UniformIntSingletonRange) {
+  Prng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(3, 3), 3);
+}
+
+TEST(Prng, UniformIntCoversRange) {
+  Prng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Prng, UniformIntRoughlyUniform) {
+  Prng rng(11);
+  std::array<int, 10> buckets{};
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    ++buckets[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  }
+  for (const int c : buckets) {
+    EXPECT_GT(c, trials / 10 - trials / 50);
+    EXPECT_LT(c, trials / 10 + trials / 50);
+  }
+}
+
+TEST(Prng, UniformRealInHalfOpenUnitInterval) {
+  Prng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_real();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Prng, BernoulliExtremes) {
+  Prng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Prng, BernoulliRate) {
+  Prng rng(19);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Prng, ShuffleIsPermutation) {
+  Prng rng(23);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v.data(), v.size());
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Prng, ShuffleActuallyMoves) {
+  Prng rng(29);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v.data(), v.size());
+  int fixed = 0;
+  for (int i = 0; i < 100; ++i) fixed += v[static_cast<std::size_t>(i)] == i ? 1 : 0;
+  EXPECT_LT(fixed, 20);
+}
+
+TEST(Prng, ForkSeedProducesIndependentStream) {
+  Prng a(31);
+  Prng b(a.fork_seed());
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Prng, ZeroSeedIsValid) {
+  Prng rng(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng.next());
+  EXPECT_GT(seen.size(), 90u);
+}
+
+}  // namespace
+}  // namespace mcr

@@ -1,0 +1,152 @@
+#include "support/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mcr {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_TRUE(r.is_integer());
+}
+
+TEST(Rational, IntegerConversionIsImplicit) {
+  Rational r = 7;
+  EXPECT_EQ(r.num(), 7);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, ReducesToLowestTerms) {
+  Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, NormalizesSignOntoNumerator) {
+  Rational r(3, -6);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+  Rational q(-3, -6);
+  EXPECT_EQ(q.num(), 1);
+  EXPECT_EQ(q.den(), 2);
+}
+
+TEST(Rational, ZeroNumeratorNormalizesDenominator) {
+  Rational r(0, 17);
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+}
+
+TEST(Rational, EqualityIsValueEquality) {
+  EXPECT_EQ(Rational(1, 2), Rational(2, 4));
+  EXPECT_NE(Rational(1, 2), Rational(1, 3));
+}
+
+TEST(Rational, TotalOrder) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_GT(Rational(5, 2), Rational(2));
+  EXPECT_LE(Rational(3, 6), Rational(1, 2));
+  EXPECT_GE(Rational(0), Rational(-1, 1000000));
+}
+
+TEST(Rational, OrderingAvoidsOverflow) {
+  // Cross multiplication of near-max values must not wrap.
+  const Rational big(INT64_MAX / 2, 3);
+  const Rational small(1, INT64_MAX / 2);
+  EXPECT_LT(small, big);
+  EXPECT_GT(big, small);
+}
+
+TEST(Rational, Addition) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) + Rational(-1, 2), Rational(0));
+  EXPECT_EQ(Rational(2, 4) + Rational(2, 4), Rational(1));
+}
+
+TEST(Rational, Subtraction) {
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(1, 3) - Rational(1, 2), Rational(-1, 6));
+}
+
+TEST(Rational, Multiplication) {
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, 3) * Rational(3, 2), Rational(-1));
+}
+
+TEST(Rational, MultiplicationCrossReducesLargeOperands) {
+  // (a/b) * (b/a) = 1 even when a*b would overflow.
+  const std::int64_t a = 3'037'000'499;  // ~sqrt(2^63)
+  const Rational x(a, 7);
+  const Rational y(7, a);
+  EXPECT_EQ(x * y, Rational(1));
+}
+
+TEST(Rational, Division) {
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(Rational(3) / Rational(-6), Rational(-1, 2));
+  EXPECT_THROW(Rational(1) / Rational(0), std::invalid_argument);
+}
+
+TEST(Rational, Negation) {
+  EXPECT_EQ(-Rational(3, 7), Rational(-3, 7));
+  EXPECT_EQ(-Rational(0), Rational(0));
+}
+
+TEST(Rational, CompoundAssignment) {
+  Rational r(1, 2);
+  r += Rational(1, 2);
+  EXPECT_EQ(r, Rational(1));
+  r -= Rational(1, 4);
+  EXPECT_EQ(r, Rational(3, 4));
+  r *= Rational(4, 3);
+  EXPECT_EQ(r, Rational(1));
+  r /= Rational(2);
+  EXPECT_EQ(r, Rational(1, 2));
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 2).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(-7, 4).to_double(), -1.75);
+}
+
+TEST(Rational, ToStringAndStream) {
+  EXPECT_EQ(Rational(5).to_string(), "5");
+  EXPECT_EQ(Rational(-3, 4).to_string(), "-3/4");
+  std::ostringstream os;
+  os << Rational(7, 2);
+  EXPECT_EQ(os.str(), "7/2");
+}
+
+TEST(Rational, AdditionOverflowThrows) {
+  const Rational huge(INT64_MAX - 1, 1);
+  EXPECT_THROW(huge + huge, std::overflow_error);
+}
+
+TEST(Rational, CompareFraction) {
+  EXPECT_EQ(compare_fraction(1, 2, Rational(1, 2)), std::strong_ordering::equal);
+  EXPECT_EQ(compare_fraction(1, 3, Rational(1, 2)), std::strong_ordering::less);
+  EXPECT_EQ(compare_fraction(-1, 3, Rational(-1, 2)), std::strong_ordering::greater);
+  EXPECT_EQ(compare_fraction(10, 4, Rational(5, 2)), std::strong_ordering::equal);
+}
+
+TEST(Rational, AdditionReducesIn128Bits) {
+  // num*den' + num'*den exceeds 64 bits before reduction but the sum is
+  // small after reduction.
+  const std::int64_t d = 4'000'000'000;
+  const Rational a(1, d);
+  const Rational b(d - 1, d);
+  EXPECT_EQ(a + b, Rational(1));
+}
+
+}  // namespace
+}  // namespace mcr

@@ -1,0 +1,82 @@
+#include "core/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcr {
+namespace {
+
+TEST(Registry, ContainsAllPaperTable2Algorithms) {
+  const auto& r = SolverRegistry::instance();
+  for (const char* name :
+       {"burns", "ko", "yto", "howard", "ho", "karp", "dg", "lawler", "karp2", "oa1"}) {
+    EXPECT_TRUE(r.has(name)) << name;
+    EXPECT_TRUE(r.info(name).in_paper_table2) << name;
+  }
+}
+
+TEST(Registry, ContainsRatioSolvers) {
+  const auto& r = SolverRegistry::instance();
+  for (const char* name : {"howard_ratio", "yto_ratio", "burns_ratio", "lawler_ratio"}) {
+    EXPECT_TRUE(r.has(name)) << name;
+    EXPECT_EQ(r.info(name).kind, ProblemKind::kCycleRatio) << name;
+  }
+}
+
+TEST(Registry, CreateReturnsMatchingSolver) {
+  const auto& r = SolverRegistry::instance();
+  for (const auto& name : r.all_names()) {
+    const auto solver = r.create(name);
+    ASSERT_NE(solver, nullptr) << name;
+    EXPECT_EQ(solver->name(), name);
+    EXPECT_EQ(solver->kind(), r.info(name).kind);
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  const auto& r = SolverRegistry::instance();
+  EXPECT_THROW((void)r.create("nope"), std::out_of_range);
+  EXPECT_THROW((void)r.info("nope"), std::out_of_range);
+  EXPECT_FALSE(r.has("nope"));
+}
+
+TEST(Registry, NamesFilteredByKind) {
+  const auto& r = SolverRegistry::instance();
+  const auto means = r.names(ProblemKind::kCycleMean);
+  const auto ratios = r.names(ProblemKind::kCycleRatio);
+  EXPECT_GE(means.size(), 10u);
+  EXPECT_GE(ratios.size(), 4u);
+  EXPECT_NE(std::find(means.begin(), means.end(), "karp"), means.end());
+  EXPECT_EQ(std::find(ratios.begin(), ratios.end(), "karp"), ratios.end());
+}
+
+TEST(Registry, MetadataMatchesPaperTable1) {
+  const auto& r = SolverRegistry::instance();
+  EXPECT_EQ(r.info("karp").year, 1978);
+  EXPECT_EQ(r.info("howard").source, "Cochet-Terrasson et al.");
+  EXPECT_FALSE(r.info("lawler").exact);
+  EXPECT_FALSE(r.info("oa1").exact);
+  EXPECT_TRUE(r.info("yto").exact);
+  EXPECT_EQ(r.info("yto").bound, "O(nm + n^2 lg n)");
+}
+
+TEST(Registry, DuplicateRegistrationThrows) {
+  SolverRegistry local;
+  register_all_solvers(local);
+  SolverInfo dup;
+  dup.name = "karp";
+  EXPECT_THROW(local.add(dup, nullptr), std::invalid_argument);
+}
+
+TEST(Registry, HeapVariantsRegistered) {
+  const auto& r = SolverRegistry::instance();
+  for (const char* name : {"ko_bin", "ko_pair", "yto_bin", "yto_pair"}) {
+    EXPECT_TRUE(r.has(name)) << name;
+    EXPECT_FALSE(r.info(name).in_paper_table2) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mcr

@@ -1,0 +1,186 @@
+#include "graph/scc.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/structured.h"
+#include "graph/builder.h"
+#include "graph/traversal.h"
+#include "support/prng.h"
+
+namespace mcr {
+namespace {
+
+TEST(Scc, SingleNodeNoArc) {
+  const Graph g(1, {});
+  const SccDecomposition scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 1);
+  EXPECT_FALSE(scc.component_is_cyclic[0]);
+}
+
+TEST(Scc, SingleNodeSelfLoop) {
+  GraphBuilder b(1);
+  b.add_arc(0, 0, 1);
+  const SccDecomposition scc = strongly_connected_components(b.build());
+  EXPECT_EQ(scc.num_components, 1);
+  EXPECT_TRUE(scc.component_is_cyclic[0]);
+}
+
+TEST(Scc, RingIsOneComponent) {
+  const Graph g = gen::ring({1, 2, 3, 4});
+  const SccDecomposition scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 1);
+  EXPECT_TRUE(scc.component_is_cyclic[0]);
+}
+
+TEST(Scc, PathIsAllSingletons) {
+  const Graph g = gen::path(5);
+  const SccDecomposition scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 5);
+  for (NodeId c = 0; c < 5; ++c) EXPECT_FALSE(scc.component_is_cyclic[static_cast<std::size_t>(c)]);
+}
+
+TEST(Scc, TwoCyclesJoinedByBridge) {
+  // 0<->1   2<->3, bridge 1->2.
+  GraphBuilder b(4);
+  b.add_arc(0, 1, 1);
+  b.add_arc(1, 0, 1);
+  b.add_arc(2, 3, 1);
+  b.add_arc(3, 2, 1);
+  b.add_arc(1, 2, 1);
+  const SccDecomposition scc = strongly_connected_components(b.build());
+  EXPECT_EQ(scc.num_components, 2);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[2], scc.component[3]);
+  EXPECT_NE(scc.component[0], scc.component[2]);
+  EXPECT_TRUE(scc.component_is_cyclic[static_cast<std::size_t>(scc.component[0])]);
+  EXPECT_TRUE(scc.component_is_cyclic[static_cast<std::size_t>(scc.component[2])]);
+}
+
+TEST(Scc, ComponentsInReverseTopologicalOrder) {
+  // Tarjan numbers sink components first: with arc A -> B, component(B)
+  // is numbered before component(A).
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 1);
+  const SccDecomposition scc = strongly_connected_components(b.build());
+  EXPECT_LT(scc.component[1], scc.component[0]);
+}
+
+TEST(Scc, SccChainStructure) {
+  const Graph g = gen::scc_chain(4, 3, 1, 5, 99);
+  const SccDecomposition scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 4);
+  for (NodeId c = 0; c < 4; ++c) {
+    EXPECT_TRUE(scc.component_is_cyclic[static_cast<std::size_t>(c)]);
+  }
+}
+
+TEST(Scc, IsStronglyConnected) {
+  EXPECT_TRUE(is_strongly_connected(gen::ring({1, 2, 3})));
+  EXPECT_FALSE(is_strongly_connected(gen::path(3)));
+  EXPECT_FALSE(is_strongly_connected(Graph(0, {})));
+}
+
+TEST(Scc, InducedSubgraphMapsBack) {
+  GraphBuilder b(4);
+  b.add_arc(0, 1, 10);
+  b.add_arc(1, 0, 20);
+  b.add_arc(1, 2, 30);  // bridge out of the component
+  b.add_arc(2, 3, 40);
+  b.add_arc(3, 2, 50);
+  const Graph g = b.build();
+  const SccDecomposition scc = strongly_connected_components(g);
+  const NodeId c01 = scc.component[0];
+  const InducedSubgraph sub = induced_subgraph(g, scc, c01);
+  EXPECT_EQ(sub.graph.num_nodes(), 2);
+  EXPECT_EQ(sub.graph.num_arcs(), 2);
+  // Arc weights map back to parents.
+  std::set<std::int64_t> weights;
+  for (ArcId a = 0; a < sub.graph.num_arcs(); ++a) {
+    weights.insert(sub.graph.weight(a));
+    const ArcId pa = sub.to_parent_arc[static_cast<std::size_t>(a)];
+    EXPECT_EQ(g.weight(pa), sub.graph.weight(a));
+  }
+  EXPECT_EQ(weights, (std::set<std::int64_t>{10, 20}));
+  for (NodeId v = 0; v < sub.graph.num_nodes(); ++v) {
+    EXPECT_EQ(scc.component[static_cast<std::size_t>(
+                  sub.to_parent_node[static_cast<std::size_t>(v)])],
+              c01);
+  }
+}
+
+TEST(Scc, DeepChainDoesNotOverflowStack) {
+  // 200k-node cycle: recursion would die; the iterative version must not.
+  const NodeId n = 200000;
+  std::vector<ArcSpec> arcs;
+  arcs.reserve(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    arcs.push_back(ArcSpec{v, (v + 1) % n, 1, 1});
+  }
+  const Graph g(n, arcs);
+  const SccDecomposition scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 1);
+}
+
+TEST(Scc, RandomGraphAgreesWithReachabilityDefinition) {
+  // Brute-force definition: u ~ v iff reachable both ways.
+  Prng rng(5);
+  GraphBuilder b(30);
+  for (int i = 0; i < 60; ++i) {
+    b.add_arc(static_cast<NodeId>(rng.uniform_int(0, 29)),
+              static_cast<NodeId>(rng.uniform_int(0, 29)), 1);
+  }
+  const Graph g = b.build();
+  const SccDecomposition scc = strongly_connected_components(g);
+  std::vector<std::vector<bool>> reach;
+  for (NodeId v = 0; v < 30; ++v) reach.push_back(reachable_from(g, v));
+  for (NodeId u = 0; u < 30; ++u) {
+    for (NodeId v = 0; v < 30; ++v) {
+      const bool same = scc.component[static_cast<std::size_t>(u)] ==
+                        scc.component[static_cast<std::size_t>(v)];
+      const bool mutual = reach[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] &&
+                          reach[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)];
+      EXPECT_EQ(same, mutual) << "nodes " << u << ", " << v;
+    }
+  }
+}
+
+TEST(Condensation, IsAcyclicAndReverseTopological) {
+  const Graph g = gen::scc_chain(4, 3, 1, 9, 7);
+  const SccDecomposition scc = strongly_connected_components(g);
+  const Condensation c = condensation(g, scc);
+  EXPECT_EQ(c.graph.num_nodes(), 4);
+  EXPECT_EQ(c.graph.num_arcs(), 3);  // the three bridges
+  EXPECT_FALSE(has_cycle(c.graph));
+  for (ArcId a = 0; a < c.graph.num_arcs(); ++a) {
+    EXPECT_GT(c.graph.src(a), c.graph.dst(a));  // reverse topo numbering
+  }
+}
+
+TEST(Condensation, PreservesArcAttributesAndMapsBack) {
+  GraphBuilder b(4);
+  b.add_arc(0, 1, 1);
+  b.add_arc(1, 0, 1);
+  const ArcId bridge = b.add_arc(1, 2, 42, 7);
+  b.add_arc(2, 3, 1);
+  b.add_arc(3, 2, 1);
+  const Graph g = b.build();
+  const SccDecomposition scc = strongly_connected_components(g);
+  const Condensation c = condensation(g, scc);
+  ASSERT_EQ(c.graph.num_arcs(), 1);
+  EXPECT_EQ(c.graph.weight(0), 42);
+  EXPECT_EQ(c.graph.transit(0), 7);
+  EXPECT_EQ(c.to_parent_arc[0], bridge);
+}
+
+TEST(Condensation, StronglyConnectedGraphCondensesToOneNode) {
+  const Graph g = gen::ring({1, 2, 3});
+  const SccDecomposition scc = strongly_connected_components(g);
+  const Condensation c = condensation(g, scc);
+  EXPECT_EQ(c.graph.num_nodes(), 1);
+  EXPECT_EQ(c.graph.num_arcs(), 0);
+}
+
+}  // namespace
+}  // namespace mcr

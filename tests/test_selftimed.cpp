@@ -1,0 +1,150 @@
+// The self-timed simulator is the operational ground truth: its
+// measured steady-state rates must converge to the analytic cycle-time
+// vector computed by the MCR machinery.
+#include "apps/selftimed.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "gen/sprand.h"
+#include "graph/builder.h"
+#include "support/prng.h"
+
+namespace mcr::apps {
+namespace {
+
+TEST(SelfTimed, SingleLoopRateEqualsCycleRatio) {
+  // Two nodes, one token in the loop: the loop fires every w1+w2.
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 3, 1);
+  b.add_arc(1, 0, 4, 1);  // ratio (3+4)/2 per token... tokens 2 -> 7/2
+  const Graph g = b.build();
+  const auto sim = simulate_self_timed(g, 200);
+  const auto rates = analytic_rates(g);
+  EXPECT_EQ(rates[0], Rational(7, 2));
+  EXPECT_NEAR(sim.measured_rate(0), 3.5, 0.05);
+  EXPECT_NEAR(sim.measured_rate(1), 3.5, 0.05);
+}
+
+TEST(SelfTimed, PipelineRunsAtBottleneckRate) {
+  // Fast loop feeding a slow loop; downstream nodes run at the slower
+  // (larger cycle time) pace.
+  GraphBuilder b(4);
+  b.add_arc(0, 1, 2, 1);
+  b.add_arc(1, 0, 1, 1);  // loop A: 3/2
+  b.add_arc(1, 2, 1, 0);  // feed forward
+  b.add_arc(2, 3, 5, 1);
+  b.add_arc(3, 2, 5, 1);  // loop B: 10/2 = 5
+  const Graph g = b.build();
+  const auto rates = analytic_rates(g);
+  EXPECT_EQ(rates[0], Rational(3, 2));
+  EXPECT_EQ(rates[2], Rational(5));
+  const auto sim = simulate_self_timed(g, 400);
+  EXPECT_NEAR(sim.measured_rate(0), 1.5, 0.05);
+  EXPECT_NEAR(sim.measured_rate(2), 5.0, 0.1);
+  EXPECT_NEAR(sim.measured_rate(3), 5.0, 0.1);
+}
+
+TEST(SelfTimed, FiringTimesAreMonotone) {
+  GraphBuilder b(3);
+  b.add_arc(0, 1, 2, 1);
+  b.add_arc(1, 2, 3, 0);
+  b.add_arc(2, 0, 1, 1);
+  const Graph g = b.build();
+  const auto sim = simulate_self_timed(g, 50);
+  for (NodeId v = 0; v < 3; ++v) {
+    for (std::int64_t k = 1; k < sim.iterations; ++k) {
+      EXPECT_GE(sim.at(k, v), sim.at(k - 1, v));
+    }
+  }
+}
+
+TEST(SelfTimed, SourceNodesFireImmediately) {
+  // A node with no in-arcs fires at t=0 every iteration.
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 7, 1);
+  b.add_arc(1, 1, 2, 1);  // self loop keeps 1 cyclic
+  const Graph g = b.build();
+  const auto sim = simulate_self_timed(g, 20);
+  for (std::int64_t k = 0; k < 20; ++k) EXPECT_EQ(sim.at(k, 0), 0);
+  const auto rates = analytic_rates(g);
+  EXPECT_EQ(rates[0], Rational(0));
+  EXPECT_EQ(rates[1], Rational(2));
+}
+
+TEST(SelfTimed, RandomEventGraphsMatchAnalysis) {
+  Prng rng(31);
+  for (int trial = 0; trial < 6; ++trial) {
+    gen::SprandConfig cfg;
+    cfg.n = static_cast<NodeId>(rng.uniform_int(5, 25));
+    cfg.m = 2 * cfg.n;
+    cfg.min_weight = 1;
+    cfg.max_weight = 20;
+    cfg.min_transit = 1;
+    cfg.max_transit = 3;
+    cfg.seed = rng.fork_seed();
+    const Graph g = gen::sprand(cfg);
+    const auto rates = analytic_rates(g);
+    const std::int64_t iters = 3000;
+    const auto sim = simulate_self_timed(g, iters);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_NEAR(sim.measured_rate(v), rates[static_cast<std::size_t>(v)].to_double(),
+                  0.02)
+          << "trial " << trial << " node " << v;
+    }
+  }
+}
+
+TEST(SelfTimed, ExactPeriodicityAfterTransient) {
+  // With rational rate p/q, firing-time differences become exactly
+  // periodic: x_{k+q} - x_k = p for large k.
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 3, 1);
+  b.add_arc(1, 0, 2, 2);  // ratio 5/3
+  const Graph g = b.build();
+  const auto rates = analytic_rates(g);
+  ASSERT_EQ(rates[0], Rational(5, 3));
+  const auto sim = simulate_self_timed(g, 300);
+  const std::int64_t q = rates[0].den();
+  const std::int64_t p = rates[0].num();
+  for (std::int64_t k = 200; k + q < 300; ++k) {
+    EXPECT_EQ(sim.at(k + q, 0) - sim.at(k, 0), p) << "k=" << k;
+  }
+}
+
+TEST(SelfTimed, DeadlockDetected) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 1, 0);
+  b.add_arc(1, 0, 1, 0);  // token-free cycle
+  EXPECT_THROW((void)simulate_self_timed(b.build(), 10), std::invalid_argument);
+}
+
+TEST(SelfTimed, InputValidation) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1, -1, 1);
+  b.add_arc(1, 0, 1, 1);
+  EXPECT_THROW((void)simulate_self_timed(b.build(), 10), std::invalid_argument);
+  GraphBuilder b2(1);
+  b2.add_arc(0, 0, 1, -1);
+  EXPECT_THROW((void)simulate_self_timed(b2.build(), 10), std::invalid_argument);
+  EXPECT_THROW((void)simulate_self_timed(Graph(1, {}), 0), std::invalid_argument);
+}
+
+TEST(SelfTimed, ZeroTokenArcsResolveWithinIteration) {
+  // Chain of zero-token arcs inside one iteration: delays accumulate.
+  GraphBuilder b(4);
+  b.add_arc(0, 1, 2, 0);
+  b.add_arc(1, 2, 3, 0);
+  b.add_arc(2, 3, 4, 0);
+  b.add_arc(3, 0, 1, 1);  // one token closes the loop
+  const Graph g = b.build();
+  const auto sim = simulate_self_timed(g, 10);
+  EXPECT_EQ(sim.at(0, 0), 1);   // waits the token arc's delay
+  EXPECT_EQ(sim.at(0, 3), 10);  // 1 + 2+3+4
+  const auto rates = analytic_rates(g);
+  EXPECT_EQ(rates[0], Rational(10));  // 10 delay / 1 token
+}
+
+}  // namespace
+}  // namespace mcr::apps

@@ -1,0 +1,117 @@
+// Property-style invariants that must hold for every solver on every
+// instance: witnesses are real cycles achieving the reported value,
+// results are deterministic, counters are populated, and the reported
+// optimum lower-bounds every simple cycle (checked against full
+// enumeration on small graphs).
+#include <gtest/gtest.h>
+
+#include "core/driver.h"
+#include "core/registry.h"
+#include "gen/sprand.h"
+#include "gen/structured.h"
+#include "graph/builder.h"
+#include "graph/cycle_enum.h"
+#include "support/prng.h"
+
+namespace mcr {
+namespace {
+
+class SolverProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SolverProperty, WitnessAchievesReportedValue) {
+  Prng rng(404);
+  for (int trial = 0; trial < 8; ++trial) {
+    gen::SprandConfig cfg;
+    cfg.n = 40;
+    cfg.m = 40 + static_cast<ArcId>(trial) * 15;
+    cfg.seed = rng.fork_seed();
+    const Graph g = gen::sprand(cfg);
+    const auto r = minimum_cycle_mean(g, GetParam());
+    ASSERT_TRUE(r.has_cycle);
+    ASSERT_TRUE(is_valid_cycle(g, r.cycle));
+    EXPECT_EQ(cycle_mean(g, r.cycle), r.value);
+  }
+}
+
+TEST_P(SolverProperty, LowerBoundsEveryEnumeratedCycle) {
+  gen::SprandConfig cfg;
+  cfg.n = 12;
+  cfg.m = 26;
+  cfg.seed = 777;
+  const Graph g = gen::sprand(cfg);
+  const auto r = minimum_cycle_mean(g, GetParam());
+  ASSERT_TRUE(r.has_cycle);
+  enumerate_simple_cycles(g, [&](std::span<const ArcId> cycle) {
+    std::int64_t w = 0;
+    for (const ArcId a : cycle) w += g.weight(a);
+    const Rational mean(w, static_cast<std::int64_t>(cycle.size()));
+    EXPECT_LE(r.value, mean);
+    return true;
+  });
+}
+
+TEST_P(SolverProperty, DeterministicAcrossRuns) {
+  gen::SprandConfig cfg;
+  cfg.n = 50;
+  cfg.m = 120;
+  cfg.seed = 31337;
+  const Graph g = gen::sprand(cfg);
+  const auto r1 = minimum_cycle_mean(g, GetParam());
+  const auto r2 = minimum_cycle_mean(g, GetParam());
+  EXPECT_EQ(r1.value, r2.value);
+  EXPECT_EQ(r1.cycle, r2.cycle);
+  EXPECT_EQ(r1.counters.iterations, r2.counters.iterations);
+}
+
+TEST_P(SolverProperty, InvariantUnderWeightScaling) {
+  gen::SprandConfig cfg;
+  cfg.n = 30;
+  cfg.m = 70;
+  cfg.seed = 555;
+  const Graph g = gen::sprand(cfg);
+  const auto base = minimum_cycle_mean(g, GetParam());
+  // Scaling all weights by 3 scales lambda* by 3.
+  GraphBuilder b(g.num_nodes());
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    b.add_arc(g.src(a), g.dst(a), g.weight(a) * 3, g.transit(a));
+  }
+  const auto scaled = minimum_cycle_mean(b.build(), GetParam());
+  ASSERT_TRUE(base.has_cycle);
+  ASSERT_TRUE(scaled.has_cycle);
+  EXPECT_EQ(scaled.value, base.value * Rational(3));
+}
+
+TEST_P(SolverProperty, InvariantUnderWeightShift) {
+  // Adding a constant c to every weight adds c to every cycle mean.
+  gen::SprandConfig cfg;
+  cfg.n = 30;
+  cfg.m = 80;
+  cfg.seed = 556;
+  const Graph g = gen::sprand(cfg);
+  const auto base = minimum_cycle_mean(g, GetParam());
+  GraphBuilder b(g.num_nodes());
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    b.add_arc(g.src(a), g.dst(a), g.weight(a) - 42, g.transit(a));
+  }
+  const auto shifted = minimum_cycle_mean(b.build(), GetParam());
+  EXPECT_EQ(shifted.value, base.value - Rational(42));
+}
+
+TEST_P(SolverProperty, CountersArePopulated) {
+  gen::SprandConfig cfg;
+  cfg.n = 40;
+  cfg.m = 100;
+  cfg.seed = 808;
+  const Graph g = gen::sprand(cfg);
+  const auto r = minimum_cycle_mean(g, GetParam());
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_GT(r.counters.iterations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMeanSolvers, SolverProperty,
+                         ::testing::Values("burns", "ko", "yto", "howard", "ho", "karp",
+                                           "dg", "lawler", "karp2", "oa1"),
+                         [](const auto& param_info) { return param_info.param; });
+
+}  // namespace
+}  // namespace mcr

@@ -1,0 +1,175 @@
+// Every registered minimum-mean-cycle solver is driven through a set of
+// hand-crafted instances with known answers. Parameterized over solver
+// names so a new registration is automatically covered.
+#include <gtest/gtest.h>
+
+#include "core/driver.h"
+#include "core/registry.h"
+#include "core/verify.h"
+#include "gen/structured.h"
+#include "graph/builder.h"
+
+namespace mcr {
+namespace {
+
+class MeanSolverTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  CycleResult solve(const Graph& g) const {
+    const auto solver = SolverRegistry::instance().create(GetParam());
+    return minimum_cycle_mean(g, *solver);
+  }
+};
+
+TEST_P(MeanSolverTest, SingleSelfLoop) {
+  GraphBuilder b(1);
+  b.add_arc(0, 0, 7);
+  const auto r = solve(b.build());
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(7));
+}
+
+TEST_P(MeanSolverTest, UniformRing) {
+  const auto r = solve(gen::ring({5, 5, 5, 5}));
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(5));
+  EXPECT_EQ(r.cycle.size(), 4u);
+}
+
+TEST_P(MeanSolverTest, RingWithFractionalMean) {
+  const auto r = solve(gen::ring({1, 2, 3}));
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(2));
+  const auto r2 = solve(gen::ring({1, 2}));
+  EXPECT_EQ(r2.value, Rational(3, 2));
+}
+
+TEST_P(MeanSolverTest, TwoNestedCyclesPicksBetter) {
+  // Outer triangle mean 4; inner 2-cycle mean 3.
+  GraphBuilder b(3);
+  b.add_arc(0, 1, 4);
+  b.add_arc(1, 2, 4);
+  b.add_arc(2, 0, 4);
+  b.add_arc(1, 0, 2);  // 0->1->0 mean 3
+  const Graph g = b.build();
+  const auto r = solve(g);
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(3));
+  EXPECT_TRUE(verify_result(g, r, ProblemKind::kCycleMean).ok);
+}
+
+TEST_P(MeanSolverTest, SelfLoopBeatsLongCycle) {
+  GraphBuilder b(3);
+  b.add_arc(0, 1, 10);
+  b.add_arc(1, 2, 10);
+  b.add_arc(2, 0, 10);
+  b.add_arc(2, 2, 4);
+  const auto r = solve(b.build());
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(4));
+  EXPECT_EQ(r.cycle.size(), 1u);
+}
+
+TEST_P(MeanSolverTest, ParallelArcsUseCheapest) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 10);
+  b.add_arc(0, 1, 2);  // cheaper parallel
+  b.add_arc(1, 0, 4);
+  const auto r = solve(b.build());
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(3));
+}
+
+TEST_P(MeanSolverTest, NegativeWeights) {
+  GraphBuilder b(3);
+  b.add_arc(0, 1, -10);
+  b.add_arc(1, 2, 4);
+  b.add_arc(2, 0, -6);  // mean -4
+  b.add_arc(0, 0, -1);  // mean -1
+  const auto r = solve(b.build());
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(-4));
+}
+
+TEST_P(MeanSolverTest, AllCyclesTie) {
+  // Every arc weight 3: every cycle has mean exactly 3.
+  const Graph g = gen::complete(4, 3, 3, 1);
+  const auto r = solve(g);
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(3));
+  EXPECT_TRUE(verify_result(g, r, ProblemKind::kCycleMean).ok);
+}
+
+TEST_P(MeanSolverTest, NearTieResolvedExactly) {
+  // Means 7/3 vs 9/4 vs 2: 2 < 9/4 < 7/3.
+  GraphBuilder b(9);
+  b.add_arc(0, 1, 2);
+  b.add_arc(1, 2, 2);
+  b.add_arc(2, 0, 3);  // 7/3
+  b.add_arc(0, 3, 1000);
+  b.add_arc(3, 4, 2);
+  b.add_arc(4, 5, 2);
+  b.add_arc(5, 6, 2);
+  b.add_arc(6, 3, 3);  // 9/4
+  b.add_arc(3, 7, 1000);
+  b.add_arc(7, 8, 1);
+  b.add_arc(8, 7, 3);  // 2
+  const auto r = solve(b.build());
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(2));
+}
+
+TEST_P(MeanSolverTest, MultiSccTakesGlobalMin) {
+  const Graph g = gen::scc_chain(3, 5, 1, 50, 321);
+  const auto r = solve(g);
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_TRUE(verify_result(g, r, ProblemKind::kCycleMean).ok);
+}
+
+TEST_P(MeanSolverTest, AcyclicReportsNoCycle) {
+  EXPECT_FALSE(solve(gen::path(6)).has_cycle);
+}
+
+TEST_P(MeanSolverTest, LongRingExercisesDeepPropagation) {
+  // Single 60-cycle with one heavy arc: mean = (59 + 100)/60.
+  std::vector<std::int64_t> w(60, 1);
+  w[17] = 100;
+  const auto r = solve(gen::ring(w));
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(159, 60));
+}
+
+TEST_P(MeanSolverTest, DenseGraphAgainstOracle) {
+  const Graph g = gen::complete(6, 1, 20, 99);
+  const auto r = solve(g);
+  const auto oracle = minimum_cycle_mean(g, "brute_force");
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, oracle.value);
+}
+
+TEST_P(MeanSolverTest, TorusAgainstOracle) {
+  const Graph g = gen::torus(3, 3, 1, 30, 5);
+  const auto r = solve(g);
+  const auto oracle = minimum_cycle_mean(g, "brute_force");
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, oracle.value);
+  EXPECT_TRUE(verify_result(g, r, ProblemKind::kCycleMean).ok);
+}
+
+TEST_P(MeanSolverTest, WitnessCycleAlwaysConsistent) {
+  const Graph g = gen::layered_feedback(4, 2, 1, 9, 8);
+  const auto r = solve(g);
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_TRUE(is_valid_cycle(g, r.cycle));
+  EXPECT_EQ(cycle_mean(g, r.cycle), r.value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMeanSolvers, MeanSolverTest,
+    ::testing::Values("burns", "ko", "yto", "howard", "ho", "karp", "dg", "lawler",
+                      "karp2", "oa1", "ko_bin", "ko_pair", "yto_bin", "yto_pair",
+                      "lawler_improved", "howard_naive_init", "cycle_cancel", "megiddo",
+                      "brute_force"),
+    [](const auto& param_info) { return param_info.param; });
+
+}  // namespace
+}  // namespace mcr

@@ -1,0 +1,155 @@
+// Stress and extreme-value tests: many-seed differential agreement,
+// weight magnitudes near the documented limits, degenerate shapes, and
+// deep graphs that would break recursive implementations.
+#include <gtest/gtest.h>
+
+#include "core/driver.h"
+#include "core/registry.h"
+#include "core/verify.h"
+#include "gen/sprand.h"
+#include "gen/structured.h"
+#include "graph/builder.h"
+#include "support/prng.h"
+
+namespace mcr {
+namespace {
+
+TEST(Stress, HundredSeedAgreementHowardYtoDg) {
+  // The three fastest solvers of three different families must agree on
+  // 100 random instances of mixed shapes.
+  Prng rng(2026);
+  for (int trial = 0; trial < 100; ++trial) {
+    gen::SprandConfig cfg;
+    cfg.n = static_cast<NodeId>(rng.uniform_int(8, 120));
+    cfg.m = cfg.n + static_cast<ArcId>(rng.uniform_int(0, 3 * cfg.n));
+    cfg.min_weight = rng.bernoulli(0.3) ? -5000 : 1;
+    cfg.max_weight = 10000;
+    cfg.seed = rng.fork_seed();
+    const Graph g = gen::sprand(cfg);
+    const auto howard = minimum_cycle_mean(g, "howard");
+    const auto yto = minimum_cycle_mean(g, "yto");
+    const auto dg = minimum_cycle_mean(g, "dg");
+    ASSERT_TRUE(howard.has_cycle);
+    EXPECT_EQ(howard.value, yto.value) << "trial " << trial;
+    EXPECT_EQ(howard.value, dg.value) << "trial " << trial;
+  }
+}
+
+TEST(Stress, BillionScaleWeightsStayExact) {
+  Prng rng(7);
+  GraphBuilder b(50);
+  for (NodeId v = 0; v < 50; ++v) {
+    b.add_arc(v, (v + 1) % 50, rng.uniform_int(-1000000000, 1000000000));
+  }
+  for (int i = 0; i < 100; ++i) {
+    b.add_arc(static_cast<NodeId>(rng.uniform_int(0, 49)),
+              static_cast<NodeId>(rng.uniform_int(0, 49)),
+              rng.uniform_int(-1000000000, 1000000000));
+  }
+  const Graph g = b.build();
+  const auto karp = minimum_cycle_mean(g, "karp");
+  for (const char* solver : {"howard", "yto", "burns", "lawler", "dg", "karp2"}) {
+    const auto r = minimum_cycle_mean(g, solver);
+    EXPECT_EQ(r.value, karp.value) << solver;
+  }
+  EXPECT_TRUE(verify_result(g, karp, ProblemKind::kCycleMean).ok);
+}
+
+TEST(Stress, AllZeroWeights) {
+  gen::SprandConfig cfg;
+  cfg.n = 60;
+  cfg.m = 180;
+  cfg.min_weight = 0;
+  cfg.max_weight = 0;
+  cfg.seed = 5;
+  const Graph g = gen::sprand(cfg);
+  for (const char* solver : {"howard", "yto", "ko", "burns", "lawler", "karp", "oa1"}) {
+    const auto r = minimum_cycle_mean(g, solver);
+    ASSERT_TRUE(r.has_cycle) << solver;
+    EXPECT_EQ(r.value, Rational(0)) << solver;
+  }
+}
+
+TEST(Stress, DeepRingLinearSpaceSolvers) {
+  // 50k-node single cycle: quadratic-space solvers are excluded, the
+  // rest must handle the depth without recursion or overflow.
+  const Graph g = gen::random_ring(50000, 1, 100, 9);
+  const auto howard = minimum_cycle_mean(g, "howard");
+  const auto yto = minimum_cycle_mean(g, "yto");
+  const auto cancel = minimum_cycle_mean(g, "cycle_cancel");
+  ASSERT_TRUE(howard.has_cycle);
+  EXPECT_EQ(howard.value, yto.value);
+  EXPECT_EQ(howard.value, cancel.value);
+  EXPECT_EQ(howard.cycle.size(), 50000u);
+}
+
+TEST(Stress, ManyParallelSelfLoops) {
+  GraphBuilder b(1);
+  Prng rng(3);
+  std::int64_t best = INT64_MAX;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t w = rng.uniform_int(-1000, 1000);
+    best = std::min(best, w);
+    b.add_arc(0, 0, w);
+  }
+  const auto r = minimum_cycle_mean(b.build(), "howard");
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(best));
+}
+
+TEST(Stress, HugeTransitTimesRatio) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 1000000, 999983);  // large prime transit
+  b.add_arc(1, 0, 999999, 1000003);
+  const Graph g = b.build();
+  const auto r = minimum_cycle_ratio(g, "howard_ratio");
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, Rational(1999999, 1999986));
+  EXPECT_TRUE(verify_result(g, r, ProblemKind::kCycleRatio).ok);
+}
+
+TEST(Stress, StarOfCyclesManyComponents) {
+  // 200 independent 2-cycles: driver must visit all and take the min.
+  GraphBuilder b(400);
+  Prng rng(17);
+  Rational best(INT64_MAX);
+  for (NodeId c = 0; c < 200; ++c) {
+    const std::int64_t w1 = rng.uniform_int(1, 100000);
+    const std::int64_t w2 = rng.uniform_int(1, 100000);
+    b.add_arc(2 * c, 2 * c + 1, w1);
+    b.add_arc(2 * c + 1, 2 * c, w2);
+    const Rational mean(w1 + w2, 2);
+    if (mean < best) best = mean;
+  }
+  for (const char* solver : {"howard", "yto", "karp", "cycle_cancel"}) {
+    const auto r = minimum_cycle_mean(b.build(), solver);
+    EXPECT_EQ(r.value, best) << solver;
+  }
+}
+
+TEST(Stress, AdversarialLayeredGraphsAllSolversAgree) {
+  for (const NodeId layers : {3, 6, 10}) {
+    const Graph g = gen::layered_feedback(layers, 4, 1, 1000, 77);
+    const auto reference = minimum_cycle_mean(g, "karp");
+    for (const char* solver : {"howard", "yto", "ko", "burns", "ho", "dg", "oa1"}) {
+      EXPECT_EQ(minimum_cycle_mean(g, solver).value, reference.value)
+          << solver << " layers=" << layers;
+    }
+  }
+}
+
+TEST(Stress, RepeatSolvesShareNoState) {
+  // Solvers must be reusable objects: run one instance through three
+  // different graphs and recheck the first.
+  const auto solver = SolverRegistry::instance().create("howard");
+  const Graph g1 = gen::ring({1, 2, 3});
+  const Graph g2 = gen::complete(5, 1, 50, 3);
+  const auto first = minimum_cycle_mean(g1, *solver);
+  (void)minimum_cycle_mean(g2, *solver);
+  const auto again = minimum_cycle_mean(g1, *solver);
+  EXPECT_EQ(first.value, again.value);
+  EXPECT_EQ(first.cycle, again.cycle);
+}
+
+}  // namespace
+}  // namespace mcr

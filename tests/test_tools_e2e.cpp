@@ -1,0 +1,103 @@
+// End-to-end tests of the command-line tools: generate an instance with
+// mcr_gen, solve and verify it with mcr_solve, and smoke the fuzzer.
+// Tool paths are injected by CMake (MCR_TOOL_DIR).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string tool(const std::string& name) {
+  return std::string(MCR_TOOL_DIR) + "/" + name;
+}
+
+struct RunOutput {
+  int exit_code;
+  std::string stdout_text;
+};
+
+RunOutput run(const std::string& cmd) {
+  const std::string out_path =
+      (std::filesystem::temp_directory_path() / "mcr_e2e_out.txt").string();
+  const int rc = std::system((cmd + " > " + out_path + " 2>&1").c_str());
+  std::ifstream in(out_path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::remove(out_path.c_str());
+  return RunOutput{rc, ss.str()};
+}
+
+TEST(ToolsE2E, GenSolveRoundTrip) {
+  const std::string file =
+      (std::filesystem::temp_directory_path() / "mcr_e2e_graph.dimacs").string();
+  const auto gen = run(tool("mcr_gen") + " sprand --n 80 --m 240 --seed 5 --out " + file);
+  ASSERT_EQ(gen.exit_code, 0) << gen.stdout_text;
+
+  const auto solve = run(tool("mcr_solve") + " " + file + " --verify --critical");
+  EXPECT_EQ(solve.exit_code, 0) << solve.stdout_text;
+  EXPECT_NE(solve.stdout_text.find("minimum cycle mean"), std::string::npos);
+  EXPECT_NE(solve.stdout_text.find("verify: OK"), std::string::npos);
+  std::remove(file.c_str());
+}
+
+TEST(ToolsE2E, SolveAllAgree) {
+  const std::string file =
+      (std::filesystem::temp_directory_path() / "mcr_e2e_graph2.dimacs").string();
+  ASSERT_EQ(run(tool("mcr_gen") + " circuit --n 64 --seed 3 --out " + file).exit_code, 0);
+  const auto solve = run(tool("mcr_solve") + " " + file + " --all --verify");
+  EXPECT_EQ(solve.exit_code, 0) << solve.stdout_text;
+  // Every listed solver must print the same value; count distinct "= x ("
+  // fragments indirectly by requiring no verify failure.
+  EXPECT_EQ(solve.stdout_text.find("verify: a cycle"), std::string::npos);
+  std::remove(file.c_str());
+}
+
+TEST(ToolsE2E, SolverListIncludesHoward) {
+  const auto out = run(tool("mcr_solve") + " --list=");
+  EXPECT_EQ(out.exit_code, 0);
+  EXPECT_NE(out.stdout_text.find("howard"), std::string::npos);
+  EXPECT_NE(out.stdout_text.find("karp"), std::string::npos);
+}
+
+TEST(ToolsE2E, BadUsageFails) {
+  EXPECT_NE(run(tool("mcr_solve")).exit_code, 0);
+  EXPECT_NE(run(tool("mcr_gen") + " bogus_family").exit_code, 0);
+  EXPECT_NE(run(tool("mcr_solve") + " /nonexistent.dimacs").exit_code, 0);
+}
+
+TEST(ToolsE2E, FuzzSmoke) {
+  const auto out = run(tool("mcr_fuzz") + " --trials 5 --max-n 24 --seed 3");
+  EXPECT_EQ(out.exit_code, 0) << out.stdout_text;
+  EXPECT_NE(out.stdout_text.find("all 5 trials agree"), std::string::npos);
+}
+
+TEST(ToolsE2E, JsonOutput) {
+  const std::string file =
+      (std::filesystem::temp_directory_path() / "mcr_e2e_json.dimacs").string();
+  ASSERT_EQ(run(tool("mcr_gen") + " ring --n 4 --seed 1 --out " + file).exit_code, 0);
+  const auto out = run(tool("mcr_solve") + " " + file + " --json=");
+  EXPECT_EQ(out.exit_code, 0);
+  EXPECT_NE(out.stdout_text.find("\"algorithm\":\"howard\""), std::string::npos);
+  EXPECT_NE(out.stdout_text.find("\"has_cycle\":true"), std::string::npos);
+  EXPECT_NE(out.stdout_text.find("\"cycle_length\":4"), std::string::npos);
+  std::remove(file.c_str());
+}
+
+TEST(ToolsE2E, RatioMode) {
+  const std::string file =
+      (std::filesystem::temp_directory_path() / "mcr_e2e_ratio.dimacs").string();
+  ASSERT_EQ(run(tool("mcr_gen") + " sprand --n 30 --m 90 --tmin 1 --tmax 5 --out " + file)
+                .exit_code,
+            0);
+  const auto solve = run(tool("mcr_solve") + " " + file + " --ratio --verify");
+  EXPECT_EQ(solve.exit_code, 0) << solve.stdout_text;
+  EXPECT_NE(solve.stdout_text.find("minimum cycle ratio"), std::string::npos);
+  std::remove(file.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+#include "graph/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/result.h"
+#include "gen/structured.h"
+#include "graph/builder.h"
+
+namespace mcr {
+namespace {
+
+Graph diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 (acyclic).
+  GraphBuilder b(4);
+  b.add_arc(0, 1, 1);
+  b.add_arc(0, 2, 1);
+  b.add_arc(1, 3, 1);
+  b.add_arc(2, 3, 1);
+  return b.build();
+}
+
+TEST(Bfs, OrderStartsAtSourceAndCoversReachable) {
+  const auto order = bfs_order(diamond(), 0);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[3], 3);  // farthest node last
+}
+
+TEST(Bfs, UnreachableNodesExcluded) {
+  const auto order = bfs_order(gen::path(4), 2);
+  EXPECT_EQ(order.size(), 2u);  // 2, 3
+}
+
+TEST(Bfs, OutOfRangeSourceThrows) {
+  EXPECT_THROW(bfs_order(diamond(), 9), std::out_of_range);
+  EXPECT_THROW(bfs_order(diamond(), -1), std::out_of_range);
+}
+
+TEST(ReverseBfs, FollowsInArcs) {
+  const auto order = reverse_bfs_order(diamond(), 3);
+  EXPECT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 3);
+  EXPECT_EQ(order[3], 0);
+}
+
+TEST(ReachableFrom, Flags) {
+  const auto r = reachable_from(gen::path(4), 1);
+  EXPECT_FALSE(r[0]);
+  EXPECT_TRUE(r[1]);
+  EXPECT_TRUE(r[2]);
+  EXPECT_TRUE(r[3]);
+}
+
+TEST(Topological, ValidOrderOnDag) {
+  const Graph g = diamond();
+  const auto order = topological_order(g);
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<std::size_t>(order[i])] = i;
+  }
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    EXPECT_LT(pos[static_cast<std::size_t>(g.src(a))],
+              pos[static_cast<std::size_t>(g.dst(a))]);
+  }
+}
+
+TEST(Topological, EmptyOnCyclicGraph) {
+  EXPECT_TRUE(topological_order(gen::ring({1, 2, 3})).empty());
+}
+
+TEST(HasCycle, Detection) {
+  EXPECT_FALSE(has_cycle(diamond()));
+  EXPECT_FALSE(has_cycle(gen::path(3)));
+  EXPECT_TRUE(has_cycle(gen::ring({1, 2})));
+  EXPECT_FALSE(has_cycle(Graph(0, {})));
+}
+
+TEST(HasCycle, SelfLoop) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 1);
+  b.add_arc(1, 1, 1);
+  EXPECT_TRUE(has_cycle(b.build()));
+}
+
+TEST(FindAnyCycle, EmptySubsetHasNone) {
+  const Graph g = gen::ring({1, 2, 3});
+  EXPECT_TRUE(find_any_cycle(g, {}).empty());
+}
+
+TEST(FindAnyCycle, AcyclicSubsetOfCyclicGraph) {
+  const Graph g = gen::ring({1, 2, 3});
+  const std::vector<ArcId> subset{0, 1};  // misses the closing arc
+  EXPECT_TRUE(find_any_cycle(g, subset).empty());
+}
+
+TEST(FindAnyCycle, FindsRing) {
+  const Graph g = gen::ring({1, 2, 3});
+  const std::vector<ArcId> all{0, 1, 2};
+  const auto cycle = find_any_cycle(g, all);
+  ASSERT_EQ(cycle.size(), 3u);
+  EXPECT_TRUE(is_valid_cycle(g, cycle));
+}
+
+TEST(FindAnyCycle, FindsSelfLoop) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 1);
+  const ArcId loop = b.add_arc(1, 1, 1);
+  const Graph g = b.build();
+  const std::vector<ArcId> all{0, loop};
+  const auto cycle = find_any_cycle(g, all);
+  ASSERT_EQ(cycle.size(), 1u);
+  EXPECT_EQ(cycle[0], loop);
+}
+
+TEST(FindAnyCycle, ReturnsValidCycleInDenseGraph) {
+  const Graph g = gen::complete(6, 1, 9, 3);
+  std::vector<ArcId> all(static_cast<std::size_t>(g.num_arcs()));
+  for (ArcId a = 0; a < g.num_arcs(); ++a) all[static_cast<std::size_t>(a)] = a;
+  const auto cycle = find_any_cycle(g, all);
+  ASSERT_FALSE(cycle.empty());
+  EXPECT_TRUE(is_valid_cycle(g, cycle));
+  // Simple cycle: no repeated nodes.
+  std::set<NodeId> nodes;
+  for (const ArcId a : cycle) EXPECT_TRUE(nodes.insert(g.src(a)).second);
+}
+
+TEST(FindAnyCycle, BacktracksAcrossDeadEnds) {
+  // 0 -> 1 -> 2 (dead end), 0 -> 3 -> 0 is the only cycle.
+  GraphBuilder b(4);
+  b.add_arc(0, 1, 1);
+  b.add_arc(1, 2, 1);
+  b.add_arc(0, 3, 1);
+  const ArcId back = b.add_arc(3, 0, 1);
+  const Graph g = b.build();
+  std::vector<ArcId> all{0, 1, 2, back};
+  const auto cycle = find_any_cycle(g, all);
+  ASSERT_EQ(cycle.size(), 2u);
+  EXPECT_TRUE(is_valid_cycle(g, cycle));
+}
+
+}  // namespace
+}  // namespace mcr

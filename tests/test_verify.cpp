@@ -1,0 +1,107 @@
+#include "core/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/structured.h"
+#include "graph/builder.h"
+
+namespace mcr {
+namespace {
+
+CycleResult make_result(Rational value, std::vector<ArcId> cycle) {
+  CycleResult r;
+  r.has_cycle = true;
+  r.value = value;
+  r.cycle = std::move(cycle);
+  return r;
+}
+
+TEST(Verify, AcceptsCorrectResult) {
+  const Graph g = gen::ring({1, 2, 3});
+  const auto out = verify_result(g, make_result(Rational(2), {0, 1, 2}),
+                                 ProblemKind::kCycleMean);
+  EXPECT_TRUE(out.ok) << out.message;
+}
+
+TEST(Verify, RejectsSuboptimalValue) {
+  // Ring mean is 2 but a second better cycle exists.
+  GraphBuilder b(3);
+  b.add_arc(0, 1, 1);
+  b.add_arc(1, 2, 2);
+  b.add_arc(2, 0, 3);
+  b.add_arc(0, 0, 1);  // self-loop mean 1 beats the ring
+  const Graph g = b.build();
+  const auto out = verify_result(g, make_result(Rational(2), {0, 1, 2}),
+                                 ProblemKind::kCycleMean);
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.message.find("better"), std::string::npos);
+}
+
+TEST(Verify, RejectsWitnessValueMismatch) {
+  const Graph g = gen::ring({1, 2, 3});
+  const auto out = verify_result(g, make_result(Rational(1), {0, 1, 2}),
+                                 ProblemKind::kCycleMean);
+  EXPECT_FALSE(out.ok);
+}
+
+TEST(Verify, RejectsInvalidWitness) {
+  const Graph g = gen::ring({1, 2, 3});
+  const auto out =
+      verify_result(g, make_result(Rational(2), {0, 2}), ProblemKind::kCycleMean);
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.message.find("not a valid cycle"), std::string::npos);
+}
+
+TEST(Verify, NoCycleClaimOnAcyclicGraphIsOk) {
+  CycleResult r;  // has_cycle = false
+  const auto out = verify_result(gen::path(4), r, ProblemKind::kCycleMean);
+  EXPECT_TRUE(out.ok);
+}
+
+TEST(Verify, NoCycleClaimOnCyclicGraphFails) {
+  CycleResult r;
+  const auto out = verify_result(gen::ring({1, 2}), r, ProblemKind::kCycleMean);
+  EXPECT_FALSE(out.ok);
+}
+
+TEST(Verify, CycleClaimOnAcyclicGraphFails) {
+  const auto out = verify_result(gen::path(4), make_result(Rational(1), {0}),
+                                 ProblemKind::kCycleMean);
+  EXPECT_FALSE(out.ok);
+}
+
+TEST(Verify, RatioKind) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 6, 2);
+  b.add_arc(1, 0, 6, 4);
+  const Graph g = b.build();
+  EXPECT_TRUE(
+      verify_result(g, make_result(Rational(2), {0, 1}), ProblemKind::kCycleRatio).ok);
+  EXPECT_FALSE(
+      verify_result(g, make_result(Rational(4), {0, 1}), ProblemKind::kCycleRatio).ok);
+}
+
+TEST(VerifyApprox, AcceptsWithinEpsilon) {
+  // Two cycles: self-loop mean 10 and 11; claiming 11 is within eps=2.
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 11);
+  b.add_arc(1, 0, 11);  // mean 11
+  b.add_arc(0, 0, 10);  // mean 10 (true optimum)
+  const Graph g = b.build();
+  const auto ok = verify_result_approx(g, make_result(Rational(11), {0, 1}),
+                                       ProblemKind::kCycleMean, 2.0);
+  EXPECT_TRUE(ok.ok) << ok.message;
+  const auto bad = verify_result_approx(g, make_result(Rational(11), {0, 1}),
+                                        ProblemKind::kCycleMean, 0.5);
+  EXPECT_FALSE(bad.ok);
+}
+
+TEST(VerifyApprox, StillChecksWitnessExactly) {
+  const Graph g = gen::ring({1, 2, 3});
+  const auto out = verify_result_approx(g, make_result(Rational(3), {0, 1, 2}),
+                                        ProblemKind::kCycleMean, 10.0);
+  EXPECT_FALSE(out.ok);  // witness achieves 2, not 3
+}
+
+}  // namespace
+}  // namespace mcr

@@ -1,0 +1,60 @@
+#include "cli.h"
+
+#include <stdexcept>
+
+namespace mcr::cli {
+
+std::string Options::get(const std::string& key, const std::string& fallback) const {
+  const auto it = named.find(key);
+  return it == named.end() ? fallback : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = named.find(key);
+  if (it == named.end()) return fallback;
+  std::size_t pos = 0;
+  std::int64_t v = 0;
+  try {
+    v = std::stoll(it->second, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + key + " expects an integer, got '" +
+                                it->second + "'");
+  }
+  if (pos != it->second.size()) {
+    throw std::invalid_argument("option --" + key + " expects an integer, got '" +
+                                it->second + "'");
+  }
+  return v;
+}
+
+Options parse(const std::vector<std::string>& args) {
+  Options out;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      out.positional.push_back(arg);
+      continue;
+    }
+    if (arg.size() == 2) throw std::invalid_argument("lone '--' is not a valid option");
+    if (arg[2] == '-') throw std::invalid_argument("malformed option: " + arg);
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      out.named[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      out.named[body] = args[i + 1];
+      ++i;
+    } else {
+      out.named[body] = "";
+    }
+  }
+  return out;
+}
+
+Options parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse(args);
+}
+
+}  // namespace mcr::cli

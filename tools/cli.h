@@ -1,0 +1,33 @@
+// Minimal command-line option parsing shared by the mcr tools.
+// Deliberately tiny: "--key value", "--key=value", bare "--flag", and
+// positional arguments. Parsing is a pure function over strings so the
+// test suite can drive it without spawning processes.
+#ifndef MCR_TOOLS_CLI_H
+#define MCR_TOOLS_CLI_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcr::cli {
+
+struct Options {
+  std::map<std::string, std::string> named;  // flag -> value ("" for bare flags)
+  std::vector<std::string> positional;
+
+  [[nodiscard]] bool has(const std::string& key) const { return named.count(key) > 0; }
+  /// Value of --key, or fallback when absent.
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback = "") const;
+  /// Integer value of --key; throws std::invalid_argument on garbage.
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+};
+
+/// Parses argv[1..argc). Throws std::invalid_argument on malformed
+/// input (e.g. "---x" or a lone "--").
+[[nodiscard]] Options parse(const std::vector<std::string>& args);
+[[nodiscard]] Options parse(int argc, const char* const* argv);
+
+}  // namespace mcr::cli
+
+#endif  // MCR_TOOLS_CLI_H

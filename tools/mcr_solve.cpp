@@ -1,0 +1,132 @@
+// mcr_solve — solve an MCM/MCR instance from a DIMACS file.
+//
+//   mcr_solve <file.dimacs> [--algo howard] [--ratio] [--max]
+//             [--verify] [--critical] [--counters] [--all]
+//
+//   --algo NAME   registry solver (default: howard / howard_ratio)
+//   --ratio       optimize w(C)/t(C) instead of w(C)/|C|
+//   --max         maximize instead of minimize
+//   --verify      certify the result exactly and report
+//   --critical    also print critical-subgraph statistics
+//   --counters    print the solver's operation counters
+//   --all         run every registered solver of the problem kind
+//   --json        machine-readable result on stdout
+//   --list        list registered solvers and exit
+#include <iostream>
+
+#include "cli.h"
+#include "core/critical.h"
+#include "core/driver.h"
+#include "core/registry.h"
+#include "core/verify.h"
+#include "graph/io.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace mcr;
+
+int solve_one(const Graph& g, const std::string& algo, bool ratio, bool max,
+              const cli::Options& opt) {
+  const auto solver = SolverRegistry::instance().create(algo);
+  Timer timer;
+  const CycleResult r = max   ? (ratio ? maximum_cycle_ratio(g, *solver)
+                                       : maximum_cycle_mean(g, *solver))
+                        : ratio ? minimum_cycle_ratio(g, *solver)
+                                : minimum_cycle_mean(g, *solver);
+  const double ms = timer.millis();
+
+  if (opt.has("json")) {
+    std::cout << "{\"algorithm\":\"" << algo << "\",\"objective\":\""
+              << (max ? "max" : "min") << "_" << (ratio ? "ratio" : "mean")
+              << "\",\"has_cycle\":" << (r.has_cycle ? "true" : "false");
+    if (r.has_cycle) {
+      std::cout << ",\"value_num\":" << r.value.num() << ",\"value_den\":"
+                << r.value.den() << ",\"value\":" << r.value.to_double()
+                << ",\"cycle_length\":" << r.cycle.size() << ",\"cycle_arcs\":[";
+      for (std::size_t i = 0; i < r.cycle.size(); ++i) {
+        std::cout << (i ? "," : "") << r.cycle[i];
+      }
+      std::cout << "]";
+    }
+    std::cout << ",\"milliseconds\":" << ms << "}\n";
+    return 0;
+  }
+  if (!r.has_cycle) {
+    std::cout << algo << ": graph is acyclic (no cycle mean/ratio)\n";
+    return 0;
+  }
+  std::cout << algo << ": " << (max ? "maximum" : "minimum") << " cycle "
+            << (ratio ? "ratio" : "mean") << " = " << r.value << " ("
+            << r.value.to_double() << "), cycle length " << r.cycle.size() << ", "
+            << fmt_fixed(ms, 2) << " ms\n";
+  if (opt.has("counters")) {
+    std::cout << "  counters: " << r.counters.summary() << "\n";
+  }
+  if (opt.has("verify")) {
+    // The maximum variants are verified on the negated problem by the
+    // library's tests; here we verify the minimum variants directly.
+    if (max) {
+      std::cout << "  verify: use --max with the negated instance to certify\n";
+    } else {
+      const auto cert =
+          verify_result(g, r, ratio ? ProblemKind::kCycleRatio : ProblemKind::kCycleMean);
+      std::cout << "  verify: " << (cert.ok ? "OK (exact optimum)" : cert.message)
+                << "\n";
+      if (!cert.ok) return 1;
+    }
+  }
+  if (opt.has("critical") && !max) {
+    const auto kind = ratio ? ProblemKind::kCycleRatio : ProblemKind::kCycleMean;
+    const CriticalSubgraph crit = critical_subgraph(g, r.value, kind);
+    const auto optimal = optimal_arc_set(g, r.value, kind);
+    std::cout << "  critical subgraph: " << crit.arcs.size() << " arcs / "
+              << crit.nodes.size() << " nodes; " << optimal.size()
+              << " arcs lie on optimum cycles\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcr;
+  try {
+    const cli::Options opt = cli::parse(argc, argv);
+    const bool ratio = opt.has("ratio");
+    if (opt.has("list")) {
+      const auto kind = ratio ? ProblemKind::kCycleRatio : ProblemKind::kCycleMean;
+      for (const auto& name : SolverRegistry::instance().names(kind)) {
+        const auto& info = SolverRegistry::instance().info(name);
+        std::cout << name << "  (" << info.source << ", " << info.bound << ")\n";
+      }
+      return 0;
+    }
+    if (opt.positional.size() != 1) {
+      std::cerr << "usage: mcr_solve <file.dimacs> [--algo NAME] [--ratio] [--max]\n"
+                   "                 [--verify] [--critical] [--counters] [--all] [--list]\n";
+      return 2;
+    }
+    const Graph g = load_dimacs(opt.positional[0]);
+    std::cout << "instance: " << g.num_nodes() << " nodes, " << g.num_arcs()
+              << " arcs, weights [" << g.min_weight() << ", " << g.max_weight()
+              << "], total transit " << g.total_transit() << "\n";
+
+    const bool max = opt.has("max");
+    if (opt.has("all")) {
+      const auto kind = ratio ? ProblemKind::kCycleRatio : ProblemKind::kCycleMean;
+      int rc = 0;
+      for (const auto& name : SolverRegistry::instance().names(kind)) {
+        if (name.rfind("brute_force", 0) == 0) continue;
+        rc |= solve_one(g, name, ratio, max, opt);
+      }
+      return rc;
+    }
+    const std::string algo = opt.get("algo", ratio ? "howard_ratio" : "howard");
+    return solve_one(g, algo, ratio, max, opt);
+  } catch (const std::exception& e) {
+    std::cerr << "mcr_solve: " << e.what() << "\n";
+    return 1;
+  }
+}
