@@ -7,6 +7,7 @@
 // Circuit graphs differ from SPRAND in exactly the ways that matter:
 // near-unit density, many small SCCs, locality — so DG's unfolding and
 // Howard's policy iteration both look even better here.
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -15,8 +16,11 @@
 #include "benchkit/runner.h"
 #include "benchkit/workloads.h"
 #include "gen/circuit.h"
+#include "gen/sprand.h"
+#include "graph/builder.h"
 #include "graph/scc.h"
 #include "support/stats.h"
+#include "support/thread_pool.h"
 #include "support/table.h"
 
 namespace {
@@ -70,6 +74,62 @@ int run() {
   std::cout << '\n';
   emit("Synthetic LGSynth-style circuits: running time [ms] per algorithm", "circuits",
        table);
+
+  // Parallel SCC driver scaling, the workload SolveOptions{num_threads}
+  // is built for: many independent cyclic components, each with enough
+  // work to amortize the pool (the circuit suite's SCCs are too small —
+  // sub-ms solves lose to thread startup). Each instance is k disjoint
+  // SPRAND blocks chained by one-way bridges, so the driver sees k
+  // same-sized subproblems. The result is bit-identical across thread
+  // counts (asserted here), only the wall clock changes.
+  banner("Parallel SCC driver scaling (howard)", "SolveOptions::num_threads");
+  std::cout << "hardware threads: " << ThreadPool::hardware_threads()
+            << " (speedup is bounded by this; the bit-identity check runs "
+               "regardless)\n";
+  TextTable ptable({"instance", "sccs", "t=1 [ms]", "t=2 [ms]", "t=8 [ms]", "speedup x8"});
+  for (const int k : {4, 8, 16}) {
+    constexpr NodeId kBlock = 2000;
+    gen::SprandConfig scfg;
+    scfg.n = kBlock;
+    scfg.m = 5 * kBlock;
+    scfg.seed = 21;
+    const Graph block = gen::sprand(scfg);
+    GraphBuilder b(static_cast<NodeId>(k) * kBlock);
+    for (int i = 0; i < k; ++i) {
+      const NodeId base = static_cast<NodeId>(i) * kBlock;
+      for (ArcId a = 0; a < block.num_arcs(); ++a) {
+        b.add_arc(base + block.src(a), base + block.dst(a),
+                  block.weight(a) + i,  // shift so components differ
+                  block.transit(a));
+      }
+      if (i > 0) b.add_arc(base - 1, base, 1);  // one-way bridge
+    }
+    const Graph g = b.build();
+    const auto scc = strongly_connected_components(g);
+    const std::string name = "sprand x" + std::to_string(k);
+    std::vector<double> ms;
+    CycleResult ref;
+    bool mismatch = false;
+    for (const int threads : {1, 2, 8}) {
+      const TimedRun run =
+          time_solver("howard", g, 2ULL << 30, SolveOptions{.num_threads = threads});
+      ms.push_back(run.seconds * 1e3);
+      if (threads == 1) {
+        ref = run.result;
+      } else if (run.result.has_cycle != ref.has_cycle ||
+                 (ref.has_cycle &&
+                  (run.result.value != ref.value || run.result.cycle != ref.cycle))) {
+        mismatch = true;
+      }
+    }
+    ptable.add_row({name, std::to_string(scc.num_components), fmt_fixed(ms[0], 2),
+                    fmt_fixed(ms[1], 2), fmt_fixed(ms[2], 2),
+                    mismatch ? "MISMATCH" : fmt_fixed(ms[0] / std::max(ms[2], 1e-6), 2)});
+    std::cout << "." << std::flush;
+  }
+  std::cout << '\n';
+  emit("Parallel driver: same instance, same bit-identical result, n threads",
+       "circuits_parallel", ptable);
   return 0;
 }
 

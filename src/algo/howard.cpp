@@ -12,16 +12,23 @@
 //
 // Implementation note (exactness): the paper's Figure 1 works with
 // floating-point distances and a precision epsilon. Here lambda is kept
-// as an exact rational and distances are kept as integers scaled by
+// as an exact rational and distances are kept as integers scaled by a
+// running common denominator cur_den, maintained as a multiple of
 // den(lambda) — every update d(u) = d(v) + w - lambda is then exact
 // integer arithmetic, improvements of delta > 0 are detected exactly,
-// and termination follows from strict integer decrease. With the
+// and termination follows from strict integer decrease. When a new
+// lambda's denominator does not divide cur_den, the scale grows to
+// lcm(cur_den, den(lambda)) and every distance is multiplied by the
+// exact integer factor — never rescaled by a truncating division, which
+// would perturb stale distances (nodes off the chosen policy cycle's
+// reverse-BFS tree) and void the strict-decrease argument. With the
 // default (tiny) epsilon this makes Howard exact while preserving the
 // Figure-1 structure; a larger epsilon reproduces the paper's
 // approximate ("not much improvement -> exit") semantics, which the
 // bench_ablation_howard harness measures.
 #include <algorithm>
 #include <limits>
+#include <numeric>
 #include <vector>
 
 #include "algo/algorithms.h"
@@ -30,8 +37,26 @@
 #include "support/int128.h"
 
 namespace mcr {
-
 namespace {
+
+// Multiplies the distance scale by `factor`, returning false when the
+// grown denominator or any rescaled distance would leave the headroom
+// needed by the per-arc updates d(v) + w*den - lam_num*t. On failure
+// `dist` may be partially rescaled; the caller must abandon it.
+bool grow_scale(std::vector<std::int64_t>& dist, std::int64_t& cur_den,
+                std::int64_t factor) {
+  constexpr std::int64_t kDenLimit = std::int64_t{1} << 31;
+  constexpr std::int64_t kDistLimit = std::int64_t{1} << 62;
+  const int128 den = static_cast<int128>(cur_den) * factor;
+  if (den > kDenLimit) return false;
+  for (auto& d : dist) {
+    const int128 scaled = static_cast<int128>(d) * factor;
+    if (scaled > kDistLimit || scaled < -kDistLimit) return false;
+    d = static_cast<std::int64_t>(scaled);
+  }
+  cur_den = static_cast<std::int64_t>(den);
+  return true;
+}
 
 class HowardSolver final : public Solver {
  public:
@@ -135,16 +160,26 @@ class HowardSolver final : public Solver {
       lambda = new_lambda;
       best_cycle = new_cycle;
 
-      // --- Rescale distances to the new denominator. ---
-      if (lambda.den() != cur_den) {
-        for (NodeId v = 0; v < n; ++v) {
-          const int128 scaled =
-              static_cast<int128>(dist[static_cast<std::size_t>(v)]) * lambda.den();
-          dist[static_cast<std::size_t>(v)] =
-              static_cast<std::int64_t>(scaled / cur_den);
+      // --- Bring lambda to the distance scale, exactly. ---
+      // cur_den is kept a multiple of den(lambda): when it is not, grow
+      // the scale to lcm(cur_den, den(lambda)) so every distance is
+      // multiplied by an exact integer factor. Rescaling by a truncating
+      // dist * den / cur_den division here would round stale distances
+      // (nodes whose tree leads to a non-optimal policy cycle, which the
+      // reverse BFS below does not refresh) toward zero and void the
+      // strict-decrease termination argument.
+      if (cur_den % lambda.den() != 0) {
+        const std::int64_t factor =
+            lambda.den() / std::gcd(cur_den, lambda.den());
+        if (!grow_scale(dist, cur_den, factor)) {
+          // Out of 64-bit headroom (unreachable for the supported
+          // weight/transit ranges): finish exactly by cycle canceling,
+          // like the iteration safety valve below.
+          detail::refine_to_exact(g, kind_, lambda, best_cycle, result.counters);
+          break;
         }
-        cur_den = lambda.den();
       }
+      const std::int64_t lam_num = lambda.num() * (cur_den / lambda.den());
 
       // --- Reverse BFS from s on the policy graph (Fig. 1, 10-12). ---
       const NodeId s = g.src(new_cycle.front());
@@ -164,7 +199,7 @@ class HowardSolver final : public Solver {
           const ArcId a = policy[static_cast<std::size_t>(u)];
           dist[static_cast<std::size_t>(u)] =
               dist[static_cast<std::size_t>(v)] + g.weight(a) * cur_den -
-              lambda.num() * transit(a);
+              lam_num * transit(a);
           bfs.push_back(u);
         }
       }
@@ -181,7 +216,7 @@ class HowardSolver final : public Solver {
         const NodeId u = g.src(a);
         const NodeId v = g.dst(a);
         const std::int64_t cand = dist[static_cast<std::size_t>(v)] +
-                                  g.weight(a) * cur_den - lambda.num() * transit(a);
+                                  g.weight(a) * cur_den - lam_num * transit(a);
         const std::int64_t delta = dist[static_cast<std::size_t>(u)] - cand;
         if (delta > 0) {
           dist[static_cast<std::size_t>(u)] = cand;

@@ -25,7 +25,7 @@ std::size_t estimated_bytes(const std::string& name, NodeId n, ArcId m) {
 }
 
 TimedRun time_solver(const std::string& name, const Graph& g,
-                     std::size_t mem_budget_bytes) {
+                     std::size_t mem_budget_bytes, const SolveOptions& options) {
   TimedRun out;
   if (estimated_bytes(name, g.num_nodes(), g.num_arcs()) > mem_budget_bytes) {
     out.skip_reason = "mem";
@@ -34,12 +34,22 @@ TimedRun time_solver(const std::string& name, const Graph& g,
   const auto solver = SolverRegistry::instance().create(name);
   Timer timer;
   if (solver->kind() == ProblemKind::kCycleMean) {
-    out.result = minimum_cycle_mean(g, *solver);
+    out.result = minimum_cycle_mean(g, *solver, options);
   } else {
-    out.result = minimum_cycle_ratio(g, *solver);
+    out.result = minimum_cycle_ratio(g, *solver, options);
   }
   out.seconds = timer.seconds();
   out.ran = true;
+  return out;
+}
+
+TimedBatch time_solver_batch(const std::string& name, std::span<const Graph> graphs,
+                             const SolveOptions& options) {
+  const auto solver = SolverRegistry::instance().create(name);
+  TimedBatch out;
+  Timer timer;
+  out.results = solve_many(graphs, *solver, options);
+  out.seconds = timer.seconds();
   return out;
 }
 

@@ -8,8 +8,11 @@
 
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
+#include "core/driver.h"
 #include "core/result.h"
 #include "graph/graph.h"
 
@@ -24,9 +27,22 @@ struct TimedRun {
 
 /// Runs the registry solver `name` on g through the SCC driver, wall-
 /// clock timed. Returns ran == false without running when the solver's
-/// estimated memory exceeds `mem_budget_bytes`.
+/// estimated memory exceeds `mem_budget_bytes`. `options` is forwarded
+/// to the driver (per-SCC parallelism; the result is thread-count
+/// independent).
 [[nodiscard]] TimedRun time_solver(const std::string& name, const Graph& g,
-                                   std::size_t mem_budget_bytes = 2ULL << 30);
+                                   std::size_t mem_budget_bytes = 2ULL << 30,
+                                   const SolveOptions& options = {});
+
+/// Timed batch solve of many instances through solve_many — the
+/// "serving" workload: one request stream, per-instance parallelism.
+struct TimedBatch {
+  double seconds = 0.0;
+  std::vector<CycleResult> results;
+};
+[[nodiscard]] TimedBatch time_solver_batch(const std::string& name,
+                                           std::span<const Graph> graphs,
+                                           const SolveOptions& options = {});
 
 /// Estimated peak scratch bytes for a solver on an (n, m) instance;
 /// only the Karp-family quadratic-space algorithms matter.

@@ -1,17 +1,53 @@
 #include "core/driver.h"
 
+#include <exception>
 #include <stdexcept>
+#include <utility>
 
 #include "core/critical.h"
 #include "core/registry.h"
 #include "graph/scc.h"
 #include "graph/transforms.h"
+#include "support/thread_pool.h"
 
 namespace mcr {
 
 namespace {
 
-CycleResult solve_decomposed(const Graph& g, const Solver& solver) {
+int resolve_threads(int num_threads) {
+  return num_threads <= 0 ? ThreadPool::hardware_threads() : num_threads;
+}
+
+/// Runs tasks[0..n) either inline or across a pool, capturing any
+/// exception per slot; the first (lowest-index) exception is rethrown so
+/// failure behaviour does not depend on thread scheduling.
+template <typename Fn>
+void run_indexed(std::size_t n, int threads, const Fn& task) {
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) task(i);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(n);
+  {
+    ThreadPool pool(std::min<std::size_t>(static_cast<std::size_t>(threads), n));
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.submit([&task, &errors, i] {
+        try {
+          task(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+CycleResult solve_decomposed(const Graph& g, const Solver& solver,
+                             const SolveOptions& options) {
   CycleResult best;
   const SccDecomposition scc = strongly_connected_components(g);
   const std::size_t num_comp = static_cast<std::size_t>(scc.num_components);
@@ -43,12 +79,29 @@ CycleResult solve_decomposed(const Graph& g, const Solver& solver) {
     comp_parent_arc[c].push_back(a);
   }
 
+  std::vector<std::size_t> cyclic;
+  cyclic.reserve(num_comp);
+  for (std::size_t c = 0; c < num_comp; ++c) {
+    if (scc.component_is_cyclic[c]) cyclic.push_back(c);
+  }
+
+  // Solve each cyclic component independently (possibly concurrently;
+  // solve_scc is const and solvers keep all state in locals, so one
+  // solver instance serves every worker).
+  std::vector<CycleResult> sub_results(cyclic.size());
+  run_indexed(cyclic.size(), resolve_threads(options.num_threads),
+              [&](std::size_t i) {
+                const std::size_t c = cyclic[i];
+                const Graph sub(comp_size[c], comp_arcs[c]);
+                sub_results[i] = solver.solve_scc(sub);
+              });
+
+  // Deterministic merge in component-index order: identical output for
+  // any thread count.
   std::size_t best_comp = num_comp;  // sentinel: none
   std::vector<ArcId> best_local_cycle;
-  for (std::size_t c = 0; c < num_comp; ++c) {
-    if (!scc.component_is_cyclic[c]) continue;
-    const Graph sub(comp_size[c], comp_arcs[c]);
-    CycleResult r = solver.solve_scc(sub);
+  for (std::size_t i = 0; i < cyclic.size(); ++i) {
+    CycleResult& r = sub_results[i];
     if (!r.has_cycle) {
       throw std::logic_error("solver " + solver.name() +
                              " returned no cycle on a cyclic SCC");
@@ -57,7 +110,7 @@ CycleResult solve_decomposed(const Graph& g, const Solver& solver) {
     if (!best.has_cycle || r.value < best.value) {
       best.has_cycle = true;
       best.value = r.value;
-      best_comp = c;
+      best_comp = cyclic[i];
       best_local_cycle = std::move(r.cycle);
     }
   }
@@ -91,44 +144,70 @@ CycleResult negate_back(CycleResult r) {
 
 }  // namespace
 
-CycleResult minimum_cycle_mean(const Graph& g, const Solver& solver) {
+CycleResult minimum_cycle_mean(const Graph& g, const Solver& solver,
+                               const SolveOptions& options) {
   check_kind(solver, ProblemKind::kCycleMean, "minimum_cycle_mean");
-  return solve_decomposed(g, solver);
+  return solve_decomposed(g, solver, options);
 }
 
-CycleResult minimum_cycle_ratio(const Graph& g, const Solver& solver) {
+CycleResult minimum_cycle_ratio(const Graph& g, const Solver& solver,
+                                const SolveOptions& options) {
   check_kind(solver, ProblemKind::kCycleRatio, "minimum_cycle_ratio");
   validate_ratio_instance(g);
-  return solve_decomposed(g, solver);
+  return solve_decomposed(g, solver, options);
 }
 
-CycleResult maximum_cycle_mean(const Graph& g, const Solver& solver) {
+CycleResult maximum_cycle_mean(const Graph& g, const Solver& solver,
+                               const SolveOptions& options) {
   check_kind(solver, ProblemKind::kCycleMean, "maximum_cycle_mean");
   const Graph neg = negate_weights(g);
-  return negate_back(solve_decomposed(neg, solver));
+  return negate_back(solve_decomposed(neg, solver, options));
 }
 
-CycleResult maximum_cycle_ratio(const Graph& g, const Solver& solver) {
+CycleResult maximum_cycle_ratio(const Graph& g, const Solver& solver,
+                                const SolveOptions& options) {
   check_kind(solver, ProblemKind::kCycleRatio, "maximum_cycle_ratio");
   validate_ratio_instance(g);
   const Graph neg = negate_weights(g);
-  return negate_back(solve_decomposed(neg, solver));
+  return negate_back(solve_decomposed(neg, solver, options));
 }
 
-CycleResult minimum_cycle_mean(const Graph& g, const std::string& solver_name) {
-  return minimum_cycle_mean(g, *SolverRegistry::instance().create(solver_name));
+std::vector<CycleResult> solve_many(std::span<const Graph> graphs, const Solver& solver,
+                                    const SolveOptions& options) {
+  const bool ratio = solver.kind() == ProblemKind::kCycleRatio;
+  // Validate up front (cheap, and keeps the parallel phase exception-free
+  // for well-formed batches).
+  if (ratio) {
+    for (const Graph& g : graphs) validate_ratio_instance(g);
+  }
+  std::vector<CycleResult> results(graphs.size());
+  // Parallelism is across instances here; each instance solves its own
+  // SCCs serially so a batch of b graphs costs b tasks, not b * #SCCs.
+  run_indexed(graphs.size(), resolve_threads(options.num_threads),
+              [&](std::size_t i) {
+                results[i] = solve_decomposed(graphs[i], solver, SolveOptions{1});
+              });
+  return results;
 }
 
-CycleResult minimum_cycle_ratio(const Graph& g, const std::string& solver_name) {
-  return minimum_cycle_ratio(g, *SolverRegistry::instance().create(solver_name));
+CycleResult minimum_cycle_mean(const Graph& g, const std::string& solver_name,
+                               const SolveOptions& options) {
+  return minimum_cycle_mean(g, *SolverRegistry::instance().create(solver_name), options);
 }
 
-CycleResult maximum_cycle_mean(const Graph& g, const std::string& solver_name) {
-  return maximum_cycle_mean(g, *SolverRegistry::instance().create(solver_name));
+CycleResult minimum_cycle_ratio(const Graph& g, const std::string& solver_name,
+                                const SolveOptions& options) {
+  return minimum_cycle_ratio(g, *SolverRegistry::instance().create(solver_name), options);
 }
 
-CycleResult maximum_cycle_ratio(const Graph& g, const std::string& solver_name) {
-  return maximum_cycle_ratio(g, *SolverRegistry::instance().create(solver_name));
+CycleResult maximum_cycle_mean(const Graph& g, const std::string& solver_name,
+                               const SolveOptions& options) {
+  return maximum_cycle_mean(g, *SolverRegistry::instance().create(solver_name), options);
+}
+
+CycleResult maximum_cycle_ratio(const Graph& g, const std::string& solver_name,
+                                const SolveOptions& options) {
+  return maximum_cycle_ratio(g, *SolverRegistry::instance().create(solver_name), options);
 }
 
 }  // namespace mcr

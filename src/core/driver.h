@@ -4,10 +4,19 @@
 // the input into strongly connected components, run the solver on each
 // cyclic component, and return the minimum over components. Graphs with
 // no cycle at all yield has_cycle == false.
+//
+// Components are independent subproblems, so the driver can solve them
+// concurrently (SolveOptions::num_threads). The merge is deterministic
+// regardless of thread count: the best value wins with ties broken by
+// component index, counters are summed over components in index order,
+// and the witness is recovered once for the winning component — the
+// returned CycleResult is bit-identical for any num_threads.
 #ifndef MCR_CORE_DRIVER_H
 #define MCR_CORE_DRIVER_H
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/result.h"
 #include "core/solver.h"
@@ -15,29 +24,54 @@
 
 namespace mcr {
 
+/// Knobs for the solve entry points below.
+struct SolveOptions {
+  /// Worker threads for per-SCC (and per-instance) parallelism.
+  /// 1 = fully serial (default, no threads spawned); 0 = one worker per
+  /// hardware thread; n > 1 = exactly n workers.
+  int num_threads = 1;
+};
+
 /// Minimum cycle mean of g using `solver` (a kCycleMean solver).
 /// Arc ids in the returned cycle refer to g.
-[[nodiscard]] CycleResult minimum_cycle_mean(const Graph& g, const Solver& solver);
+[[nodiscard]] CycleResult minimum_cycle_mean(const Graph& g, const Solver& solver,
+                                             const SolveOptions& options = {});
 
 /// Minimum cycle ratio of g using `solver` (a kCycleRatio solver).
 /// Validates the transit times (see validate_ratio_instance).
-[[nodiscard]] CycleResult minimum_cycle_ratio(const Graph& g, const Solver& solver);
+[[nodiscard]] CycleResult minimum_cycle_ratio(const Graph& g, const Solver& solver,
+                                              const SolveOptions& options = {});
 
 /// Maximum variants via weight negation. The returned value and cycle
 /// are for the original graph (value is the true maximum).
-[[nodiscard]] CycleResult maximum_cycle_mean(const Graph& g, const Solver& solver);
-[[nodiscard]] CycleResult maximum_cycle_ratio(const Graph& g, const Solver& solver);
+[[nodiscard]] CycleResult maximum_cycle_mean(const Graph& g, const Solver& solver,
+                                             const SolveOptions& options = {});
+[[nodiscard]] CycleResult maximum_cycle_ratio(const Graph& g, const Solver& solver,
+                                              const SolveOptions& options = {});
+
+/// Batch API for many-instance serving workloads: solves the minimum
+/// cycle mean (or ratio, per solver->kind()) of every graph, spreading
+/// whole instances across the worker pool. results[i] corresponds to
+/// graphs[i] and is identical to what the single-instance entry point
+/// would return. Ratio instances are validated like minimum_cycle_ratio.
+[[nodiscard]] std::vector<CycleResult> solve_many(std::span<const Graph> graphs,
+                                                  const Solver& solver,
+                                                  const SolveOptions& options = {});
 
 /// Conveniences that look the solver up by registry name with a default
 /// configuration. "howard" / "howard_ratio" are the recommended defaults.
 [[nodiscard]] CycleResult minimum_cycle_mean(const Graph& g,
-                                             const std::string& solver_name = "howard");
+                                             const std::string& solver_name = "howard",
+                                             const SolveOptions& options = {});
 [[nodiscard]] CycleResult minimum_cycle_ratio(
-    const Graph& g, const std::string& solver_name = "howard_ratio");
+    const Graph& g, const std::string& solver_name = "howard_ratio",
+    const SolveOptions& options = {});
 [[nodiscard]] CycleResult maximum_cycle_mean(const Graph& g,
-                                             const std::string& solver_name = "howard");
+                                             const std::string& solver_name = "howard",
+                                             const SolveOptions& options = {});
 [[nodiscard]] CycleResult maximum_cycle_ratio(
-    const Graph& g, const std::string& solver_name = "howard_ratio");
+    const Graph& g, const std::string& solver_name = "howard_ratio",
+    const SolveOptions& options = {});
 
 }  // namespace mcr
 

@@ -11,6 +11,13 @@ void write_dimacs(std::ostream& os, const Graph& g, const std::string& comment) 
   if (!comment.empty()) os << "c " << comment << '\n';
   os << "p mcr " << g.num_nodes() << ' ' << g.num_arcs() << '\n';
   for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    if (g.transit(a) <= 0) {
+      // The file format requires t >= 1; refuse to emit a file that
+      // read_dimacs would reject rather than fail at the next load.
+      throw std::invalid_argument("write_dimacs: arc " + std::to_string(a) +
+                                  " has non-positive transit " +
+                                  std::to_string(g.transit(a)));
+    }
     os << "a " << (g.src(a) + 1) << ' ' << (g.dst(a) + 1) << ' ' << g.weight(a);
     if (g.transit(a) != 1) os << ' ' << g.transit(a);
     os << '\n';
@@ -46,7 +53,13 @@ Graph read_dimacs(std::istream& is) {
       long long u = 0, v = 0, w = 0, t = 1;
       if (!(ls >> u >> v >> w)) fail("malformed arc line");
       if (!(ls >> t)) t = 1;
+      std::string extra;
+      if (ls >> extra) fail("trailing tokens after arc line ('" + extra + "')");
       if (u < 1 || u > n || v < 1 || v > n) fail("arc endpoint out of range");
+      if (t <= 0) {
+        fail("non-positive transit time " + std::to_string(t) +
+             " (the format requires t >= 1)");
+      }
       arcs.push_back(ArcSpec{static_cast<NodeId>(u - 1), static_cast<NodeId>(v - 1), w, t});
     } else {
       fail(std::string("unknown line kind '") + kind + "'");

@@ -6,7 +6,9 @@
 //   p mcr <num_nodes> <num_arcs>
 //   a <src> <dst> <weight> [<transit>]
 // Node ids in files are 1-based (DIMACS convention); in memory they are
-// 0-based. Omitted transit defaults to 1.
+// 0-based. Omitted transit defaults to 1; an explicit transit must be
+// >= 1 (read_dimacs rejects non-positive transit with a line number).
+// Weights may be any 64-bit integer, negative included.
 #ifndef MCR_GRAPH_IO_H
 #define MCR_GRAPH_IO_H
 

@@ -41,6 +41,10 @@ struct OpCounters {
 
   OpCounters& operator+=(const OpCounters& o);
 
+  /// Field-wise equality; the parallel-driver tests assert counters are
+  /// identical for every thread count.
+  friend bool operator==(const OpCounters&, const OpCounters&) = default;
+
   /// Compact single-line rendering of the nonzero fields.
   [[nodiscard]] std::string summary() const;
 };

@@ -1,0 +1,98 @@
+#include "support/thread_pool.h"
+
+#include <utility>
+
+namespace mcr {
+
+int ThreadPool::hardware_threads() {
+  const unsigned h = std::thread::hardware_concurrency();
+  return h == 0 ? 1 : static_cast<int>(h);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = hardware_threads();
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { worker_main(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(sleep_mutex_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  work_available_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const std::size_t w =
+      next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  unfinished_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(workers_[w]->mutex);
+    workers_[w]->tasks.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  {
+    // Taking the sleep mutex serializes against a worker that has just
+    // found every deque empty and is about to wait — without it the
+    // notify could fire in that window and be lost.
+    std::lock_guard<std::mutex> lk(sleep_mutex_);
+  }
+  work_available_.notify_one();
+}
+
+bool ThreadPool::run_one(std::size_t self) {
+  std::function<void()> task;
+  const std::size_t k = workers_.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    Worker& victim = *workers_[(self + i) % k];
+    std::lock_guard<std::mutex> lk(victim.mutex);
+    if (victim.tasks.empty()) continue;
+    if (i == 0) {  // own deque: front (LIFO locality)
+      task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+    } else {  // steal: opposite end
+      task = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+    }
+    break;
+  }
+  if (!task) return false;
+  queued_.fetch_sub(1, std::memory_order_relaxed);
+  task();
+  if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(sleep_mutex_);
+    all_done_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::worker_main(std::size_t self) {
+  for (;;) {
+    if (run_one(self)) continue;
+    std::unique_lock<std::mutex> lk(sleep_mutex_);
+    work_available_.wait(lk, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_relaxed) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(sleep_mutex_);
+  all_done_.wait(lk,
+                 [this] { return unfinished_.load(std::memory_order_acquire) == 0; });
+}
+
+}  // namespace mcr

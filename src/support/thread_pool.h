@@ -1,0 +1,76 @@
+// A small work-stealing thread pool for embarrassingly parallel solver
+// work (per-SCC solves, batch instance solves).
+//
+// Design points:
+//   * Each worker owns a deque; submit() distributes round-robin. A
+//     worker pops from the front of its own deque and steals from the
+//     back of a victim's, so contention only appears when a worker runs
+//     dry — the classic Chase-Lev discipline, here with plain mutexes
+//     because pool tasks (whole SCC solves) are microseconds at minimum
+//     and queue traffic is negligible against them.
+//   * The pool guarantees nothing about execution order. Callers that
+//     need deterministic output (the SCC driver does) must write
+//     results into per-task slots and merge in a fixed order afterwards.
+//   * Exceptions must not escape a task; wrap the body and capture a
+//     std::exception_ptr per slot (see core/driver.cpp for the idiom).
+#ifndef MCR_SUPPORT_THREAD_POOL_H
+#define MCR_SUPPORT_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcr {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means hardware_threads().
+  explicit ThreadPool(int num_threads = 0);
+
+  /// Joins all workers after draining every submitted task.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Thread-safe; tasks may themselves submit.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished executing.
+  void wait_idle();
+
+  [[nodiscard]] int size() const { return static_cast<int>(threads_.size()); }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  [[nodiscard]] static int hardware_threads();
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_main(std::size_t self);
+  /// Pops own front or steals a victim's back; runs at most one task.
+  bool run_one(std::size_t self);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex sleep_mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::atomic<std::size_t> queued_{0};      // submitted, not yet popped
+  std::atomic<std::size_t> unfinished_{0};  // submitted, not yet completed
+  std::atomic<std::size_t> next_worker_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace mcr
+
+#endif  // MCR_SUPPORT_THREAD_POOL_H

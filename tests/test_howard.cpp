@@ -100,6 +100,68 @@ TEST(Howard, RatioVariantMatchesOracle) {
   EXPECT_EQ(r.value, oracle.value);
 }
 
+TEST(Howard, RescaleRegressionMean) {
+  // Regression for the truncating distance rescale. Found by fuzzing:
+  // on this instance the optimal policy-cycle denominator changes
+  // between iterations, and the old dist * new_den / cur_den integer
+  // rescale rounded stale distances toward zero, breaking the
+  // strict-decrease termination argument — the policy oscillated for
+  // ~1400 iterations until the safety valve fired (feasibility_checks
+  // counts the cycle-canceling rescue). The exact lcm rescale converges
+  // in 2 iterations with no rescue.
+  GraphBuilder b(9);
+  b.add_arc(0, 1, -2);
+  b.add_arc(1, 2, -2);
+  b.add_arc(2, 3, -10);
+  b.add_arc(3, 4, 12);
+  b.add_arc(4, 5, 9);
+  b.add_arc(5, 6, 4);
+  b.add_arc(6, 7, -2);
+  b.add_arc(7, 8, -1);
+  b.add_arc(8, 0, 0);
+  b.add_arc(5, 8, 10);
+  b.add_arc(1, 5, 12);
+  b.add_arc(0, 4, 12);
+  b.add_arc(6, 8, -12);
+  b.add_arc(6, 2, -3);
+  b.add_arc(6, 5, -10);
+  b.add_arc(0, 2, 6);
+  b.add_arc(3, 0, 3);
+  b.add_arc(3, 4, 3);
+  b.add_arc(8, 8, 11);
+  const Graph g = b.build();
+  const auto r = minimum_cycle_mean(g, "howard");
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, minimum_cycle_mean(g, "brute_force").value);
+  EXPECT_TRUE(verify_result(g, r, ProblemKind::kCycleMean).ok);
+  EXPECT_EQ(r.counters.feasibility_checks, 0u);  // no safety-valve rescue
+  EXPECT_LE(r.counters.iterations, 16u);         // pre-fix: ~1400
+}
+
+TEST(Howard, RescaleRegressionRatio) {
+  // Ratio-mode sibling of RescaleRegressionMean: transit times make the
+  // policy-cycle denominators change every iteration, so the old
+  // truncating rescale stalled (~1200 iterations, valve rescue) where
+  // the exact lcm rescale takes 2.
+  GraphBuilder b(6);
+  b.add_arc(0, 1, -4, 1);
+  b.add_arc(1, 2, -8, 3);
+  b.add_arc(2, 3, -4, 1);
+  b.add_arc(3, 4, 10, 2);
+  b.add_arc(4, 5, 10, 3);
+  b.add_arc(5, 0, 10, 3);
+  b.add_arc(4, 4, -2, 7);
+  b.add_arc(2, 1, 5, 7);
+  b.add_arc(0, 0, 2, 2);
+  const Graph g = b.build();
+  const auto r = minimum_cycle_ratio(g, "howard_ratio");
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.value, minimum_cycle_ratio(g, "brute_force_ratio").value);
+  EXPECT_TRUE(verify_result(g, r, ProblemKind::kCycleRatio).ok);
+  EXPECT_EQ(r.counters.feasibility_checks, 0u);  // no safety-valve rescue
+  EXPECT_LE(r.counters.iterations, 16u);         // pre-fix: ~1200
+}
+
 TEST(Howard, ManyComponentsViaDriver) {
   const Graph g = gen::scc_chain(10, 6, 1, 100, 6);
   const auto r = minimum_cycle_mean(g, "howard");

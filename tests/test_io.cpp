@@ -88,6 +88,75 @@ TEST(DimacsIo, MalformedProblemLineThrows) {
   EXPECT_THROW(read_dimacs(is), std::runtime_error);
 }
 
+TEST(DimacsIo, NonPositiveTransitThrowsWithLineNumber) {
+  std::istringstream zero("p mcr 2 1\na 1 2 5 0\n");
+  try {
+    (void)read_dimacs(zero);
+    FAIL() << "zero transit accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("transit"), std::string::npos) << e.what();
+  }
+  std::istringstream negative("p mcr 2 2\na 1 2 5 2\na 2 1 5 -3\n");
+  try {
+    (void)read_dimacs(negative);
+    FAIL() << "negative transit accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(DimacsIo, TrailingTokensOnArcLineThrow) {
+  std::istringstream is("p mcr 2 1\na 1 2 5 1 junk\n");
+  EXPECT_THROW((void)read_dimacs(is), std::runtime_error);
+}
+
+TEST(DimacsIo, WriteRejectsNonPositiveTransit) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1, 5, 0);  // representable in memory, not in the format
+  b.add_arc(1, 0, 5, 2);
+  std::ostringstream os;
+  EXPECT_THROW(write_dimacs(os, b.build()), std::invalid_argument);
+}
+
+TEST(DimacsIo, RoundTripNegativeWeights) {
+  GraphBuilder b(4);
+  b.add_arc(0, 1, -10000, 1);
+  b.add_arc(1, 2, -1, 1);
+  b.add_arc(2, 3, 0, 1);
+  b.add_arc(3, 0, -42, 1);
+  const Graph g = b.build();
+  std::stringstream ss;
+  write_dimacs(ss, g);
+  const Graph h = read_dimacs(ss);
+  ASSERT_EQ(h.num_arcs(), g.num_arcs());
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    EXPECT_EQ(h.src(a), g.src(a));
+    EXPECT_EQ(h.dst(a), g.dst(a));
+    EXPECT_EQ(h.weight(a), g.weight(a));
+    EXPECT_EQ(h.transit(a), g.transit(a));
+  }
+}
+
+TEST(DimacsIo, RoundTripMultiTransit) {
+  GraphBuilder b(3);
+  b.add_arc(0, 1, 7, 5);
+  b.add_arc(1, 2, -3, 1);   // default-transit arc mixed in
+  b.add_arc(2, 0, 11, 1000000);
+  b.add_arc(0, 0, -9, 2);   // self loop with transit
+  const Graph g = b.build();
+  std::stringstream ss;
+  write_dimacs(ss, g);
+  const Graph h = read_dimacs(ss);
+  ASSERT_EQ(h.num_arcs(), g.num_arcs());
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    EXPECT_EQ(h.src(a), g.src(a));
+    EXPECT_EQ(h.dst(a), g.dst(a));
+    EXPECT_EQ(h.weight(a), g.weight(a));
+    EXPECT_EQ(h.transit(a), g.transit(a));
+  }
+}
+
 TEST(DimacsIo, FileSaveAndLoad) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "mcr_io_test.dimacs").string();

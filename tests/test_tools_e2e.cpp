@@ -3,6 +3,8 @@
 // Tool paths are injected by CMake (MCR_TOOL_DIR).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -22,8 +24,12 @@ struct RunOutput {
 };
 
 RunOutput run(const std::string& cmd) {
+  // Unique per process: ctest runs the E2E cases concurrently, and a
+  // shared capture file races.
   const std::string out_path =
-      (std::filesystem::temp_directory_path() / "mcr_e2e_out.txt").string();
+      (std::filesystem::temp_directory_path() /
+       ("mcr_e2e_out." + std::to_string(::getpid()) + ".txt"))
+          .string();
   const int rc = std::system((cmd + " > " + out_path + " 2>&1").c_str());
   std::ifstream in(out_path);
   std::stringstream ss;

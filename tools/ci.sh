@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI gate: build Release and ASan+UBSan, run the full test suite in
+# both, then run a differential-fuzz smoke (mean + ratio, serial and
+# threaded) under the sanitizers so exactness bugs of the Howard-rescale
+# class cannot regress silently.
+#
+#   tools/ci.sh [--fast]
+#
+# --fast skips the Release build/tests (sanitized config only).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FUZZ_TRIALS="${MCR_CI_FUZZ_TRIALS:-200}"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+run() { echo "+ $*" >&2; "$@"; }
+
+if [[ "$FAST" == 0 ]]; then
+  echo "=== Release build + tests ==="
+  run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  run cmake --build build -j "$JOBS"
+  run ctest --test-dir build --output-on-failure -j "$JOBS"
+fi
+
+echo "=== ASan+UBSan build + tests ==="
+run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMCR_SANITIZE=ON
+run cmake --build build-asan -j "$JOBS"
+run ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "=== fuzz smoke (sanitized, ${FUZZ_TRIALS} trials per config) ==="
+FUZZ=build-asan/tools/mcr_fuzz
+run "$FUZZ" --trials "$FUZZ_TRIALS" --seed 1
+run "$FUZZ" --trials "$FUZZ_TRIALS" --seed 2 --negative
+run "$FUZZ" --trials "$FUZZ_TRIALS" --seed 3 --ratio
+run "$FUZZ" --trials "$FUZZ_TRIALS" --seed 4 --ratio --negative --threads 8
+
+echo "=== ci.sh: all green ==="

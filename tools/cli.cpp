@@ -27,6 +27,17 @@ std::int64_t Options::get_int(const std::string& key, std::int64_t fallback) con
   return v;
 }
 
+std::int64_t Options::get_int_in(const std::string& key, std::int64_t fallback,
+                                 std::int64_t min, std::int64_t max) const {
+  const std::int64_t v = get_int(key, fallback);
+  if (v < min || v > max) {
+    throw std::invalid_argument("option --" + key + " expects an integer in [" +
+                                std::to_string(min) + ", " + std::to_string(max) +
+                                "], got " + std::to_string(v));
+  }
+  return v;
+}
+
 Options parse(const std::vector<std::string>& args) {
   Options out;
   for (std::size_t i = 0; i < args.size(); ++i) {

@@ -21,6 +21,11 @@ struct Options {
   [[nodiscard]] std::string get(const std::string& key, const std::string& fallback = "") const;
   /// Integer value of --key; throws std::invalid_argument on garbage.
   [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  /// get_int constrained to [min, max]; throws std::invalid_argument
+  /// (naming the flag and the bounds) when the value falls outside.
+  /// Used for count-like flags such as --threads and --trials.
+  [[nodiscard]] std::int64_t get_int_in(const std::string& key, std::int64_t fallback,
+                                        std::int64_t min, std::int64_t max) const;
 };
 
 /// Parses argv[1..argc). Throws std::invalid_argument on malformed

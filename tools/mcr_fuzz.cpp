@@ -1,14 +1,19 @@
 // mcr_fuzz — randomized differential testing of the whole registry.
 //
 //   mcr_fuzz [--trials 200] [--seed 1] [--max-n 96] [--ratio]
-//            [--negative] [--verbose]
+//            [--negative] [--verbose] [--threads N]
+//
+// --threads N routes every solve through the parallel SCC driver with N
+// workers (0 = hardware), so the fuzzer also cross-checks the
+// determinism of the parallel merge.
 //
 // Each trial draws a random instance (SPRAND / circuit / structured,
 // random shape parameters), runs every registered solver of the problem
-// kind, and checks that (a) all values agree exactly and (b) the first
-// solver's result passes the exact optimality certificate. Any mismatch
-// prints the instance in DIMACS form for replay with mcr_solve and
-// exits nonzero. This is the long-running companion to the bounded
+// kind, and checks that (a) all values agree exactly and (b) EVERY
+// solver's result passes the exact optimality certificate — a solver
+// returning the right value with a bogus witness cycle is caught. Any
+// mismatch prints the instance in DIMACS form for replay with mcr_solve
+// and exits nonzero. This is the long-running companion to the bounded
 // cross-validation tests in tests/.
 #include <iostream>
 
@@ -68,6 +73,8 @@ int main(int argc, char** argv) {
     const std::int64_t trials = opt.get_int("trials", 200);
     const bool ratio = opt.has("ratio");
     const bool verbose = opt.has("verbose");
+    const SolveOptions solve_options{
+        .num_threads = static_cast<int>(opt.get_int_in("threads", 1, 0, 4096))};
     Prng rng(static_cast<std::uint64_t>(opt.get_int("seed", 1)));
     const auto kind = ratio ? ProblemKind::kCycleRatio : ProblemKind::kCycleMean;
 
@@ -88,30 +95,31 @@ int main(int argc, char** argv) {
       bool first = true;
       for (const auto& name : solvers) {
         const auto solver = SolverRegistry::instance().create(name);
-        const CycleResult r = ratio ? minimum_cycle_ratio(g, *solver)
-                                    : minimum_cycle_mean(g, *solver);
+        const CycleResult r = ratio ? minimum_cycle_ratio(g, *solver, solve_options)
+                                    : minimum_cycle_mean(g, *solver, solve_options);
         if (first) {
           first = false;
           have_ref = r.has_cycle;
-          if (r.has_cycle) {
-            reference = r.value;
-            const auto cert = verify_result(g, r, kind);
-            if (!cert.ok) {
-              std::cerr << "\nCERTIFICATE FAILURE (" << name << "): " << cert.message
-                        << "\ninstance:\n";
-              write_dimacs(std::cerr, g, "mcr_fuzz failing instance");
-              return 1;
-            }
-          }
-          continue;
-        }
-        if (r.has_cycle != have_ref || (r.has_cycle && r.value != reference)) {
+          if (r.has_cycle) reference = r.value;
+        } else if (r.has_cycle != have_ref || (r.has_cycle && r.value != reference)) {
           std::cerr << "\nMISMATCH at trial " << trial << ": " << solvers.front() << "="
                     << (have_ref ? reference.to_string() : "acyclic") << " vs " << name
                     << "=" << (r.has_cycle ? r.value.to_string() : "acyclic")
                     << "\ninstance:\n";
           write_dimacs(std::cerr, g, "mcr_fuzz failing instance");
           return 1;
+        }
+        // Certify every solver's own witness, not just the value: the
+        // cycle must be well-formed, achieve r.value exactly, and
+        // r.value must be optimal.
+        if (r.has_cycle) {
+          const auto cert = verify_result(g, r, kind);
+          if (!cert.ok) {
+            std::cerr << "\nCERTIFICATE FAILURE at trial " << trial << " (" << name
+                      << "): " << cert.message << "\ninstance:\n";
+            write_dimacs(std::cerr, g, "mcr_fuzz failing instance");
+            return 1;
+          }
         }
       }
       if (verbose || (trial + 1) % 50 == 0) {

@@ -1,11 +1,14 @@
 // mcr_solve — solve an MCM/MCR instance from a DIMACS file.
 //
 //   mcr_solve <file.dimacs> [--algo howard] [--ratio] [--max]
-//             [--verify] [--critical] [--counters] [--all]
+//             [--verify] [--critical] [--counters] [--all] [--threads N]
 //
 //   --algo NAME   registry solver (default: howard / howard_ratio)
 //   --ratio       optimize w(C)/t(C) instead of w(C)/|C|
 //   --max         maximize instead of minimize
+//   --threads N   solve SCC subproblems on N worker threads (0 = one
+//                 per hardware thread; default 1 = serial). The result
+//                 is bit-identical for any N.
 //   --verify      certify the result exactly and report
 //   --critical    also print critical-subgraph statistics
 //   --counters    print the solver's operation counters
@@ -30,11 +33,13 @@ using namespace mcr;
 int solve_one(const Graph& g, const std::string& algo, bool ratio, bool max,
               const cli::Options& opt) {
   const auto solver = SolverRegistry::instance().create(algo);
+  const SolveOptions so{.num_threads =
+                            static_cast<int>(opt.get_int_in("threads", 1, 0, 4096))};
   Timer timer;
-  const CycleResult r = max   ? (ratio ? maximum_cycle_ratio(g, *solver)
-                                       : maximum_cycle_mean(g, *solver))
-                        : ratio ? minimum_cycle_ratio(g, *solver)
-                                : minimum_cycle_mean(g, *solver);
+  const CycleResult r = max   ? (ratio ? maximum_cycle_ratio(g, *solver, so)
+                                       : maximum_cycle_mean(g, *solver, so))
+                        : ratio ? minimum_cycle_ratio(g, *solver, so)
+                                : minimum_cycle_mean(g, *solver, so);
   const double ms = timer.millis();
 
   if (opt.has("json")) {
@@ -105,7 +110,8 @@ int main(int argc, char** argv) {
     }
     if (opt.positional.size() != 1) {
       std::cerr << "usage: mcr_solve <file.dimacs> [--algo NAME] [--ratio] [--max]\n"
-                   "                 [--verify] [--critical] [--counters] [--all] [--list]\n";
+                   "                 [--verify] [--critical] [--counters] [--all]\n"
+                   "                 [--threads N] [--list]\n";
       return 2;
     }
     const Graph g = load_dimacs(opt.positional[0]);
