@@ -70,6 +70,38 @@ int run() {
   emit("Table 2 reproduction: mean running time per algorithm [ms] (avg over " +
            std::to_string(trials) + " seeds)",
        "table2", table);
+
+  // Per-phase breakdown (obs tracing) on the grid's largest cell: how
+  // much of each solver's wall clock is SCC decomposition, per-component
+  // solving, merging, and witness extraction. Solvers already guarded
+  // out above (time or memory) stay guarded here.
+  const GridCell big = table2_grid(scale).back();
+  const Graph bg = table2_instance(big, 0);
+  const std::vector<std::string> phases{"solve", "scc_decompose", "component",
+                                        "merge", "witness_extract"};
+  std::vector<std::string> pheader{"solver"};
+  pheader.insert(pheader.end(), phases.begin(), phases.end());
+  TextTable ptable(pheader);
+  for (const std::string& solver : solvers) {
+    std::vector<std::string> row{solver};
+    if (budget.should_skip(solver) ||
+        estimated_bytes(solver, bg.num_nodes(), bg.num_arcs()) > (2ULL << 30)) {
+      row.insert(row.end(), phases.size(), "N/A");
+    } else {
+      const auto totals = phase_breakdown(solver, bg);
+      for (const std::string& phase : phases) {
+        const auto it = totals.find(phase);
+        row.push_back(it == totals.end() ? "-" : fmt_ms(it->second));
+      }
+    }
+    ptable.add_row(std::move(row));
+    std::cout << "." << std::flush;
+  }
+  std::cout << '\n';
+  emit("Per-phase breakdown [ms] on n=" + std::to_string(big.n) + " m=" +
+           std::to_string(big.m) + " (obs tracing; serial driver)",
+       "table2_phases", ptable);
+
   std::cout << "\nPaper landmarks to compare against (Sparc-20 seconds, relative "
                "ordering is the claim):\n"
                "  n=2048 m=4096:  Howard 0.88  HO 3.14  Karp 21.87  YTO 20.31  "

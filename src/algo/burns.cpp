@@ -32,6 +32,7 @@
 #include "core/result.h"
 #include "graph/bellman_ford.h"
 #include "graph/traversal.h"
+#include "obs/obs.h"
 
 namespace mcr {
 
@@ -106,6 +107,7 @@ class BurnsSolver final : public Solver {
 
     for (std::int64_t iter = 0; iter < max_iterations; ++iter) {
       ++result.counters.iterations;
+      obs::emit(obs::EventKind::kIteration, "burns.iteration", iter);
 
       // (1) Critical arcs at the current (d, lambda).
       critical.clear();
@@ -120,6 +122,7 @@ class BurnsSolver final : public Solver {
 
       // (2) Cyclic critical subgraph => done.
       ++result.counters.feasibility_checks;
+      obs::emit(obs::EventKind::kFeasibilityProbe, "burns.critical_cycle_check", iter);
       cycle = find_any_cycle(g, critical);
       if (!cycle.empty()) break;
 

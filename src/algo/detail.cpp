@@ -2,6 +2,7 @@
 
 #include "core/critical.h"
 #include "graph/bellman_ford.h"
+#include "obs/obs.h"
 
 namespace mcr::detail {
 
@@ -20,6 +21,8 @@ void refine_to_exact(const Graph& g, ProblemKind kind, Rational& value,
                      std::vector<ArcId>& cycle, OpCounters& counters) {
   for (;;) {
     ++counters.feasibility_checks;
+    obs::emit(obs::EventKind::kFeasibilityProbe, "refine.probe",
+              static_cast<std::int64_t>(counters.feasibility_checks));
     const std::vector<std::int64_t> cost = lambda_costs(g, value, kind);
     BellmanFordResult bf = bellman_ford_all(g, cost, &counters);
     if (!bf.has_negative_cycle) return;

@@ -16,6 +16,7 @@
 
 #include "algo/algorithms.h"
 #include "core/result.h"
+#include "obs/obs.h"
 #include "support/int128.h"
 
 namespace mcr {
@@ -87,6 +88,7 @@ class DgSolver final : public Solver {
       level_first[static_cast<std::size_t>(k) + 1] = arena.size();
     }
     result.counters.iterations = static_cast<std::uint64_t>(n);
+    obs::emit(obs::EventKind::kIteration, "dg.levels", n);
 
     // Evaluate Karp's formula over the touched (k, v) entries only.
     std::vector<std::int64_t> dn(un, kInf);

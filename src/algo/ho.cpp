@@ -29,6 +29,7 @@
 
 #include "algo/algorithms.h"
 #include "core/result.h"
+#include "obs/obs.h"
 
 namespace mcr {
 
@@ -92,6 +93,7 @@ class HoSolver final : public Solver {
         }
       }
       result.counters.iterations = static_cast<std::uint64_t>(k);
+      obs::emit(obs::EventKind::kIteration, "ho.level", k);
       if (k == n) break;  // level n only feeds Karp's formula
 
       // Look for a cycle on the shortest k-arc path to the argmin node.
@@ -143,6 +145,7 @@ class HoSolver final : public Solver {
       if (mu_changed || k >= next_checkpoint) {
         if (k >= next_checkpoint) next_checkpoint *= 2;
         ++result.counters.feasibility_checks;
+        obs::emit(obs::EventKind::kFeasibilityProbe, "ho.criticality_check", k);
         if (potentials_feasible(g, pi, mu)) {
           result.has_cycle = true;
           result.value = mu;

@@ -31,6 +31,7 @@
 #include "core/critical.h"
 #include "core/result.h"
 #include "graph/traversal.h"
+#include "obs/obs.h"
 #include "support/int128.h"
 
 namespace mcr {
@@ -101,6 +102,7 @@ class HartmannOrlinRatioSolver final : public Solver {
     relax_zero_arcs(0);
     for (std::int64_t t = 1; t <= total; ++t) {
       ++result.counters.iterations;
+      obs::emit(obs::EventKind::kIteration, "ho_ratio.level", t);
       for (NodeId v = 0; v < n; ++v) {
         std::int64_t best = kInf;
         for (const ArcId a : g.in_arcs(v)) {

@@ -34,6 +34,7 @@
 #include "algo/algorithms.h"
 #include "algo/detail.h"
 #include "core/result.h"
+#include "obs/obs.h"
 #include "support/int128.h"
 
 namespace mcr {
@@ -112,6 +113,7 @@ class HowardSolver final : public Solver {
 
     for (std::int32_t iter = 0;; ++iter) {
       ++result.counters.iterations;
+      obs::emit(obs::EventKind::kIteration, "howard.iteration", iter);
 
       // --- Evaluate: find the minimum mean (ratio) cycle of G_pi. ---
       bool have_lambda = false;
@@ -175,6 +177,7 @@ class HowardSolver final : public Solver {
           // Out of 64-bit headroom (unreachable for the supported
           // weight/transit ranges): finish exactly by cycle canceling,
           // like the iteration safety valve below.
+          obs::emit(obs::EventKind::kSafetyValve, "howard.scale_overflow", iter);
           detail::refine_to_exact(g, kind_, lambda, best_cycle, result.counters);
           break;
         }
@@ -211,6 +214,7 @@ class HowardSolver final : public Solver {
       const std::int64_t eps_scaled =
           static_cast<std::int64_t>(epsilon_ * static_cast<double>(cur_den));
       bool improved = false;
+      std::int64_t adopted = 0;
       for (ArcId a = 0; a < g.num_arcs(); ++a) {
         ++result.counters.arc_scans;
         const NodeId u = g.src(a);
@@ -222,9 +226,11 @@ class HowardSolver final : public Solver {
           dist[static_cast<std::size_t>(u)] = cand;
           policy[static_cast<std::size_t>(u)] = a;
           ++result.counters.relaxations;
+          ++adopted;
           if (delta > eps_scaled) improved = true;
         }
       }
+      obs::emit(obs::EventKind::kPolicyImprove, "howard.policy_improve", adopted);
       if (!improved) break;
 
       // Safety valve: policy iteration is only pseudo-polynomial (the
@@ -234,6 +240,7 @@ class HowardSolver final : public Solver {
       // negative in G_lambda until none exists. Never triggers on the
       // paper's workloads; counted in feasibility_checks when it does.
       if (iter > iteration_cap(n, g.num_arcs())) {
+        obs::emit(obs::EventKind::kSafetyValve, "howard.iteration_cap", iter);
         detail::refine_to_exact(g, kind_, lambda, best_cycle, result.counters);
         break;
       }

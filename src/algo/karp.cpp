@@ -18,6 +18,7 @@
 
 #include "algo/algorithms.h"
 #include "core/result.h"
+#include "obs/obs.h"
 #include "support/int128.h"
 
 namespace mcr {
@@ -58,6 +59,9 @@ class KarpSolver final : public Solver {
       }
     }
     result.counters.iterations = static_cast<std::uint64_t>(n);
+    // Karp is a fixed n-level table fill; one summary instant in place
+    // of n per-level events keeps traces of big instances readable.
+    obs::emit(obs::EventKind::kIteration, "karp.levels", n);
 
     // lambda* = min_v max_k (D_n(v) - D_k(v)) / (n - k). Fractions are
     // compared raw (128-bit cross multiplication); the Rational is

@@ -13,6 +13,7 @@
 
 #include "algo/algorithms.h"
 #include "core/result.h"
+#include "obs/obs.h"
 #include "support/int128.h"
 
 namespace mcr {
@@ -79,6 +80,7 @@ class Karp2Solver final : public Solver {
       }
     }
     result.counters.iterations = 2 * static_cast<std::uint64_t>(n);
+    obs::emit(obs::EventKind::kIteration, "karp2.levels", 2 * n);
 
     bool found = false;
     std::int64_t best_num = 0;

@@ -29,6 +29,7 @@
 #include "core/result.h"
 #include "graph/bellman_ford.h"
 #include "graph/traversal.h"
+#include "obs/obs.h"
 
 namespace mcr {
 
@@ -88,6 +89,8 @@ class LawlerSolver final : public Solver {
     std::vector<double> cost(static_cast<std::size_t>(m));
     while (hi - lo > epsilon_) {
       ++result.counters.iterations;
+      obs::emit(obs::EventKind::kIteration, "lawler.bisection",
+                static_cast<std::int64_t>(result.counters.iterations));
       const double mid = lo + (hi - lo) / 2.0;
       // Guard against double-precision stall: at large weight
       // magnitudes the interval can stop shrinking before reaching
@@ -98,6 +101,8 @@ class LawlerSolver final : public Solver {
             static_cast<double>(g.weight(a)) - mid * static_cast<double>(transit(a));
       }
       ++result.counters.feasibility_checks;
+      obs::emit(obs::EventKind::kFeasibilityProbe, "lawler.probe",
+                static_cast<std::int64_t>(result.counters.feasibility_checks));
       BellmanFordRealResult bf = bellman_ford_all_real(g, cost, &result.counters);
       if (bf.has_negative_cycle) {
         // lambda* < mid: the probed value is too large.

@@ -23,6 +23,7 @@
 #include "core/result.h"
 #include "graph/bellman_ford.h"
 #include "graph/traversal.h"
+#include "obs/obs.h"
 #include "support/int128.h"
 
 namespace mcr {
@@ -69,6 +70,8 @@ class MegiddoSolver final : public Solver {
     // interval either way; infeasible probes snap hi to a cycle value.
     const auto oracle_geq = [&](const Rational& rho0) -> bool {
       ++result.counters.feasibility_checks;
+      obs::emit(obs::EventKind::kFeasibilityProbe, "megiddo.oracle",
+                static_cast<std::int64_t>(result.counters.feasibility_checks));
       const std::vector<std::int64_t> cost = lambda_costs(g, rho0, kind_);
       BellmanFordResult bf = bellman_ford_all(g, cost, &result.counters);
       if (!bf.has_negative_cycle) {
@@ -111,6 +114,7 @@ class MegiddoSolver final : public Solver {
     // Bellman-Ford over the symbolic labels with early exit.
     for (NodeId pass = 0; pass <= n; ++pass) {
       ++result.counters.iterations;
+      obs::emit(obs::EventKind::kIteration, "megiddo.pass", pass);
       bool changed = false;
       for (ArcId a = 0; a < m; ++a) {
         ++result.counters.arc_scans;

@@ -28,6 +28,7 @@
 #include "algo/detail.h"
 #include "core/result.h"
 #include "graph/traversal.h"
+#include "obs/obs.h"
 
 namespace mcr {
 
@@ -66,6 +67,8 @@ class Oa1Solver final : public Solver {
 
     while (hi - lo > epsilon_) {
       ++result.counters.iterations;
+      obs::emit(obs::EventKind::kIteration, "oa1.phase",
+                static_cast<std::int64_t>(result.counters.iterations));
       pass_budget = std::min<std::size_t>(static_cast<std::size_t>(n) + 1,
                                           pass_budget + pass_budget / 4 + 1);
       const double mid = lo + (hi - lo) / 2.0;
@@ -93,6 +96,8 @@ class Oa1Solver final : public Solver {
         if (last_relaxed == kInvalidNode) break;
       }
       ++result.counters.feasibility_checks;
+      obs::emit(obs::EventKind::kFeasibilityProbe, "oa1.budgeted_probe",
+                static_cast<std::int64_t>(pass_budget));
 
       std::vector<ArcId> cyc;
       if (last_relaxed != kInvalidNode) {

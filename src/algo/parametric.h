@@ -36,6 +36,7 @@
 #include "core/problem.h"
 #include "core/result.h"
 #include "graph/graph.h"
+#include "obs/obs.h"
 #include "support/int128.h"
 #include "support/op_counters.h"
 #include "support/rational.h"
@@ -238,8 +239,15 @@ CycleResult solve_ko_with(const Graph& g, ProblemKind kind) {
 
   for (ArcId e = 0; e < g.num_arcs(); ++e) refresh_arc(e);
 
+  // Hoist the sink lookup out of the pivot loop: pivots are the whole
+  // running time here, so the disabled path must stay one register test.
+  obs::TraceSink* const sink = obs::current_sink();
   while (!heap.empty()) {
     ++result.counters.iterations;
+    if (sink != nullptr) {
+      sink->instant(obs::EventKind::kIteration, "ko.pivot",
+                    static_cast<std::int64_t>(result.counters.iterations));
+    }
     const ArcId e = heap.extract_min();
     ++result.counters.heap_delete_mins;
     Frac key;
@@ -313,8 +321,14 @@ CycleResult solve_yto_with(const Graph& g, ProblemKind kind) {
 
   for (NodeId v = 0; v < g.num_nodes(); ++v) refresh_node(v);
 
+  // Same hoist as KO: keep the untraced pivot loop free of TLS loads.
+  obs::TraceSink* const sink = obs::current_sink();
   while (!heap.empty()) {
     ++result.counters.iterations;
+    if (sink != nullptr) {
+      sink->instant(obs::EventKind::kIteration, "yto.pivot",
+                    static_cast<std::int64_t>(result.counters.iterations));
+    }
     const NodeId v = heap.min_item();
     const ArcId e = best_arc[static_cast<std::size_t>(v)];
     Frac key;

@@ -3,6 +3,7 @@
 #include "benchkit/workloads.h"
 #include "core/driver.h"
 #include "core/registry.h"
+#include "obs/trace_recorder.h"
 #include "support/stats.h"
 
 namespace mcr::bench {
@@ -41,6 +42,20 @@ TimedRun time_solver(const std::string& name, const Graph& g,
   out.seconds = timer.seconds();
   out.ran = true;
   return out;
+}
+
+std::map<std::string, double> phase_breakdown(const std::string& name, const Graph& g,
+                                              const SolveOptions& options) {
+  obs::TraceRecorder recorder;
+  SolveOptions traced = options;
+  traced.trace = &recorder;
+  const auto solver = SolverRegistry::instance().create(name);
+  if (solver->kind() == ProblemKind::kCycleMean) {
+    (void)minimum_cycle_mean(g, *solver, traced);
+  } else {
+    (void)minimum_cycle_ratio(g, *solver, traced);
+  }
+  return recorder.span_totals();
 }
 
 TimedBatch time_solver_batch(const std::string& name, std::span<const Graph> graphs,

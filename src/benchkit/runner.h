@@ -48,6 +48,14 @@ struct TimedBatch {
 /// only the Karp-family quadratic-space algorithms matter.
 [[nodiscard]] std::size_t estimated_bytes(const std::string& name, NodeId n, ArcId m);
 
+/// Runs the registry solver `name` on g with an obs::TraceRecorder
+/// installed and returns seconds spent per driver phase, keyed by span
+/// kind ("solve", "scc_decompose", "component", "merge",
+/// "witness_extract"). Component time is summed across worker threads,
+/// so with num_threads > 1 it can exceed the enclosing solve span.
+[[nodiscard]] std::map<std::string, double> phase_breakdown(
+    const std::string& name, const Graph& g, const SolveOptions& options = {});
+
 /// Tracks per-solver worst-case times; once a solver exceeds the budget
 /// it is skipped for all subsequent (larger) instances, like the
 /// paper's day-long cutoffs.

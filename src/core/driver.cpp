@@ -8,6 +8,7 @@
 #include "core/registry.h"
 #include "graph/scc.h"
 #include "graph/transforms.h"
+#include "support/stats.h"
 #include "support/thread_pool.h"
 
 namespace mcr {
@@ -18,11 +19,25 @@ int resolve_threads(int num_threads) {
   return num_threads <= 0 ? ThreadPool::hardware_threads() : num_threads;
 }
 
+/// Records the pool's per-worker utilization (scheduling-dependent, so
+/// deliberately kept out of the deterministic solver metrics).
+void record_pool_metrics(obs::MetricsRegistry& metrics, const ThreadPool& pool) {
+  const std::vector<ThreadPool::WorkerStats> stats = pool.worker_stats();
+  for (std::size_t w = 0; w < stats.size(); ++w) {
+    const std::string label = "{worker=\"" + std::to_string(w) + "\"}";
+    metrics.counter("mcr_pool_tasks_total" + label).add(stats[w].tasks_executed);
+    metrics.counter("mcr_pool_steals_total" + label).add(stats[w].steals);
+    metrics.counter("mcr_pool_idle_microseconds_total" + label)
+        .add(static_cast<std::uint64_t>(stats[w].idle_seconds * 1e6));
+  }
+}
+
 /// Runs tasks[0..n) either inline or across a pool, capturing any
 /// exception per slot; the first (lowest-index) exception is rethrown so
 /// failure behaviour does not depend on thread scheduling.
 template <typename Fn>
-void run_indexed(std::size_t n, int threads, const Fn& task) {
+void run_indexed(std::size_t n, int threads, obs::MetricsRegistry* metrics,
+                 const Fn& task) {
   if (threads <= 1 || n <= 1) {
     for (std::size_t i = 0; i < n; ++i) task(i);
     return;
@@ -40,6 +55,7 @@ void run_indexed(std::size_t n, int threads, const Fn& task) {
       });
     }
     pool.wait_idle();
+    if (metrics != nullptr) record_pool_metrics(*metrics, pool);
   }
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
@@ -48,70 +64,107 @@ void run_indexed(std::size_t n, int threads, const Fn& task) {
 
 CycleResult solve_decomposed(const Graph& g, const Solver& solver,
                              const SolveOptions& options) {
+  // Install the sink on the calling thread for the whole solve; worker
+  // threads install it per task below. With options.trace == nullptr
+  // every emission site reduces to a pointer check.
+  const obs::SinkScope sink_scope(options.trace);
+  std::string solve_label;
+  if (options.trace != nullptr) solve_label = "solve:" + solver.name();
+  const obs::Span solve_span(obs::EventKind::kSolve, solve_label);
+
   CycleResult best;
-  const SccDecomposition scc = strongly_connected_components(g);
-  const std::size_t num_comp = static_cast<std::size_t>(scc.num_components);
-
-  // Group nodes and arcs by cyclic component in one pass each (building
-  // per-component subgraphs via induced_subgraph would rescan all arcs
-  // once per component — O(m * #components) on circuit-like graphs with
-  // hundreds of SCCs).
+  SccDecomposition scc;
   std::vector<NodeId> local_id(static_cast<std::size_t>(g.num_nodes()), kInvalidNode);
-  std::vector<NodeId> comp_size(num_comp, 0);
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    const auto c = static_cast<std::size_t>(scc.component[static_cast<std::size_t>(v)]);
-    if (!scc.component_is_cyclic[c]) continue;
-    local_id[static_cast<std::size_t>(v)] = comp_size[c]++;
-  }
-  std::vector<std::vector<ArcSpec>> comp_arcs(num_comp);
-  std::vector<std::vector<ArcId>> comp_parent_arc(num_comp);
-  for (ArcId a = 0; a < g.num_arcs(); ++a) {
-    const NodeId u = g.src(a);
-    const NodeId v = g.dst(a);
-    const auto c = static_cast<std::size_t>(scc.component[static_cast<std::size_t>(u)]);
-    if (scc.component[static_cast<std::size_t>(v)] != scc.component[static_cast<std::size_t>(u)]) {
-      continue;
-    }
-    if (!scc.component_is_cyclic[c]) continue;
-    comp_arcs[c].push_back(ArcSpec{local_id[static_cast<std::size_t>(u)],
-                                   local_id[static_cast<std::size_t>(v)], g.weight(a),
-                                   g.transit(a)});
-    comp_parent_arc[c].push_back(a);
-  }
-
+  std::vector<NodeId> comp_size;
+  std::vector<std::vector<ArcSpec>> comp_arcs;
+  std::vector<std::vector<ArcId>> comp_parent_arc;
   std::vector<std::size_t> cyclic;
-  cyclic.reserve(num_comp);
-  for (std::size_t c = 0; c < num_comp; ++c) {
-    if (scc.component_is_cyclic[c]) cyclic.push_back(c);
+  {
+    const obs::Span span(obs::EventKind::kSccDecompose, "scc_decompose");
+    scc = strongly_connected_components(g);
+    const std::size_t num_comp = static_cast<std::size_t>(scc.num_components);
+
+    // Group nodes and arcs by cyclic component in one pass each (building
+    // per-component subgraphs via induced_subgraph would rescan all arcs
+    // once per component — O(m * #components) on circuit-like graphs with
+    // hundreds of SCCs).
+    comp_size.assign(num_comp, 0);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto c = static_cast<std::size_t>(scc.component[static_cast<std::size_t>(v)]);
+      if (!scc.component_is_cyclic[c]) continue;
+      local_id[static_cast<std::size_t>(v)] = comp_size[c]++;
+    }
+    comp_arcs.resize(num_comp);
+    comp_parent_arc.resize(num_comp);
+    for (ArcId a = 0; a < g.num_arcs(); ++a) {
+      const NodeId u = g.src(a);
+      const NodeId v = g.dst(a);
+      const auto c = static_cast<std::size_t>(scc.component[static_cast<std::size_t>(u)]);
+      if (scc.component[static_cast<std::size_t>(v)] != scc.component[static_cast<std::size_t>(u)]) {
+        continue;
+      }
+      if (!scc.component_is_cyclic[c]) continue;
+      comp_arcs[c].push_back(ArcSpec{local_id[static_cast<std::size_t>(u)],
+                                     local_id[static_cast<std::size_t>(v)], g.weight(a),
+                                     g.transit(a)});
+      comp_parent_arc[c].push_back(a);
+    }
+
+    cyclic.reserve(num_comp);
+    for (std::size_t c = 0; c < num_comp; ++c) {
+      if (scc.component_is_cyclic[c]) cyclic.push_back(c);
+    }
   }
+  const std::size_t num_comp = static_cast<std::size_t>(scc.num_components);
 
   // Solve each cyclic component independently (possibly concurrently;
   // solve_scc is const and solvers keep all state in locals, so one
-  // solver instance serves every worker).
+  // solver instance serves every worker). Each task installs the trace
+  // sink on its worker thread, so component spans carry that worker's
+  // thread id in the exported trace.
+  obs::Histogram* component_seconds =
+      options.metrics != nullptr
+          ? &options.metrics->histogram("mcr_component_solve_seconds")
+          : nullptr;
   std::vector<CycleResult> sub_results(cyclic.size());
-  run_indexed(cyclic.size(), resolve_threads(options.num_threads),
+  run_indexed(cyclic.size(), resolve_threads(options.num_threads), options.metrics,
               [&](std::size_t i) {
+                const obs::SinkScope worker_scope(options.trace);
                 const std::size_t c = cyclic[i];
                 const Graph sub(comp_size[c], comp_arcs[c]);
+                std::string label;
+                if (options.trace != nullptr) {
+                  label = "component#" + std::to_string(c) +
+                          " n=" + std::to_string(sub.num_nodes()) +
+                          " m=" + std::to_string(sub.num_arcs());
+                }
+                const obs::Span span(obs::EventKind::kComponent, label);
+                Timer timer;
                 sub_results[i] = solver.solve_scc(sub);
+                if (component_seconds != nullptr) {
+                  component_seconds->observe(timer.seconds());
+                }
               });
 
   // Deterministic merge in component-index order: identical output for
   // any thread count.
   std::size_t best_comp = num_comp;  // sentinel: none
   std::vector<ArcId> best_local_cycle;
-  for (std::size_t i = 0; i < cyclic.size(); ++i) {
-    CycleResult& r = sub_results[i];
-    if (!r.has_cycle) {
-      throw std::logic_error("solver " + solver.name() +
-                             " returned no cycle on a cyclic SCC");
-    }
-    best.counters += r.counters;
-    if (!best.has_cycle || r.value < best.value) {
-      best.has_cycle = true;
-      best.value = r.value;
-      best_comp = cyclic[i];
-      best_local_cycle = std::move(r.cycle);
+  {
+    const obs::Span span(obs::EventKind::kMerge, "merge");
+    for (std::size_t i = 0; i < cyclic.size(); ++i) {
+      CycleResult& r = sub_results[i];
+      if (!r.has_cycle) {
+        throw std::logic_error("solver " + solver.name() +
+                               " returned no cycle on a cyclic SCC");
+      }
+      best.counters += r.counters;
+      if (!best.has_cycle || r.value < best.value) {
+        best.has_cycle = true;
+        best.value = r.value;
+        best_comp = cyclic[i];
+        best_local_cycle = std::move(r.cycle);
+      }
     }
   }
 
@@ -119,13 +172,34 @@ CycleResult solve_decomposed(const Graph& g, const Solver& solver,
     // Value-only solvers leave the witness to us: recover it once, for
     // the winning component only.
     if (best_local_cycle.empty()) {
+      const obs::Span span(obs::EventKind::kWitnessExtract, "witness_extract");
       const Graph sub(comp_size[best_comp], comp_arcs[best_comp]);
       best_local_cycle = extract_optimal_cycle(sub, best.value, solver.kind());
+      if (options.metrics != nullptr) {
+        options.metrics->counter("mcr_witness_extractions_total").add(1);
+      }
     }
     best.cycle.reserve(best_local_cycle.size());
     for (const ArcId a : best_local_cycle) {
       best.cycle.push_back(comp_parent_arc[best_comp][static_cast<std::size_t>(a)]);
     }
+  }
+
+  if (options.metrics != nullptr) {
+    // Solver-work totals: sums over components in merge order, so they
+    // are identical for every thread count (the pool metrics recorded
+    // by run_indexed are the scheduling-dependent complement).
+    obs::MetricsRegistry& m = *options.metrics;
+    m.counter("mcr_solves_total").add(1);
+    m.counter("mcr_components_cyclic_total").add(cyclic.size());
+    const OpCounters& c = best.counters;
+    m.counter("mcr_ops_iterations_total").add(c.iterations);
+    m.counter("mcr_ops_arc_scans_total").add(c.arc_scans);
+    m.counter("mcr_ops_relaxations_total").add(c.relaxations);
+    m.counter("mcr_ops_node_visits_total").add(c.node_visits);
+    m.counter("mcr_ops_heap_total").add(c.heap_total());
+    m.counter("mcr_ops_feasibility_checks_total").add(c.feasibility_checks);
+    m.counter("mcr_ops_cycle_evaluations_total").add(c.cycle_evaluations);
   }
   return best;
 }
@@ -181,11 +255,21 @@ std::vector<CycleResult> solve_many(std::span<const Graph> graphs, const Solver&
     for (const Graph& g : graphs) validate_ratio_instance(g);
   }
   std::vector<CycleResult> results(graphs.size());
+  const obs::SinkScope sink_scope(options.trace);
+  std::string batch_label;
+  if (options.trace != nullptr) {
+    batch_label = "batch:" + solver.name() + " instances=" +
+                  std::to_string(graphs.size());
+  }
+  const obs::Span batch_span(obs::EventKind::kBatch, batch_label);
   // Parallelism is across instances here; each instance solves its own
   // SCCs serially so a batch of b graphs costs b tasks, not b * #SCCs.
-  run_indexed(graphs.size(), resolve_threads(options.num_threads),
+  // Trace/metrics propagate into the per-instance solves (each runs
+  // solve_decomposed on a worker thread, which installs the sink there).
+  const SolveOptions instance_options{1, options.trace, options.metrics};
+  run_indexed(graphs.size(), resolve_threads(options.num_threads), options.metrics,
               [&](std::size_t i) {
-                results[i] = solve_decomposed(graphs[i], solver, SolveOptions{1});
+                results[i] = solve_decomposed(graphs[i], solver, instance_options);
               });
   return results;
 }

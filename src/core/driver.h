@@ -21,6 +21,8 @@
 #include "core/result.h"
 #include "core/solver.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 
 namespace mcr {
 
@@ -30,6 +32,20 @@ struct SolveOptions {
   /// 1 = fully serial (default, no threads spawned); 0 = one worker per
   /// hardware thread; n > 1 = exactly n workers.
   int num_threads = 1;
+
+  /// Optional trace sink (see obs/obs.h). The driver installs it on
+  /// every thread the solve touches, brackets the phases
+  /// (scc_decompose / component / merge / witness_extract) in spans,
+  /// and solvers emit iteration-level instants into it. nullptr (the
+  /// default) disables tracing at the cost of a pointer check.
+  obs::TraceSink* trace = nullptr;
+
+  /// Optional metrics registry. When set, the driver records solve /
+  /// component / operation-count totals and thread-pool worker stats
+  /// into it. Counter totals derived from solver work are identical
+  /// for every num_threads; pool utilization metrics are inherently
+  /// scheduling-dependent. nullptr disables metrics entirely.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Minimum cycle mean of g using `solver` (a kCycleMean solver).

@@ -1,0 +1,191 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/trace_recorder.h"  // json_escape
+
+namespace mcr::obs {
+
+namespace {
+
+/// Base metric name for the # TYPE line: everything before the label set.
+std::string_view base_name(std::string_view name) {
+  const auto brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bucket bounds must be ascending");
+  }
+}
+
+void Histogram::observe(double x) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> via CAS: portable across libstdc++ versions.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + x, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    s.counts.push_back(b.load(std::memory_order_relaxed));
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<double> MetricsRegistry::default_bounds() {
+  std::vector<double> b;
+  for (double v = 1e-6; v < 100.0; v *= 4.0) b.push_back(v);  // 1us .. ~65s
+  return b;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (gauges_.count(name) != 0 || histograms_.count(name) != 0) {
+    throw std::invalid_argument("metric '" + name + "' already registered with another type");
+  }
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
+    throw std::invalid_argument("metric '" + name + "' already registered with another type");
+  }
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  if (name.find('{') != std::string::npos) {
+    throw std::invalid_argument("histogram '" + name + "' must be label-free");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(name) != 0 || gauges_.count(name) != 0) {
+    throw std::invalid_argument("metric '" + name + "' already registered with another type");
+  }
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string_view last_typed;
+  const auto type_line = [&](std::string_view name, const char* type) {
+    const std::string_view base = base_name(name);
+    if (base == last_typed) return;  // label variants share one TYPE line
+    last_typed = base;
+    os << "# TYPE " << base << ' ' << type << '\n';
+  };
+  for (const auto& [name, c] : counters_) {
+    type_line(name, "counter");
+    os << name << ' ' << c->value() << '\n';
+  }
+  last_typed = {};
+  for (const auto& [name, g] : gauges_) {
+    type_line(name, "gauge");
+    os << name << ' ' << g->value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->snapshot();
+    os << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+      cumulative += s.counts[i];
+      os << name << "_bucket{le=\"" << fmt_double(s.bounds[i]) << "\"} "
+         << cumulative << '\n';
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << s.count << '\n';
+    os << name << "_sum " << fmt_double(s.sum) << '\n';
+    os << name << "_count " << s.count << '\n';
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  const auto key = [&](const std::string& name) {
+    out += '"';
+    json_escape(out, name);
+    out += "\":";
+  };
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    key(name);
+    out += std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    key(name);
+    out += std::to_string(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    const Histogram::Snapshot s = h->snapshot();
+    key(name);
+    out += "{\"count\":" + std::to_string(s.count);
+    out += ",\"sum\":" + fmt_double(s.sum);
+    out += ",\"buckets\":[";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+      cumulative += s.counts[i];
+      if (i != 0) out += ',';
+      out += "{\"le\":" + fmt_double(s.bounds[i]) +
+             ",\"count\":" + std::to_string(cumulative) + '}';
+    }
+    if (!s.bounds.empty()) out += ',';
+    out += "{\"le\":\"+Inf\",\"count\":" + std::to_string(s.count) + "}]}";
+  }
+  out += "}}";
+  os << out;
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::ostringstream os;
+  write_prometheus(os);
+  return os.str();
+}
+
+std::string MetricsRegistry::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace mcr::obs

@@ -1,0 +1,112 @@
+// MetricsRegistry — named counters, gauges, and histograms for the
+// solver stack, with Prometheus-style text and JSON exporters.
+//
+// Counters and gauges are single atomics; histograms use atomic bucket
+// counts — all instruments are safe to update from any number of pool
+// workers concurrently, and additive instruments (counters, histogram
+// counts/sums over integer observations) end up with thread-count
+// independent totals, mirroring the parallel driver's deterministic
+// merge contract.
+//
+// Naming follows Prometheus conventions: snake_case, `_total` suffix
+// for counters, optional labels inline in the name
+// (`mcr_pool_tasks_total{worker="0"}`). The text exporter groups label
+// variants under one `# TYPE` line; histograms must be label-free.
+#ifndef MCR_OBS_METRICS_H
+#define MCR_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mcr::obs {
+
+/// Monotonically increasing count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (set wins; no merge semantics).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram (Prometheus semantics: `bounds` are inclusive
+/// upper bounds; an implicit +Inf bucket catches the rest).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x) noexcept;
+
+  struct Snapshot {
+    std::vector<double> bounds;          // upper bounds, ascending
+    std::vector<std::uint64_t> counts;   // per-bucket (bounds.size() + 1)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates the named instrument. References stay valid for
+  /// the registry's lifetime, so hot paths should look up once and
+  /// update through the reference. A name registered as one instrument
+  /// type must not be reused as another (throws std::invalid_argument).
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     std::vector<double> bounds = default_bounds());
+
+  /// Exponential seconds buckets, 1us .. ~65s.
+  [[nodiscard]] static std::vector<double> default_bounds();
+
+  /// Prometheus text exposition format.
+  void write_prometheus(std::ostream& os) const;
+  [[nodiscard]] std::string prometheus_text() const;
+
+  /// One JSON object: {"counters":{..},"gauges":{..},"histograms":{..}}.
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mcr::obs
+
+#endif  // MCR_OBS_METRICS_H

@@ -1,0 +1,31 @@
+#include "obs/obs.h"
+
+namespace mcr::obs {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSolve:
+      return "solve";
+    case EventKind::kSccDecompose:
+      return "scc_decompose";
+    case EventKind::kComponent:
+      return "component";
+    case EventKind::kMerge:
+      return "merge";
+    case EventKind::kWitnessExtract:
+      return "witness_extract";
+    case EventKind::kBatch:
+      return "batch";
+    case EventKind::kIteration:
+      return "iteration";
+    case EventKind::kPolicyImprove:
+      return "policy_improve";
+    case EventKind::kFeasibilityProbe:
+      return "feasibility_probe";
+    case EventKind::kSafetyValve:
+      return "safety_valve";
+  }
+  return "unknown";
+}
+
+}  // namespace mcr::obs

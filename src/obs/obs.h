@@ -1,0 +1,122 @@
+// mcr::obs — structured tracing hooks for the solver stack.
+//
+// The paper's methodology is measurement (§3 compares solvers by
+// representative operation counts and wall-clock time); OpCounters
+// answers "how many operations", this layer answers "where did the time
+// go": SCC decomposition vs. per-component solves vs. witness
+// extraction, and what each solver's main loop did along the way.
+//
+// Design: a TraceSink is installed per *thread* (SinkScope). Solver and
+// driver code emits through free helpers that reduce to a thread-local
+// pointer load plus a branch when no sink is installed — production
+// solves with tracing disabled pay nothing measurable (< 2% on
+// bench_micro; see docs/OBSERVABILITY.md for numbers). The driver
+// installs the sink from SolveOptions on every worker thread it uses,
+// so spans emitted inside a pool task carry that worker's thread id.
+//
+// Event taxonomy (see docs/OBSERVABILITY.md):
+//   spans    — solve, scc_decompose, component, merge, witness_extract,
+//              batch; bracketed via RAII Span.
+//   instants — iteration, policy_improve, feasibility_probe,
+//              safety_valve; point events with an integer payload.
+#ifndef MCR_OBS_OBS_H
+#define MCR_OBS_OBS_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace mcr::obs {
+
+enum class EventKind : std::uint8_t {
+  // Span kinds (begin/end pairs).
+  kSolve,           // one driver entry (solve_decomposed)
+  kSccDecompose,    // SCC decomposition + component partitioning
+  kComponent,       // one cyclic component's solve_scc call
+  kMerge,           // deterministic merge over component results
+  kWitnessExtract,  // witness recovery for value-only solvers
+  kBatch,           // one solve_many batch
+  // Instant kinds (point events with an integer payload).
+  kIteration,         // one outer iteration of a solver's main loop
+  kPolicyImprove,     // policy arcs adopted this round (Howard)
+  kFeasibilityProbe,  // negative-cycle / feasibility oracle call
+  kSafetyValve,       // pseudo-polynomial safety valve engaged
+};
+
+/// Stable lowercase identifier ("component", "iteration", ...); used as
+/// the Chrome trace category and as the per-phase aggregation key.
+[[nodiscard]] const char* to_string(EventKind kind);
+
+/// Receiver for trace events. Implementations must be safe to call from
+/// multiple threads concurrently (the driver installs one sink on every
+/// worker). begin/end pairs are always properly nested per thread —
+/// emission sites use the RAII Span below.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void begin_span(EventKind kind, std::string_view name) = 0;
+  virtual void end_span(EventKind kind) = 0;
+  virtual void instant(EventKind kind, std::string_view name,
+                       std::int64_t value) = 0;
+};
+
+namespace internal {
+inline thread_local TraceSink* tls_sink = nullptr;
+}  // namespace internal
+
+/// The calling thread's installed sink; nullptr when tracing is off.
+[[nodiscard]] inline TraceSink* current_sink() noexcept {
+  return internal::tls_sink;
+}
+
+/// RAII installer: sets the calling thread's sink for the enclosing
+/// scope and restores the previous one on exit. Installing nullptr (the
+/// common disabled path) is valid and free.
+class SinkScope {
+ public:
+  explicit SinkScope(TraceSink* sink) noexcept : prev_(internal::tls_sink) {
+    internal::tls_sink = sink;
+  }
+  ~SinkScope() { internal::tls_sink = prev_; }
+
+  SinkScope(const SinkScope&) = delete;
+  SinkScope& operator=(const SinkScope&) = delete;
+
+ private:
+  TraceSink* prev_;
+};
+
+/// RAII phase span against the calling thread's current sink. The sink
+/// is captured at construction, so the span closes correctly even if
+/// the thread-local changes in between (it does not in practice).
+class Span {
+ public:
+  Span(EventKind kind, std::string_view name) noexcept
+      : sink_(current_sink()), kind_(kind) {
+    if (sink_ != nullptr) sink_->begin_span(kind_, name);
+  }
+  ~Span() {
+    if (sink_ != nullptr) sink_->end_span(kind_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceSink* sink_;
+  EventKind kind_;
+};
+
+/// Emits an instant event if (and only if) a sink is installed. The
+/// disabled path is one thread-local load and a predictable branch —
+/// cheap enough to sit next to OpCounters increments in solver loops.
+inline void emit(EventKind kind, std::string_view name,
+                 std::int64_t value = 0) noexcept {
+  if (TraceSink* sink = current_sink(); sink != nullptr) {
+    sink->instant(kind, name, value);
+  }
+}
+
+}  // namespace mcr::obs
+
+#endif  // MCR_OBS_OBS_H

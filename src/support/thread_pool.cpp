@@ -1,5 +1,6 @@
 #include "support/thread_pool.h"
 
+#include <chrono>
 #include <utility>
 
 namespace mcr {
@@ -61,12 +62,14 @@ bool ThreadPool::run_one(std::size_t self) {
     } else {  // steal: opposite end
       task = std::move(victim.tasks.back());
       victim.tasks.pop_back();
+      workers_[self]->steals.fetch_add(1, std::memory_order_relaxed);
     }
     break;
   }
   if (!task) return false;
   queued_.fetch_sub(1, std::memory_order_relaxed);
   task();
+  workers_[self]->tasks_executed.fetch_add(1, std::memory_order_relaxed);
   if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     std::lock_guard<std::mutex> lk(sleep_mutex_);
     all_done_.notify_all();
@@ -77,16 +80,41 @@ bool ThreadPool::run_one(std::size_t self) {
 void ThreadPool::worker_main(std::size_t self) {
   for (;;) {
     if (run_one(self)) continue;
-    std::unique_lock<std::mutex> lk(sleep_mutex_);
-    work_available_.wait(lk, [this] {
-      return stop_.load(std::memory_order_relaxed) ||
-             queued_.load(std::memory_order_acquire) > 0;
-    });
+    // Idle accounting brackets the park only (two clock reads on a path
+    // where the worker found every deque empty — noise next to a solve).
+    const auto idle_start = std::chrono::steady_clock::now();
+    {
+      std::unique_lock<std::mutex> lk(sleep_mutex_);
+      work_available_.wait(lk, [this] {
+        return stop_.load(std::memory_order_relaxed) ||
+               queued_.load(std::memory_order_acquire) > 0;
+      });
+    }
+    workers_[self]->idle_nanos.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - idle_start)
+                .count()),
+        std::memory_order_relaxed);
     if (stop_.load(std::memory_order_relaxed) &&
         queued_.load(std::memory_order_acquire) == 0) {
       return;
     }
   }
+}
+
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
+  std::vector<WorkerStats> out;
+  out.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    WorkerStats s;
+    s.tasks_executed = w->tasks_executed.load(std::memory_order_relaxed);
+    s.steals = w->steals.load(std::memory_order_relaxed);
+    s.idle_seconds =
+        static_cast<double>(w->idle_nanos.load(std::memory_order_relaxed)) * 1e-9;
+    out.push_back(s);
+  }
+  return out;
 }
 
 void ThreadPool::wait_idle() {

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -47,6 +48,19 @@ class ThreadPool {
 
   [[nodiscard]] int size() const { return static_cast<int>(threads_.size()); }
 
+  /// Per-worker utilization counters for the observability layer.
+  struct WorkerStats {
+    std::uint64_t tasks_executed = 0;  // tasks this worker ran (own + stolen)
+    std::uint64_t steals = 0;          // of those, taken from a victim's deque
+    double idle_seconds = 0.0;         // wall time spent parked waiting for work
+  };
+
+  /// Snapshot of every worker's stats, indexed by worker. Counters are
+  /// updated with relaxed atomics by the workers themselves; read after
+  /// wait_idle() for totals consistent with the submitted work (a
+  /// sleeping worker's idle_seconds grows until it next wakes).
+  [[nodiscard]] std::vector<WorkerStats> worker_stats() const;
+
   /// std::thread::hardware_concurrency with a floor of 1.
   [[nodiscard]] static int hardware_threads();
 
@@ -54,6 +68,9 @@ class ThreadPool {
   struct Worker {
     std::mutex mutex;
     std::deque<std::function<void()>> tasks;
+    std::atomic<std::uint64_t> tasks_executed{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> idle_nanos{0};
   };
 
   void worker_main(std::size_t self);

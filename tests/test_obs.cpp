@@ -1,0 +1,494 @@
+// mcr::obs — tracing sinks, the TraceRecorder + Chrome exporter, and
+// the metrics registry. The contracts under test:
+//   * Span/SinkScope are RAII and thread-local; the null-sink path is a
+//     strict no-op and the sink is restored on scope exit.
+//   * TraceRecorder logs properly nested begin/end pairs per thread and
+//     its Chrome export is syntactically valid JSON with the right
+//     event phases.
+//   * Solver-work metrics recorded by the parallel driver are identical
+//     for every thread count (the deterministic-merge contract extended
+//     to observability).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/driver.h"
+#include "core/registry.h"
+#include "gen/circuit.h"
+#include "gen/structured.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace_recorder.h"
+#include "support/thread_pool.h"
+
+namespace mcr {
+namespace {
+
+using obs::EventKind;
+using obs::TraceRecorder;
+
+// --- Minimal JSON syntax checker --------------------------------------
+// Validates the subset the exporters emit (objects, arrays, strings
+// with escapes, numbers, literals) so exporter tests don't depend on an
+// external parser. Returns true iff the whole input is one JSON value.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '"') return ++pos_, true;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(e) == std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+// --- Sink installation and the null path ------------------------------
+
+TEST(ObsSink, DefaultIsNullAndEmitIsNoOp) {
+  EXPECT_EQ(obs::current_sink(), nullptr);
+  obs::emit(EventKind::kIteration, "nobody.listening", 42);  // must not crash
+  const obs::Span span(EventKind::kSolve, "untraced");
+  EXPECT_EQ(obs::current_sink(), nullptr);
+}
+
+TEST(ObsSink, SinkScopeInstallsAndRestores) {
+  TraceRecorder rec;
+  {
+    const obs::SinkScope scope(&rec);
+    EXPECT_EQ(obs::current_sink(), &rec);
+    {
+      const obs::SinkScope inner(nullptr);  // explicit disable nests too
+      EXPECT_EQ(obs::current_sink(), nullptr);
+    }
+    EXPECT_EQ(obs::current_sink(), &rec);
+    obs::emit(EventKind::kIteration, "scoped", 1);
+  }
+  EXPECT_EQ(obs::current_sink(), nullptr);
+  ASSERT_EQ(rec.events().size(), 1u);
+  EXPECT_EQ(rec.events()[0].name, "scoped");
+}
+
+TEST(ObsSink, SinkIsThreadLocal) {
+  TraceRecorder rec;
+  const obs::SinkScope scope(&rec);
+  obs::TraceSink* seen_on_other_thread = &rec;  // must be overwritten
+  std::thread t([&] { seen_on_other_thread = obs::current_sink(); });
+  t.join();
+  EXPECT_EQ(seen_on_other_thread, nullptr);
+  EXPECT_EQ(obs::current_sink(), &rec);
+}
+
+// --- TraceRecorder: ordering, nesting, export -------------------------
+
+TEST(TraceRecorder, RecordsNestedSpansInOrder) {
+  TraceRecorder rec;
+  {
+    const obs::SinkScope scope(&rec);
+    const obs::Span outer(EventKind::kSolve, "solve:test");
+    {
+      const obs::Span inner(EventKind::kSccDecompose, "scc_decompose");
+      obs::emit(EventKind::kIteration, "iter", 3);
+    }
+  }
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].phase, TraceRecorder::Phase::kBegin);
+  EXPECT_EQ(events[0].kind, EventKind::kSolve);
+  EXPECT_EQ(events[1].phase, TraceRecorder::Phase::kBegin);
+  EXPECT_EQ(events[1].kind, EventKind::kSccDecompose);
+  EXPECT_EQ(events[2].phase, TraceRecorder::Phase::kInstant);
+  EXPECT_EQ(events[2].value, 3);
+  EXPECT_EQ(events[3].phase, TraceRecorder::Phase::kEnd);
+  EXPECT_EQ(events[3].kind, EventKind::kSccDecompose);
+  EXPECT_EQ(events[4].phase, TraceRecorder::Phase::kEnd);
+  EXPECT_EQ(events[4].kind, EventKind::kSolve);
+  // Timestamps are monotone within the single emitting thread.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].micros, events[i - 1].micros);
+    EXPECT_EQ(events[i].tid, 0u);
+  }
+  EXPECT_EQ(rec.num_threads(), 1u);
+}
+
+TEST(TraceRecorder, ChromeExportIsValidJsonWithBalancedPhases) {
+  TraceRecorder rec;
+  {
+    const obs::SinkScope scope(&rec);
+    const obs::Span outer(EventKind::kSolve, "solve:howard");
+    const obs::Span comp(EventKind::kComponent, "component#0 n=5 m=7");
+    obs::emit(EventKind::kPolicyImprove, "howard.policy_improve", 2);
+  }
+  const std::string json = rec.chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // Two "B", two "E", one "i" — counted crudely but unambiguously since
+  // ph values are single-character strings.
+  const auto count = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t p = json.find(needle); p != std::string::npos;
+         p = json.find(needle, p + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("\"ph\":\"B\""), 2u);
+  EXPECT_EQ(count("\"ph\":\"E\""), 2u);
+  EXPECT_EQ(count("\"ph\":\"i\""), 1u);
+}
+
+TEST(TraceRecorder, ExportEscapesHostileNames) {
+  TraceRecorder rec;
+  {
+    const obs::SinkScope scope(&rec);
+    obs::emit(EventKind::kIteration, "quote\"back\\slash\nnew\ttab\x01ctl", 1);
+  }
+  const std::string json = rec.chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+}
+
+TEST(TraceRecorder, AssignsDenseThreadIdsAcrossWorkers) {
+  TraceRecorder rec;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec] {
+      const obs::SinkScope scope(&rec);
+      const obs::Span span(EventKind::kComponent, "component");
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(rec.num_threads(), static_cast<std::size_t>(kThreads));
+  for (const auto& e : rec.events()) {
+    EXPECT_LT(e.tid, static_cast<std::uint32_t>(kThreads));
+  }
+}
+
+TEST(TraceRecorder, SpanTotalsSumNestedAndConcurrentSpans) {
+  TraceRecorder rec;
+  {
+    const obs::SinkScope scope(&rec);
+    const obs::Span outer(EventKind::kSolve, "solve:x");
+    const obs::Span c1(EventKind::kComponent, "component#0");
+  }
+  const auto totals = rec.span_totals();
+  ASSERT_TRUE(totals.count("solve"));
+  ASSERT_TRUE(totals.count("component"));
+  // The component span is nested inside the solve span, so its total
+  // cannot exceed the solve total (single thread).
+  EXPECT_LE(totals.at("component"), totals.at("solve"));
+  EXPECT_GE(totals.at("component"), 0.0);
+}
+
+// --- Traced solves through the driver ---------------------------------
+
+Graph multi_scc_graph() {
+  gen::CircuitConfig cc;
+  cc.registers = 120;
+  cc.module_size = 8;
+  cc.seed = 7;
+  return gen::circuit(cc);
+}
+
+TEST(TracedSolve, DriverEmitsBalancedPhaseSpans) {
+  const Graph g = multi_scc_graph();
+  TraceRecorder rec;
+  const auto solver = SolverRegistry::instance().create("howard");
+  const SolveOptions options{.num_threads = 2, .trace = &rec};
+  const CycleResult r = minimum_cycle_mean(g, *solver, options);
+  ASSERT_TRUE(r.has_cycle);
+
+  // Begin/end balance per kind, and per-thread stack discipline.
+  std::map<std::string, int> open;
+  std::map<std::uint32_t, std::vector<EventKind>> stacks;
+  for (const auto& e : rec.events()) {
+    if (e.phase == TraceRecorder::Phase::kBegin) {
+      ++open[obs::to_string(e.kind)];
+      stacks[e.tid].push_back(e.kind);
+    } else if (e.phase == TraceRecorder::Phase::kEnd) {
+      --open[obs::to_string(e.kind)];
+      ASSERT_FALSE(stacks[e.tid].empty());
+      EXPECT_EQ(stacks[e.tid].back(), e.kind);
+      stacks[e.tid].pop_back();
+    }
+  }
+  for (const auto& [kind, n] : open) EXPECT_EQ(n, 0) << kind;
+  EXPECT_GE(open.size(), 3u);  // solve, scc_decompose, component at least
+  EXPECT_TRUE(open.count("solve"));
+  EXPECT_TRUE(open.count("scc_decompose"));
+  EXPECT_TRUE(open.count("component"));
+  EXPECT_TRUE(open.count("merge"));
+  EXPECT_TRUE(JsonChecker(rec.chrome_trace_json()).valid());
+}
+
+TEST(TracedSolve, UntracedSolveMatchesTracedSolve) {
+  const Graph g = multi_scc_graph();
+  const auto solver = SolverRegistry::instance().create("howard");
+  TraceRecorder rec;
+  const CycleResult plain = minimum_cycle_mean(g, *solver);
+  const CycleResult traced =
+      minimum_cycle_mean(g, *solver, SolveOptions{.num_threads = 1, .trace = &rec});
+  EXPECT_EQ(plain.value, traced.value);
+  EXPECT_EQ(plain.cycle, traced.cycle);
+  EXPECT_EQ(plain.counters, traced.counters);
+  EXPECT_FALSE(rec.events().empty());
+}
+
+// --- Metrics instruments ----------------------------------------------
+
+TEST(Metrics, CounterGaugeBasics) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("mcr_test_total");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_EQ(&reg.counter("mcr_test_total"), &c);  // same instrument back
+
+  obs::Gauge& ga = reg.gauge("mcr_test_gauge");
+  ga.set(-3);
+  ga.add(10);
+  EXPECT_EQ(ga.value(), 7);
+}
+
+TEST(Metrics, CrossTypeNameReuseThrows) {
+  obs::MetricsRegistry reg;
+  (void)reg.counter("mcr_name");
+  EXPECT_THROW((void)reg.gauge("mcr_name"), std::invalid_argument);
+  EXPECT_THROW((void)reg.histogram("mcr_name"), std::invalid_argument);
+}
+
+TEST(Metrics, HistogramBucketsArePrometheusStyle) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("mcr_lat_seconds", {0.1, 1.0, 10.0});
+  h.observe(0.05);   // bucket 0
+  h.observe(0.5);    // bucket 1
+  h.observe(1.0);    // bucket 1 (le is inclusive)
+  h.observe(100.0);  // +Inf bucket
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 2u);
+  EXPECT_EQ(snap.counts[2], 0u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 101.55);
+
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# TYPE mcr_lat_seconds histogram"), std::string::npos);
+  // Bucket counts are cumulative in the text exposition.
+  EXPECT_NE(text.find("mcr_lat_seconds_bucket{le=\"1\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("mcr_lat_seconds_bucket{le=\"+Inf\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("mcr_lat_seconds_count 4"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusTextGroupsLabelVariants) {
+  obs::MetricsRegistry reg;
+  reg.counter("mcr_pool_tasks_total{worker=\"0\"}").add(3);
+  reg.counter("mcr_pool_tasks_total{worker=\"1\"}").add(5);
+  const std::string text = reg.prometheus_text();
+  // One TYPE line for the base name, both labeled samples present.
+  std::size_t type_lines = 0;
+  for (std::size_t p = text.find("# TYPE mcr_pool_tasks_total counter");
+       p != std::string::npos;
+       p = text.find("# TYPE mcr_pool_tasks_total counter", p + 1)) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  EXPECT_NE(text.find("mcr_pool_tasks_total{worker=\"0\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("mcr_pool_tasks_total{worker=\"1\"} 5"), std::string::npos);
+}
+
+TEST(Metrics, JsonExportIsValid) {
+  obs::MetricsRegistry reg;
+  reg.counter("mcr_a_total").add(1);
+  reg.gauge("mcr_b").set(-7);
+  reg.histogram("mcr_c_seconds", {0.5}).observe(0.1);
+  const std::string json = reg.json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"mcr_a_total\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"mcr_b\":-7"), std::string::npos);
+  EXPECT_NE(json.find("\"+Inf\""), std::string::npos);
+}
+
+// --- Driver metrics: the determinism contract -------------------------
+
+std::map<std::string, std::uint64_t> solver_work_metrics(const Graph& g, int threads) {
+  obs::MetricsRegistry reg;
+  const auto solver = SolverRegistry::instance().create("howard");
+  const SolveOptions options{.num_threads = threads, .metrics = &reg};
+  (void)minimum_cycle_mean(g, *solver, options);
+  // Re-read through the registry: only the deterministic solver-work
+  // counters, not the scheduling-dependent mcr_pool_* ones.
+  std::map<std::string, std::uint64_t> out;
+  for (const char* name :
+       {"mcr_solves_total", "mcr_components_cyclic_total", "mcr_ops_iterations_total",
+        "mcr_ops_arc_scans_total", "mcr_ops_relaxations_total",
+        "mcr_ops_node_visits_total", "mcr_ops_heap_total",
+        "mcr_ops_feasibility_checks_total", "mcr_ops_cycle_evaluations_total"}) {
+    out[name] = reg.counter(name).value();
+  }
+  return out;
+}
+
+TEST(DriverMetrics, SolverWorkTotalsIdenticalForAnyThreadCount) {
+  const Graph g = multi_scc_graph();
+  const auto serial = solver_work_metrics(g, 1);
+  EXPECT_GT(serial.at("mcr_components_cyclic_total"), 1u);
+  EXPECT_GT(serial.at("mcr_ops_arc_scans_total"), 0u);
+  for (const int threads : {2, 8}) {
+    EXPECT_EQ(solver_work_metrics(g, threads), serial) << threads << " threads";
+  }
+}
+
+TEST(DriverMetrics, ComponentHistogramCountsComponents) {
+  const Graph g = multi_scc_graph();
+  obs::MetricsRegistry reg;
+  const auto solver = SolverRegistry::instance().create("howard");
+  (void)minimum_cycle_mean(g, *solver, SolveOptions{.num_threads = 4, .metrics = &reg});
+  const auto snap = reg.histogram("mcr_component_solve_seconds").snapshot();
+  EXPECT_EQ(snap.count, reg.counter("mcr_components_cyclic_total").value());
+  EXPECT_GE(snap.sum, 0.0);
+}
+
+// --- ThreadPool worker stats ------------------------------------------
+
+TEST(ThreadPoolStats, TasksExecutedSumsToSubmitted) {
+  ThreadPool pool(3);
+  for (int i = 0; i < 500; ++i) {
+    pool.submit([] {});
+  }
+  pool.wait_idle();
+  const auto stats = pool.worker_stats();
+  ASSERT_EQ(stats.size(), 3u);
+  std::uint64_t total = 0;
+  for (const auto& w : stats) {
+    total += w.tasks_executed;
+    EXPECT_GE(w.idle_seconds, 0.0);
+  }
+  EXPECT_EQ(total, 500u);
+}
+
+}  // namespace
+}  // namespace mcr

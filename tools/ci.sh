@@ -2,7 +2,9 @@
 # CI gate: build Release and ASan+UBSan, run the full test suite in
 # both, then run a differential-fuzz smoke (mean + ratio, serial and
 # threaded) under the sanitizers so exactness bugs of the Howard-rescale
-# class cannot regress silently.
+# class cannot regress silently. Each config also runs a traced +
+# metered multi-SCC smoke solve and validates the exported trace /
+# metrics JSON with python3 -m json.tool.
 #
 #   tools/ci.sh [--fast]
 #
@@ -18,17 +20,36 @@ FAST=0
 
 run() { echo "+ $*" >&2; "$@"; }
 
+# Traced + metered smoke solve against a freshly built tree: a
+# multi-SCC circuit instance through 4 worker threads, trace and
+# metrics exported and syntax-checked. $1 = build dir.
+obs_smoke() {
+  local bdir="$1"
+  local tmp
+  tmp="$(mktemp -d)"
+  echo "=== obs smoke ($bdir) ==="
+  run "$bdir/tools/mcr_gen" circuit --n 4000 --module 16 --seed 42 \
+      --out "$tmp/smoke.dimacs"
+  run "$bdir/tools/mcr_solve" "$tmp/smoke.dimacs" --threads 4 \
+      --trace "$tmp/trace.json" --metrics --metrics-json "$tmp/metrics.json"
+  run python3 -m json.tool "$tmp/trace.json" > /dev/null
+  run python3 -m json.tool "$tmp/metrics.json" > /dev/null
+  rm -rf "$tmp"
+}
+
 if [[ "$FAST" == 0 ]]; then
   echo "=== Release build + tests ==="
   run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
   run cmake --build build -j "$JOBS"
   run ctest --test-dir build --output-on-failure -j "$JOBS"
+  obs_smoke build
 fi
 
 echo "=== ASan+UBSan build + tests ==="
 run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMCR_SANITIZE=ON
 run cmake --build build-asan -j "$JOBS"
 run ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+obs_smoke build-asan
 
 echo "=== fuzz smoke (sanitized, ${FUZZ_TRIALS} trials per config) ==="
 FUZZ=build-asan/tools/mcr_fuzz

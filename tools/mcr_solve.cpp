@@ -2,6 +2,7 @@
 //
 //   mcr_solve <file.dimacs> [--algo howard] [--ratio] [--max]
 //             [--verify] [--critical] [--counters] [--all] [--threads N]
+//             [--trace FILE] [--metrics] [--metrics-json FILE]
 //
 //   --algo NAME   registry solver (default: howard / howard_ratio)
 //   --ratio       optimize w(C)/t(C) instead of w(C)/|C|
@@ -14,8 +15,16 @@
 //   --counters    print the solver's operation counters
 //   --all         run every registered solver of the problem kind
 //   --json        machine-readable result on stdout
+//   --trace FILE  record a Chrome/Perfetto trace of the solve (phase
+//                 spans + solver iteration events; open in
+//                 ui.perfetto.dev). With --all, one file covers every
+//                 solver's run back to back.
+//   --metrics     print Prometheus-style metrics after the result
+//   --metrics-json FILE   write the metrics as one JSON object
 //   --list        list registered solvers and exit
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 
 #include "cli.h"
 #include "core/critical.h"
@@ -23,6 +32,8 @@
 #include "core/registry.h"
 #include "core/verify.h"
 #include "graph/io.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "support/stats.h"
 #include "support/table.h"
 
@@ -31,10 +42,13 @@ namespace {
 using namespace mcr;
 
 int solve_one(const Graph& g, const std::string& algo, bool ratio, bool max,
-              const cli::Options& opt) {
+              const cli::Options& opt, obs::TraceSink* trace,
+              obs::MetricsRegistry* metrics) {
   const auto solver = SolverRegistry::instance().create(algo);
-  const SolveOptions so{.num_threads =
-                            static_cast<int>(opt.get_int_in("threads", 1, 0, 4096))};
+  const SolveOptions so{
+      .num_threads = static_cast<int>(opt.get_int_in("threads", 1, 0, 4096)),
+      .trace = trace,
+      .metrics = metrics};
   Timer timer;
   const CycleResult r = max   ? (ratio ? maximum_cycle_ratio(g, *solver, so)
                                        : maximum_cycle_mean(g, *solver, so))
@@ -111,7 +125,8 @@ int main(int argc, char** argv) {
     if (opt.positional.size() != 1) {
       std::cerr << "usage: mcr_solve <file.dimacs> [--algo NAME] [--ratio] [--max]\n"
                    "                 [--verify] [--critical] [--counters] [--all]\n"
-                   "                 [--threads N] [--list]\n";
+                   "                 [--threads N] [--trace FILE] [--metrics]\n"
+                   "                 [--metrics-json FILE] [--list]\n";
       return 2;
     }
     const Graph g = load_dimacs(opt.positional[0]);
@@ -119,18 +134,47 @@ int main(int argc, char** argv) {
               << " arcs, weights [" << g.min_weight() << ", " << g.max_weight()
               << "], total transit " << g.total_transit() << "\n";
 
+    obs::TraceRecorder recorder;
+    obs::MetricsRegistry registry;
+    const bool want_trace = opt.has("trace");
+    const bool want_metrics = opt.has("metrics") || opt.has("metrics-json");
+    obs::TraceSink* trace = want_trace ? &recorder : nullptr;
+    obs::MetricsRegistry* metrics = want_metrics ? &registry : nullptr;
+
     const bool max = opt.has("max");
+    int rc = 0;
     if (opt.has("all")) {
       const auto kind = ratio ? ProblemKind::kCycleRatio : ProblemKind::kCycleMean;
-      int rc = 0;
       for (const auto& name : SolverRegistry::instance().names(kind)) {
         if (name.rfind("brute_force", 0) == 0) continue;
-        rc |= solve_one(g, name, ratio, max, opt);
+        rc |= solve_one(g, name, ratio, max, opt, trace, metrics);
       }
-      return rc;
+    } else {
+      const std::string algo = opt.get("algo", ratio ? "howard_ratio" : "howard");
+      rc = solve_one(g, algo, ratio, max, opt, trace, metrics);
     }
-    const std::string algo = opt.get("algo", ratio ? "howard_ratio" : "howard");
-    return solve_one(g, algo, ratio, max, opt);
+
+    if (want_trace) {
+      std::ofstream out(opt.get("trace"));
+      if (!out) throw std::runtime_error("cannot write trace file " + opt.get("trace"));
+      recorder.write_chrome_trace(out);
+      std::cout << "trace: wrote " << recorder.events().size() << " events from "
+                << recorder.num_threads() << " thread(s) to " << opt.get("trace")
+                << " (open in ui.perfetto.dev)\n";
+    }
+    if (opt.has("metrics")) {
+      std::cout << "metrics:\n" << registry.prometheus_text();
+    }
+    if (opt.has("metrics-json")) {
+      std::ofstream out(opt.get("metrics-json"));
+      if (!out) {
+        throw std::runtime_error("cannot write metrics file " + opt.get("metrics-json"));
+      }
+      registry.write_json(out);
+      out << "\n";
+      std::cout << "metrics: wrote JSON dump to " << opt.get("metrics-json") << "\n";
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "mcr_solve: " << e.what() << "\n";
     return 1;
