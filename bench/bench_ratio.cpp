@@ -36,14 +36,7 @@ int run() {
     RunStats rho;
     std::vector<RunStats> ms(solvers.size());
     for (int t = 0; t < trials; ++t) {
-      gen::SprandConfig cfg;
-      cfg.n = cell.n;
-      cfg.m = cell.m;
-      cfg.min_transit = 1;
-      cfg.max_transit = 10;
-      cfg.seed = 0xBEEF + static_cast<std::uint64_t>(cell.n) * 31 +
-                 static_cast<std::uint64_t>(cell.m) + static_cast<std::uint64_t>(t);
-      const Graph g = gen::sprand(cfg);
+      const Graph g = ratio_instance(cell, t);
       for (std::size_t i = 0; i < solvers.size(); ++i) {
         const TimedRun run = time_solver(solvers[i], g);
         if (!run.ran) continue;  // ho_ratio memory guard at large T

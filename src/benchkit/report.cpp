@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "benchkit/workloads.h"
+#include "obs/build_info.h"
 
 namespace mcr::bench {
 
@@ -16,6 +17,14 @@ void emit(const std::string& title, const std::string& slug, const TextTable& ta
   if (!ec) {
     std::ofstream csv("bench_out/" + slug + ".csv");
     if (csv) {
+      // Schema header: '#' comment lines before the CSV header row, so
+      // downstream loaders can skip them (pandas: comment='#') while the
+      // artifact stays self-describing (see docs/BENCHMARKING.md).
+      const obs::BuildInfo& build = obs::build_info();
+      csv << "# mcr-bench-csv v1: " << slug << "\n"
+          << "# " << title << "\n"
+          << "# scale=" << scale_name(bench_scale()) << " git_sha="
+          << build.git_sha << " compiler=" << build.compiler << "\n";
       table.print_csv(csv);
       std::cout << "[csv: bench_out/" << slug << ".csv]\n";
       return;

@@ -2,10 +2,13 @@
 // quadratic-space algorithms are skipped (reported N/A) when the D
 // table would not fit, and a per-solver time budget stops scaling a
 // solver up once a row exceeds it ("we could not get a result in a
-// day", Table 2 caption).
+// day", Table 2 caption) — plus the statistical layer behind the BENCH
+// artifacts: warmup + repeated timing, median/MAD, and a bootstrap
+// confidence interval so regression gates can tell noise from change.
 #ifndef MCR_BENCHKIT_RUNNER_H
 #define MCR_BENCHKIT_RUNNER_H
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <span>
@@ -15,6 +18,7 @@
 #include "core/driver.h"
 #include "core/result.h"
 #include "graph/graph.h"
+#include "obs/perf_counters.h"
 
 namespace mcr::bench {
 
@@ -47,6 +51,46 @@ struct TimedBatch {
 /// Estimated peak scratch bytes for a solver on an (n, m) instance;
 /// only the Karp-family quadratic-space algorithms matter.
 [[nodiscard]] std::size_t estimated_bytes(const std::string& name, NodeId n, ArcId m);
+
+/// Robust summary of repeated measurements. Median and MAD (median
+/// absolute deviation) instead of mean/stddev — a single preempted run
+/// should not move the cell — plus a percentile-bootstrap 95% CI of the
+/// median, resampled with a fixed seed so artifacts are reproducible.
+struct SampleStats {
+  std::vector<double> samples;  // raw values, run order
+  double median = 0.0;
+  double mad = 0.0;
+  double ci_lower = 0.0;  // 95% bootstrap CI of the median
+  double ci_upper = 0.0;
+};
+
+/// Computes SampleStats over `samples` (empty input yields all zeros).
+/// `resamples` bootstrap draws; with fewer than 3 samples the CI
+/// degenerates to [min, max].
+[[nodiscard]] SampleStats summarize_samples(std::vector<double> samples,
+                                            int resamples = 1000,
+                                            std::uint64_t seed = 0x5eedb007);
+
+/// Repetition policy for one benchmark cell.
+struct RepeatOptions {
+  int warmup = 1;       // untimed runs before measuring
+  int repetitions = 5;  // timed runs
+};
+
+/// One solver x instance cell measured `repetitions` times after
+/// `warmup` discarded runs. Counters are per-counter medians across the
+/// timed repetitions (available only if available in every repetition);
+/// pass perf == nullptr to skip counters entirely.
+struct RepeatedRun {
+  bool ran = false;
+  std::string skip_reason;  // "mem" when !ran (time handled by caller)
+  SampleStats seconds;
+  obs::PerfSample counters;  // value[i] = median over repetitions
+};
+[[nodiscard]] RepeatedRun time_solver_repeated(
+    const std::string& name, const Graph& g, const RepeatOptions& repeat,
+    obs::PerfCounterGroup* perf = nullptr,
+    std::size_t mem_budget_bytes = 2ULL << 30, const SolveOptions& options = {});
 
 /// Runs the registry solver `name` on g with an obs::TraceRecorder
 /// installed and returns seconds spent per driver phase, keyed by span

@@ -61,6 +61,17 @@ Graph table2_instance(GridCell cell, int trial) {
   return gen::sprand(cfg);
 }
 
+Graph ratio_instance(GridCell cell, int trial) {
+  gen::SprandConfig cfg;
+  cfg.n = cell.n;
+  cfg.m = cell.m;
+  cfg.min_transit = 1;
+  cfg.max_transit = 10;
+  cfg.seed = 0xBEEF + static_cast<std::uint64_t>(cell.n) * 31 +
+             static_cast<std::uint64_t>(cell.m) + static_cast<std::uint64_t>(trial);
+  return gen::sprand(cfg);
+}
+
 std::vector<CircuitCase> circuit_suite(Scale s) {
   std::vector<CircuitCase> cases;
   const auto add = [&](std::string name, NodeId regs, NodeId module, double fanout,

@@ -41,6 +41,10 @@ struct GridCell {
 /// The paper's SPRAND instance for a grid cell and trial index.
 [[nodiscard]] Graph table2_instance(GridCell cell, int trial);
 
+/// The ratio-extension SPRAND instance (transit times U[1, 10], the R1
+/// experiment's workload) for a grid cell and trial index.
+[[nodiscard]] Graph ratio_instance(GridCell cell, int trial);
+
 /// Synthetic circuit suite standing in for the 1991 LGSynth benchmarks
 /// (see gen/circuit.h and DESIGN.md §1). Names mimic the flavor of the
 /// MCNC sequential suite; sizes span small FSMs to large datapaths.

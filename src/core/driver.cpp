@@ -24,10 +24,13 @@ int resolve_threads(int num_threads) {
 void record_pool_metrics(obs::MetricsRegistry& metrics, const ThreadPool& pool) {
   const std::vector<ThreadPool::WorkerStats> stats = pool.worker_stats();
   for (std::size_t w = 0; w < stats.size(); ++w) {
-    const std::string label = "{worker=\"" + std::to_string(w) + "\"}";
-    metrics.counter("mcr_pool_tasks_total" + label).add(stats[w].tasks_executed);
-    metrics.counter("mcr_pool_steals_total" + label).add(stats[w].steals);
-    metrics.counter("mcr_pool_idle_microseconds_total" + label)
+    const std::string worker = std::to_string(w);
+    const auto name = [&](std::string_view base) {
+      return obs::labeled_name(base, {{"worker", worker}});
+    };
+    metrics.counter(name("mcr_pool_tasks_total")).add(stats[w].tasks_executed);
+    metrics.counter(name("mcr_pool_steals_total")).add(stats[w].steals);
+    metrics.counter(name("mcr_pool_idle_microseconds_total"))
         .add(static_cast<std::uint64_t>(stats[w].idle_seconds * 1e6));
   }
 }

@@ -1,0 +1,40 @@
+// BuildInfo — who produced this measurement.
+//
+// BENCH artifacts and exported metrics are only comparable across PRs
+// if every number is attributable to a binary (git sha, compiler,
+// flags) and a machine (CPU model, frequency governor). The build half
+// is captured at CMake configure time into a generated header; the
+// machine half is read at runtime from /proc and /sys. The sha is as
+// fresh as the last configure — CMake reconfigures on CMakeLists
+// changes, but a plain rebuild after a commit keeps the old sha
+// (documented in docs/BENCHMARKING.md).
+#ifndef MCR_OBS_BUILD_INFO_H
+#define MCR_OBS_BUILD_INFO_H
+
+#include <string>
+
+namespace mcr::obs {
+
+class MetricsRegistry;
+
+struct BuildInfo {
+  std::string git_sha;     // short sha, "+dirty" suffix; "unknown" outside git
+  std::string compiler;    // e.g. "GNU 12.2.0"
+  std::string flags;       // effective CXX flags incl. build type
+  std::string build_type;  // CMAKE_BUILD_TYPE
+  std::string cpu_model;   // /proc/cpuinfo "model name"; "unknown" elsewhere
+  std::string governor;    // cpufreq scaling governor; "unknown" when absent
+  int hardware_threads = 0;
+};
+
+/// The process-wide build info (computed once, cached).
+[[nodiscard]] const BuildInfo& build_info();
+
+/// Registers the Prometheus-conventional info gauge: value 1, the
+/// fields as (escaped) labels —
+///   mcr_build_info{git_sha="...",compiler="...",...} 1
+void export_build_info(MetricsRegistry& metrics);
+
+}  // namespace mcr::obs
+
+#endif  // MCR_OBS_BUILD_INFO_H

@@ -1,0 +1,13 @@
+// Configure-time build facts, instantiated by CMake into
+// <build>/generated/mcr_build_info_gen.h. Only obs/build_info.cpp
+// includes the generated header; everything else goes through
+// obs::build_info().
+#ifndef MCR_OBS_BUILD_INFO_GEN_H
+#define MCR_OBS_BUILD_INFO_GEN_H
+
+#define MCR_BUILD_GIT_SHA "@MCR_GIT_SHA@"
+#define MCR_BUILD_COMPILER "@MCR_COMPILER@"
+#define MCR_BUILD_FLAGS "@MCR_EFFECTIVE_FLAGS@"
+#define MCR_BUILD_TYPE "@MCR_BUILD_TYPE@"
+
+#endif  // MCR_OBS_BUILD_INFO_GEN_H

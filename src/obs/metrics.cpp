@@ -25,6 +25,39 @@ std::string fmt_double(double v) {
 
 }  // namespace
 
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string labeled_name(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>> labels) {
+  std::string out(base);
+  if (labels.size() == 0) return out;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += escape_label_value(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
   if (!std::is_sorted(bounds_.begin(), bounds_.end())) {

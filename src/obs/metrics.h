@@ -17,14 +17,28 @@
 
 #include <atomic>
 #include <cstdint>
+#include <initializer_list>
 #include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace mcr::obs {
+
+/// Escapes a raw Prometheus label value per the text exposition format:
+/// backslash, double quote, and newline become \\, \", and \n.
+[[nodiscard]] std::string escape_label_value(std::string_view value);
+
+/// Builds `base{k="v",...}` with every value escaped. This is the one
+/// supported way to register labeled instruments — callers pass raw
+/// values and the exposition stays parseable whatever they contain.
+[[nodiscard]] std::string labeled_name(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>> labels);
 
 /// Monotonically increasing count.
 class Counter {

@@ -24,6 +24,8 @@ const char* to_string(EventKind kind) {
       return "feasibility_probe";
     case EventKind::kSafetyValve:
       return "safety_valve";
+    case EventKind::kPerfCounter:
+      return "perf_counter";
   }
   return "unknown";
 }

@@ -18,7 +18,8 @@
 //   spans    — solve, scc_decompose, component, merge, witness_extract,
 //              batch; bracketed via RAII Span.
 //   instants — iteration, policy_improve, feasibility_probe,
-//              safety_valve; point events with an integer payload.
+//              safety_valve, perf_counter; point events with an
+//              integer payload.
 #ifndef MCR_OBS_OBS_H
 #define MCR_OBS_OBS_H
 
@@ -40,6 +41,7 @@ enum class EventKind : std::uint8_t {
   kPolicyImprove,     // policy arcs adopted this round (Howard)
   kFeasibilityProbe,  // negative-cycle / feasibility oracle call
   kSafetyValve,       // pseudo-polynomial safety valve engaged
+  kPerfCounter,       // hardware counter reading for a measured phase
 };
 
 /// Stable lowercase identifier ("component", "iteration", ...); used as

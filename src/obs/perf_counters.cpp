@@ -1,0 +1,191 @@
+#include "obs/perf_counters.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace mcr::obs {
+
+namespace {
+
+/// type/config pair for each PerfCounter, index order of the enum.
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+#ifdef __linux__
+
+constexpr std::array<EventSpec, kNumPerfCounters> kEvents{{
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+}};
+
+int default_open(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  // Children (pool workers spawned inside the measured region) count
+  // too, and excluding the kernel keeps the open legal at
+  // perf_event_paranoid <= 2 — the common container setting.
+  attr.inherit = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // Enabled/running times let us scale counts when the kernel
+  // multiplexed the PMU across more events than it has slots.
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  const long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                          /*group_fd=*/-1, /*flags=*/0UL);
+  if (fd < 0) return -errno;
+  return static_cast<int>(fd);
+}
+
+#else  // !__linux__
+
+constexpr std::array<EventSpec, kNumPerfCounters> kEvents{{
+    {0, 0}, {0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 5},
+}};
+
+int default_open(std::uint32_t, std::uint64_t) { return -ENOSYS; }
+
+#endif
+
+std::string errno_name(int err) {
+  switch (err) {
+    case EACCES: return "EACCES";
+    case EPERM: return "EPERM";
+    case ENOSYS: return "ENOSYS";
+    case ENOENT: return "ENOENT";
+    case ENODEV: return "ENODEV";
+    case EINVAL: return "EINVAL";
+    default: return "errno " + std::to_string(err);
+  }
+}
+
+}  // namespace
+
+const char* to_string(PerfCounter counter) {
+  switch (counter) {
+    case PerfCounter::kCycles: return "cycles";
+    case PerfCounter::kInstructions: return "instructions";
+    case PerfCounter::kBranchMisses: return "branch_misses";
+    case PerfCounter::kCacheReferences: return "cache_references";
+    case PerfCounter::kCacheMisses: return "cache_misses";
+    case PerfCounter::kTaskClock: return "task_clock_ns";
+  }
+  return "unknown";
+}
+
+bool PerfSample::any_available() const {
+  for (const bool a : available) {
+    if (a) return true;
+  }
+  return false;
+}
+
+PerfCounterGroup::PerfCounterGroup() : PerfCounterGroup(&default_open) {}
+
+PerfCounterGroup::PerfCounterGroup(OpenFn opener) {
+  int first_error = 0;
+  for (std::size_t i = 0; i < kNumPerfCounters; ++i) {
+    const int fd = opener(kEvents[i].type, kEvents[i].config);
+    if (fd >= 0) {
+      fds_[i] = Fd{fd, true};
+      ++num_open_;
+    } else if (first_error == 0) {
+      first_error = -fd;
+    }
+  }
+  if (num_open_ == 0) {
+    fallback_reason_ =
+        first_error != 0 ? errno_name(first_error) : "no counters";
+  }
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+#ifdef __linux__
+  for (Fd& f : fds_) {
+    if (f.open) ::close(f.fd);
+  }
+#endif
+}
+
+void PerfCounterGroup::start() {
+#ifdef __linux__
+  for (const Fd& f : fds_) {
+    if (!f.open) continue;
+    ::ioctl(f.fd, PERF_EVENT_IOC_RESET, 0);
+    ::ioctl(f.fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+#endif
+  timer_.reset();
+}
+
+PerfSample PerfCounterGroup::stop() {
+  PerfSample sample;
+  sample.wall_seconds = timer_.seconds();
+#ifdef __linux__
+  for (std::size_t i = 0; i < kNumPerfCounters; ++i) {
+    const Fd& f = fds_[i];
+    if (!f.open) continue;
+    ::ioctl(f.fd, PERF_EVENT_IOC_DISABLE, 0);
+    // value, time_enabled, time_running (PERF_FORMAT_TOTAL_TIME_*).
+    std::uint64_t buf[3] = {0, 0, 0};
+    if (::read(f.fd, buf, sizeof(buf)) != static_cast<ssize_t>(sizeof(buf))) {
+      continue;  // e.g. a stubbed fd in tests: counter stays unavailable
+    }
+    std::uint64_t value = buf[0];
+    if (buf[2] != 0 && buf[2] < buf[1]) {
+      // Multiplexed: scale by enabled/running like perf(1) does.
+      value = static_cast<std::uint64_t>(
+          static_cast<double>(value) *
+          (static_cast<double>(buf[1]) / static_cast<double>(buf[2])));
+    }
+    sample.value[i] = value;
+    sample.available[i] = true;
+  }
+#endif
+  return sample;
+}
+
+PerfScope::PerfScope(PerfCounterGroup& group, std::string phase,
+                     MetricsRegistry* metrics)
+    : group_(group), phase_(std::move(phase)), metrics_(metrics) {
+  group_.start();
+}
+
+PerfScope::~PerfScope() {
+  const PerfSample sample = group_.stop();
+  if (out_ != nullptr) *out_ = sample;
+  for (std::size_t i = 0; i < kNumPerfCounters; ++i) {
+    if (!sample.available[i]) continue;
+    const char* counter = to_string(static_cast<PerfCounter>(i));
+    if (metrics_ != nullptr) {
+      metrics_
+          ->counter(labeled_name(std::string("mcr_perf_") + counter + "_total",
+                                 {{"phase", phase_}}))
+          .add(sample.value[i]);
+    }
+    emit(EventKind::kPerfCounter, phase_ + "." + counter,
+         static_cast<std::int64_t>(sample.value[i]));
+  }
+}
+
+}  // namespace mcr::obs

@@ -1,0 +1,132 @@
+// mcr::obs — hardware performance counters via perf_event_open.
+//
+// The paper ranks algorithms by wall clock and representative operation
+// counts; both are blind to *why* a hot path is fast on one machine and
+// slow on another (Karp's contiguous scans vs DG's stamp bookkeeping,
+// EXPERIMENTS.md T2). PerfCounterGroup measures cycles, instructions,
+// branch misses, cache references/misses, and task-clock around a
+// region of code, so BENCH artifacts can record cycle- and cache-level
+// behaviour next to the timings.
+//
+// Availability is never assumed: perf_event_open is commonly denied in
+// containers (EACCES/EPERM under seccomp or perf_event_paranoid, ENOSYS
+// on stripped kernels). Every failure degrades gracefully to a
+// timer-only backend — wall time keeps flowing, counters report
+// unavailable, and nothing in the solve path changes. Counters are
+// opened with inherit=1 and exclude_kernel, so pool workers spawned
+// *after* the group is constructed are included and the group works at
+// perf_event_paranoid <= 2 (see docs/BENCHMARKING.md).
+#ifndef MCR_OBS_PERF_COUNTERS_H
+#define MCR_OBS_PERF_COUNTERS_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/stats.h"
+
+namespace mcr::obs {
+
+class MetricsRegistry;
+
+/// The fixed counter set, index order matching PerfSample::value.
+enum class PerfCounter : std::uint8_t {
+  kCycles = 0,
+  kInstructions,
+  kBranchMisses,
+  kCacheReferences,
+  kCacheMisses,
+  kTaskClock,  // software event, nanoseconds
+};
+inline constexpr std::size_t kNumPerfCounters = 6;
+
+/// Stable snake_case identifier ("cycles", "cache_misses", ...); used
+/// as the metrics suffix and the BENCH artifact key.
+[[nodiscard]] const char* to_string(PerfCounter counter);
+
+/// One measured region: per-counter values (multiplex-scaled when the
+/// kernel time-shared the PMU) plus wall time from the steady clock.
+struct PerfSample {
+  std::array<std::uint64_t, kNumPerfCounters> value{};
+  std::array<bool, kNumPerfCounters> available{};
+  double wall_seconds = 0.0;
+
+  /// True when at least one perf-backed counter was measured.
+  [[nodiscard]] bool any_available() const;
+};
+
+/// A group of perf_event fds measuring the calling process (children
+/// inherited). Construction probes the syscall; on any denial the group
+/// silently becomes a timer-only backend. Not thread-safe: one group
+/// per measuring thread (the bench runner owns one).
+class PerfCounterGroup {
+ public:
+  /// Opener hook for tests: receives the perf_event type/config pair,
+  /// returns an fd or -errno. The default opener performs the real
+  /// syscall (and always fails off Linux).
+  using OpenFn = int (*)(std::uint32_t type, std::uint64_t config);
+
+  PerfCounterGroup();
+  explicit PerfCounterGroup(OpenFn opener);
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  /// True when at least one counter fd is open ("perf_event" backend).
+  [[nodiscard]] bool hardware() const { return num_open_ > 0; }
+  /// "perf_event" or "timer" — the BENCH artifact's counters backend.
+  [[nodiscard]] const char* backend() const {
+    return hardware() ? "perf_event" : "timer";
+  }
+  /// Why the group fell back ("EACCES", "ENOSYS", ...); empty when
+  /// hardware() is true.
+  [[nodiscard]] const std::string& fallback_reason() const {
+    return fallback_reason_;
+  }
+
+  /// Resets and enables every open counter and the wall timer.
+  void start();
+  /// Disables the counters and returns the deltas since start().
+  PerfSample stop();
+
+ private:
+  struct Fd {
+    int fd = -1;
+    bool open = false;
+  };
+  std::array<Fd, kNumPerfCounters> fds_{};
+  std::size_t num_open_ = 0;
+  std::string fallback_reason_;
+  Timer timer_;
+};
+
+/// RAII measurement around one named phase: starts the group on entry;
+/// on exit reads it, feeds per-phase counter totals into `metrics`
+/// (mcr_perf_<counter>_total{phase="<phase>"}) and emits one
+/// perf_counter trace instant per available counter ("<phase>.cycles",
+/// payload = the value) into the calling thread's TraceSink. With a
+/// timer-only group the scope is a no-op apart from the wall clock.
+class PerfScope {
+ public:
+  PerfScope(PerfCounterGroup& group, std::string phase,
+            MetricsRegistry* metrics = nullptr);
+  ~PerfScope();
+
+  PerfScope(const PerfScope&) = delete;
+  PerfScope& operator=(const PerfScope&) = delete;
+
+  /// When set before destruction, receives the sample read at exit.
+  void capture_into(PerfSample* out) { out_ = out; }
+
+ private:
+  PerfCounterGroup& group_;
+  std::string phase_;
+  MetricsRegistry* metrics_;
+  PerfSample* out_ = nullptr;
+};
+
+}  // namespace mcr::obs
+
+#endif  // MCR_OBS_PERF_COUNTERS_H

@@ -1,0 +1,98 @@
+// mcr::json — the dependency-free reader behind mcr_bench_diff. The
+// contracts under test: round-trips of the constructs our writers emit,
+// escape handling (including \uXXXX and surrogate pairs), strictness
+// (trailing garbage, truncation, and malformed numbers throw with a
+// byte offset), and the typed accessor errors.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "support/json.h"
+
+namespace mcr {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(json::parse("null").is_null());
+  EXPECT_EQ(json::parse("true").as_bool(), true);
+  EXPECT_EQ(json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(json::parse("42").as_double(), 42.0);
+  EXPECT_DOUBLE_EQ(json::parse("-0.5e3").as_double(), -500.0);
+  EXPECT_EQ(json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const json::Value v = json::parse(
+      R"({"a":[1,2,{"b":true}],"c":{"d":null},"e":"x"})");
+  ASSERT_TRUE(v.is_object());
+  const auto& a = v.at("a").as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[1].as_double(), 2.0);
+  EXPECT_TRUE(a[2].at("b").as_bool());
+  EXPECT_TRUE(v.at("c").at("d").is_null());
+  EXPECT_TRUE(v.has("e"));
+  EXPECT_FALSE(v.has("missing"));
+}
+
+TEST(Json, DecodesStringEscapes) {
+  EXPECT_EQ(json::parse(R"("q\"b\\s\/n\nr\rt\tf\fb\b")").as_string(),
+            "q\"b\\s/n\nr\rt\tf\fb\b");
+  EXPECT_EQ(json::parse(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600 (😀) as \ud83d\ude00.
+  EXPECT_EQ(json::parse(R"("\ud83d\ude00")").as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, WhitespaceAroundTokensIsFine) {
+  const json::Value v = json::parse(" { \"k\" :\n[ 1 ,\t2 ] } ");
+  EXPECT_EQ(v.at("k").as_array().size(), 2u);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated",
+        "\"bad\\q\"", "{\"a\":1}garbage", "[1] [2]", "nan", "+1",
+        "{\"a\" 1}", "\"\\ud83d\""}) {
+    EXPECT_THROW((void)json::parse(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(Json, ErrorsNameTheByteOffset) {
+  try {
+    (void)json::parse("[1, x]");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Json, TypedAccessorsThrowOnMismatch) {
+  const json::Value v = json::parse(R"({"n":1,"s":"x"})");
+  EXPECT_THROW((void)v.at("n").as_string(), std::runtime_error);
+  EXPECT_THROW((void)v.at("s").as_double(), std::runtime_error);
+  EXPECT_THROW((void)v.at("missing"), std::runtime_error);
+  EXPECT_THROW((void)v.at("n").at("x"), std::runtime_error);  // not an object
+}
+
+TEST(Json, DefaultingAccessors) {
+  const json::Value v = json::parse(R"({"n":2.5,"s":"x"})");
+  EXPECT_DOUBLE_EQ(v.number_or("n", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(v.number_or("gone", -1.0), -1.0);
+  EXPECT_EQ(v.string_or("s", "d"), "x");
+  EXPECT_EQ(v.string_or("gone", "d"), "d");
+}
+
+TEST(Json, ParseFileErrorsNameThePath) {
+  try {
+    (void)json::parse_file("/nonexistent/mcr.json");
+    FAIL() << "expected error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/mcr.json"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace mcr

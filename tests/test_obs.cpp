@@ -10,6 +10,7 @@
 //     to observability).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
 #include <cstddef>
 #include <map>
@@ -430,6 +431,93 @@ TEST(Metrics, JsonExportIsValid) {
   EXPECT_NE(json.find("\"mcr_a_total\":1"), std::string::npos);
   EXPECT_NE(json.find("\"mcr_b\":-7"), std::string::npos);
   EXPECT_NE(json.find("\"+Inf\""), std::string::npos);
+}
+
+// --- Label escaping (Prometheus exposition format) --------------------
+
+TEST(Metrics, EscapeLabelValueHandlesBackslashQuoteNewline) {
+  EXPECT_EQ(obs::escape_label_value("plain"), "plain");
+  EXPECT_EQ(obs::escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(obs::escape_label_value("two\nlines"), "two\\nlines");
+  EXPECT_EQ(obs::escape_label_value("-O2 -DW=\"x\\y\"\n"),
+            "-O2 -DW=\\\"x\\\\y\\\"\\n");
+}
+
+TEST(Metrics, LabeledNameEscapesEveryValue) {
+  EXPECT_EQ(obs::labeled_name("mcr_x_total", {{"worker", "3"}}),
+            "mcr_x_total{worker=\"3\"}");
+  EXPECT_EQ(obs::labeled_name("mcr_build_info",
+                              {{"flags", "-DA=\"q\\r\""}, {"note", "a\nb"}}),
+            "mcr_build_info{flags=\"-DA=\\\"q\\\\r\\\"\",note=\"a\\nb\"}");
+  EXPECT_EQ(obs::labeled_name("mcr_plain", {}), "mcr_plain");
+}
+
+TEST(Metrics, HostileLabelValuesSurviveBothExports) {
+  obs::MetricsRegistry reg;
+  reg.gauge(obs::labeled_name(
+                "mcr_build_info",
+                {{"flags", "-fplugin=\"weird\\path\""}, {"cpu_model", "a\nb"}}))
+      .set(1);
+  const std::string text = reg.prometheus_text();
+  // One sample line, escapes intact, no raw newline smuggled into it.
+  EXPECT_NE(text.find("flags=\"-fplugin=\\\"weird\\\\path\\\"\""),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cpu_model=\"a\\nb\""), std::string::npos) << text;
+  EXPECT_EQ(text.find("a\nb"), std::string::npos) << text;
+  EXPECT_TRUE(JsonChecker(reg.json()).valid()) << reg.json();
+}
+
+// --- TraceRecorder under concurrent producers and a live exporter -----
+
+TEST(TraceRecorder, ConcurrentSpansWhileRecorderExports) {
+  TraceRecorder rec;
+  constexpr int kWorkers = 4;
+  constexpr int kIterations = 200;
+  std::atomic<int> active{kWorkers};
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int t = 0; t < kWorkers; ++t) {
+    workers.emplace_back([&rec, &active] {
+      const obs::SinkScope scope(&rec);
+      for (int i = 0; i < kIterations; ++i) {
+        const obs::Span outer(EventKind::kComponent, "component#w");
+        obs::emit(EventKind::kIteration, "iter", i);
+        const obs::Span inner(EventKind::kMerge, "merge");
+      }
+      active.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  // Export continuously while the pool-worker spans are still flowing —
+  // the recorder must hand back consistent snapshots, never torn ones.
+  std::size_t last_size = 0;
+  while (active.load(std::memory_order_acquire) > 0) {
+    const std::string json = rec.chrome_trace_json();
+    ASSERT_TRUE(JsonChecker(json).valid());
+    const auto totals = rec.span_totals();
+    for (const auto& [kind, seconds] : totals) EXPECT_GE(seconds, 0.0) << kind;
+    const std::size_t size = rec.events().size();
+    EXPECT_GE(size, last_size);  // the log only grows
+    last_size = size;
+  }
+  for (auto& t : workers) t.join();
+
+  // Final log: complete, balanced per thread, valid export.
+  const auto events = rec.events();
+  EXPECT_EQ(events.size(),
+            static_cast<std::size_t>(kWorkers * kIterations * 5));
+  std::map<std::uint32_t, int> depth;
+  for (const auto& e : events) {
+    if (e.phase == TraceRecorder::Phase::kBegin) ++depth[e.tid];
+    if (e.phase == TraceRecorder::Phase::kEnd) {
+      --depth[e.tid];
+      ASSERT_GE(depth[e.tid], 0);
+    }
+  }
+  for (const auto& [tid, d] : depth) EXPECT_EQ(d, 0) << "tid " << tid;
+  EXPECT_EQ(rec.num_threads(), static_cast<std::size_t>(kWorkers));
+  EXPECT_TRUE(JsonChecker(rec.chrome_trace_json()).valid());
 }
 
 // --- Driver metrics: the determinism contract -------------------------

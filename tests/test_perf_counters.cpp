@@ -1,0 +1,151 @@
+// mcr::obs perf counters — the contracts under test:
+//   * A denied perf_event_open (EACCES/ENOSYS — the container reality)
+//     degrades to the timer-only backend: wall time still flows, the
+//     fallback reason names the errno, and PerfScope records no
+//     mcr_perf_* metrics and emits no perf_counter instants.
+//   * Broken fds (reads that fail after open) leave individual counters
+//     unavailable without poisoning the sample or the wall clock.
+//   * When counters ARE available (machine-dependent), PerfScope feeds
+//     per-phase totals into the registry and instants into the sink.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/perf_counters.h"
+#include "obs/trace_recorder.h"
+
+namespace mcr {
+namespace {
+
+using obs::PerfCounter;
+using obs::PerfCounterGroup;
+using obs::PerfSample;
+using obs::PerfScope;
+
+int deny_eacces(std::uint32_t, std::uint64_t) { return -EACCES; }
+int deny_enosys(std::uint32_t, std::uint64_t) { return -ENOSYS; }
+int open_dev_null(std::uint32_t, std::uint64_t) {
+  const int fd = ::open("/dev/null", O_RDONLY);
+  return fd >= 0 ? fd : -errno;
+}
+
+/// A little measurable work so wall_seconds is strictly positive.
+void spin() {
+  volatile std::uint64_t acc = 0;
+  for (int i = 0; i < 50000; ++i) acc += static_cast<std::uint64_t>(i);
+}
+
+TEST(PerfCounters, ToStringNamesAreStableArtifactKeys) {
+  EXPECT_STREQ(obs::to_string(PerfCounter::kCycles), "cycles");
+  EXPECT_STREQ(obs::to_string(PerfCounter::kInstructions), "instructions");
+  EXPECT_STREQ(obs::to_string(PerfCounter::kBranchMisses), "branch_misses");
+  EXPECT_STREQ(obs::to_string(PerfCounter::kCacheReferences), "cache_references");
+  EXPECT_STREQ(obs::to_string(PerfCounter::kCacheMisses), "cache_misses");
+  EXPECT_STREQ(obs::to_string(PerfCounter::kTaskClock), "task_clock_ns");
+}
+
+TEST(PerfCounters, EaccesFallsBackToTimerBackend) {
+  PerfCounterGroup group(&deny_eacces);
+  EXPECT_FALSE(group.hardware());
+  EXPECT_STREQ(group.backend(), "timer");
+  EXPECT_EQ(group.fallback_reason(), "EACCES");
+
+  group.start();
+  spin();
+  const PerfSample sample = group.stop();
+  EXPECT_FALSE(sample.any_available());
+  EXPECT_GT(sample.wall_seconds, 0.0);
+}
+
+TEST(PerfCounters, EnosysFallsBackToTimerBackend) {
+  PerfCounterGroup group(&deny_enosys);
+  EXPECT_FALSE(group.hardware());
+  EXPECT_EQ(group.fallback_reason(), "ENOSYS");
+}
+
+TEST(PerfCounters, UnreadableFdsLeaveCountersUnavailable) {
+  // The opener "succeeds" but hands back fds whose reads cannot yield a
+  // counter record; stop() must shrug per counter, not fail the sample.
+  PerfCounterGroup group(&open_dev_null);
+  EXPECT_TRUE(group.hardware());  // fds did open
+  group.start();
+  spin();
+  const PerfSample sample = group.stop();
+  EXPECT_FALSE(sample.any_available());
+  EXPECT_GT(sample.wall_seconds, 0.0);
+}
+
+TEST(PerfCounters, TimerOnlyScopeRecordsNoPerfMetricsOrInstants) {
+  PerfCounterGroup group(&deny_eacces);
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder recorder;
+  PerfSample sample;
+  {
+    const obs::SinkScope scope(&recorder);
+    PerfScope perf(group, "solve", &registry);
+    perf.capture_into(&sample);
+    spin();
+  }
+  EXPECT_GT(sample.wall_seconds, 0.0);
+  EXPECT_EQ(registry.prometheus_text().find("mcr_perf_"), std::string::npos);
+  EXPECT_TRUE(recorder.events().empty());
+}
+
+TEST(PerfCounters, DefaultGroupMeasuresWallTimeOnAnyBackend) {
+  PerfCounterGroup group;  // real syscall: either backend is legal here
+  if (!group.hardware()) {
+    EXPECT_FALSE(group.fallback_reason().empty());
+  }
+  group.start();
+  spin();
+  const PerfSample sample = group.stop();
+  EXPECT_GT(sample.wall_seconds, 0.0);
+  for (std::size_t i = 0; i < obs::kNumPerfCounters; ++i) {
+    if (!group.hardware()) EXPECT_FALSE(sample.available[i]);
+  }
+}
+
+TEST(PerfCounters, ScopeFeedsMetricsAndInstantsWhenAvailable) {
+  PerfCounterGroup group;
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder recorder;
+  PerfSample sample;
+  {
+    const obs::SinkScope scope(&recorder);
+    PerfScope perf(group, "phase_x", &registry);
+    perf.capture_into(&sample);
+    spin();
+  }
+  if (!sample.any_available()) {
+    GTEST_SKIP() << "no perf counters in this environment ("
+                 << group.fallback_reason() << ")";
+  }
+  // Each available counter shows up as a per-phase metric and as one
+  // perf_counter instant named "<phase>.<counter>".
+  const std::string text = registry.prometheus_text();
+  std::size_t instants = 0;
+  for (const auto& e : recorder.events()) {
+    EXPECT_EQ(e.kind, obs::EventKind::kPerfCounter);
+    EXPECT_EQ(e.name.rfind("phase_x.", 0), 0u) << e.name;
+    ++instants;
+  }
+  std::size_t available = 0;
+  for (std::size_t i = 0; i < obs::kNumPerfCounters; ++i) {
+    if (!sample.available[i]) continue;
+    ++available;
+    const std::string metric =
+        std::string("mcr_perf_") + obs::to_string(static_cast<PerfCounter>(i)) +
+        "_total{phase=\"phase_x\"}";
+    EXPECT_NE(text.find(metric), std::string::npos) << metric << "\n" << text;
+  }
+  EXPECT_EQ(instants, available);
+}
+
+}  // namespace
+}  // namespace mcr

@@ -3,6 +3,7 @@
 // Tool paths are injected by CMake (MCR_TOOL_DIR).
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -92,6 +93,66 @@ TEST(ToolsE2E, JsonOutput) {
   EXPECT_NE(out.stdout_text.find("\"has_cycle\":true"), std::string::npos);
   EXPECT_NE(out.stdout_text.find("\"cycle_length\":4"), std::string::npos);
   std::remove(file.c_str());
+}
+
+TEST(ToolsE2E, SolveMetricsIncludeBuildInfoGauge) {
+  const std::string file =
+      (std::filesystem::temp_directory_path() / "mcr_e2e_metrics.dimacs").string();
+  ASSERT_EQ(run(tool("mcr_gen") + " ring --n 6 --seed 2 --out " + file).exit_code, 0);
+  const auto out = run(tool("mcr_solve") + " " + file + " --metrics=");
+  EXPECT_EQ(out.exit_code, 0) << out.stdout_text;
+  EXPECT_NE(out.stdout_text.find("mcr_build_info{"), std::string::npos)
+      << out.stdout_text;
+  EXPECT_NE(out.stdout_text.find("git_sha=\""), std::string::npos);
+  EXPECT_NE(out.stdout_text.find("compiler=\""), std::string::npos);
+  std::remove(file.c_str());
+}
+
+TEST(ToolsE2E, BenchArtifactAndSelfDiff) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("mcr_e2e_bench." + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string artifact = (dir / "BENCH_e2e.json").string();
+  const auto bench =
+      run(tool("mcr_bench") + " --name e2e --workload sprand --solvers howard,ko"
+          " --max-n 128 --trials 3 --out " + artifact);
+  ASSERT_EQ(bench.exit_code, 0) << bench.stdout_text;
+  EXPECT_NE(bench.stdout_text.find("schema v1"), std::string::npos);
+
+  // The artifact parses as JSON and carries the schema marker + stats.
+  std::ifstream in(artifact);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"schema\":\"mcr-bench\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"median\":"), std::string::npos);
+  EXPECT_NE(json.find("\"ci_upper\":"), std::string::npos);
+  EXPECT_NE(json.find("\"phases\":"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\":"), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\":"), std::string::npos);
+
+  // Self-diff: zero regressions, exit 0 — the CI gate's base case.
+  const auto diff = run(tool("mcr_bench_diff") + " " + artifact + " " + artifact);
+  EXPECT_EQ(diff.exit_code, 0) << diff.stdout_text;
+  EXPECT_NE(diff.stdout_text.find("0 regression(s)"), std::string::npos)
+      << diff.stdout_text;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ToolsE2E, BenchDiffRejectsGarbageInput) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("mcr_e2e_badjson." + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string bogus = (dir / "bogus.json").string();
+  std::ofstream(bogus) << "{\"schema\":\"not-mcr\"}\n";
+  const int status = run(tool("mcr_bench_diff") + " " + bogus + " " + bogus).exit_code;
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 2);  // artifact errors exit 2, not 1
+  EXPECT_NE(run(tool("mcr_bench_diff") + " /nonexistent.json /nonexistent.json")
+                .exit_code,
+            0);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ToolsE2E, RatioMode) {

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# bench_all.sh — one entry point for the repo's benchmark tables.
+#
+# Replaces the four hand-run bench_out/*.csv flows with one script that
+# drives mcr_bench per table, producing schema-versioned BENCH_*.json
+# artifacts (per-cell median/MAD/95% CI, phase breakdown, hardware
+# counters) suitable for mcr_bench_diff regression gating. See
+# docs/BENCHMARKING.md for the schema and the gating workflow.
+#
+# Usage:
+#   tools/bench_all.sh [BUILD_DIR] [OUT_DIR]
+#
+#   BUILD_DIR  where mcr_bench lives (default: build)
+#   OUT_DIR    where BENCH_*.json land (default: bench_out)
+#
+# Environment:
+#   MCR_BENCH_SCALE  small | medium | full (default small; full is the
+#                    paper's complete grid and takes hours)
+#   MCR_BENCH_TRIALS timed repetitions per cell (default 5)
+#
+# Typical regression workflow:
+#   tools/bench_all.sh build baseline_out         # on the base commit
+#   tools/bench_all.sh build candidate_out        # on your branch
+#   build/tools/mcr_bench_diff baseline_out/BENCH_table2.json \
+#                              candidate_out/BENCH_table2.json
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench_out}"
+TRIALS="${MCR_BENCH_TRIALS:-5}"
+BENCH="$BUILD_DIR/tools/mcr_bench"
+
+if [[ ! -x "$BENCH" ]]; then
+  echo "bench_all.sh: $BENCH not found — build with: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 2
+fi
+mkdir -p "$OUT_DIR"
+
+run_table() {
+  local name="$1" workload="$2" solvers="$3"
+  echo "=== $name ($workload: $solvers) ==="
+  "$BENCH" --name "$name" --workload "$workload" --solvers "$solvers" \
+           --trials "$TRIALS" --out "$OUT_DIR/BENCH_$name.json"
+  echo
+}
+
+# Table 2: the ten MCM algorithms on the SPRAND grid.
+run_table table2 sprand "burns,ko,yto,howard,ho,karp,dg,lawler,karp2,oa1"
+
+# Circuits: the LGSynth-style register graphs (paper §4.5 discussion).
+run_table circuits circuit "burns,ko,yto,howard,ho,karp,dg,lawler,karp2,oa1"
+
+# Ratio: cost-to-time ratio solvers on transit-weighted SPRAND (exp. R1).
+run_table ratio sprand_ratio "howard_ratio,yto_ratio,burns_ratio,lawler_ratio,cycle_cancel_ratio"
+
+# Extensions: the §5 improved-variant study (exp. X1).
+run_table extensions sprand "lawler,lawler_improved,cycle_cancel,howard,howard_naive_init"
+
+echo "artifacts in $OUT_DIR:"
+ls -l "$OUT_DIR"/BENCH_*.json
+echo "compare two runs with: $BUILD_DIR/tools/mcr_bench_diff OLD.json NEW.json"

@@ -4,7 +4,10 @@
 # threaded) under the sanitizers so exactness bugs of the Howard-rescale
 # class cannot regress silently. Each config also runs a traced +
 # metered multi-SCC smoke solve and validates the exported trace /
-# metrics JSON with python3 -m json.tool.
+# metrics JSON with python3 -m json.tool, plus a tiny mcr_bench grid run
+# twice and gated with mcr_bench_diff: the self-diff must report zero
+# regressions (exit 0), and the A-vs-B cross-run diff uses a generous
+# threshold since CI machines are noisy (see docs/BENCHMARKING.md).
 #
 #   tools/ci.sh [--fast]
 #
@@ -37,12 +40,35 @@ obs_smoke() {
   rm -rf "$tmp"
 }
 
+# Benchmark artifact + regression-gate smoke: a tiny grid run twice,
+# both artifacts schema-validated, then gated. The strict gate is the
+# deterministic self-diff; the cross-run diff only proves the gate can
+# compare two independent artifacts without tripping on machine noise.
+# $1 = build dir.
+bench_smoke() {
+  local bdir="$1"
+  local tmp
+  tmp="$(mktemp -d)"
+  echo "=== bench smoke ($bdir) ==="
+  run "$bdir/tools/mcr_bench" --name ci-a --workload sprand \
+      --solvers howard,ko --max-n 128 --trials 3 --out "$tmp/BENCH_a.json"
+  run "$bdir/tools/mcr_bench" --name ci-b --workload sprand \
+      --solvers howard,ko --max-n 128 --trials 3 --out "$tmp/BENCH_b.json"
+  run python3 -m json.tool "$tmp/BENCH_a.json" > /dev/null
+  run python3 -m json.tool "$tmp/BENCH_b.json" > /dev/null
+  run "$bdir/tools/mcr_bench_diff" "$tmp/BENCH_a.json" "$tmp/BENCH_a.json"
+  run "$bdir/tools/mcr_bench_diff" "$tmp/BENCH_a.json" "$tmp/BENCH_b.json" \
+      --threshold 200
+  rm -rf "$tmp"
+}
+
 if [[ "$FAST" == 0 ]]; then
   echo "=== Release build + tests ==="
   run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
   run cmake --build build -j "$JOBS"
   run ctest --test-dir build --output-on-failure -j "$JOBS"
   obs_smoke build
+  bench_smoke build
 fi
 
 echo "=== ASan+UBSan build + tests ==="
@@ -50,6 +76,7 @@ run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMCR_SANITIZE=ON
 run cmake --build build-asan -j "$JOBS"
 run ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 obs_smoke build-asan
+bench_smoke build-asan
 
 echo "=== fuzz smoke (sanitized, ${FUZZ_TRIALS} trials per config) ==="
 FUZZ=build-asan/tools/mcr_fuzz

@@ -38,6 +38,24 @@ std::int64_t Options::get_int_in(const std::string& key, std::int64_t fallback,
   return v;
 }
 
+double Options::get_double(const std::string& key, double fallback) const {
+  const auto it = named.find(key);
+  if (it == named.end()) return fallback;
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(it->second, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + key + " expects a number, got '" +
+                                it->second + "'");
+  }
+  if (pos != it->second.size()) {
+    throw std::invalid_argument("option --" + key + " expects a number, got '" +
+                                it->second + "'");
+  }
+  return v;
+}
+
 Options parse(const std::vector<std::string>& args) {
   Options out;
   for (std::size_t i = 0; i < args.size(); ++i) {

@@ -26,6 +26,8 @@ struct Options {
   /// Used for count-like flags such as --threads and --trials.
   [[nodiscard]] std::int64_t get_int_in(const std::string& key, std::int64_t fallback,
                                         std::int64_t min, std::int64_t max) const;
+  /// Floating-point value of --key; throws std::invalid_argument on garbage.
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
 };
 
 /// Parses argv[1..argc). Throws std::invalid_argument on malformed

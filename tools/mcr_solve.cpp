@@ -32,6 +32,7 @@
 #include "core/registry.h"
 #include "core/verify.h"
 #include "graph/io.h"
+#include "obs/build_info.h"
 #include "obs/metrics.h"
 #include "obs/trace_recorder.h"
 #include "support/stats.h"
@@ -140,6 +141,7 @@ int main(int argc, char** argv) {
     const bool want_metrics = opt.has("metrics") || opt.has("metrics-json");
     obs::TraceSink* trace = want_trace ? &recorder : nullptr;
     obs::MetricsRegistry* metrics = want_metrics ? &registry : nullptr;
+    if (want_metrics) obs::export_build_info(registry);
 
     const bool max = opt.has("max");
     int rc = 0;
