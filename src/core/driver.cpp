@@ -19,6 +19,13 @@ int resolve_threads(int num_threads) {
   return num_threads <= 0 ? ThreadPool::hardware_threads() : num_threads;
 }
 
+void throw_if_cancelled(const SolveOptions& options) {
+  if (options.cancel != nullptr &&
+      options.cancel->load(std::memory_order_relaxed)) {
+    throw SolveCancelled();
+  }
+}
+
 /// Records the pool's per-worker utilization (scheduling-dependent, so
 /// deliberately kept out of the deterministic solver metrics).
 void record_pool_metrics(obs::MetricsRegistry& metrics, const ThreadPool& pool) {
@@ -67,6 +74,7 @@ void run_indexed(std::size_t n, int threads, obs::MetricsRegistry* metrics,
 
 CycleResult solve_decomposed(const Graph& g, const Solver& solver,
                              const SolveOptions& options) {
+  throw_if_cancelled(options);
   // Install the sink on the calling thread for the whole solve; worker
   // threads install it per task below. With options.trace == nullptr
   // every emission site reduces to a pointer check.
@@ -132,6 +140,7 @@ CycleResult solve_decomposed(const Graph& g, const Solver& solver,
   std::vector<CycleResult> sub_results(cyclic.size());
   run_indexed(cyclic.size(), resolve_threads(options.num_threads), options.metrics,
               [&](std::size_t i) {
+                throw_if_cancelled(options);
                 const obs::SinkScope worker_scope(options.trace);
                 const std::size_t c = cyclic[i];
                 const Graph sub(comp_size[c], comp_arcs[c]);
@@ -249,13 +258,13 @@ CycleResult maximum_cycle_ratio(const Graph& g, const Solver& solver,
   return negate_back(solve_decomposed(neg, solver, options));
 }
 
-std::vector<CycleResult> solve_many(std::span<const Graph> graphs, const Solver& solver,
-                                    const SolveOptions& options) {
+std::vector<CycleResult> solve_many(std::span<const Graph* const> graphs,
+                                    const Solver& solver, const SolveOptions& options) {
   const bool ratio = solver.kind() == ProblemKind::kCycleRatio;
   // Validate up front (cheap, and keeps the parallel phase exception-free
   // for well-formed batches).
   if (ratio) {
-    for (const Graph& g : graphs) validate_ratio_instance(g);
+    for (const Graph* g : graphs) validate_ratio_instance(*g);
   }
   std::vector<CycleResult> results(graphs.size());
   const obs::SinkScope sink_scope(options.trace);
@@ -269,12 +278,24 @@ std::vector<CycleResult> solve_many(std::span<const Graph> graphs, const Solver&
   // SCCs serially so a batch of b graphs costs b tasks, not b * #SCCs.
   // Trace/metrics propagate into the per-instance solves (each runs
   // solve_decomposed on a worker thread, which installs the sink there).
-  const SolveOptions instance_options{1, options.trace, options.metrics};
+  const SolveOptions instance_options{
+      .num_threads = 1,
+      .trace = options.trace,
+      .metrics = options.metrics,
+      .cancel = options.cancel};
   run_indexed(graphs.size(), resolve_threads(options.num_threads), options.metrics,
               [&](std::size_t i) {
-                results[i] = solve_decomposed(graphs[i], solver, instance_options);
+                results[i] = solve_decomposed(*graphs[i], solver, instance_options);
               });
   return results;
+}
+
+std::vector<CycleResult> solve_many(std::span<const Graph> graphs, const Solver& solver,
+                                    const SolveOptions& options) {
+  std::vector<const Graph*> ptrs;
+  ptrs.reserve(graphs.size());
+  for (const Graph& g : graphs) ptrs.push_back(&g);
+  return solve_many(std::span<const Graph* const>(ptrs), solver, options);
 }
 
 CycleResult minimum_cycle_mean(const Graph& g, const std::string& solver_name,

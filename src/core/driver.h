@@ -14,7 +14,9 @@
 #ifndef MCR_CORE_DRIVER_H
 #define MCR_CORE_DRIVER_H
 
+#include <atomic>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -46,6 +48,22 @@ struct SolveOptions {
   /// for every num_threads; pool utilization metrics are inherently
   /// scheduling-dependent. nullptr disables metrics entirely.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Optional cooperative cancellation flag (deadline enforcement in
+  /// the solve service, shutdown paths). The driver polls it at phase
+  /// boundaries — on entry, before each component solve, and before
+  /// each batch instance in solve_many — and throws SolveCancelled once
+  /// it observes true. A component solve already in progress runs to
+  /// completion; cancellation latency is therefore one component, not
+  /// one iteration.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// Thrown by the solve entry points when SolveOptions::cancel is set
+/// and observed true at a driver phase boundary.
+class SolveCancelled : public std::runtime_error {
+ public:
+  SolveCancelled() : std::runtime_error("solve cancelled (deadline or shutdown)") {}
 };
 
 /// Minimum cycle mean of g using `solver` (a kCycleMean solver).
@@ -71,6 +89,14 @@ struct SolveOptions {
 /// graphs[i] and is identical to what the single-instance entry point
 /// would return. Ratio instances are validated like minimum_cycle_ratio.
 [[nodiscard]] std::vector<CycleResult> solve_many(std::span<const Graph> graphs,
+                                                  const Solver& solver,
+                                                  const SolveOptions& options = {});
+
+/// Pointer variant for callers whose graphs are not contiguous (the
+/// solve service batches registry-held graphs this way). Null pointers
+/// are invalid. Semantics otherwise identical to the span-of-values
+/// overload.
+[[nodiscard]] std::vector<CycleResult> solve_many(std::span<const Graph* const> graphs,
                                                   const Solver& solver,
                                                   const SolveOptions& options = {});
 

@@ -27,10 +27,19 @@ const SolverRegistry::Entry* SolverRegistry::find(const std::string& name) const
   return nullptr;
 }
 
+std::string SolverRegistry::unknown_solver_message(const std::string& name) const {
+  std::string msg = "unknown solver '" + name + "'; registered solvers:";
+  for (const Entry& e : entries_) {
+    msg += ' ';
+    msg += e.info.name;
+  }
+  return msg;
+}
+
 std::unique_ptr<Solver> SolverRegistry::create(const std::string& name,
                                                const SolverConfig& config) const {
   const Entry* e = find(name);
-  if (e == nullptr) throw std::out_of_range("SolverRegistry: unknown solver " + name);
+  if (e == nullptr) throw std::out_of_range(unknown_solver_message(name));
   return e->factory(config);
 }
 
@@ -38,7 +47,7 @@ bool SolverRegistry::has(const std::string& name) const { return find(name) != n
 
 const SolverInfo& SolverRegistry::info(const std::string& name) const {
   const Entry* e = find(name);
-  if (e == nullptr) throw std::out_of_range("SolverRegistry: unknown solver " + name);
+  if (e == nullptr) throw std::out_of_range(unknown_solver_message(name));
   return e->info;
 }
 

@@ -39,7 +39,9 @@ class SolverRegistry {
 
   void add(SolverInfo info, SolverFactory factory);
 
-  /// Creates a solver by name; throws std::out_of_range for unknown names.
+  /// Creates a solver by name; throws std::out_of_range for unknown
+  /// names, with a message listing every registered solver so CLI and
+  /// service errors are self-documenting.
   [[nodiscard]] std::unique_ptr<Solver> create(const std::string& name,
                                                const SolverConfig& config = {}) const;
 
@@ -59,6 +61,7 @@ class SolverRegistry {
   std::vector<Entry> entries_;
 
   [[nodiscard]] const Entry* find(const std::string& name) const;
+  [[nodiscard]] std::string unknown_solver_message(const std::string& name) const;
 };
 
 /// Registers every algorithm in the library (idempotent). Called lazily

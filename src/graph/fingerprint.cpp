@@ -1,0 +1,62 @@
+#include "graph/fingerprint.h"
+
+#include <array>
+
+namespace mcr {
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche mixing of one 64-bit word.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+// Two independently seeded accumulator lanes; each absorbed word is
+// mixed with a lane-distinct golden-ratio increment so the lanes stay
+// decorrelated over identical inputs.
+struct Hash128 {
+  std::uint64_t a = 0x6d63722d66702d61ull;  // "mcr-fp-a"
+  std::uint64_t b = 0x6d63722d66702d62ull;  // "mcr-fp-b"
+
+  void absorb(std::uint64_t x) {
+    a = mix64(a ^ (x + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+    b = mix64(b ^ (x + 0xc2b2ae3d27d4eb4full + (b << 5) + (b >> 3)));
+  }
+};
+
+}  // namespace
+
+std::string Fingerprint::hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  const std::array<std::uint64_t, 2> words{hi, lo};
+  for (std::size_t w = 0; w < 2; ++w) {
+    for (int i = 0; i < 16; ++i) {
+      out[w * 16 + static_cast<std::size_t>(i)] =
+          kDigits[(words[w] >> (60 - 4 * i)) & 0xf];
+    }
+  }
+  return out;
+}
+
+Fingerprint fingerprint(const Graph& g) {
+  Hash128 h;
+  h.absorb(static_cast<std::uint64_t>(g.num_nodes()));
+  h.absorb(static_cast<std::uint64_t>(g.num_arcs()));
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    h.absorb(static_cast<std::uint64_t>(g.src(a)));
+    h.absorb(static_cast<std::uint64_t>(g.dst(a)));
+    h.absorb(static_cast<std::uint64_t>(g.weight(a)));
+    h.absorb(static_cast<std::uint64_t>(g.transit(a)));
+  }
+  return Fingerprint{h.a, h.b};
+}
+
+std::string fingerprint_hex(const Graph& g) { return fingerprint(g).hex(); }
+
+}  // namespace mcr

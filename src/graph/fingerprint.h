@@ -1,0 +1,45 @@
+// Canonical content fingerprint of a graph.
+//
+// The solve service addresses graphs by content, not by file path: the
+// same DIMACS file loaded twice — or the same instance regenerated from
+// a generator spec — must land on the same registry entry and the same
+// cache rows. The fingerprint is a 128-bit hash over the canonical
+// representation (node count, then every arc's (src, dst, weight,
+// transit) in arc-id order). Graph construction preserves insertion
+// order of arcs, so two graphs built from the same arc sequence hash
+// identically regardless of how they were produced.
+//
+// This is a content address for caching, not a cryptographic commitment:
+// an adversary could construct collisions, but 128 bits make accidental
+// collisions negligible for any realistic registry size.
+#ifndef MCR_GRAPH_FINGERPRINT_H
+#define MCR_GRAPH_FINGERPRINT_H
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace mcr {
+
+/// 128-bit content hash; compares and hashes by value.
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+  friend auto operator<=>(const Fingerprint&, const Fingerprint&) = default;
+
+  /// 32 lowercase hex characters (hi then lo, zero-padded).
+  [[nodiscard]] std::string hex() const;
+};
+
+/// Hashes g's canonical representation (see header comment).
+[[nodiscard]] Fingerprint fingerprint(const Graph& g);
+
+/// Convenience: fingerprint(g).hex().
+[[nodiscard]] std::string fingerprint_hex(const Graph& g);
+
+}  // namespace mcr
+
+#endif  // MCR_GRAPH_FINGERPRINT_H

@@ -77,4 +77,14 @@ void export_build_info(MetricsRegistry& metrics) {
       .set(1);
 }
 
+std::string version_string(const std::string& tool) {
+  const BuildInfo& b = build_info();
+  std::string out = tool + " (mcr toolkit)\n";
+  out += "  git sha:    " + b.git_sha + "\n";
+  out += "  compiler:   " + b.compiler + "\n";
+  out += "  build type: " + b.build_type + "\n";
+  out += "  flags:      " + b.flags + "\n";
+  return out;
+}
+
 }  // namespace mcr::obs

@@ -35,6 +35,11 @@ struct BuildInfo {
 ///   mcr_build_info{git_sha="...",compiler="...",...} 1
 void export_build_info(MetricsRegistry& metrics);
 
+/// The `--version` banner every mcr tool prints: tool name plus the
+/// build half of BuildInfo (git sha, compiler, build type, flags), one
+/// field per line. Ends with a newline.
+[[nodiscard]] std::string version_string(const std::string& tool);
+
 }  // namespace mcr::obs
 
 #endif  // MCR_OBS_BUILD_INFO_H

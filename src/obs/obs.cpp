@@ -16,6 +16,8 @@ const char* to_string(EventKind kind) {
       return "witness_extract";
     case EventKind::kBatch:
       return "batch";
+    case EventKind::kRequest:
+      return "request";
     case EventKind::kIteration:
       return "iteration";
     case EventKind::kPolicyImprove:

@@ -36,6 +36,7 @@ enum class EventKind : std::uint8_t {
   kMerge,           // deterministic merge over component results
   kWitnessExtract,  // witness recovery for value-only solvers
   kBatch,           // one solve_many batch
+  kRequest,         // one service request (mcr::svc), verb as the name
   // Instant kinds (point events with an integer payload).
   kIteration,         // one outer iteration of a solver's main loop
   kPolicyImprove,     // policy arcs adopted this round (Howard)

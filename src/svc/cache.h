@@ -1,0 +1,115 @@
+// LRU result cache with single-flight deduplication.
+//
+// The service's hot case — the CAD motivation from the paper — is the
+// same (graph, objective, algorithm) query arriving many times, often
+// concurrently, while a timing loop iterates. Two mechanisms cover it:
+//
+//   * LRU cache: completed results keyed by (fingerprint, objective,
+//     algorithm). Results are thread-count independent (the driver's
+//     deterministic-merge contract), so the key needs no execution
+//     parameters.
+//   * Single-flight: when a key misses while an identical request is
+//     already solving, the newcomer joins that flight and waits for its
+//     result instead of solving again. Exactly one caller per key is
+//     ever told to solve (the "leader").
+//
+// Failures (BUSY rejection, deadline, solver error) complete a flight
+// with an error: every joiner receives it, and nothing is cached —
+// transient conditions must not poison future requests.
+#ifndef MCR_SVC_CACHE_H
+#define MCR_SVC_CACHE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/result.h"
+
+namespace mcr::obs {
+class MetricsRegistry;
+}  // namespace mcr::obs
+
+namespace mcr::svc {
+
+/// Cache identity of one solve request.
+struct CacheKey {
+  std::string fingerprint;  // graph content address (Fingerprint::hex)
+  std::string objective;    // min_mean / min_ratio / max_mean / max_ratio
+  std::string algorithm;    // registry solver name
+
+  friend auto operator<=>(const CacheKey&, const CacheKey&) = default;
+};
+
+class ResultCache {
+ public:
+  /// `capacity` = max completed entries retained (LRU eviction beyond).
+  /// When `metrics` is set the cache maintains mcr_cache_hits_total,
+  /// mcr_cache_misses_total, mcr_cache_evictions_total,
+  /// mcr_singleflight_joins_total, and the mcr_cache_entries gauge.
+  explicit ResultCache(std::size_t capacity,
+                       obs::MetricsRegistry* metrics = nullptr);
+
+  enum class Role {
+    kHit,     // result served from cache
+    kLead,    // caller must solve, then publish() or fail()
+    kJoined,  // waited on another caller's flight; result or error below
+  };
+
+  struct Outcome {
+    Role role = Role::kHit;
+    CycleResult result;     // kHit, or kJoined with empty error
+    double solve_ms = 0.0;  // wall time of the solve that produced result
+    std::string error_code;     // kJoined only; empty = success
+    std::string error_message;  // kJoined only
+  };
+
+  /// Looks the key up. kHit returns immediately; kLead makes the caller
+  /// responsible for exactly one publish()/fail() with the same key;
+  /// kJoined blocks until the leader completes and relays its outcome.
+  [[nodiscard]] Outcome acquire(const CacheKey& key);
+
+  /// Completes the caller's flight with a result: inserts it into the
+  /// LRU (evicting the coldest entry beyond capacity) and wakes joiners.
+  void publish(const CacheKey& key, const CycleResult& result, double solve_ms);
+
+  /// Completes the caller's flight with an error: wakes joiners with
+  /// (code, message); nothing is cached.
+  void fail(const CacheKey& key, const std::string& code, const std::string& message);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Flight {
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;
+    CycleResult result;
+    double solve_ms = 0.0;
+    std::string error_code;
+    std::string error_message;
+  };
+  struct Entry {
+    CacheKey key;
+    CycleResult result;
+    double solve_ms = 0.0;
+  };
+
+  void finish_flight(const CacheKey& key, bool ok, const CycleResult* result,
+                     double solve_ms, const std::string& code,
+                     const std::string& message);
+
+  std::size_t capacity_;
+  obs::MetricsRegistry* metrics_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = hottest
+  std::map<CacheKey, std::list<Entry>::iterator> index_;
+  std::map<CacheKey, std::shared_ptr<Flight>> flights_;
+};
+
+}  // namespace mcr::svc
+
+#endif  // MCR_SVC_CACHE_H

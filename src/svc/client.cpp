@@ -1,0 +1,129 @@
+#include "svc/client.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace mcr::svc {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& socket_path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    ::close(fd);
+    throw std::runtime_error("unix socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect(" + socket_path + ")");
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send_bytes(std::string_view bytes) {
+  if (!write_all(fd_, bytes)) throw std::runtime_error("Client: write failed");
+}
+
+std::string Client::read_payload(std::size_t max_frame_bytes) {
+  std::string payload;
+  switch (read_frame(fd_, max_frame_bytes, payload)) {
+    case ReadStatus::kOk:
+      return payload;
+    case ReadStatus::kClosed:
+      throw std::runtime_error("Client: server closed the connection");
+    case ReadStatus::kBadMagic:
+      throw std::runtime_error("Client: bad response magic");
+    case ReadStatus::kTooLarge:
+      throw std::runtime_error("Client: response frame too large");
+    case ReadStatus::kTruncated:
+      throw std::runtime_error("Client: truncated response");
+  }
+  throw std::runtime_error("Client: unreachable");
+}
+
+std::string Client::request_raw(std::string_view payload) {
+  send_bytes(encode_frame(payload));
+  return read_payload();
+}
+
+json::Value Client::request(std::string_view payload) {
+  return json::parse(request_raw(payload));
+}
+
+bool Client::ping() {
+  const json::Value r = request(R"({"verb":"PING"})");
+  return r.string_or("status", "") == "ok";
+}
+
+std::string Client::load_dimacs_text(const std::string& dimacs) {
+  const json::Value r =
+      request(std::string(R"({"verb":"LOAD","dimacs":")") + json_escape(dimacs) +
+              "\"}");
+  if (r.string_or("status", "") != "ok") {
+    throw std::runtime_error("LOAD failed: " + r.string_or("message", "?"));
+  }
+  return r.at("fingerprint").as_string();
+}
+
+json::Value Client::solve(const std::string& fingerprint, const std::string& objective,
+                          const std::string& algo, double deadline_ms) {
+  std::string payload = R"({"verb":"SOLVE","fingerprint":")" + fingerprint +
+                        R"(","objective":")" + objective + "\"";
+  if (!algo.empty()) payload += R"(,"algo":")" + json_escape(algo) + "\"";
+  if (deadline_ms > 0.0) payload += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  payload += "}";
+  return request(payload);
+}
+
+json::Value Client::stats() { return request(R"({"verb":"STATS"})"); }
+
+}  // namespace mcr::svc

@@ -1,0 +1,66 @@
+// svc::Client — blocking client for the mcr solve service.
+//
+// One Client owns one connection and issues one request at a time
+// (frame out, frame in). It is a thin transport: payloads are JSON
+// strings built by the caller or by the convenience helpers below,
+// responses come back parsed. Not thread-safe; use one Client per
+// thread (connections are cheap, the server handles many).
+#ifndef MCR_SVC_CLIENT_H
+#define MCR_SVC_CLIENT_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "support/json.h"
+#include "svc/protocol.h"
+
+namespace mcr::svc {
+
+class Client {
+ public:
+  [[nodiscard]] static Client connect_unix(const std::string& socket_path);
+  /// Loopback TCP (the server binds 127.0.0.1 only).
+  [[nodiscard]] static Client connect_tcp(int port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// One request round trip: frames `payload`, reads one response
+  /// frame, parses it. Throws std::runtime_error on transport failure
+  /// or unparseable response.
+  [[nodiscard]] json::Value request(std::string_view payload);
+  /// Same, returning the raw response payload text.
+  [[nodiscard]] std::string request_raw(std::string_view payload);
+
+  /// Convenience verbs.
+  [[nodiscard]] bool ping();
+  /// Returns the fingerprint of the loaded graph.
+  [[nodiscard]] std::string load_dimacs_text(const std::string& dimacs);
+  /// SOLVE by fingerprint; `deadline_ms <= 0` means no deadline.
+  /// Returns the parsed response (status/ok/error fields included).
+  [[nodiscard]] json::Value solve(const std::string& fingerprint,
+                                  const std::string& objective = "min_mean",
+                                  const std::string& algo = "",
+                                  double deadline_ms = 0.0);
+  /// Parsed STATS response.
+  [[nodiscard]] json::Value stats();
+
+  /// Raw transport access for protocol-robustness tests.
+  void send_bytes(std::string_view bytes);
+  /// Reads one response frame; throws on close/framing error.
+  [[nodiscard]] std::string read_payload(std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace mcr::svc
+
+#endif  // MCR_SVC_CLIENT_H

@@ -1,0 +1,45 @@
+#include "svc/graph_registry.h"
+
+#include "graph/fingerprint.h"
+#include "obs/metrics.h"
+
+namespace mcr::svc {
+
+GraphRegistry::GraphRegistry(std::size_t capacity, obs::MetricsRegistry* metrics)
+    : capacity_(capacity == 0 ? 1 : capacity), metrics_(metrics) {}
+
+std::string GraphRegistry::add(Graph&& g) {
+  std::string fp = fingerprint_hex(g);
+  std::lock_guard lock(mutex_);
+  if (const auto it = index_.find(fp); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return fp;
+  }
+  lru_.push_front(Entry{fp, std::make_shared<const Graph>(std::move(g))});
+  index_[fp] = lru_.begin();
+  if (metrics_ != nullptr) metrics_->counter("mcr_graph_loads_total").add(1);
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().fingerprint);
+    lru_.pop_back();
+    if (metrics_ != nullptr) metrics_->counter("mcr_graph_evictions_total").add(1);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->gauge("mcr_graphs_resident").set(static_cast<std::int64_t>(lru_.size()));
+  }
+  return fp;
+}
+
+std::shared_ptr<const Graph> GraphRegistry::find(const std::string& fingerprint_hex) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(fingerprint_hex);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->graph;
+}
+
+std::size_t GraphRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace mcr::svc

@@ -1,0 +1,62 @@
+// Content-addressed graph registry: load once, solve many times.
+//
+// The server parses or generates a graph exactly once, fingerprints it
+// (graph/fingerprint.h), and serves every later request on the same
+// content from the resident copy — the "preloaded data behind a thin
+// wire protocol" shape. Entries are shared_ptr<const Graph>: an evicted
+// graph stays alive for any solve still holding it, and Graph itself is
+// immutable so concurrent solves need no further synchronization.
+//
+// Capacity is bounded (LRU): a long-lived daemon fed a stream of
+// distinct graphs must not grow without limit.
+#ifndef MCR_SVC_GRAPH_REGISTRY_H
+#define MCR_SVC_GRAPH_REGISTRY_H
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace mcr::obs {
+class MetricsRegistry;
+}  // namespace mcr::obs
+
+namespace mcr::svc {
+
+class GraphRegistry {
+ public:
+  /// `capacity` = max resident graphs (LRU eviction beyond). With
+  /// `metrics` set, maintains the mcr_graphs_resident gauge and the
+  /// mcr_graph_loads_total / mcr_graph_evictions_total counters.
+  explicit GraphRegistry(std::size_t capacity,
+                         obs::MetricsRegistry* metrics = nullptr);
+
+  /// Registers g and returns its fingerprint hex. Idempotent: adding
+  /// content that is already resident just touches the LRU entry.
+  std::string add(Graph&& g);
+
+  /// Looks a fingerprint up (and touches it). nullptr when absent.
+  [[nodiscard]] std::shared_ptr<const Graph> find(const std::string& fingerprint_hex);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string fingerprint;
+    std::shared_ptr<const Graph> graph;
+  };
+
+  std::size_t capacity_;
+  obs::MetricsRegistry* metrics_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = hottest
+  std::map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace mcr::svc
+
+#endif  // MCR_SVC_GRAPH_REGISTRY_H

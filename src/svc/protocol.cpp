@@ -1,0 +1,116 @@
+#include "svc/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mcr::svc {
+
+namespace {
+
+/// Reads exactly n bytes. Returns n on success, 0 on immediate clean
+/// EOF, -1 on a partial read or error.
+std::ptrdiff_t read_exact(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ::ssize_t rc = ::read(fd, buf + got, n - got);
+    if (rc > 0) {
+      got += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc == 0 && got == 0) return 0;
+    return -1;
+  }
+  return static_cast<std::ptrdiff_t>(n);
+}
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload) {
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  frame.append(kMagic, sizeof kMagic);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  }
+  frame.append(payload);
+  return frame;
+}
+
+ReadStatus read_frame(int fd, std::size_t max_frame_bytes, std::string& payload) {
+  char header[kHeaderBytes];
+  const std::ptrdiff_t hrc = read_exact(fd, header, kHeaderBytes);
+  if (hrc == 0) return ReadStatus::kClosed;
+  if (hrc < 0) return ReadStatus::kTruncated;
+  if (std::memcmp(header, kMagic, sizeof kMagic) != 0) return ReadStatus::kBadMagic;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(static_cast<unsigned char>(header[4 + i]))
+           << (8 * i);
+  }
+  if (len > max_frame_bytes) return ReadStatus::kTooLarge;
+  payload.resize(len);
+  if (len > 0 && read_exact(fd, payload.data(), len) != static_cast<std::ptrdiff_t>(len)) {
+    return ReadStatus::kTruncated;
+  }
+  return ReadStatus::kOk;
+}
+
+bool write_all(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a peer that closed mid-response must surface as a
+    // write error, not a process-killing SIGPIPE. Non-socket fds
+    // (tests drive the framing over pipes) fall back to write().
+    ::ssize_t rc = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (rc < 0 && errno == ENOTSOCK) {
+      rc = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    }
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+          out += kHex[static_cast<unsigned char>(c) & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string error_payload(std::string_view code, std::string_view message) {
+  std::string out = "{\"status\":\"error\",\"code\":\"";
+  out += json_escape(code);
+  out += "\",\"message\":\"";
+  out += json_escape(message);
+  out += "\"}";
+  return out;
+}
+
+}  // namespace mcr::svc

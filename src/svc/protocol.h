@@ -1,0 +1,77 @@
+// Wire protocol for the mcr solve service.
+//
+// Framing: every message (request and response alike) is one frame —
+//
+//   +-------------------+---------------------+------------------+
+//   | magic "MCR1" (4B) | payload length (4B) | payload (JSON)   |
+//   +-------------------+---------------------+------------------+
+//
+// The length is an unsigned 32-bit little-endian byte count of the
+// payload only. The payload is one UTF-8 JSON object. The magic lets
+// the server detect a desynchronized or non-protocol peer on the first
+// read instead of interpreting garbage as a length; frames above the
+// configured maximum are rejected before any allocation of the stated
+// size.
+//
+// Requests carry a "verb" field (PING / LOAD / SOLVE / SOLVERS /
+// STATS); responses carry "status": "ok" or "error" (with "code" and
+// "message"). See docs/SERVICE.md for the full verb and error-code
+// reference.
+#ifndef MCR_SVC_PROTOCOL_H
+#define MCR_SVC_PROTOCOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mcr::svc {
+
+inline constexpr char kMagic[4] = {'M', 'C', 'R', '1'};
+inline constexpr std::size_t kHeaderBytes = 8;
+/// Default cap on one frame's payload; LOAD of an inline DIMACS graph
+/// is the only verb that approaches it.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 16u * 1024 * 1024;
+
+/// Error codes the server puts in `"code"`. Stable protocol strings.
+inline constexpr const char* kErrBadRequest = "BAD_REQUEST";
+inline constexpr const char* kErrNotFound = "NOT_FOUND";
+inline constexpr const char* kErrBusy = "BUSY";
+inline constexpr const char* kErrDeadline = "DEADLINE_EXCEEDED";
+inline constexpr const char* kErrFrameTooLarge = "FRAME_TOO_LARGE";
+inline constexpr const char* kErrBadFrame = "BAD_FRAME";
+inline constexpr const char* kErrShuttingDown = "SHUTTING_DOWN";
+inline constexpr const char* kErrInternal = "INTERNAL";
+
+/// Header + payload as one byte string ready for write().
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+enum class ReadStatus {
+  kOk,        // one whole frame read into `payload`
+  kClosed,    // clean EOF before any header byte
+  kBadMagic,  // first four bytes are not "MCR1"
+  kTooLarge,  // declared length exceeds the caller's max
+  kTruncated, // peer closed (or errored) mid-header / mid-payload
+};
+
+/// Blocking read of exactly one frame from `fd`. On kOk, `payload`
+/// holds the payload bytes; on any other status its contents are
+/// unspecified. Retries EINTR; any other read error maps to kTruncated
+/// (kClosed when no byte had arrived yet).
+[[nodiscard]] ReadStatus read_frame(int fd, std::size_t max_frame_bytes,
+                                    std::string& payload);
+
+/// Blocking write of all bytes; retries EINTR and short writes.
+/// Returns false on any unrecoverable write error (e.g. EPIPE).
+[[nodiscard]] bool write_all(int fd, std::string_view bytes);
+
+/// Escapes a string for embedding inside a JSON string literal
+/// (backslash, quote, and control characters; no surrounding quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// `{"status":"error","code":"<code>","message":"<escaped message>"}`.
+[[nodiscard]] std::string error_payload(std::string_view code, std::string_view message);
+
+}  // namespace mcr::svc
+
+#endif  // MCR_SVC_PROTOCOL_H

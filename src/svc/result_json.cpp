@@ -1,0 +1,29 @@
+#include "svc/result_json.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "svc/protocol.h"
+
+namespace mcr::svc {
+
+std::string result_json(const CycleResult& r, const std::string& algorithm,
+                        const std::string& objective, double milliseconds) {
+  std::ostringstream os;
+  os << "{\"algorithm\":\"" << json_escape(algorithm) << "\",\"objective\":\""
+     << json_escape(objective) << "\",\"has_cycle\":"
+     << (r.has_cycle ? "true" : "false");
+  if (r.has_cycle) {
+    os << ",\"value_num\":" << r.value.num() << ",\"value_den\":" << r.value.den()
+       << ",\"value\":" << std::setprecision(12) << r.value.to_double()
+       << ",\"cycle_length\":" << r.cycle.size() << ",\"cycle_arcs\":[";
+    for (std::size_t i = 0; i < r.cycle.size(); ++i) {
+      os << (i ? "," : "") << r.cycle[i];
+    }
+    os << "]";
+  }
+  os << ",\"milliseconds\":" << std::setprecision(6) << milliseconds << "}";
+  return os.str();
+}
+
+}  // namespace mcr::svc

@@ -1,0 +1,34 @@
+// The one machine-readable result schema, shared by `mcr_solve --output
+// json` and the solve service's SOLVE responses, so scripts can consume
+// either source with the same parser:
+//
+//   {"algorithm":"howard","objective":"min_mean","has_cycle":true,
+//    "value_num":3,"value_den":7,"value":0.428571428571,
+//    "cycle_length":4,"cycle_arcs":[0,5,9,2],"milliseconds":1.25}
+//
+// value_num/value_den is the exact rational optimum (lowest terms,
+// den > 0); "value" is its double rendering for convenience. Acyclic
+// graphs carry only algorithm/objective/has_cycle/milliseconds.
+// Rendering is deterministic: the same result serializes to the same
+// bytes, which is what lets the service's cache hand out bit-identical
+// responses.
+#ifndef MCR_SVC_RESULT_JSON_H
+#define MCR_SVC_RESULT_JSON_H
+
+#include <string>
+
+#include "core/result.h"
+
+namespace mcr::svc {
+
+/// Serializes r (without surrounding newline). `objective` is one of
+/// min_mean / min_ratio / max_mean / max_ratio; `milliseconds` is the
+/// wall time of the solve that produced r.
+[[nodiscard]] std::string result_json(const CycleResult& r,
+                                      const std::string& algorithm,
+                                      const std::string& objective,
+                                      double milliseconds);
+
+}  // namespace mcr::svc
+
+#endif  // MCR_SVC_RESULT_JSON_H

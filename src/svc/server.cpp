@@ -1,0 +1,650 @@
+#include "svc/server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/driver.h"
+#include "core/registry.h"
+#include "gen/circuit.h"
+#include "gen/sprand.h"
+#include "gen/structured.h"
+#include "graph/io.h"
+#include "obs/build_info.h"
+#include "support/json.h"
+#include "support/stats.h"
+#include "svc/result_json.h"
+
+namespace mcr::svc {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Client-facing request error carrying a protocol error code.
+struct RequestError : std::runtime_error {
+  RequestError(std::string code_, const std::string& message)
+      : std::runtime_error(message), code(std::move(code_)) {}
+  std::string code;
+};
+
+struct Objective {
+  bool maximize = false;
+  bool ratio = false;
+  std::string name;  // canonical string
+};
+
+Objective parse_objective(const std::string& s) {
+  if (s == "min_mean") return {false, false, s};
+  if (s == "min_ratio") return {false, true, s};
+  if (s == "max_mean") return {true, false, s};
+  if (s == "max_ratio") return {true, true, s};
+  throw RequestError(kErrBadRequest,
+                     "unknown objective '" + s +
+                         "' (expected min_mean | min_ratio | max_mean | max_ratio)");
+}
+
+std::int64_t int_field(const json::Value& obj, const std::string& key,
+                       std::int64_t fallback) {
+  if (!obj.has(key)) return fallback;
+  return static_cast<std::int64_t>(obj.at(key).as_double());
+}
+
+Graph generate_from_spec(const json::Value& spec) {
+  const std::string family = spec.string_or("family", "");
+  const auto seed = static_cast<std::uint64_t>(int_field(spec, "seed", 1));
+  if (family == "sprand") {
+    gen::SprandConfig cfg;
+    cfg.n = static_cast<NodeId>(int_field(spec, "n", 512));
+    cfg.m = static_cast<ArcId>(int_field(spec, "m", 2 * int_field(spec, "n", 512)));
+    cfg.min_weight = int_field(spec, "wmin", 1);
+    cfg.max_weight = int_field(spec, "wmax", 10000);
+    cfg.min_transit = int_field(spec, "tmin", 1);
+    cfg.max_transit = int_field(spec, "tmax", 1);
+    cfg.seed = seed;
+    return gen::sprand(cfg);
+  }
+  if (family == "circuit") {
+    gen::CircuitConfig cfg;
+    cfg.registers = static_cast<NodeId>(int_field(spec, "n", 512));
+    cfg.module_size = static_cast<NodeId>(int_field(spec, "module", 32));
+    cfg.seed = seed;
+    return gen::circuit(cfg);
+  }
+  if (family == "ring") {
+    return gen::random_ring(static_cast<NodeId>(int_field(spec, "n", 64)),
+                            int_field(spec, "wmin", 1), int_field(spec, "wmax", 100),
+                            seed);
+  }
+  throw RequestError(kErrBadRequest, "unknown generator family '" + family +
+                                         "' (expected sprand | circuit | ring)");
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      graphs_(options_.graph_entries, &metrics_),
+      cache_(options_.cache_entries, &metrics_) {}
+
+Server::~Server() { stop_and_drain(); }
+
+void Server::start() {
+  if (running_.load()) throw std::runtime_error("Server::start: already running");
+  if (options_.unix_socket_path.empty() && options_.tcp_port < 0) {
+    throw std::runtime_error("Server::start: no listener configured");
+  }
+  obs::export_build_info(metrics_);
+
+  if (!options_.unix_socket_path.empty()) {
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd_ < 0) throw_errno("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_socket_path.size() >= sizeof addr.sun_path) {
+      throw std::runtime_error("unix socket path too long: " +
+                               options_.unix_socket_path);
+    }
+    std::strncpy(addr.sun_path, options_.unix_socket_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    if (::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      if (errno == EADDRINUSE) {
+        // A stale socket file from a dead server is safe to replace; a
+        // live server answers the probe connect and we refuse.
+        const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        const bool live =
+            probe >= 0 &&
+            ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+        if (probe >= 0) ::close(probe);
+        if (live) {
+          throw std::runtime_error("socket path in use by a live server: " +
+                                   options_.unix_socket_path);
+        }
+        ::unlink(options_.unix_socket_path.c_str());
+        if (::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+          throw_errno("bind(" + options_.unix_socket_path + ")");
+        }
+      } else {
+        throw_errno("bind(" + options_.unix_socket_path + ")");
+      }
+    }
+    if (::listen(unix_fd_, 128) != 0) throw_errno("listen(unix)");
+  }
+  if (options_.tcp_port >= 0) {
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_fd_ < 0) throw_errno("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
+    if (::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      throw_errno("bind(127.0.0.1:" + std::to_string(options_.tcp_port) + ")");
+    }
+    if (::listen(tcp_fd_, 128) != 0) throw_errno("listen(tcp)");
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      bound_tcp_port_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+  }
+  if (::pipe(wake_pipe_) != 0) throw_errno("pipe");
+
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+  watchdog_thread_ = std::thread([this] { watchdog_loop(); });
+}
+
+void Server::stop_and_drain() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard lock(queue_mutex_);
+    stopping_ = true;  // new SOLVE admissions now answer SHUTTING_DOWN
+  }
+  // 1. Stop accepting: wake the poll, join, close listeners.
+  [[maybe_unused]] const ::ssize_t wrc = ::write(wake_pipe_[1], "x", 1);
+  accept_thread_.join();
+  // 2. Half-close every connection: pending reads return EOF, writes
+  //    (in-flight responses) still go through.
+  {
+    std::lock_guard lock(conns_mutex_);
+    for (Connection& c : conns_) {
+      if (!c.done.load()) ::shutdown(c.fd, SHUT_RD);
+    }
+  }
+  // 3. Join connection threads; each finishes its current request first
+  //    (the dispatcher is still alive to complete queued jobs).
+  {
+    std::lock_guard lock(conns_mutex_);
+    for (Connection& c : conns_) {
+      if (c.thread.joinable()) c.thread.join();
+    }
+    conns_.clear();
+  }
+  // 4. Dispatcher exits once the (now producer-free) queue drains.
+  {
+    std::lock_guard lock(queue_mutex_);
+    stopping_dispatch_ = true;
+  }
+  queue_cv_.notify_all();
+  dispatch_thread_.join();
+  // 5. Watchdog.
+  {
+    std::lock_guard lock(deadline_mutex_);
+    stopping_watchdog_ = true;
+  }
+  deadline_cv_.notify_all();
+  watchdog_thread_.join();
+
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+  if (!options_.unix_socket_path.empty()) {
+    ::unlink(options_.unix_socket_path.c_str());
+  }
+}
+
+std::string Server::preload_dimacs_file(const std::string& path) {
+  return graphs_.add(load_dimacs(path));
+}
+
+void Server::accept_loop() {
+  std::vector<pollfd> fds;
+  if (unix_fd_ >= 0) fds.push_back(pollfd{unix_fd_, POLLIN, 0});
+  if (tcp_fd_ >= 0) fds.push_back(pollfd{tcp_fd_, POLLIN, 0});
+  fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+  for (;;) {
+    // Finite timeout so finished connection threads get reaped even on
+    // an idle listener.
+    const int rc = ::poll(fds.data(), fds.size(), 200);
+    if (rc < 0 && errno != EINTR) break;
+    if (fds.back().revents != 0) break;  // wake pipe: shutting down
+    for (std::size_t i = 0; rc > 0 && i + 1 < fds.size(); ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int conn_fd = ::accept(fds[i].fd, nullptr, nullptr);
+      if (conn_fd < 0) continue;
+      std::lock_guard lock(conns_mutex_);
+      conns_.emplace_back();
+      Connection& c = conns_.back();
+      c.fd = conn_fd;
+      c.thread = std::thread([this, &c] { connection_main(&c); });
+      metrics_.counter("mcr_connections_total").add(1);
+    }
+    reap_finished_connections();
+  }
+  if (unix_fd_ >= 0) ::close(unix_fd_);
+  if (tcp_fd_ >= 0) ::close(tcp_fd_);
+  unix_fd_ = tcp_fd_ = -1;
+}
+
+void Server::reap_finished_connections() {
+  std::lock_guard lock(conns_mutex_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->done.load() && it->thread.joinable()) {
+      it->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::connection_main(Connection* conn) {
+  std::string payload;
+  for (;;) {
+    const ReadStatus st = read_frame(conn->fd, options_.max_frame_bytes, payload);
+    if (st == ReadStatus::kClosed || st == ReadStatus::kTruncated) break;
+    if (st == ReadStatus::kBadMagic || st == ReadStatus::kTooLarge) {
+      // Framing is unrecoverable: report (best effort) and close.
+      metrics_.counter("mcr_bad_frames_total").add(1);
+      const char* code =
+          st == ReadStatus::kTooLarge ? kErrFrameTooLarge : kErrBadFrame;
+      const char* msg = st == ReadStatus::kTooLarge
+                            ? "frame exceeds the server's size limit"
+                            : "bad frame magic (expected MCR1)";
+      (void)write_all(conn->fd, encode_frame(error_payload(code, msg)));
+      break;
+    }
+    const std::string response = handle_request(payload);
+    if (!write_all(conn->fd, encode_frame(response))) break;
+  }
+  ::close(conn->fd);
+  conn->done.store(true);
+}
+
+std::string Server::handle_request(const std::string& payload) {
+  const obs::SinkScope sink_scope(options_.trace);
+  Timer timer;
+  std::string verb = "INVALID";
+  std::string response;
+  try {
+    const json::Value req = json::parse(payload);
+    verb = req.string_or("verb", "");
+    const obs::Span span(obs::EventKind::kRequest, verb);
+    if (verb == "PING") {
+      response = "{\"status\":\"ok\",\"service\":\"mcr\"}";
+    } else if (verb == "LOAD") {
+      response = handle_load(req);
+    } else if (verb == "SOLVE") {
+      response = handle_solve(req);
+    } else if (verb == "SOLVERS") {
+      response = handle_solvers();
+    } else if (verb == "STATS") {
+      response = handle_stats();
+    } else {
+      throw RequestError(kErrBadRequest, "unknown verb '" + verb +
+                                             "' (expected PING | LOAD | SOLVE | "
+                                             "SOLVERS | STATS)");
+    }
+  } catch (const RequestError& e) {
+    response = error_payload(e.code, e.what());
+  } catch (const std::exception& e) {
+    response = error_payload(kErrBadRequest, e.what());
+  }
+  metrics_.counter(obs::labeled_name("mcr_requests_total", {{"verb", verb}})).add(1);
+  metrics_.histogram("mcr_request_seconds").observe(timer.seconds());
+  return response;
+}
+
+std::pair<std::shared_ptr<const Graph>, std::string> Server::resolve_graph(
+    const json::Value& req) {
+  if (req.has("fingerprint")) {
+    const std::string fp = req.at("fingerprint").as_string();
+    std::shared_ptr<const Graph> g = graphs_.find(fp);
+    if (g == nullptr) {
+      throw RequestError(kErrNotFound,
+                         "no graph with fingerprint " + fp +
+                             " is resident (LOAD it first, or it was evicted)");
+    }
+    return {std::move(g), fp};
+  }
+  Graph loaded = [&]() -> Graph {
+    if (req.has("dimacs")) {
+      std::istringstream is(req.at("dimacs").as_string());
+      return read_dimacs(is);
+    }
+    if (req.has("path")) return load_dimacs(req.at("path").as_string());
+    if (req.has("generator")) return generate_from_spec(req.at("generator"));
+    throw RequestError(kErrBadRequest,
+                       "no graph source (expected one of fingerprint | dimacs | "
+                       "path | generator)");
+  }();
+  std::string fp = graphs_.add(std::move(loaded));
+  std::shared_ptr<const Graph> g = graphs_.find(fp);
+  if (g == nullptr) {  // capacity so small the new entry was evicted at once
+    throw RequestError(kErrInternal, "graph evicted immediately after load");
+  }
+  return {std::move(g), fp};
+}
+
+std::string Server::handle_load(const json::Value& req) {
+  const auto [graph, fp] = resolve_graph(req);
+  std::ostringstream os;
+  os << "{\"status\":\"ok\",\"fingerprint\":\"" << fp
+     << "\",\"nodes\":" << graph->num_nodes() << ",\"arcs\":" << graph->num_arcs()
+     << ",\"resident_graphs\":" << graphs_.size() << "}";
+  return os.str();
+}
+
+std::string Server::handle_solvers() const {
+  const SolverRegistry& reg = SolverRegistry::instance();
+  std::string out = "{\"status\":\"ok\",\"solvers\":[";
+  bool first = true;
+  for (const std::string& name : reg.all_names()) {
+    const SolverInfo& info = reg.info(name);
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + json_escape(name) + "\",\"kind\":\"";
+    out += info.kind == ProblemKind::kCycleRatio ? "ratio" : "mean";
+    out += "\",\"exact\":";
+    out += info.exact ? "true" : "false";
+    out += ",\"bound\":\"" + json_escape(info.bound) + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Server::handle_stats() const {
+  std::string out = "{\"status\":\"ok\",\"metrics\":";
+  out += metrics_.json();
+  out += ",\"prometheus\":\"";
+  out += json_escape(metrics_.prometheus_text());
+  out += "\"}";
+  return out;
+}
+
+std::string Server::handle_solve(const json::Value& req) {
+  auto [graph, fp] = resolve_graph(req);
+  const Objective objective = parse_objective(req.string_or("objective", "min_mean"));
+  const std::string algo =
+      req.string_or("algo", objective.ratio ? "howard_ratio" : "howard");
+  const SolverRegistry& reg = SolverRegistry::instance();
+  bool solver_is_ratio = false;
+  try {
+    solver_is_ratio = reg.info(algo).kind == ProblemKind::kCycleRatio;
+  } catch (const std::out_of_range& e) {
+    // The registry message lists every registered solver.
+    throw RequestError(kErrBadRequest, e.what());
+  }
+  if (solver_is_ratio != objective.ratio) {
+    throw RequestError(kErrBadRequest,
+                       "solver '" + algo + "' solves cycle " +
+                           (solver_is_ratio ? "ratio" : "mean") +
+                           " but the objective is " + objective.name);
+  }
+
+  const CacheKey key{fp, objective.name, algo};
+  ResultCache::Outcome outcome = cache_.acquire(key);
+  const auto respond_ok = [&](const CycleResult& r, double solve_ms, bool cached) {
+    std::string out = "{\"status\":\"ok\",\"cached\":";
+    out += cached ? "true" : "false";
+    out += ",\"fingerprint\":\"" + fp + "\",\"result\":";
+    out += result_json(r, algo, objective.name, solve_ms);
+    out += "}";
+    return out;
+  };
+  if (outcome.role == ResultCache::Role::kHit) {
+    return respond_ok(outcome.result, outcome.solve_ms, true);
+  }
+  if (outcome.role == ResultCache::Role::kJoined) {
+    if (!outcome.error_code.empty()) {
+      return error_payload(outcome.error_code, outcome.error_message);
+    }
+    return respond_ok(outcome.result, outcome.solve_ms, true);
+  }
+
+  // Flight leader: admission against the bounded queue.
+  auto job = std::make_shared<SolveJob>();
+  job->key = key;
+  job->graph = std::move(graph);
+  job->maximize = objective.maximize;
+  job->ratio = objective.ratio;
+  const double deadline_ms = req.number_or("deadline_ms", 0.0);
+  if (deadline_ms > 0.0) {
+    job->has_deadline = true;
+    job->deadline = std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(
+                        static_cast<std::int64_t>(deadline_ms * 1000.0));
+  }
+  {
+    std::lock_guard lock(queue_mutex_);
+    if (stopping_) {
+      cache_.fail(key, kErrShuttingDown, "server is draining");
+      return error_payload(kErrShuttingDown, "server is draining");
+    }
+    if (in_flight_ >= options_.queue_capacity) {
+      metrics_.counter("mcr_rejected_total").add(1);
+      const std::string msg =
+          "solve queue is full (capacity " +
+          std::to_string(options_.queue_capacity) + "); retry later";
+      cache_.fail(key, kErrBusy, msg);
+      return error_payload(kErrBusy, msg);
+    }
+    ++in_flight_;
+    queue_.push_back(job);
+    metrics_.gauge("mcr_queue_depth").set(static_cast<std::int64_t>(queue_.size()));
+  }
+  queue_cv_.notify_one();
+  if (job->has_deadline) arm_deadline(job);
+
+  std::unique_lock job_lock(job->mutex);
+  job->cv.wait(job_lock, [&] { return job->done; });
+  if (!job->ok) return error_payload(job->error_code, job->error_message);
+  return respond_ok(job->result, job->solve_ms, false);
+}
+
+void Server::arm_deadline(const std::shared_ptr<SolveJob>& job) {
+  {
+    std::lock_guard lock(deadline_mutex_);
+    deadlines_.emplace_back(job->deadline, job->cancel);
+  }
+  deadline_cv_.notify_all();
+}
+
+void Server::watchdog_loop() {
+  std::unique_lock lock(deadline_mutex_);
+  for (;;) {
+    if (stopping_watchdog_) return;
+    if (deadlines_.empty()) {
+      deadline_cv_.wait(lock);
+    } else {
+      auto earliest = deadlines_.front().first;
+      for (const auto& [when, token] : deadlines_) earliest = std::min(earliest, when);
+      deadline_cv_.wait_until(lock, earliest);
+    }
+    if (stopping_watchdog_) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = deadlines_.begin(); it != deadlines_.end();) {
+      if (it->first <= now) {
+        if (const auto token = it->second.lock()) token->store(true);
+        it = deadlines_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void Server::fulfill(SolveJob& job) {
+  {
+    std::lock_guard lock(job.mutex);
+    job.done = true;
+  }
+  job.cv.notify_all();
+  {
+    std::lock_guard lock(queue_mutex_);
+    --in_flight_;
+  }
+}
+
+void Server::complete_ok(SolveJob& job, const CycleResult& result, double solve_ms) {
+  cache_.publish(job.key, result, solve_ms);
+  {
+    std::lock_guard lock(job.mutex);
+    job.ok = true;
+    job.result = result;
+    job.solve_ms = solve_ms;
+  }
+  fulfill(job);
+}
+
+void Server::complete_error(SolveJob& job, const std::string& code,
+                            const std::string& message) {
+  cache_.fail(job.key, code, message);
+  {
+    std::lock_guard lock(job.mutex);
+    job.ok = false;
+    job.error_code = code;
+    job.error_message = message;
+  }
+  fulfill(job);
+}
+
+void Server::solve_single(SolveJob& job) {
+  const auto solver = SolverRegistry::instance().create(job.key.algorithm);
+  const SolveOptions so{.num_threads = options_.solve_threads,
+                        .trace = options_.trace,
+                        .metrics = &metrics_,
+                        .cancel = job.cancel.get()};
+  Timer timer;
+  try {
+    const Graph& g = *job.graph;
+    const CycleResult r =
+        job.maximize ? (job.ratio ? maximum_cycle_ratio(g, *solver, so)
+                                  : maximum_cycle_mean(g, *solver, so))
+        : job.ratio  ? minimum_cycle_ratio(g, *solver, so)
+                     : minimum_cycle_mean(g, *solver, so);
+    complete_ok(job, r, timer.millis());
+  } catch (const SolveCancelled&) {
+    metrics_.counter("mcr_deadline_cancelled_total").add(1);
+    complete_error(job, kErrDeadline, "deadline exceeded during solve");
+  } catch (const std::invalid_argument& e) {
+    complete_error(job, kErrBadRequest, e.what());
+  } catch (const std::exception& e) {
+    complete_error(job, kErrInternal, e.what());
+  }
+}
+
+void Server::process_batch(std::vector<std::shared_ptr<SolveJob>>& batch) {
+  metrics_.histogram("mcr_batch_size", {1, 2, 4, 8, 16, 32, 64, 128})
+      .observe(static_cast<double>(batch.size()));
+  // Expire jobs whose deadline passed while queued — no work for them.
+  std::vector<std::shared_ptr<SolveJob>> live;
+  live.reserve(batch.size());
+  for (std::shared_ptr<SolveJob>& job : batch) {
+    if (job->cancel->load(std::memory_order_relaxed)) {
+      metrics_.counter("mcr_deadline_cancelled_total").add(1);
+      complete_error(*job, kErrDeadline, "deadline exceeded while queued");
+    } else {
+      live.push_back(std::move(job));
+    }
+  }
+  // Group by (algorithm, objective); each group is one solver run.
+  std::map<std::pair<std::string, std::string>,
+           std::vector<std::shared_ptr<SolveJob>>>
+      groups;
+  for (std::shared_ptr<SolveJob>& job : live) {
+    groups[{job->key.algorithm, job->key.objective}].push_back(std::move(job));
+  }
+  for (auto& [group_key, jobs] : groups) {
+    const bool maximize = jobs.front()->maximize;
+    if (jobs.size() == 1 || maximize) {
+      // Per-instance path: carries the job's own cancel token, so a
+      // deadline interrupts the solve at driver phase boundaries.
+      for (const std::shared_ptr<SolveJob>& job : jobs) solve_single(*job);
+      continue;
+    }
+    // Batch path: one solve_many spreads the instances across the
+    // work-stealing pool. Ratio instances are validated per job first
+    // so one malformed graph cannot poison the group.
+    std::vector<std::shared_ptr<SolveJob>> valid;
+    valid.reserve(jobs.size());
+    for (const std::shared_ptr<SolveJob>& job : jobs) {
+      if (!job->ratio) {
+        valid.push_back(job);
+        continue;
+      }
+      try {
+        validate_ratio_instance(*job->graph);
+        valid.push_back(job);
+      } catch (const std::exception& e) {
+        complete_error(*job, kErrBadRequest, e.what());
+      }
+    }
+    if (valid.empty()) continue;
+    try {
+      const auto solver = SolverRegistry::instance().create(group_key.first);
+      std::vector<const Graph*> ptrs;
+      ptrs.reserve(valid.size());
+      for (const std::shared_ptr<SolveJob>& job : valid) ptrs.push_back(job->graph.get());
+      const SolveOptions so{.num_threads = options_.solve_threads,
+                            .trace = options_.trace,
+                            .metrics = &metrics_};
+      Timer timer;
+      const std::vector<CycleResult> results =
+          solve_many(std::span<const Graph* const>(ptrs), *solver, so);
+      const double batch_ms = timer.millis();
+      for (std::size_t i = 0; i < valid.size(); ++i) {
+        complete_ok(*valid[i], results[i], batch_ms);
+      }
+    } catch (const std::exception& e) {
+      for (const std::shared_ptr<SolveJob>& job : valid) {
+        complete_error(*job, kErrInternal, e.what());
+      }
+    }
+  }
+}
+
+void Server::dispatch_loop() {
+  const obs::SinkScope sink_scope(options_.trace);
+  for (;;) {
+    std::vector<std::shared_ptr<SolveJob>> batch;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_dispatch_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // only when stopping_dispatch_
+      while (!queue_.empty() && batch.size() < options_.batch_max) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      metrics_.gauge("mcr_queue_depth").set(static_cast<std::int64_t>(queue_.size()));
+    }
+    process_batch(batch);
+  }
+}
+
+}  // namespace mcr::svc

@@ -1,0 +1,200 @@
+// The mcr solve service: a resident server over the solver stack.
+//
+// Architecture (docs/SERVICE.md has the full protocol reference):
+//
+//   accept thread ──▶ one thread per connection ──▶ bounded job queue
+//                      (parse frame, cache/single-     (capacity K,
+//                       flight admission)               BUSY beyond)
+//                                                          │
+//   deadline watchdog ◀── arms cancel tokens        dispatcher thread
+//                                                   (drains the queue in
+//                                                    batches, groups by
+//                                                    (algorithm, objective),
+//                                                    solve_many on the
+//                                                    work-stealing pool)
+//
+// Request lifecycle for SOLVE: resolve the graph (content fingerprint
+// via the GraphRegistry), consult the ResultCache (hit → answer from
+// memory; identical request in flight → join it), otherwise become the
+// flight leader and enter the bounded queue. Admission counts every
+// admitted-but-unfinished solve: at capacity the request is rejected
+// immediately with BUSY (explicit backpressure — the client decides
+// whether to retry; nothing hangs, nothing is silently dropped).
+//
+// Shutdown (stop_and_drain, wired to SIGTERM in mcr_serve): stop
+// accepting, half-close existing connections so no new requests enter,
+// finish every in-flight request, then retire the dispatcher and
+// watchdog. In-flight work is never abandoned.
+#ifndef MCR_SVC_SERVER_H
+#define MCR_SVC_SERVER_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "svc/cache.h"
+#include "svc/graph_registry.h"
+#include "svc/protocol.h"
+
+namespace mcr::json {
+class Value;
+}  // namespace mcr::json
+
+namespace mcr::svc {
+
+struct ServerOptions {
+  /// Unix-domain listener path; empty disables. A stale socket file
+  /// (path exists but nothing accepts) is replaced; a live one fails.
+  std::string unix_socket_path;
+  /// TCP listener on 127.0.0.1 (loopback only — front a real proxy for
+  /// anything else): port number, 0 = ephemeral, -1 = disabled.
+  int tcp_port = -1;
+  /// SolveOptions::num_threads for dispatched solves (0 = hardware).
+  int solve_threads = 0;
+  /// Admission bound: max solve requests admitted and not yet finished
+  /// (queued + executing). Beyond it, SOLVE is rejected with BUSY.
+  std::size_t queue_capacity = 64;
+  /// Max jobs one dispatcher batch pulls from the queue.
+  std::size_t batch_max = 32;
+  /// ResultCache entries (LRU).
+  std::size_t cache_entries = 1024;
+  /// GraphRegistry entries (LRU).
+  std::size_t graph_entries = 64;
+  /// Per-frame payload cap; larger frames are rejected and the
+  /// connection closed.
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Optional trace sink: per-request kRequest spans plus the usual
+  /// driver/solver spans from dispatched solves.
+  obs::TraceSink* trace = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  /// Drains (as stop_and_drain) if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the configured listeners and spawns the service threads.
+  /// Throws std::runtime_error when no listener is configured or a
+  /// bind/listen fails.
+  void start();
+
+  /// Graceful shutdown: stop accepting, complete every in-flight
+  /// request, join all threads, remove the unix socket file.
+  /// Idempotent; safe to call from any thread except a handler's.
+  void stop_and_drain();
+
+  [[nodiscard]] bool running() const { return running_.load(); }
+
+  /// Actual TCP port after start() (useful with tcp_port = 0).
+  [[nodiscard]] int tcp_port() const { return bound_tcp_port_; }
+
+  /// Loads a DIMACS file into the registry (the --preload path in
+  /// mcr_serve); returns the fingerprint. Call before or after start().
+  std::string preload_dimacs_file(const std::string& path);
+
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] GraphRegistry& graphs() { return graphs_; }
+  [[nodiscard]] ResultCache& cache() { return cache_; }
+
+ private:
+  struct SolveJob {
+    CacheKey key;
+    std::shared_ptr<const Graph> graph;
+    bool maximize = false;
+    bool ratio = false;
+    std::shared_ptr<std::atomic<bool>> cancel =
+        std::make_shared<std::atomic<bool>>(false);
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+    // Completion channel (leader connection thread waits here).
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;
+    CycleResult result;
+    double solve_ms = 0.0;
+    std::string error_code;
+    std::string error_message;
+  };
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void connection_main(Connection* conn);
+  void dispatch_loop();
+  void watchdog_loop();
+
+  [[nodiscard]] std::string handle_request(const std::string& payload);
+  [[nodiscard]] std::string handle_load(const json::Value& req);
+  [[nodiscard]] std::string handle_solve(const json::Value& req);
+  [[nodiscard]] std::string handle_solvers() const;
+  [[nodiscard]] std::string handle_stats() const;
+
+  /// Parses the request's graph source ("fingerprint" | "dimacs" |
+  /// "path" | "generator") and returns (resident graph, fingerprint).
+  /// Throws std::runtime_error with a client-facing message.
+  std::pair<std::shared_ptr<const Graph>, std::string> resolve_graph(
+      const json::Value& req);
+
+  void process_batch(std::vector<std::shared_ptr<SolveJob>>& batch);
+  void solve_single(SolveJob& job);
+  void complete_ok(SolveJob& job, const CycleResult& result, double solve_ms);
+  void complete_error(SolveJob& job, const std::string& code,
+                      const std::string& message);
+  void fulfill(SolveJob& job);
+  void arm_deadline(const std::shared_ptr<SolveJob>& job);
+  void reap_finished_connections();
+
+  ServerOptions options_;
+  obs::MetricsRegistry metrics_;
+  GraphRegistry graphs_;
+  ResultCache cache_;
+
+  std::atomic<bool> running_{false};
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int bound_tcp_port_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+  std::thread watchdog_thread_;
+
+  std::mutex conns_mutex_;
+  std::list<Connection> conns_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<SolveJob>> queue_;
+  std::size_t in_flight_ = 0;  // admitted, not yet fulfilled
+  bool stopping_ = false;          // refuse new admissions
+  bool stopping_dispatch_ = false; // dispatcher exits once queue empty
+
+  std::mutex deadline_mutex_;
+  std::condition_variable deadline_cv_;
+  std::vector<std::pair<std::chrono::steady_clock::time_point,
+                        std::weak_ptr<std::atomic<bool>>>>
+      deadlines_;
+  bool stopping_watchdog_ = false;
+};
+
+}  // namespace mcr::svc
+
+#endif  // MCR_SVC_SERVER_H

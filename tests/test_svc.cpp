@@ -1,0 +1,713 @@
+// Tests for the solve service stack: graph fingerprinting, the shared
+// result schema, wire framing, the LRU/single-flight result cache, the
+// graph registry, driver cancellation, and a live in-process Server
+// exercised over real Unix-domain / TCP sockets — including the
+// ISSUE-level guarantees (8 concurrent identical requests → one solve;
+// queue capacity K + j extra slow solves → j explicit BUSY rejections;
+// deadlines; graceful drain) and a frame fuzzer for protocol
+// robustness (runs under ASan and TSan in CI).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/driver.h"
+#include "core/registry.h"
+#include "graph/builder.h"
+#include "graph/fingerprint.h"
+#include "graph/io.h"
+#include "obs/metrics.h"
+#include "support/json.h"
+#include "support/prng.h"
+#include "svc/cache.h"
+#include "svc/client.h"
+#include "svc/graph_registry.h"
+#include "svc/protocol.h"
+#include "svc/result_json.h"
+#include "svc/server.h"
+
+namespace {
+
+using namespace mcr;
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// Shared fixtures and helpers.
+
+std::string unique_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/mcr_svc_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+Graph make_ring(NodeId n, std::int64_t base_weight) {
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    b.add_arc(u, (u + 1) % n, base_weight + u);
+  }
+  return b.build();
+}
+
+std::string dimacs_text(const Graph& g) {
+  std::ostringstream os;
+  write_dimacs(os, g, "test_svc");
+  return os.str();
+}
+
+// A deliberately slow mean solver: sleeps kNap per strongly connected
+// component, then delegates to Howard. Registered under two names so
+// tests can force two jobs into different dispatch groups.
+constexpr auto kNap = 300ms;
+
+class SleepySolver : public Solver {
+ public:
+  explicit SleepySolver(std::string name) : name_(std::move(name)) {}
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] ProblemKind kind() const override { return ProblemKind::kCycleMean; }
+  [[nodiscard]] CycleResult solve_scc(const Graph& g) const override {
+    std::this_thread::sleep_for(kNap);
+    return SolverRegistry::instance().create("howard")->solve_scc(g);
+  }
+
+ private:
+  std::string name_;
+};
+
+void ensure_sleepy_solvers() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (const char* name : {"test_sleepy", "test_sleepy2"}) {
+      SolverInfo info;
+      info.name = name;
+      info.display = "Sleepy";
+      info.source = "test fixture";
+      info.year = 2026;
+      info.bound = "O(sleep)";
+      info.kind = ProblemKind::kCycleMean;
+      SolverRegistry::instance().add(
+          info, [name](const SolverConfig&) -> std::unique_ptr<Solver> {
+            return std::make_unique<SleepySolver>(name);
+          });
+    }
+  });
+}
+
+CycleResult solve_self_loop(std::int64_t weight) {
+  GraphBuilder b(1);
+  b.add_arc(0, 0, weight);
+  const Graph g = b.build();
+  return minimum_cycle_mean(g, *SolverRegistry::instance().create("howard"));
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint.
+
+TEST(Fingerprint, SameContentSameHash) {
+  const Graph a = make_ring(16, 3);
+  const Graph b = make_ring(16, 3);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+  EXPECT_EQ(fingerprint_hex(a), fingerprint_hex(b));
+  EXPECT_EQ(fingerprint_hex(a).size(), 32u);
+}
+
+TEST(Fingerprint, SensitiveToEveryArcField) {
+  const Graph base = make_ring(8, 1);
+  const Fingerprint fp = fingerprint(base);
+
+  EXPECT_NE(fp, fingerprint(make_ring(8, 2)));  // weight
+  EXPECT_NE(fp, fingerprint(make_ring(9, 1)));  // node count
+
+  GraphBuilder b(8);  // same arcs, one transit changed
+  for (NodeId u = 0; u < 8; ++u) {
+    b.add_arc(u, (u + 1) % 8, 1 + u, u == 3 ? 2 : 1);
+  }
+  EXPECT_NE(fp, fingerprint(b.build()));
+
+  GraphBuilder c(8);  // one extra arc
+  for (NodeId u = 0; u < 8; ++u) c.add_arc(u, (u + 1) % 8, 1 + u);
+  c.add_arc(0, 4, 100);
+  EXPECT_NE(fp, fingerprint(c.build()));
+}
+
+TEST(Fingerprint, HexIsZeroPadded) {
+  const Fingerprint fp{0x1, 0xab};
+  EXPECT_EQ(fp.hex(), "000000000000000100000000000000ab");
+}
+
+// ---------------------------------------------------------------------------
+// Shared result schema.
+
+TEST(ResultJson, CyclicResultSchema) {
+  const CycleResult r = solve_self_loop(7);
+  const std::string text = svc::result_json(r, "howard", "min_mean", 1.5);
+  EXPECT_EQ(text,
+            "{\"algorithm\":\"howard\",\"objective\":\"min_mean\","
+            "\"has_cycle\":true,\"value_num\":7,\"value_den\":1,\"value\":7,"
+            "\"cycle_length\":1,\"cycle_arcs\":[0],\"milliseconds\":1.5}");
+  const json::Value v = json::parse(text);  // parses as valid JSON
+  EXPECT_EQ(v.at("value_num").as_double(), 7.0);
+}
+
+TEST(ResultJson, AcyclicResultOmitsValueFields) {
+  const CycleResult r;  // has_cycle == false
+  const std::string text = svc::result_json(r, "karp", "min_mean", 0.25);
+  EXPECT_EQ(text,
+            "{\"algorithm\":\"karp\",\"objective\":\"min_mean\","
+            "\"has_cycle\":false,\"milliseconds\":0.25}");
+  EXPECT_FALSE(json::parse(text).has("value_num"));
+}
+
+// ---------------------------------------------------------------------------
+// Wire framing.
+
+TEST(Protocol, FrameRoundTripThroughPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string payload = R"({"verb":"PING"})";
+  ASSERT_TRUE(svc::write_all(fds[1], svc::encode_frame(payload)));
+  std::string out;
+  EXPECT_EQ(svc::read_frame(fds[0], svc::kDefaultMaxFrameBytes, out),
+            svc::ReadStatus::kOk);
+  EXPECT_EQ(out, payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Protocol, RejectsBadMagicOversizeAndTruncation) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::string out;
+
+  ASSERT_TRUE(svc::write_all(fds[1], std::string("XXXX\x01\x00\x00\x00z", 9)));
+  // The whole 8-byte header is consumed before the magic check fires.
+  EXPECT_EQ(svc::read_frame(fds[0], 1024, out), svc::ReadStatus::kBadMagic);
+  char drain[1];
+  ASSERT_EQ(::read(fds[0], drain, 1), 1);  // the stray payload byte
+
+  ASSERT_TRUE(svc::write_all(fds[1], std::string("MCR1\xff\xff\xff\xff", 8)));
+  EXPECT_EQ(svc::read_frame(fds[0], 1024, out), svc::ReadStatus::kTooLarge);
+
+  ASSERT_TRUE(svc::write_all(fds[1], std::string("MC", 2)));
+  ::close(fds[1]);
+  EXPECT_EQ(svc::read_frame(fds[0], 1024, out), svc::ReadStatus::kTruncated);
+  EXPECT_EQ(svc::read_frame(fds[0], 1024, out), svc::ReadStatus::kClosed);
+  ::close(fds[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Result cache.
+
+TEST(ResultCache, MissPublishHitAndLruEviction) {
+  obs::MetricsRegistry metrics;
+  svc::ResultCache cache(2, &metrics);
+  const CycleResult r = solve_self_loop(5);
+
+  const svc::CacheKey k1{"fp1", "min_mean", "howard"};
+  auto o = cache.acquire(k1);
+  EXPECT_EQ(o.role, svc::ResultCache::Role::kLead);
+  cache.publish(k1, r, 2.0);
+
+  o = cache.acquire(k1);
+  ASSERT_EQ(o.role, svc::ResultCache::Role::kHit);
+  EXPECT_EQ(o.result.value, r.value);
+  EXPECT_EQ(o.solve_ms, 2.0);
+
+  // Distinct objective and algorithm are distinct rows.
+  EXPECT_EQ(cache.acquire({"fp1", "max_mean", "howard"}).role,
+            svc::ResultCache::Role::kLead);
+  cache.publish({"fp1", "max_mean", "howard"}, r, 1.0);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Touch k1, insert a third row: the untouched row is evicted.
+  (void)cache.acquire(k1);
+  EXPECT_EQ(cache.acquire({"fp2", "min_mean", "howard"}).role,
+            svc::ResultCache::Role::kLead);
+  cache.publish({"fp2", "min_mean", "howard"}, r, 1.0);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.acquire(k1).role, svc::ResultCache::Role::kHit);
+  EXPECT_EQ(metrics.counter("mcr_cache_evictions_total").value(), 1u);
+  EXPECT_GE(metrics.counter("mcr_cache_hits_total").value(), 3u);
+  EXPECT_EQ(metrics.gauge("mcr_cache_entries").value(), 2);
+}
+
+TEST(ResultCache, SingleFlightJoinerReceivesLeaderResult) {
+  obs::MetricsRegistry metrics;
+  svc::ResultCache cache(4, &metrics);
+  const svc::CacheKey key{"fp", "min_mean", "howard"};
+  const CycleResult r = solve_self_loop(9);
+
+  auto lead = cache.acquire(key);
+  ASSERT_EQ(lead.role, svc::ResultCache::Role::kLead);
+
+  svc::ResultCache::Outcome joined;
+  std::thread joiner([&] { joined = cache.acquire(key); });
+  std::this_thread::sleep_for(100ms);  // joiner is (almost surely) waiting
+  cache.publish(key, r, 3.0);
+  joiner.join();
+
+  EXPECT_NE(joined.role, svc::ResultCache::Role::kLead);
+  EXPECT_TRUE(joined.error_code.empty());
+  EXPECT_EQ(joined.result.value, r.value);
+  EXPECT_EQ(joined.solve_ms, 3.0);
+}
+
+TEST(ResultCache, FailurePropagatesToJoinersAndCachesNothing) {
+  svc::ResultCache cache(4);
+  const svc::CacheKey key{"fp", "min_mean", "howard"};
+  auto lead = cache.acquire(key);
+  ASSERT_EQ(lead.role, svc::ResultCache::Role::kLead);
+
+  svc::ResultCache::Outcome joined;
+  std::thread joiner([&] { joined = cache.acquire(key); });
+  std::this_thread::sleep_for(100ms);
+  cache.fail(key, svc::kErrBusy, "queue full");
+  joiner.join();
+
+  if (joined.role == svc::ResultCache::Role::kJoined) {
+    EXPECT_EQ(joined.error_code, svc::kErrBusy);
+  } else {
+    // The joiner raced past the flight's teardown and became a new
+    // leader; it owes the cache a completion.
+    cache.fail(key, svc::kErrBusy, "queue full");
+  }
+  EXPECT_EQ(cache.size(), 0u);  // errors are never cached
+  EXPECT_EQ(cache.acquire(key).role, svc::ResultCache::Role::kLead);
+  cache.fail(key, "X", "cleanup");
+}
+
+// ---------------------------------------------------------------------------
+// Graph registry.
+
+TEST(GraphRegistry, IdempotentAddLruEvictionAndSharedOwnership) {
+  obs::MetricsRegistry metrics;
+  svc::GraphRegistry reg(2, &metrics);
+
+  const std::string fp1 = reg.add(make_ring(8, 1));
+  const std::string fp2 = reg.add(make_ring(8, 2));
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.add(make_ring(8, 1)), fp1);  // idempotent
+  EXPECT_EQ(reg.size(), 2u);
+
+  // Hold the about-to-be-evicted graph; find() touches fp1, so adding a
+  // third graph evicts fp2.
+  const std::shared_ptr<const Graph> held = reg.find(fp2);
+  ASSERT_NE(held, nullptr);
+  ASSERT_NE(reg.find(fp1), nullptr);
+  const std::string fp3 = reg.add(make_ring(8, 3));
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.find(fp2), nullptr);
+  EXPECT_NE(reg.find(fp3), nullptr);
+
+  // The evicted graph survives for holders of the shared_ptr.
+  EXPECT_EQ(held->num_nodes(), 8u);
+  EXPECT_EQ(metrics.counter("mcr_graph_evictions_total").value(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Driver cancellation (the deadline hook).
+
+TEST(DriverCancel, PresetFlagCancelsBeforeAnyWork) {
+  const Graph g = make_ring(8, 1);
+  std::atomic<bool> cancel{true};
+  SolveOptions options;
+  options.cancel = &cancel;
+  const auto solver = SolverRegistry::instance().create("howard");
+  EXPECT_THROW((void)minimum_cycle_mean(g, *solver, options), SolveCancelled);
+}
+
+TEST(DriverCancel, NullTokenSolvesNormally) {
+  const Graph g = make_ring(8, 1);
+  const auto solver = SolverRegistry::instance().create("howard");
+  const CycleResult r = minimum_cycle_mean(g, *solver);
+  EXPECT_TRUE(r.has_cycle);
+}
+
+// ---------------------------------------------------------------------------
+// Registry error message (satellite: unknown --algo lists solvers).
+
+TEST(RegistryErrors, UnknownSolverMessageListsRegisteredNames) {
+  try {
+    (void)SolverRegistry::instance().create("no_such_algorithm");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown solver 'no_such_algorithm'"), std::string::npos);
+    EXPECT_NE(msg.find("registered solvers:"), std::string::npos);
+    EXPECT_NE(msg.find("howard"), std::string::npos);
+    EXPECT_NE(msg.find("karp"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Live server.
+
+TEST(SvcServer, PingLoadSolveCacheAndStats) {
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  svc::Server server(so);
+  server.start();
+
+  svc::Client client = svc::Client::connect_unix(so.unix_socket_path);
+  EXPECT_TRUE(client.ping());
+
+  const Graph g = make_ring(32, 5);
+  const std::string fp = client.load_dimacs_text(dimacs_text(g));
+  EXPECT_EQ(fp, fingerprint_hex(g));  // content addressing is canonical
+
+  const json::Value first = client.solve(fp);
+  ASSERT_EQ(first.string_or("status", ""), "ok");
+  EXPECT_FALSE(first.at("cached").as_bool());
+  const json::Value second = client.solve(fp);
+  EXPECT_TRUE(second.at("cached").as_bool());
+
+  // The served value matches a local solve of the same instance.
+  const CycleResult local =
+      minimum_cycle_mean(g, *SolverRegistry::instance().create("howard"));
+  EXPECT_EQ(first.at("result").at("value_num").as_double(),
+            static_cast<double>(local.value.num()));
+  EXPECT_EQ(first.at("result").at("value_den").as_double(),
+            static_cast<double>(local.value.den()));
+  // Cached responses replay the original solve's wall time so the
+  // result object is byte-stable.
+  EXPECT_EQ(first.at("result").at("milliseconds").as_double(),
+            second.at("result").at("milliseconds").as_double());
+
+  const json::Value stats = client.stats();
+  ASSERT_EQ(stats.string_or("status", ""), "ok");
+  EXPECT_TRUE(stats.at("metrics").is_object());
+  EXPECT_NE(stats.at("prometheus").as_string().find("mcr_requests_total"),
+            std::string::npos);
+
+  const json::Value solvers = client.request(R"({"verb":"SOLVERS"})");
+  bool saw_howard = false;
+  for (const json::Value& s : solvers.at("solvers").as_array()) {
+    if (s.at("name").as_string() == "howard") saw_howard = true;
+  }
+  EXPECT_TRUE(saw_howard);
+
+  server.stop_and_drain();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(SvcServer, TcpListenerOnEphemeralPort) {
+  svc::ServerOptions so;
+  so.tcp_port = 0;  // ephemeral
+  svc::Server server(so);
+  server.start();
+  ASSERT_GT(server.tcp_port(), 0);
+
+  svc::Client client = svc::Client::connect_tcp(server.tcp_port());
+  EXPECT_TRUE(client.ping());
+  const Graph g = make_ring(8, 2);
+  const std::string fp = client.load_dimacs_text(dimacs_text(g));
+  EXPECT_EQ(client.solve(fp).string_or("status", ""), "ok");
+  server.stop_and_drain();
+}
+
+TEST(SvcServer, ErrorsAreExplicitAndConnectionSurvives) {
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  svc::Server server(so);
+  server.start();
+  svc::Client client = svc::Client::connect_unix(so.unix_socket_path);
+
+  // Unknown fingerprint.
+  json::Value r = client.solve(std::string(32, '0'));
+  EXPECT_EQ(r.string_or("code", ""), "NOT_FOUND");
+
+  // Unknown algorithm lists the registered solvers.
+  const std::string fp = client.load_dimacs_text(dimacs_text(make_ring(8, 1)));
+  r = client.solve(fp, "min_mean", "definitely_not_a_solver");
+  EXPECT_EQ(r.string_or("code", ""), "BAD_REQUEST");
+  EXPECT_NE(r.string_or("message", "").find("registered solvers:"),
+            std::string::npos);
+  EXPECT_NE(r.string_or("message", "").find("howard"), std::string::npos);
+
+  // Solver kind vs objective mismatch.
+  r = client.solve(fp, "min_ratio", "howard");
+  EXPECT_EQ(r.string_or("code", ""), "BAD_REQUEST");
+
+  // Malformed JSON payload.
+  r = client.request("this is not json");
+  EXPECT_EQ(r.string_or("status", ""), "error");
+  EXPECT_EQ(r.string_or("code", ""), "BAD_REQUEST");
+
+  // Unknown verb.
+  r = client.request(R"({"verb":"EXPLODE"})");
+  EXPECT_EQ(r.string_or("code", ""), "BAD_REQUEST");
+
+  // After all of the above the same connection still serves.
+  EXPECT_TRUE(client.ping());
+  server.stop_and_drain();
+}
+
+// The ISSUE acceptance test: the same solve from 8 concurrent clients
+// runs exactly one underlying solve, and every response carries a
+// byte-identical result object.
+TEST(SvcServer, EightConcurrentClientsOneUnderlyingSolve) {
+  ensure_sleepy_solvers();
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  svc::Server server(so);
+  server.start();
+
+  const Graph g = make_ring(16, 4);
+  const std::string fp = [&] {
+    svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+    return c.load_dimacs_text(dimacs_text(g));
+  }();
+
+  constexpr int kClients = 8;
+  std::vector<std::string> raw(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+      raw[static_cast<std::size_t>(i)] = c.request_raw(
+          R"({"verb":"SOLVE","fingerprint":")" + fp +
+          R"(","objective":"min_mean","algo":"test_sleepy"})");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Every response succeeded and carries the identical result object
+  // (the response prefix differs only in the "cached" flag).
+  std::vector<std::string> results;
+  for (const std::string& response : raw) {
+    const json::Value v = json::parse(response);
+    ASSERT_EQ(v.string_or("status", ""), "ok") << response;
+    const std::size_t pos = response.find("\"result\":");
+    ASSERT_NE(pos, std::string::npos);
+    results.push_back(response.substr(pos));
+  }
+  for (const std::string& r : results) EXPECT_EQ(r, results.front());
+
+  // Exactly one solve ran; the other seven were cache hits or flight
+  // joiners.
+  EXPECT_EQ(server.metrics().counter("mcr_solves_total").value(), 1u);
+  const std::uint64_t hits =
+      server.metrics().counter("mcr_cache_hits_total").value();
+  const std::uint64_t joins =
+      server.metrics().counter("mcr_singleflight_joins_total").value();
+  EXPECT_EQ(hits + joins, 7u);
+
+  server.stop_and_drain();
+}
+
+// The ISSUE backpressure test: queue capacity K, K + j concurrent slow
+// distinct solves → j explicit BUSY rejections and mcr_rejected_total
+// == j; every request gets an answer (no hangs, no drops).
+TEST(SvcServer, BackpressureRejectsBeyondCapacity) {
+  ensure_sleepy_solvers();
+  constexpr std::size_t kCapacity = 2;
+  constexpr int kRequests = 5;  // j = 3 rejections
+
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  so.queue_capacity = kCapacity;
+  svc::Server server(so);
+  server.start();
+
+  // Distinct graphs → distinct cache keys, so single-flight cannot
+  // deduplicate them away.
+  std::vector<std::string> fps;
+  {
+    svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+    for (int i = 0; i < kRequests; ++i) {
+      fps.push_back(c.load_dimacs_text(dimacs_text(make_ring(8, 10 * (i + 1)))));
+    }
+  }
+
+  std::vector<std::string> codes(kRequests);
+  std::vector<std::thread> threads;
+  threads.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    threads.emplace_back([&, i] {
+      svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+      const json::Value v =
+          c.solve(fps[static_cast<std::size_t>(i)], "min_mean", "test_sleepy");
+      codes[static_cast<std::size_t>(i)] = v.string_or("status", "") == "ok"
+                                               ? "OK"
+                                               : v.string_or("code", "?");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  int ok = 0;
+  int busy = 0;
+  for (const std::string& code : codes) {
+    if (code == "OK") ++ok;
+    if (code == "BUSY") ++busy;
+  }
+  EXPECT_EQ(ok, static_cast<int>(kCapacity));
+  EXPECT_EQ(busy, kRequests - static_cast<int>(kCapacity));
+  EXPECT_EQ(server.metrics().counter("mcr_rejected_total").value(),
+            static_cast<std::uint64_t>(kRequests) - kCapacity);
+
+  server.stop_and_drain();
+}
+
+TEST(SvcServer, DeadlineExpiresWhileQueuedOrBeforeSolve) {
+  ensure_sleepy_solvers();
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  svc::Server server(so);
+  server.start();
+
+  std::vector<std::string> fps;
+  {
+    svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+    fps.push_back(c.load_dimacs_text(dimacs_text(make_ring(8, 1))));
+    fps.push_back(c.load_dimacs_text(dimacs_text(make_ring(8, 2))));
+  }
+
+  // Occupy the dispatcher with a slow solve, then submit a second slow
+  // solve (different algorithm name → different dispatch group, so it
+  // is never batched into the first) with a deadline far shorter than
+  // the dispatcher's busy window. Whether it expires while queued or at
+  // the driver's entry check, the client gets DEADLINE_EXCEEDED.
+  std::thread occupant([&] {
+    svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+    const json::Value v = c.solve(fps[0], "min_mean", "test_sleepy");
+    EXPECT_EQ(v.string_or("status", ""), "ok");
+  });
+  std::this_thread::sleep_for(80ms);
+
+  svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+  const json::Value v = c.solve(fps[1], "min_mean", "test_sleepy2",
+                                /*deadline_ms=*/100.0);
+  EXPECT_EQ(v.string_or("code", ""), "DEADLINE_EXCEEDED");
+
+  occupant.join();
+  EXPECT_GE(server.metrics().counter("mcr_deadline_cancelled_total").value(), 1u);
+  server.stop_and_drain();
+}
+
+TEST(SvcServer, DeadlineCancelsMidSolveAtComponentBoundary) {
+  ensure_sleepy_solvers();
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  so.solve_threads = 1;  // serial driver: components run one after another
+  svc::Server server(so);
+  server.start();
+
+  // Four disjoint self-loops = four cyclic SCCs; the sleepy solver
+  // spends kNap per component, and the driver polls the cancel token
+  // between components. Deadline of 1.5 naps → cancelled at the second
+  // or third component boundary, long before the 4-nap full solve.
+  GraphBuilder b(4);
+  for (NodeId u = 0; u < 4; ++u) b.add_arc(u, u, 1 + u);
+
+  svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+  const std::string fp = c.load_dimacs_text(dimacs_text(b.build()));
+  const auto started = std::chrono::steady_clock::now();
+  const json::Value v =
+      c.solve(fp, "min_mean", "test_sleepy",
+              std::chrono::duration_cast<std::chrono::milliseconds>(kNap).count() * 1.5);
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+
+  EXPECT_EQ(v.string_or("code", ""), "DEADLINE_EXCEEDED");
+  EXPECT_LT(elapsed, 4 * kNap);  // cancelled well before a full solve
+  EXPECT_GE(server.metrics().counter("mcr_deadline_cancelled_total").value(), 1u);
+  server.stop_and_drain();
+}
+
+TEST(SvcServer, DrainCompletesInFlightRequests) {
+  ensure_sleepy_solvers();
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  svc::Server server(so);
+  server.start();
+
+  const std::string fp = [&] {
+    svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+    return c.load_dimacs_text(dimacs_text(make_ring(8, 3)));
+  }();
+
+  std::string status;
+  std::thread in_flight([&] {
+    svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+    status = c.solve(fp, "min_mean", "test_sleepy").string_or("status", "");
+  });
+  std::this_thread::sleep_for(80ms);  // request is solving by now
+
+  server.stop_and_drain();  // must wait for the in-flight solve
+  in_flight.join();
+  EXPECT_EQ(status, "ok");
+  EXPECT_FALSE(server.running());
+
+  // The socket is gone: new connections are refused.
+  EXPECT_THROW((void)svc::Client::connect_unix(so.unix_socket_path),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Frame fuzzer (satellite: protocol robustness under ASan).
+
+TEST(FrameFuzz, TruncatedHeadersAbsurdLengthsAndGarbage) {
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  so.max_frame_bytes = 64 * 1024;
+  svc::Server server(so);
+  server.start();
+
+  // Truncated header: a few bytes, then hang up.
+  {
+    svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+    c.send_bytes(std::string("MC", 2));
+  }
+  // Absurd length prefix: explicit FRAME_TOO_LARGE, then close.
+  {
+    svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+    c.send_bytes(std::string("MCR1\xff\xff\xff\x7f", 8));
+    const json::Value v = json::parse(c.read_payload());
+    EXPECT_EQ(v.string_or("code", ""), "FRAME_TOO_LARGE");
+    EXPECT_THROW((void)c.read_payload(), std::runtime_error);  // closed
+  }
+  // Bad magic: explicit BAD_FRAME, then close.
+  {
+    svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+    c.send_bytes(std::string("GET /metrics HTTP/1.1\r\n\r\n"));
+    const json::Value v = json::parse(c.read_payload());
+    EXPECT_EQ(v.string_or("code", ""), "BAD_FRAME");
+  }
+
+  Prng rng(0xF0221);
+  // Well-framed garbage payloads: every one answers an explicit error
+  // on a connection that stays up.
+  {
+    svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+    for (int iter = 0; iter < 100; ++iter) {
+      std::string garbage(static_cast<std::size_t>(rng.uniform_int(1, 512)), '\0');
+      for (char& ch : garbage) {
+        ch = static_cast<char>(rng.uniform_int(0, 255));
+      }
+      const json::Value v = json::parse(c.request_raw(garbage));
+      EXPECT_EQ(v.string_or("status", ""), "error");
+    }
+    EXPECT_TRUE(c.ping());  // same connection still serves
+  }
+  // Raw unframed byte streams on fresh connections.
+  for (int iter = 0; iter < 20; ++iter) {
+    svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+    std::string noise(static_cast<std::size_t>(rng.uniform_int(1, 64)), '\0');
+    for (char& ch : noise) ch = static_cast<char>(rng.uniform_int(0, 255));
+    c.send_bytes(noise);
+  }
+
+  // The server survived everything above.
+  svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+  EXPECT_TRUE(c.ping());
+  EXPECT_GE(server.metrics().counter("mcr_bad_frames_total").value(), 2u);
+  server.stop_and_drain();
+}
+
+}  // namespace

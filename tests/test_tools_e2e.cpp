@@ -12,6 +12,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -165,6 +166,148 @@ TEST(ToolsE2E, RatioMode) {
   EXPECT_EQ(solve.exit_code, 0) << solve.stdout_text;
   EXPECT_NE(solve.stdout_text.find("minimum cycle ratio"), std::string::npos);
   std::remove(file.c_str());
+}
+
+TEST(ToolsE2E, VersionFlagOnEveryTool) {
+  for (const char* name : {"mcr_solve", "mcr_gen", "mcr_fuzz", "mcr_bench",
+                           "mcr_bench_diff", "mcr_serve", "mcr_query"}) {
+    const auto out = run(tool(name) + " --version=");
+    EXPECT_EQ(out.exit_code, 0) << name << ": " << out.stdout_text;
+    EXPECT_NE(out.stdout_text.find(name), std::string::npos) << out.stdout_text;
+    EXPECT_NE(out.stdout_text.find("git sha:"), std::string::npos) << name;
+    EXPECT_NE(out.stdout_text.find("compiler:"), std::string::npos) << name;
+  }
+}
+
+TEST(ToolsE2E, OutputJsonIsValidJson) {
+  const std::string file =
+      (std::filesystem::temp_directory_path() / "mcr_e2e_ojson.dimacs").string();
+  ASSERT_EQ(run(tool("mcr_gen") + " circuit --n 48 --seed 7 --out " + file).exit_code, 0);
+  // The JSON line (stdout also carries the instance banner) must
+  // satisfy a real JSON parser.
+  const auto out = run(tool("mcr_solve") + " " + file +
+                       " --output json | grep '^{' | python3 -m json.tool");
+  EXPECT_EQ(out.exit_code, 0) << out.stdout_text;
+  EXPECT_NE(out.stdout_text.find("\"value_num\""), std::string::npos);
+  EXPECT_NE(out.stdout_text.find("\"cycle_arcs\""), std::string::npos);
+  std::remove(file.c_str());
+}
+
+TEST(ToolsE2E, UnknownAlgoListsRegisteredSolvers) {
+  const std::string file =
+      (std::filesystem::temp_directory_path() / "mcr_e2e_badalgo.dimacs").string();
+  ASSERT_EQ(run(tool("mcr_gen") + " ring --n 4 --seed 1 --out " + file).exit_code, 0);
+  const auto out = run(tool("mcr_solve") + " " + file + " --algo not_an_algo");
+  EXPECT_NE(out.exit_code, 0);
+  EXPECT_NE(out.stdout_text.find("unknown solver 'not_an_algo'"), std::string::npos)
+      << out.stdout_text;
+  EXPECT_NE(out.stdout_text.find("registered solvers:"), std::string::npos);
+  EXPECT_NE(out.stdout_text.find("howard"), std::string::npos);
+  std::remove(file.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Solve service e2e: a real mcr_serve process driven through mcr_query.
+
+pid_t spawn_tool(const std::vector<std::string>& argv, const std::string& log_path) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  // Child: redirect output and exec.
+  if (std::freopen(log_path.c_str(), "w", stdout) == nullptr) _exit(127);
+  (void)::dup2(1, 2);
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+  ::execv(cargv[0], cargv.data());
+  _exit(127);
+}
+
+bool wait_for_ping(const std::string& socket_path) {
+  for (int i = 0; i < 100; ++i) {
+    if (run(tool("mcr_query") + " --socket " + socket_path + " ping").exit_code == 0) {
+      return true;
+    }
+    ::usleep(100 * 1000);
+  }
+  return false;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// The ISSUE acceptance e2e: mcr_serve on a Unix socket, the same solve
+// from 8 concurrent mcr_query clients → all result objects
+// byte-identical, they match mcr_solve's schema on the same instance
+// (up to wall time, the schema's trailing field), the service metrics
+// prove exactly one underlying solve ran, and SIGTERM drains an
+// in-flight request before the process exits 0.
+TEST(ToolsE2E, ServeQueryConcurrentClientsAndDrain) {
+  namespace fs = std::filesystem;
+  const auto dir =
+      fs::temp_directory_path() / ("mcr_e2e_svc." + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  const std::string graph = (dir / "g.dimacs").string();
+  const std::string sock = (dir / "mcr.sock").string();
+  const std::string log = (dir / "serve.log").string();
+  ASSERT_EQ(
+      run(tool("mcr_gen") + " circuit --n 400 --seed 11 --out " + graph).exit_code, 0);
+
+  const pid_t server = spawn_tool({tool("mcr_serve"), "--socket", sock}, log);
+  ASSERT_GT(server, 0);
+  ASSERT_TRUE(wait_for_ping(sock)) << slurp(log);
+
+  // 8 concurrent clients, same solve, JSON result to one file each.
+  const std::string query = tool("mcr_query") + " --socket " + sock + " solve " +
+                            graph + " --output json";
+  std::string fanout = "for i in 0 1 2 3 4 5 6 7; do " + query + " > " +
+                       (dir / "out.$i.json").string() + " 2>/dev/null & done; wait";
+  ASSERT_EQ(run("bash -c '" + fanout + "'").exit_code, 0);
+
+  const std::string first = slurp((dir / "out.0.json").string());
+  ASSERT_NE(first.find("\"has_cycle\":true"), std::string::npos) << first;
+  for (int i = 1; i < 8; ++i) {
+    EXPECT_EQ(slurp((dir / ("out." + std::to_string(i) + ".json")).string()), first)
+        << "client " << i << " diverged";
+  }
+
+  // Exactly one underlying solve ran for the 8 requests.
+  const auto stats =
+      run(tool("mcr_query") + " --socket " + sock + " stats --prometheus=");
+  ASSERT_EQ(stats.exit_code, 0) << stats.stdout_text;
+  EXPECT_NE(stats.stdout_text.find("mcr_solves_total 1"), std::string::npos)
+      << stats.stdout_text;
+
+  // The result matches mcr_solve on the same instance: the schema is
+  // shared and everything up to the trailing wall-time field is
+  // byte-identical.
+  const auto local = run(tool("mcr_solve") + " " + graph + " --output json | grep '^{'");
+  ASSERT_EQ(local.exit_code, 0);
+  const std::string cut = ",\"milliseconds\":";
+  const std::string service_prefix = first.substr(0, first.find(cut));
+  const std::string local_prefix =
+      local.stdout_text.substr(0, local.stdout_text.find(cut));
+  EXPECT_EQ(service_prefix, local_prefix);
+
+  // SIGTERM with a request in flight: the request completes, the
+  // server drains and exits 0.
+  std::string bg = query + " > " + (dir / "inflight.json").string() +
+                   " 2>/dev/null & sleep 0.05; kill -TERM " +
+                   std::to_string(server) + "; wait $!";
+  ASSERT_EQ(run("bash -c '" + bg + "'").exit_code, 0);
+  int status = -1;
+  ASSERT_EQ(::waitpid(server, &status, 0), server);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  EXPECT_EQ(slurp((dir / "inflight.json").string()), first);
+  const std::string serve_log = slurp(log);
+  EXPECT_NE(serve_log.find("draining"), std::string::npos) << serve_log;
+  EXPECT_NE(serve_log.find("drained, exiting"), std::string::npos) << serve_log;
+  fs::remove_all(dir);
 }
 
 }  // namespace

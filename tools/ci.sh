@@ -2,7 +2,8 @@
 # CI gate: build Release and ASan+UBSan, run the full test suite in
 # both, then run a differential-fuzz smoke (mean + ratio, serial and
 # threaded) under the sanitizers so exactness bugs of the Howard-rescale
-# class cannot regress silently. Each config also runs a traced +
+# class cannot regress silently. A third, TSan config re-runs the
+# concurrency-heavy suites (pool, parallel driver, solve service). Each config also runs a traced +
 # metered multi-SCC smoke solve and validates the exported trace /
 # metrics JSON with python3 -m json.tool, plus a tiny mcr_bench grid run
 # twice and gated with mcr_bench_diff: the self-diff must report zero
@@ -84,5 +85,16 @@ run "$FUZZ" --trials "$FUZZ_TRIALS" --seed 1
 run "$FUZZ" --trials "$FUZZ_TRIALS" --seed 2 --negative
 run "$FUZZ" --trials "$FUZZ_TRIALS" --seed 3 --ratio
 run "$FUZZ" --trials "$FUZZ_TRIALS" --seed 4 --ratio --negative --threads 8
+
+echo "=== TSan build + concurrency tests ==="
+# ASan and TSan cannot share a binary, so the thread-interleaving tests
+# (work-stealing pool, parallel SCC driver, the svc server) get their own
+# config. Only the concurrency-heavy suites run here: TSan slows
+# execution ~10x and the sequential suites add no interleavings.
+run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMCR_SANITIZE_THREAD=ON
+run cmake --build build-tsan -j "$JOBS" --target test_parallel_driver test_obs test_svc
+run build-tsan/tests/test_parallel_driver
+run build-tsan/tests/test_obs
+run build-tsan/tests/test_svc
 
 echo "=== ci.sh: all green ==="

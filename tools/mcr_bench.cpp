@@ -219,7 +219,12 @@ int run(const cli::Options& opt) {
 
 int main(int argc, char** argv) {
   try {
-    return run(mcr::cli::parse(argc, argv));
+    const mcr::cli::Options opt = mcr::cli::parse(argc, argv);
+    if (opt.has("version")) {
+      std::cout << mcr::obs::version_string("mcr_bench");
+      return 0;
+    }
+    return run(opt);
   } catch (const std::exception& e) {
     std::cerr << "mcr_bench: " << e.what() << "\n";
     return 1;

@@ -15,6 +15,7 @@
 
 #include "benchkit/artifact.h"
 #include "cli.h"
+#include "obs/build_info.h"
 
 namespace {
 
@@ -52,7 +53,12 @@ int run(const mcr::cli::Options& opt) {
 
 int main(int argc, char** argv) {
   try {
-    return run(mcr::cli::parse(argc, argv));
+    const mcr::cli::Options opt = mcr::cli::parse(argc, argv);
+    if (opt.has("version")) {
+      std::cout << mcr::obs::version_string("mcr_bench_diff");
+      return 0;
+    }
+    return run(opt);
   } catch (const std::exception& e) {
     std::cerr << "mcr_bench_diff: " << e.what() << "\n";
     return 2;

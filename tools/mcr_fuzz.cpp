@@ -30,6 +30,7 @@
 #include "gen/circuit.h"
 #include "gen/sprand.h"
 #include "gen/structured.h"
+#include "obs/build_info.h"
 #include "graph/io.h"
 #include "obs/trace_recorder.h"
 #include "support/prng.h"
@@ -133,6 +134,10 @@ int main(int argc, char** argv) {
   using namespace mcr;
   try {
     const cli::Options opt = cli::parse(argc, argv);
+    if (opt.has("version")) {
+      std::cout << obs::version_string("mcr_fuzz");
+      return 0;
+    }
     const std::int64_t trials = opt.get_int("trials", 200);
     const bool ratio = opt.has("ratio");
     const bool verbose = opt.has("verbose");

@@ -16,6 +16,7 @@
 #include "gen/sprand.h"
 #include "gen/structured.h"
 #include "graph/io.h"
+#include "obs/build_info.h"
 
 namespace {
 
@@ -61,6 +62,10 @@ int main(int argc, char** argv) {
   using namespace mcr;
   try {
     const cli::Options opt = cli::parse(argc, argv);
+    if (opt.has("version")) {
+      std::cout << obs::version_string("mcr_gen");
+      return 0;
+    }
     if (opt.positional.size() != 1) {
       std::cerr << "usage: mcr_gen <sprand|circuit|ring|torus> [options] [--out FILE]\n";
       return 2;

@@ -1,0 +1,204 @@
+// mcr_query — command-line client for the mcr solve service.
+//
+//   mcr_query --socket PATH|--tcp PORT <verb> [args]
+//
+//   verbs:
+//     ping                          liveness check
+//     load <file.dimacs>            load a graph, print its fingerprint
+//     solve <file.dimacs|fp:HEX>    solve (loads the file first when
+//                                   given a path) and print the result
+//       [--algo NAME] [--ratio] [--max] [--deadline-ms N]
+//       [--output json]             print the shared result schema
+//                                   (identical bytes for identical
+//                                   cached results; cache status goes
+//                                   to stderr)
+//     solvers                       list the server's registered solvers
+//     stats [--prometheus]          server metrics (JSON, or Prometheus
+//                                   text with --prometheus)
+//     raw '<json>'                  send one raw request payload
+//
+//   --version  print build provenance and exit
+//
+// Exit codes: 0 ok; 1 server-side error (the code, e.g. BUSY or
+// DEADLINE_EXCEEDED, is printed on stderr); 2 usage; 3 transport
+// failure (cannot connect / connection lost).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cli.h"
+#include "obs/build_info.h"
+#include "support/json.h"
+#include "svc/client.h"
+
+namespace {
+
+using namespace mcr;
+
+svc::Client connect(const cli::Options& opt) {
+  if (opt.has("socket")) return svc::Client::connect_unix(opt.get("socket"));
+  if (opt.has("tcp")) {
+    return svc::Client::connect_tcp(
+        static_cast<int>(opt.get_int_in("tcp", 0, 1, 65535)));
+  }
+  throw std::invalid_argument("no server address (--socket PATH or --tcp PORT)");
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Prints a response's error (if any) and maps it to an exit code.
+int finish(const json::Value& response) {
+  if (response.string_or("status", "") == "ok") return 0;
+  std::cerr << "mcr_query: " << response.string_or("code", "ERROR") << ": "
+            << response.string_or("message", "(no message)") << "\n";
+  return 1;
+}
+
+int do_solve(svc::Client& client, const cli::Options& opt) {
+  if (opt.positional.size() != 2) {
+    throw std::invalid_argument("solve needs <file.dimacs|fp:HEX>");
+  }
+  const std::string& target = opt.positional[1];
+  std::string fingerprint;
+  if (target.rfind("fp:", 0) == 0) {
+    fingerprint = target.substr(3);
+  } else {
+    fingerprint = client.load_dimacs_text(read_file(target));
+  }
+  const bool ratio = opt.has("ratio");
+  const std::string objective = std::string(opt.has("max") ? "max" : "min") + "_" +
+                                (ratio ? "ratio" : "mean");
+  std::string payload = R"({"verb":"SOLVE","fingerprint":")" + fingerprint +
+                        R"(","objective":")" + objective + "\"";
+  if (opt.has("algo")) {
+    payload += R"(,"algo":")" + svc::json_escape(opt.get("algo")) + "\"";
+  }
+  if (const double deadline = opt.get_double("deadline-ms", 0.0); deadline > 0.0) {
+    payload += ",\"deadline_ms\":" + std::to_string(deadline);
+  }
+  payload += "}";
+
+  const std::string raw = client.request_raw(payload);
+  const json::Value r = json::parse(raw);
+  if (const int rc = finish(r); rc != 0) return rc;
+
+  const json::Value& result = r.at("result");
+  const bool cached = r.at("cached").as_bool();
+  std::cerr << (cached ? "(cached)" : "(solved)") << "\n";
+  if (opt.get("output") == "json") {
+    // The response embeds the shared result schema as its final field;
+    // print exactly those bytes so responses for the same cache key are
+    // byte-identical regardless of which client asked first.
+    const std::size_t pos = raw.find("\"result\":");
+    if (pos == std::string::npos || raw.back() != '}') {
+      std::cerr << "mcr_query: malformed response\n";
+      return 3;
+    }
+    const std::size_t begin = pos + 9;
+    std::cout << raw.substr(begin, raw.size() - 1 - begin) << "\n";
+    return 0;
+  }
+  if (!result.at("has_cycle").as_bool()) {
+    std::cout << "graph is acyclic (no cycle " << (ratio ? "ratio" : "mean")
+              << ")\n";
+    return 0;
+  }
+  std::cout << result.at("algorithm").as_string() << ": " << objective << " = "
+            << static_cast<std::int64_t>(result.at("value_num").as_double()) << "/"
+            << static_cast<std::int64_t>(result.at("value_den").as_double()) << " ("
+            << result.at("value").as_double() << "), cycle length "
+            << static_cast<std::int64_t>(result.at("cycle_length").as_double())
+            << ", " << result.at("milliseconds").as_double() << " ms\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcr;
+  cli::Options opt;
+  try {
+    opt = cli::parse(argc, argv);
+    if (opt.has("version")) {
+      std::cout << obs::version_string("mcr_query");
+      return 0;
+    }
+    if (opt.positional.empty()) {
+      std::cerr << "usage: mcr_query --socket PATH|--tcp PORT "
+                   "<ping|load|solve|solvers|stats|raw> [args]\n";
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "mcr_query: " << e.what() << "\n";
+    return 2;
+  }
+  try {
+    svc::Client client = connect(opt);
+    const std::string& verb = opt.positional[0];
+    if (verb == "ping") {
+      if (!client.ping()) {
+        std::cerr << "mcr_query: ping failed\n";
+        return 1;
+      }
+      std::cout << "ok\n";
+      return 0;
+    }
+    if (verb == "load") {
+      if (opt.positional.size() != 2) {
+        std::cerr << "mcr_query: load needs <file.dimacs>\n";
+        return 2;
+      }
+      const json::Value r = client.request(
+          R"({"verb":"LOAD","dimacs":")" +
+          svc::json_escape(read_file(opt.positional[1])) + "\"}");
+      if (const int rc = finish(r); rc != 0) return rc;
+      std::cout << r.at("fingerprint").as_string() << "\n";
+      return 0;
+    }
+    if (verb == "solve") return do_solve(client, opt);
+    if (verb == "solvers") {
+      const json::Value r = client.request(R"({"verb":"SOLVERS"})");
+      if (const int rc = finish(r); rc != 0) return rc;
+      for (const json::Value& s : r.at("solvers").as_array()) {
+        std::cout << s.at("name").as_string() << "  ("
+                  << s.at("kind").as_string() << ", "
+                  << s.at("bound").as_string() << ")\n";
+      }
+      return 0;
+    }
+    if (verb == "stats") {
+      const std::string raw = client.request_raw(R"({"verb":"STATS"})");
+      const json::Value r = json::parse(raw);
+      if (const int rc = finish(r); rc != 0) return rc;
+      if (opt.has("prometheus")) {
+        std::cout << r.at("prometheus").as_string();
+      } else {
+        std::cout << raw << "\n";
+      }
+      return 0;
+    }
+    if (verb == "raw") {
+      if (opt.positional.size() != 2) {
+        std::cerr << "mcr_query: raw needs one JSON payload argument\n";
+        return 2;
+      }
+      std::cout << client.request_raw(opt.positional[1]) << "\n";
+      return 0;
+    }
+    std::cerr << "mcr_query: unknown verb '" << verb << "'\n";
+    return 2;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "mcr_query: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "mcr_query: " << e.what() << "\n";
+    return 3;
+  }
+}

@@ -1,0 +1,137 @@
+// mcr_serve — the resident solve service daemon.
+//
+//   mcr_serve --socket /tmp/mcr.sock [--listen PORT] [--threads N]
+//             [--queue K] [--batch N] [--cache N] [--graphs N]
+//             [--max-frame BYTES] [--preload FILE]... [--trace FILE]
+//
+//   --socket PATH    Unix-domain listener (the normal deployment)
+//   --listen PORT    additional TCP listener on 127.0.0.1:PORT
+//                    (0 = ephemeral; the bound port is printed)
+//   --threads N      worker threads per dispatched solve (0 = hardware)
+//   --queue K        admission bound: at most K solves admitted and
+//                    unfinished; beyond that SOLVE answers BUSY
+//   --batch N        max requests coalesced into one dispatch batch
+//   --cache N        LRU result-cache entries
+//   --graphs N       LRU resident-graph entries
+//   --max-frame B    reject request frames larger than B bytes
+//   --preload FILE   load a DIMACS file into the registry at startup
+//                    (repeatable via comma-separated list)
+//   --trace FILE     write a Chrome/Perfetto trace on exit
+//   --version        print build provenance and exit
+//
+// SIGTERM / SIGINT drain gracefully: stop accepting, finish every
+// in-flight request, then exit 0. Protocol reference: docs/SERVICE.md.
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "cli.h"
+#include "obs/build_info.h"
+#include "obs/trace_recorder.h"
+#include "svc/server.h"
+
+namespace {
+
+// Self-pipe: the handler only writes one byte; the main thread blocks
+// on the read end and runs the (non-async-signal-safe) drain.
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  [[maybe_unused]] const ssize_t rc = ::write(g_signal_pipe[1], "x", 1);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcr;
+  try {
+    const cli::Options opt = cli::parse(argc, argv);
+    if (opt.has("version")) {
+      std::cout << obs::version_string("mcr_serve");
+      return 0;
+    }
+    if (!opt.positional.empty() || (!opt.has("socket") && !opt.has("listen"))) {
+      std::cerr << "usage: mcr_serve --socket PATH [--listen PORT] [--threads N]\n"
+                   "                 [--queue K] [--batch N] [--cache N] [--graphs N]\n"
+                   "                 [--max-frame BYTES] [--preload FILE[,FILE...]]\n"
+                   "                 [--trace FILE] [--version]\n";
+      return 2;
+    }
+
+    obs::TraceRecorder recorder;
+    svc::ServerOptions so;
+    so.unix_socket_path = opt.get("socket");
+    so.tcp_port = opt.has("listen")
+                      ? static_cast<int>(opt.get_int_in("listen", 0, 0, 65535))
+                      : -1;
+    so.solve_threads = static_cast<int>(opt.get_int_in("threads", 0, 0, 4096));
+    so.queue_capacity =
+        static_cast<std::size_t>(opt.get_int_in("queue", 64, 1, 1 << 20));
+    so.batch_max = static_cast<std::size_t>(opt.get_int_in("batch", 32, 1, 4096));
+    so.cache_entries =
+        static_cast<std::size_t>(opt.get_int_in("cache", 1024, 1, 1 << 24));
+    so.graph_entries =
+        static_cast<std::size_t>(opt.get_int_in("graphs", 64, 1, 1 << 20));
+    so.max_frame_bytes = static_cast<std::size_t>(opt.get_int_in(
+        "max-frame", static_cast<std::int64_t>(svc::kDefaultMaxFrameBytes), 1024,
+        1 << 30));
+    if (opt.has("trace")) so.trace = &recorder;
+
+    svc::Server server(so);
+    for (const std::string& file : split_csv(opt.get("preload"))) {
+      std::cout << "preload: " << file << " -> " << server.preload_dimacs_file(file)
+                << "\n";
+    }
+    server.start();
+    if (!so.unix_socket_path.empty()) {
+      std::cout << "mcr_serve: listening on unix:" << so.unix_socket_path << "\n";
+    }
+    if (so.tcp_port >= 0) {
+      std::cout << "mcr_serve: listening on tcp:127.0.0.1:" << server.tcp_port()
+                << "\n";
+    }
+    std::cout << "mcr_serve: ready (queue " << so.queue_capacity << ", cache "
+              << so.cache_entries << " entries, batch <= " << so.batch_max << ")"
+              << std::endl;
+
+    if (::pipe(g_signal_pipe) != 0) {
+      std::cerr << "mcr_serve: cannot create signal pipe\n";
+      return 1;
+    }
+    std::signal(SIGPIPE, SIG_IGN);
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    char byte = 0;
+    while (::read(g_signal_pipe[0], &byte, 1) < 0) {
+      // EINTR: the signal itself interrupts the read; retry and pick up
+      // the byte the handler wrote.
+    }
+
+    std::cout << "mcr_serve: signal received, draining" << std::endl;
+    server.stop_and_drain();
+    if (opt.has("trace")) {
+      std::ofstream out(opt.get("trace"));
+      if (out) recorder.write_chrome_trace(out);
+    }
+    std::cout << "mcr_serve: drained, exiting" << std::endl;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "mcr_serve: " << e.what() << "\n";
+    return 1;
+  }
+}

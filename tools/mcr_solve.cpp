@@ -14,7 +14,11 @@
 //   --critical    also print critical-subgraph statistics
 //   --counters    print the solver's operation counters
 //   --all         run every registered solver of the problem kind
-//   --json        machine-readable result on stdout
+//   --output json machine-readable result on stdout: the same schema
+//                 the solve service emits (exact rational + double,
+//                 witness cycle, algorithm, wall time). --json is an
+//                 accepted alias.
+//   --version     print build provenance and exit
 //   --trace FILE  record a Chrome/Perfetto trace of the solve (phase
 //                 spans + solver iteration events; open in
 //                 ui.perfetto.dev). With --all, one file covers every
@@ -37,6 +41,7 @@
 #include "obs/trace_recorder.h"
 #include "support/stats.h"
 #include "support/table.h"
+#include "svc/result_json.h"
 
 namespace {
 
@@ -57,20 +62,10 @@ int solve_one(const Graph& g, const std::string& algo, bool ratio, bool max,
                                 : minimum_cycle_mean(g, *solver, so);
   const double ms = timer.millis();
 
-  if (opt.has("json")) {
-    std::cout << "{\"algorithm\":\"" << algo << "\",\"objective\":\""
-              << (max ? "max" : "min") << "_" << (ratio ? "ratio" : "mean")
-              << "\",\"has_cycle\":" << (r.has_cycle ? "true" : "false");
-    if (r.has_cycle) {
-      std::cout << ",\"value_num\":" << r.value.num() << ",\"value_den\":"
-                << r.value.den() << ",\"value\":" << r.value.to_double()
-                << ",\"cycle_length\":" << r.cycle.size() << ",\"cycle_arcs\":[";
-      for (std::size_t i = 0; i < r.cycle.size(); ++i) {
-        std::cout << (i ? "," : "") << r.cycle[i];
-      }
-      std::cout << "]";
-    }
-    std::cout << ",\"milliseconds\":" << ms << "}\n";
+  if (opt.has("json") || opt.get("output") == "json") {
+    const std::string objective =
+        std::string(max ? "max" : "min") + "_" + (ratio ? "ratio" : "mean");
+    std::cout << svc::result_json(r, algo, objective, ms) << "\n";
     return 0;
   }
   if (!r.has_cycle) {
@@ -114,6 +109,10 @@ int main(int argc, char** argv) {
   using namespace mcr;
   try {
     const cli::Options opt = cli::parse(argc, argv);
+    if (opt.has("version")) {
+      std::cout << obs::version_string("mcr_solve");
+      return 0;
+    }
     const bool ratio = opt.has("ratio");
     if (opt.has("list")) {
       const auto kind = ratio ? ProblemKind::kCycleRatio : ProblemKind::kCycleMean;
@@ -127,7 +126,8 @@ int main(int argc, char** argv) {
       std::cerr << "usage: mcr_solve <file.dimacs> [--algo NAME] [--ratio] [--max]\n"
                    "                 [--verify] [--critical] [--counters] [--all]\n"
                    "                 [--threads N] [--trace FILE] [--metrics]\n"
-                   "                 [--metrics-json FILE] [--list]\n";
+                   "                 [--metrics-json FILE] [--output json] [--list]\n"
+                   "                 [--version]\n";
       return 2;
     }
     const Graph g = load_dimacs(opt.positional[0]);
