@@ -3,18 +3,22 @@
 #include "core/critical.h"
 #include "graph/bellman_ford.h"
 #include "obs/obs.h"
+#include "support/checked.h"
+#include "support/int128.h"
 
 namespace mcr::detail {
 
 Rational exact_cycle_value(const Graph& g, ProblemKind kind,
                            const std::vector<ArcId>& cycle) {
-  std::int64_t w = 0;
-  std::int64_t t = 0;
+  // Sum in 128 bits: a cycle has at most n arcs, so |w|,|t| < 2^95 and
+  // the Rational reduction decides whether the value fits int64.
+  int128 w = 0;
+  int128 t = 0;
   for (const ArcId a : cycle) {
     w += g.weight(a);
     t += kind == ProblemKind::kCycleMean ? 1 : g.transit(a);
   }
-  return Rational(w, t);
+  return Rational::from_int128(w, t);
 }
 
 void refine_to_exact(const Graph& g, ProblemKind kind, Rational& value,
@@ -23,10 +27,25 @@ void refine_to_exact(const Graph& g, ProblemKind kind, Rational& value,
     ++counters.feasibility_checks;
     obs::emit(obs::EventKind::kFeasibilityProbe, "refine.probe",
               static_cast<std::int64_t>(counters.feasibility_checks));
-    const std::vector<std::int64_t> cost = lambda_costs(g, value, kind);
-    BellmanFordResult bf = bellman_ford_all(g, cost, &counters);
-    if (!bf.has_negative_cycle) return;
-    cycle = std::move(bf.cycle);
+    bool negative = false;
+    std::vector<ArcId> witness;
+    try {
+      const std::vector<std::int64_t> cost = lambda_costs(g, value, kind);
+      BellmanFordResult bf = bellman_ford_all(g, cost, &counters);
+      negative = bf.has_negative_cycle;
+      witness = std::move(bf.cycle);
+    } catch (const NumericOverflow&) {
+      // Either the lambda transform or the distance recurrence left
+      // int64: the probe only needs the negative-cycle verdict, so
+      // repeat it wholesale in 128-bit costs.
+      ++counters.numeric_promotions;
+      const std::vector<int128> cost = lambda_costs_wide(g, value, kind);
+      BellmanFordWideResult bf = bellman_ford_all_wide(g, cost, &counters);
+      negative = bf.has_negative_cycle;
+      witness = std::move(bf.cycle);
+    }
+    if (!negative) return;
+    cycle = std::move(witness);
     value = exact_cycle_value(g, kind, cycle);
   }
 }

@@ -9,16 +9,21 @@
 // which makes the best and worst cases identical — the reason the
 // paper's variants (DG, HO, Karp2) exist.
 //
-// The witness cycle is recovered generically from the critical subgraph
-// at lambda* (core/critical.h), keeping this implementation exactly the
-// three simple nested loops whose compiler-friendliness the paper
-// remarks on (§4.5).
+// The recurrence normally runs in int64 with overflow-checked sums
+// (support/checked.h); if a path sum leaves the representable band the
+// whole table is re-filled in int128 (counted as a numeric promotion)
+// instead of reporting a wrapped mean. The witness cycle is recovered
+// generically from the critical subgraph at lambda* (core/critical.h),
+// keeping this implementation exactly the three simple nested loops
+// whose compiler-friendliness the paper remarks on (§4.5).
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "algo/algorithms.h"
 #include "core/result.h"
 #include "obs/obs.h"
+#include "support/checked.h"
 #include "support/int128.h"
 
 namespace mcr {
@@ -26,6 +31,89 @@ namespace mcr {
 namespace {
 
 constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+// Any |d| in the wide table is bounded by n * max|w| < 2^95; this
+// sentinel is far above that and still leaves int128 headroom.
+constexpr int128 kInfWide = static_cast<int128>(1) << 100;
+
+/// Sum with promotion semantics: the narrow (int64) path throws
+/// NumericOverflow both on a genuine wrap and when the sum strays into
+/// the sentinel band [kInf, +inf) / (-inf, -kInf], where it could no
+/// longer be told apart from "no path".
+std::int64_t dist_add(std::int64_t a, std::int64_t b) {
+  const std::int64_t s = checked_add(a, b);
+  if (s >= kInf || s <= -kInf) {
+    throw NumericOverflow("karp distance table (sum reached sentinel band)");
+  }
+  return s;
+}
+int128 dist_add(int128 a, int128 b) { return a + b; }
+
+std::int64_t dist_sub(std::int64_t a, std::int64_t b) { return checked_sub(a, b); }
+int128 dist_sub(int128 a, int128 b) { return a - b; }
+
+/// Fills D and extracts lambda* = min_v max_k (D_n(v)-D_k(v))/(n-k).
+/// Fractions are compared raw (128-bit cross multiplication); in the
+/// wide instantiation |num| < 2^95 and den <= n, so the products stay
+/// within int128. Returns nullopt when no node has an n-arc path
+/// (cannot happen for a strongly connected component per contract).
+template <typename D>
+std::optional<std::pair<int128, int128>> karp_table(const Graph& g, D inf,
+                                                    OpCounters& counters) {
+  const NodeId n = g.num_nodes();
+  const std::size_t un = static_cast<std::size_t>(n);
+
+  // D[k][v], k = 0..n. Row-major in one allocation.
+  std::vector<D> d((un + 1) * un, inf);
+  d[0] = D{0};  // D_0(source = node 0)
+
+  for (NodeId k = 1; k <= n; ++k) {
+    const std::size_t prev = static_cast<std::size_t>(k - 1) * un;
+    const std::size_t cur = static_cast<std::size_t>(k) * un;
+    for (NodeId v = 0; v < n; ++v) {
+      D best = inf;
+      for (const ArcId a : g.in_arcs(v)) {
+        ++counters.arc_scans;
+        const D du = d[prev + static_cast<std::size_t>(g.src(a))];
+        if (du == inf) continue;
+        const D cand = dist_add(du, D{g.weight(a)});
+        if (cand < best) best = cand;
+      }
+      d[cur + static_cast<std::size_t>(v)] = best;
+    }
+  }
+
+  const std::size_t last = static_cast<std::size_t>(n) * un;
+  bool found = false;
+  int128 best_num = 0;
+  int128 best_den = 1;
+  for (NodeId v = 0; v < n; ++v) {
+    const D dn = d[last + static_cast<std::size_t>(v)];
+    if (dn == inf) continue;  // no n-arc path to v
+    bool have_max = false;
+    int128 vmax_num = 0;
+    int128 vmax_den = 1;
+    for (NodeId k = 0; k < n; ++k) {
+      const D dk = d[static_cast<std::size_t>(k) * un + static_cast<std::size_t>(v)];
+      if (dk == inf) continue;
+      const int128 num = static_cast<int128>(dist_sub(dn, dk));
+      const int128 den = n - k;
+      if (!have_max || num * vmax_den > vmax_num * den) {
+        vmax_num = num;
+        vmax_den = den;
+        have_max = true;
+      }
+    }
+    // In a strongly connected graph D_k(v) is finite for some k < n.
+    if (have_max &&
+        (!found || vmax_num * best_den < best_num * vmax_den)) {
+      best_num = vmax_num;
+      best_den = vmax_den;
+      found = true;
+    }
+  }
+  if (!found) return std::nullopt;
+  return std::make_pair(best_num, best_den);
+}
 
 class KarpSolver final : public Solver {
  public:
@@ -36,73 +124,26 @@ class KarpSolver final : public Solver {
 
   [[nodiscard]] CycleResult solve_scc(const Graph& g) const override {
     const NodeId n = g.num_nodes();
-    const std::size_t un = static_cast<std::size_t>(n);
     CycleResult result;
 
-    // D[k][v], k = 0..n. Row-major in one allocation.
-    std::vector<std::int64_t> d((un + 1) * un, kInf);
-    d[0] = 0;  // D_0(source = node 0)
-
-    for (NodeId k = 1; k <= n; ++k) {
-      const std::size_t prev = static_cast<std::size_t>(k - 1) * un;
-      const std::size_t cur = static_cast<std::size_t>(k) * un;
-      for (NodeId v = 0; v < n; ++v) {
-        std::int64_t best = kInf;
-        for (const ArcId a : g.in_arcs(v)) {
-          ++result.counters.arc_scans;
-          const std::int64_t du = d[prev + static_cast<std::size_t>(g.src(a))];
-          if (du == kInf) continue;
-          const std::int64_t cand = du + g.weight(a);
-          if (cand < best) best = cand;
-        }
-        d[cur + static_cast<std::size_t>(v)] = best;
-      }
+    std::optional<std::pair<int128, int128>> best;
+    try {
+      best = karp_table<std::int64_t>(g, kInf, result.counters);
+    } catch (const NumericOverflow&) {
+      // A path sum left the int64 band: redo the table in int128.
+      ++result.counters.numeric_promotions;
+      result.counters.arc_scans = 0;  // count only the run that produced the answer
+      best = karp_table<int128>(g, kInfWide, result.counters);
     }
     result.counters.iterations = static_cast<std::uint64_t>(n);
     // Karp is a fixed n-level table fill; one summary instant in place
     // of n per-level events keeps traces of big instances readable.
     obs::emit(obs::EventKind::kIteration, "karp.levels", n);
 
-    // lambda* = min_v max_k (D_n(v) - D_k(v)) / (n - k). Fractions are
-    // compared raw (128-bit cross multiplication); the Rational is
-    // built once at the end. The witness cycle is left to the driver
-    // (extract_optimal_cycle), keeping this the paper's "three simple
-    // nested loops".
-    const std::size_t last = static_cast<std::size_t>(n) * un;
-    bool found = false;
-    std::int64_t best_num = 0;
-    std::int64_t best_den = 1;
-    for (NodeId v = 0; v < n; ++v) {
-      const std::int64_t dn = d[last + static_cast<std::size_t>(v)];
-      if (dn == kInf) continue;  // no n-arc path to v
-      bool have_max = false;
-      std::int64_t vmax_num = 0;
-      std::int64_t vmax_den = 1;
-      for (NodeId k = 0; k < n; ++k) {
-        const std::int64_t dk =
-            d[static_cast<std::size_t>(k) * un + static_cast<std::size_t>(v)];
-        if (dk == kInf) continue;
-        const std::int64_t num = dn - dk;
-        const std::int64_t den = n - k;
-        if (!have_max || static_cast<int128>(num) * vmax_den >
-                             static_cast<int128>(vmax_num) * den) {
-          vmax_num = num;
-          vmax_den = den;
-          have_max = true;
-        }
-      }
-      // In a strongly connected graph D_k(v) is finite for some k < n.
-      if (have_max && (!found || static_cast<int128>(vmax_num) * best_den <
-                                     static_cast<int128>(best_num) * vmax_den)) {
-        best_num = vmax_num;
-        best_den = vmax_den;
-        found = true;
-      }
-    }
-    if (!found) return result;  // no cycle (cannot happen per contract)
+    if (!best) return result;  // no cycle (cannot happen per contract)
 
     result.has_cycle = true;
-    result.value = Rational(best_num, best_den);
+    result.value = Rational::from_int128(best->first, best->second);
     return result;
   }
 };

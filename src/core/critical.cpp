@@ -6,6 +6,7 @@
 #include "graph/bellman_ford.h"
 #include "graph/scc.h"
 #include "graph/traversal.h"
+#include "support/checked.h"
 
 namespace mcr {
 
@@ -16,6 +17,19 @@ std::vector<std::int64_t> lambda_costs(const Graph& g, const Rational& value,
   const std::int64_t den = value.den();
   for (ArcId a = 0; a < g.num_arcs(); ++a) {
     const std::int64_t t = kind == ProblemKind::kCycleMean ? 1 : g.transit(a);
+    cost[static_cast<std::size_t>(a)] =
+        checked_sub(checked_mul(g.weight(a), den), checked_mul(num, t));
+  }
+  return cost;
+}
+
+std::vector<int128> lambda_costs_wide(const Graph& g, const Rational& value,
+                                      ProblemKind kind) {
+  std::vector<int128> cost(static_cast<std::size_t>(g.num_arcs()));
+  const int128 num = value.num();
+  const int128 den = value.den();
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const int128 t = kind == ProblemKind::kCycleMean ? 1 : g.transit(a);
     cost[static_cast<std::size_t>(a)] = g.weight(a) * den - num * t;
   }
   return cost;

@@ -13,6 +13,7 @@
 
 #include "core/problem.h"
 #include "graph/graph.h"
+#include "support/int128.h"
 #include "support/rational.h"
 
 namespace mcr {
@@ -63,9 +64,17 @@ struct CriticalSubgraph {
 /// The lambda-transformed integer arc costs used throughout the library:
 /// cost(e) = w(e)*den(value) - num(value)*t(e), with t(e) == 1 for mean
 /// problems. A cycle is negative under these costs iff its mean/ratio is
-/// below `value`.
+/// below `value`. The products are overflow-checked: throws
+/// NumericOverflow (support/checked.h) when a transformed cost does not
+/// fit int64; callers then rebuild with lambda_costs_wide and re-probe
+/// in 128-bit arithmetic.
 [[nodiscard]] std::vector<std::int64_t> lambda_costs(const Graph& g, const Rational& value,
                                                      ProblemKind kind);
+
+/// 128-bit variant of lambda_costs for the numeric promotion path; never
+/// overflows (|w|,|num|,|den|,|t| < 2^63 so |cost| < 2^127).
+[[nodiscard]] std::vector<int128> lambda_costs_wide(const Graph& g, const Rational& value,
+                                                    ProblemKind kind);
 
 }  // namespace mcr
 

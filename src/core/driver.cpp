@@ -6,6 +6,7 @@
 
 #include "core/critical.h"
 #include "core/registry.h"
+#include "fault/fault.h"
 #include "graph/scc.h"
 #include "graph/transforms.h"
 #include "support/stats.h"
@@ -17,6 +18,18 @@ namespace {
 
 int resolve_threads(int num_threads) {
   return num_threads <= 0 ? ThreadPool::hardware_threads() : num_threads;
+}
+
+/// Fault-injection hook at a solve-phase boundary (no-op unless built
+/// with MCR_FAULT_INJECTION and an Injector is installed). An injected
+/// phase error surfaces as a plain runtime_error, which the service
+/// layer maps to its INTERNAL error code — exactly the path a real
+/// mid-solve failure would take.
+void fault_phase_boundary(const char* phase) {
+  const fault::Decision d = MCR_FAULT_POINT(fault::Site::kPhase);
+  if (d.action == fault::Action::kFail) {
+    throw std::runtime_error(std::string("injected fault: solve phase ") + phase);
+  }
 }
 
 void throw_if_cancelled(const SolveOptions& options) {
@@ -83,6 +96,7 @@ CycleResult solve_decomposed(const Graph& g, const Solver& solver,
   if (options.trace != nullptr) solve_label = "solve:" + solver.name();
   const obs::Span solve_span(obs::EventKind::kSolve, solve_label);
 
+  fault_phase_boundary("scc_decompose");
   CycleResult best;
   SccDecomposition scc;
   std::vector<NodeId> local_id(static_cast<std::size_t>(g.num_nodes()), kInvalidNode);
@@ -127,6 +141,7 @@ CycleResult solve_decomposed(const Graph& g, const Solver& solver,
     }
   }
   const std::size_t num_comp = static_cast<std::size_t>(scc.num_components);
+  fault_phase_boundary("component_solve");
 
   // Solve each cyclic component independently (possibly concurrently;
   // solve_scc is const and solvers keep all state in locals, so one
@@ -160,6 +175,7 @@ CycleResult solve_decomposed(const Graph& g, const Solver& solver,
 
   // Deterministic merge in component-index order: identical output for
   // any thread count.
+  fault_phase_boundary("merge");
   std::size_t best_comp = num_comp;  // sentinel: none
   std::vector<ArcId> best_local_cycle;
   {
@@ -212,7 +228,9 @@ CycleResult solve_decomposed(const Graph& g, const Solver& solver,
     m.counter("mcr_ops_heap_total").add(c.heap_total());
     m.counter("mcr_ops_feasibility_checks_total").add(c.feasibility_checks);
     m.counter("mcr_ops_cycle_evaluations_total").add(c.cycle_evaluations);
+    m.counter("mcr_numeric_promotions_total").add(c.numeric_promotions);
   }
+  fault_phase_boundary("finalize");
   return best;
 }
 

@@ -2,30 +2,52 @@
 
 #include <stdexcept>
 
+#include "support/checked.h"
+
 namespace mcr {
 
 std::int64_t cycle_weight(const Graph& g, const std::vector<ArcId>& cycle) {
   std::int64_t w = 0;
-  for (const ArcId a : cycle) w += g.weight(a);
+  for (const ArcId a : cycle) w = checked_add(w, g.weight(a));
   return w;
 }
 
 std::int64_t cycle_transit(const Graph& g, const std::vector<ArcId>& cycle) {
   std::int64_t t = 0;
+  for (const ArcId a : cycle) t = checked_add(t, g.transit(a));
+  return t;
+}
+
+namespace {
+
+// Witness sums must stay exact for adversarial weights: a cycle of m
+// arcs bounds the int128 sum by m * INT64_MAX, far inside int128 range,
+// so the mean/ratio helpers sum wide and reduce through from_int128.
+int128 cycle_weight_wide(const Graph& g, const std::vector<ArcId>& cycle) {
+  int128 w = 0;
+  for (const ArcId a : cycle) w += g.weight(a);
+  return w;
+}
+
+int128 cycle_transit_wide(const Graph& g, const std::vector<ArcId>& cycle) {
+  int128 t = 0;
   for (const ArcId a : cycle) t += g.transit(a);
   return t;
 }
 
+}  // namespace
+
 Rational cycle_mean(const Graph& g, const std::vector<ArcId>& cycle) {
   if (cycle.empty()) throw std::invalid_argument("cycle_mean: empty cycle");
-  return Rational(cycle_weight(g, cycle), static_cast<std::int64_t>(cycle.size()));
+  return Rational::from_int128(cycle_weight_wide(g, cycle),
+                               static_cast<int128>(cycle.size()));
 }
 
 Rational cycle_ratio(const Graph& g, const std::vector<ArcId>& cycle) {
   if (cycle.empty()) throw std::invalid_argument("cycle_ratio: empty cycle");
-  const std::int64_t t = cycle_transit(g, cycle);
+  const int128 t = cycle_transit_wide(g, cycle);
   if (t <= 0) throw std::invalid_argument("cycle_ratio: non-positive cycle transit");
-  return Rational(cycle_weight(g, cycle), t);
+  return Rational::from_int128(cycle_weight_wide(g, cycle), t);
 }
 
 bool is_valid_cycle(const Graph& g, const std::vector<ArcId>& cycle) {

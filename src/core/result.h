@@ -36,6 +36,9 @@ struct CycleResult {
 };
 
 /// Exact weight/length/transit sums of a cycle given by arc ids.
+/// cycle_mean / cycle_ratio are exact for any int64 weights (the sum is
+/// accumulated in 128 bits); the int64 helpers throw NumericOverflow
+/// rather than wrap when the sum leaves int64 range.
 [[nodiscard]] Rational cycle_mean(const Graph& g, const std::vector<ArcId>& cycle);
 [[nodiscard]] Rational cycle_ratio(const Graph& g, const std::vector<ArcId>& cycle);
 [[nodiscard]] std::int64_t cycle_weight(const Graph& g, const std::vector<ArcId>& cycle);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "support/checked.h"
+
 namespace mcr {
 
 namespace {
@@ -30,14 +32,25 @@ std::vector<ArcId> extract_cycle(const Graph& g, const std::vector<ArcId>& paren
   return rev;
 }
 
-/// Shared Bellman-Ford core over any arithmetic cost type.
-template <typename Cost, typename Result>
-Result run_bellman_ford(const Graph& g, std::span<const Cost> cost, OpCounters* counters) {
+template <typename Cost>
+struct BfCore {
+  bool has_negative_cycle = false;
+  std::vector<ArcId> cycle;
+  std::vector<Cost> dist;
+};
+
+/// Shared Bellman-Ford core over any arithmetic cost type. `Cost` may be
+/// wider than the input cost type (the int128 promotion path) or
+/// overflow-checked (CheckedI64, which throws NumericOverflow instead
+/// of wrapping).
+template <typename Cost, typename CostIn>
+BfCore<Cost> run_bellman_ford(const Graph& g, std::span<const CostIn> cost,
+                              OpCounters* counters) {
   if (cost.size() != static_cast<std::size_t>(g.num_arcs())) {
     throw std::invalid_argument("bellman_ford: cost array size mismatch");
   }
   const NodeId n = g.num_nodes();
-  Result out;
+  BfCore<Cost> out;
   out.dist.assign(static_cast<std::size_t>(n), Cost{0});
   std::vector<ArcId> parent(static_cast<std::size_t>(n), kInvalidArc);
 
@@ -48,8 +61,8 @@ Result run_bellman_ford(const Graph& g, std::span<const Cost> cost, OpCounters* 
       if (counters) ++counters->arc_scans;
       const NodeId u = g.src(a);
       const NodeId v = g.dst(a);
-      const Cost cand =
-          out.dist[static_cast<std::size_t>(u)] + cost[static_cast<std::size_t>(a)];
+      const Cost cand = out.dist[static_cast<std::size_t>(u)] +
+                        Cost(cost[static_cast<std::size_t>(a)]);
       if (cand < out.dist[static_cast<std::size_t>(v)]) {
         out.dist[static_cast<std::size_t>(v)] = cand;
         parent[static_cast<std::size_t>(v)] = a;
@@ -72,12 +85,52 @@ Result run_bellman_ford(const Graph& g, std::span<const Cost> cost, OpCounters* 
 
 BellmanFordResult bellman_ford_all(const Graph& g, std::span<const std::int64_t> cost,
                                    OpCounters* counters) {
-  return run_bellman_ford<std::int64_t, BellmanFordResult>(g, cost, counters);
+  BellmanFordResult out;
+  try {
+    BfCore<CheckedI64> core = run_bellman_ford<CheckedI64>(g, cost, counters);
+    out.has_negative_cycle = core.has_negative_cycle;
+    out.cycle = std::move(core.cycle);
+    out.dist.reserve(core.dist.size());
+    for (const CheckedI64 d : core.dist) out.dist.push_back(d.value());
+    return out;
+  } catch (const NumericOverflow&) {
+    // A distance sum wrapped int64: re-run the whole recurrence in
+    // int128 rather than continuing on a wrapped value. Cycle detection
+    // and the witness stay exact; the potentials are narrowed back only
+    // when they fit (when they do not, no int64 caller could have used
+    // them anyway, and the wide result still carries the verdict).
+    if (counters) ++counters->numeric_promotions;
+  }
+  BfCore<int128> core = run_bellman_ford<int128>(g, cost, counters);
+  out.has_negative_cycle = core.has_negative_cycle;
+  out.cycle = std::move(core.cycle);
+  out.dist.reserve(core.dist.size());
+  for (const int128 d : core.dist) {
+    if (d > INT64_MAX || d < INT64_MIN) {
+      throw NumericOverflow("bellman_ford potentials (not representable in int64)");
+    }
+    out.dist.push_back(static_cast<std::int64_t>(d));
+  }
+  return out;
+}
+
+BellmanFordWideResult bellman_ford_all_wide(const Graph& g, std::span<const int128> cost,
+                                            OpCounters* counters) {
+  BfCore<int128> core = run_bellman_ford<int128>(g, cost, counters);
+  BellmanFordWideResult out;
+  out.has_negative_cycle = core.has_negative_cycle;
+  out.cycle = std::move(core.cycle);
+  return out;
 }
 
 BellmanFordRealResult bellman_ford_all_real(const Graph& g, std::span<const double> cost,
                                             OpCounters* counters) {
-  return run_bellman_ford<double, BellmanFordRealResult>(g, cost, counters);
+  BfCore<double> core = run_bellman_ford<double>(g, cost, counters);
+  BellmanFordRealResult out;
+  out.has_negative_cycle = core.has_negative_cycle;
+  out.cycle = std::move(core.cycle);
+  out.dist = std::move(core.dist);
+  return out;
 }
 
 bool has_negative_cycle(const Graph& g, std::span<const std::int64_t> cost,

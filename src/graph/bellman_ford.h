@@ -4,9 +4,11 @@
 // Lawler's algorithm probes "does G_lambda contain a negative cycle?"
 // once per binary-search step; callers pass the lambda-transformed arc
 // costs explicitly (cost'(e) = w(e)*den - num*t(e)), keeping this module
-// a pure integer-cost routine. Costs and path sums must fit in int64;
-// with the paper's weights (<= 10^4), n <= 10^6 and den <= T this holds
-// with orders of magnitude to spare.
+// a pure integer-cost routine. Distance sums are accumulated through
+// support/checked.h: if a path sum would wrap int64 (adversarial
+// weights, not the paper's <= 10^4 regime) the recurrence is re-run in
+// 128-bit arithmetic instead of returning a wrapped potential, counted
+// in OpCounters::numeric_promotions.
 #ifndef MCR_GRAPH_BELLMAN_FORD_H
 #define MCR_GRAPH_BELLMAN_FORD_H
 
@@ -15,6 +17,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "support/int128.h"
 #include "support/op_counters.h"
 
 namespace mcr {
@@ -37,6 +40,20 @@ struct BellmanFordResult {
 [[nodiscard]] BellmanFordResult bellman_ford_all(const Graph& g,
                                                  std::span<const std::int64_t> cost,
                                                  OpCounters* counters = nullptr);
+
+struct BellmanFordWideResult {
+  bool has_negative_cycle = false;
+  std::vector<ArcId> cycle;
+};
+
+/// 128-bit-cost variant for the numeric promotion path: when the checked
+/// int64 recurrence overflows (e.g. lambda-transformed costs w*den-num*t
+/// with large weights), callers rebuild the costs in int128 and re-probe
+/// here. Only the negative-cycle verdict and witness are returned; wide
+/// potentials have no int64 consumer.
+[[nodiscard]] BellmanFordWideResult bellman_ford_all_wide(const Graph& g,
+                                                          std::span<const int128> cost,
+                                                          OpCounters* counters = nullptr);
 
 struct BellmanFordRealResult {
   bool has_negative_cycle = false;

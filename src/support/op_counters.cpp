@@ -14,6 +14,7 @@ OpCounters& OpCounters::operator+=(const OpCounters& o) {
   heap_delete_mins += o.heap_delete_mins;
   feasibility_checks += o.feasibility_checks;
   cycle_evaluations += o.cycle_evaluations;
+  numeric_promotions += o.numeric_promotions;
   return *this;
 }
 
@@ -35,6 +36,7 @@ std::string OpCounters::summary() const {
   emit("heap_del", heap_delete_mins);
   emit("feas", feasibility_checks);
   emit("cyc_eval", cycle_evaluations);
+  emit("promotions", numeric_promotions);
   if (first) os << "(none)";
   return os.str();
 }

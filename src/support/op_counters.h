@@ -34,6 +34,10 @@ struct OpCounters {
   std::uint64_t feasibility_checks = 0;
   /// Policy-cycle evaluations (Howard).
   std::uint64_t cycle_evaluations = 0;
+  /// Times a distance recurrence overflowed int64 and was transparently
+  /// re-solved in 128-bit arithmetic (support/checked.h). Exported by
+  /// the driver as mcr_numeric_promotions_total.
+  std::uint64_t numeric_promotions = 0;
 
   [[nodiscard]] std::uint64_t heap_total() const {
     return heap_inserts + heap_decrease_keys + heap_delete_mins;

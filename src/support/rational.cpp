@@ -6,6 +6,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "support/checked.h"
+
 namespace mcr {
 
 namespace {
@@ -35,6 +37,31 @@ Rational::Rational(std::int64_t n, std::int64_t d) {
   num_ = g == 0 ? 0 : n / g;
   den_ = g == 0 ? 1 : d / g;
   if (num_ == 0) den_ = 1;
+}
+
+Rational Rational::from_int128(int128 n, int128 d) {
+  if (d == 0) throw std::invalid_argument("mcr::Rational: zero denominator");
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  i128 a = n < 0 ? -n : n;
+  i128 b = d;
+  while (b != 0) {
+    const i128 t = a % b;
+    a = b;
+    b = t;
+  }
+  const i128 g = a == 0 ? 1 : a;
+  n /= g;
+  d /= g;
+  if (n > INT64_MAX || n < INT64_MIN || d > INT64_MAX) {
+    throw NumericOverflow("Rational::from_int128 (reduced value exceeds int64)");
+  }
+  Rational r;
+  r.num_ = n == 0 ? 0 : static_cast<std::int64_t>(n);
+  r.den_ = n == 0 ? 1 : static_cast<std::int64_t>(d);
+  return r;
 }
 
 double Rational::to_double() const {

@@ -14,6 +14,8 @@
 #include <iosfwd>
 #include <string>
 
+#include "support/int128.h"
+
 namespace mcr {
 
 /// An exact rational number num/den with den > 0, kept in lowest terms.
@@ -28,6 +30,12 @@ class Rational {
   /// The rational n/d. Requires d != 0; the sign is normalized onto the
   /// numerator and the fraction is reduced.
   Rational(std::int64_t n, std::int64_t d);
+
+  /// The rational n/d from 128-bit parts: reduces in 128 bits first and
+  /// throws NumericOverflow only when the *reduced* fraction still does
+  /// not fit in int64. The promotion paths (Karp's wide re-solve,
+  /// exact_cycle_value) build their final values through this.
+  [[nodiscard]] static Rational from_int128(int128 n, int128 d);
 
   [[nodiscard]] constexpr std::int64_t num() const { return num_; }
   [[nodiscard]] constexpr std::int64_t den() const { return den_; }

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "fault/fault.h"
+
 namespace mcr {
 
 int ThreadPool::hardware_threads() {
@@ -28,7 +30,19 @@ ThreadPool::~ThreadPool() {
     stop_.store(true, std::memory_order_relaxed);
   }
   work_available_.notify_all();
-  for (std::thread& t : threads_) t.join();
+  // Collect handles under threads_mutex_: once stop_ is set a dying
+  // worker declines its death (retire_and_respawn checks stop_ under
+  // the same mutex), so the set of handles is final after this move.
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lk(threads_mutex_);
+    to_join = std::move(threads_);
+    for (std::thread& t : retired_) to_join.push_back(std::move(t));
+    retired_.clear();
+  }
+  for (std::thread& t : to_join) {
+    if (t.joinable()) t.join();
+  }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -68,8 +82,25 @@ bool ThreadPool::run_one(std::size_t self) {
   }
   if (!task) return false;
   queued_.fetch_sub(1, std::memory_order_relaxed);
-  task();
+  // One stall/death draw per task (not per scheduling loop), so a given
+  // fault plan injects the same number of worker faults regardless of
+  // how the OS interleaves the workers.
+  const fault::Decision stall = MCR_FAULT_POINT(fault::Site::kWorkerStall);
+  if (stall.action == fault::Action::kStall) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall.param));
+  }
+  try {
+    task();
+  } catch (...) {
+    // Tasks own their error channel (core/driver.cpp captures a
+    // per-slot exception_ptr); anything reaching here would otherwise
+    // std::terminate the process, so contain and count it.
+    task_exceptions_.fetch_add(1, std::memory_order_relaxed);
+  }
   workers_[self]->tasks_executed.fetch_add(1, std::memory_order_relaxed);
+  if (MCR_FAULT_POINT(fault::Site::kWorkerDeath).action == fault::Action::kDeath) {
+    workers_[self]->die_pending = true;
+  }
   if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     std::lock_guard<std::mutex> lk(sleep_mutex_);
     all_done_.notify_all();
@@ -77,9 +108,28 @@ bool ThreadPool::run_one(std::size_t self) {
   return true;
 }
 
+bool ThreadPool::retire_and_respawn(std::size_t self) {
+  std::lock_guard<std::mutex> lk(threads_mutex_);
+  if (stop_.load(std::memory_order_relaxed)) return false;  // shutting down
+  deaths_.fetch_add(1, std::memory_order_relaxed);
+  // Moving our own handle is safe (it does not touch the running
+  // thread); the destructor joins it from retired_. The replacement
+  // inherits this worker's slot and therefore its deque — no task is
+  // stranded by the death.
+  retired_.push_back(std::move(threads_[self]));
+  threads_[self] = std::thread([this, self] { worker_main(self); });
+  return true;
+}
+
 void ThreadPool::worker_main(std::size_t self) {
   for (;;) {
-    if (run_one(self)) continue;
+    if (run_one(self)) {
+      if (workers_[self]->die_pending) {
+        workers_[self]->die_pending = false;
+        if (retire_and_respawn(self)) return;  // this thread "crashes"
+      }
+      continue;
+    }
     // Idle accounting brackets the park only (two clock reads on a path
     // where the worker found every deque empty — noise next to a solve).
     const auto idle_start = std::chrono::steady_clock::now();

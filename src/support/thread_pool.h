@@ -13,6 +13,13 @@
 //     results into per-task slots and merge in a fixed order afterwards.
 //   * Exceptions must not escape a task; wrap the body and capture a
 //     std::exception_ptr per slot (see core/driver.cpp for the idiom).
+//     As a last line of defense the pool contains (swallows and counts
+//     in task_exceptions()) anything that does escape, so a buggy task
+//     degrades one result instead of std::terminate-ing the process.
+//   * Workers are self-healing: a worker that dies mid-service (today
+//     only via fault injection, Site::kWorkerDeath) retires its own
+//     thread handle and installs a replacement on the same deque, so
+//     pending tasks are never stranded. deaths() counts respawns.
 #ifndef MCR_SUPPORT_THREAD_POOL_H
 #define MCR_SUPPORT_THREAD_POOL_H
 
@@ -64,6 +71,15 @@ class ThreadPool {
   /// std::thread::hardware_concurrency with a floor of 1.
   [[nodiscard]] static int hardware_threads();
 
+  /// Tasks whose exceptions escaped into the pool (contained, counted).
+  [[nodiscard]] std::uint64_t task_exceptions() const {
+    return task_exceptions_.load(std::memory_order_relaxed);
+  }
+  /// Worker deaths survived by respawning (fault injection only).
+  [[nodiscard]] std::uint64_t deaths() const {
+    return deaths_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Worker {
     std::mutex mutex;
@@ -71,13 +87,26 @@ class ThreadPool {
     std::atomic<std::uint64_t> tasks_executed{0};
     std::atomic<std::uint64_t> steals{0};
     std::atomic<std::uint64_t> idle_nanos{0};
+    /// Set by run_one (owning thread only) when a kWorkerDeath decision
+    /// fired; worker_main acts on it between tasks.
+    bool die_pending = false;
   };
 
   void worker_main(std::size_t self);
   /// Pops own front or steals a victim's back; runs at most one task.
   bool run_one(std::size_t self);
+  /// Moves the caller's own thread handle to retired_ and installs a
+  /// replacement worker on the same slot/deque. Returns false (death
+  /// declined) when the pool is already stopping.
+  bool retire_and_respawn(std::size_t self);
 
   std::vector<std::unique_ptr<Worker>> workers_;
+  /// Guards threads_ and retired_ against the destructor racing a
+  /// dying worker's respawn.
+  std::mutex threads_mutex_;
+  std::vector<std::thread> retired_;
+  std::atomic<std::uint64_t> task_exceptions_{0};
+  std::atomic<std::uint64_t> deaths_{0};
   std::vector<std::thread> threads_;
   std::mutex sleep_mutex_;
   std::condition_variable work_available_;

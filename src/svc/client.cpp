@@ -5,9 +5,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace mcr::svc {
@@ -15,19 +18,17 @@ namespace mcr::svc {
 namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
+  throw TransportError(what + ": " + std::strerror(errno));
 }
 
-}  // namespace
-
-Client Client::connect_unix(const std::string& socket_path) {
+int open_unix(const std::string& socket_path) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket(AF_UNIX)");
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (socket_path.size() >= sizeof addr.sun_path) {
     ::close(fd);
-    throw std::runtime_error("unix socket path too long: " + socket_path);
+    throw TransportError("unix socket path too long: " + socket_path);
   }
   std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
@@ -36,10 +37,10 @@ Client Client::connect_unix(const std::string& socket_path) {
     errno = saved;
     throw_errno("connect(" + socket_path + ")");
   }
-  return Client(fd);
+  return fd;
 }
 
-Client Client::connect_tcp(int port) {
+int open_tcp(int port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket(AF_INET)");
   sockaddr_in addr{};
@@ -52,15 +53,53 @@ Client Client::connect_tcp(int port) {
     errno = saved;
     throw_errno("connect(127.0.0.1:" + std::to_string(port) + ")");
   }
-  return Client(fd);
+  return fd;
 }
 
-Client::Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+/// splitmix64 step — enough PRNG for backoff jitter, with no global
+/// state so two clients never perturb each other's schedules.
+std::uint64_t next_u64(std::uint64_t& s) {
+  s += 0x9e37'79b9'7f4a'7c15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58'476d'1ce4'e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d0'49bb'1331'11ebULL;
+  return z ^ (z >> 31);
+}
+
+double uniform(std::uint64_t& s, double lo, double hi) {
+  const double u = static_cast<double>(next_u64(s) >> 11) * 0x1.0p-53;
+  return lo + u * (hi - lo);
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& socket_path) {
+  Client c(open_unix(socket_path));
+  c.endpoint_.kind = Endpoint::Kind::kUnix;
+  c.endpoint_.path = socket_path;
+  return c;
+}
+
+Client Client::connect_tcp(int port) {
+  Client c(open_tcp(port));
+  c.endpoint_.kind = Endpoint::Kind::kTcp;
+  c.endpoint_.port = port;
+  return c;
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      endpoint_(std::exchange(other.endpoint_, Endpoint{})),
+      policy_(other.policy_),
+      jitter_state_(other.jitter_state_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
+    endpoint_ = std::exchange(other.endpoint_, Endpoint{});
+    policy_ = other.policy_;
+    jitter_state_ = other.jitter_state_;
   }
   return *this;
 }
@@ -69,8 +108,32 @@ Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+void Client::reconnect() {
+  switch (endpoint_.kind) {
+    case Endpoint::Kind::kUnix: {
+      const int fd = open_unix(endpoint_.path);  // throws on failure
+      if (fd_ >= 0) ::close(fd_);
+      fd_ = fd;
+      return;
+    }
+    case Endpoint::Kind::kTcp: {
+      const int fd = open_tcp(endpoint_.port);
+      if (fd_ >= 0) ::close(fd_);
+      fd_ = fd;
+      return;
+    }
+    case Endpoint::Kind::kNone:
+      throw TransportError("Client: cannot reconnect (endpoint unknown)");
+  }
+}
+
+void Client::set_retry_policy(const RetryPolicy& policy) {
+  policy_ = policy;
+  jitter_state_ = policy.jitter_seed;
+}
+
 void Client::send_bytes(std::string_view bytes) {
-  if (!write_all(fd_, bytes)) throw std::runtime_error("Client: write failed");
+  if (!write_all(fd_, bytes)) throw_errno("Client: write failed");
 }
 
 std::string Client::read_payload(std::size_t max_frame_bytes) {
@@ -79,15 +142,15 @@ std::string Client::read_payload(std::size_t max_frame_bytes) {
     case ReadStatus::kOk:
       return payload;
     case ReadStatus::kClosed:
-      throw std::runtime_error("Client: server closed the connection");
+      throw TransportError("Client: server closed the connection");
     case ReadStatus::kBadMagic:
-      throw std::runtime_error("Client: bad response magic");
+      throw TransportError("Client: bad response magic");
     case ReadStatus::kTooLarge:
-      throw std::runtime_error("Client: response frame too large");
+      throw TransportError("Client: response frame too large");
     case ReadStatus::kTruncated:
-      throw std::runtime_error("Client: truncated response");
+      throw TransportError("Client: truncated response");
   }
-  throw std::runtime_error("Client: unreachable");
+  throw TransportError("Client: unreachable");
 }
 
 std::string Client::request_raw(std::string_view payload) {
@@ -96,7 +159,58 @@ std::string Client::request_raw(std::string_view payload) {
 }
 
 json::Value Client::request(std::string_view payload) {
-  return json::parse(request_raw(payload));
+  try {
+    return json::parse(request_raw(payload));
+  } catch (const TransportError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // An ok-framed but unparseable response is a transport-class
+    // failure: the stream can no longer be trusted.
+    throw TransportError(std::string("Client: bad response JSON: ") + e.what());
+  }
+}
+
+json::Value Client::request_retry(std::string_view payload) {
+  if (jitter_state_ == 0) jitter_state_ = policy_.jitter_seed;
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_ms = [&] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  double prev_sleep = policy_.initial_backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    bool transport_failed = false;
+    try {
+      const json::Value r = request(payload);
+      if (r.string_or("status", "") != "error") return r;
+      ServiceError err(r.string_or("code", kErrInternal), r.string_or("message", ""));
+      if (!err.retryable() || attempt >= policy_.max_attempts) throw err;
+    } catch (const TransportError&) {
+      if (attempt >= policy_.max_attempts) throw;
+      transport_failed = true;
+    }
+    // Decorrelated jitter: sleep ~ U[base, 3 * previous], capped.
+    const double sleep_ms =
+        std::min(policy_.max_backoff_ms,
+                 uniform(jitter_state_, policy_.initial_backoff_ms,
+                         std::max(policy_.initial_backoff_ms, 3.0 * prev_sleep)));
+    prev_sleep = sleep_ms;
+    if (policy_.budget_ms > 0 && elapsed_ms() + sleep_ms > policy_.budget_ms) {
+      throw TransportError("Client: retry budget exhausted after " +
+                           std::to_string(attempt) + " attempts");
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(sleep_ms));
+    if (transport_failed) {
+      // The old connection may hold half a frame; always start clean.
+      // A failed reconnect consumes attempts like any other failure.
+      try {
+        reconnect();
+      } catch (const TransportError&) {
+        if (attempt + 1 >= policy_.max_attempts) throw;
+      }
+    }
+  }
 }
 
 bool Client::ping() {
@@ -109,21 +223,38 @@ std::string Client::load_dimacs_text(const std::string& dimacs) {
       request(std::string(R"({"verb":"LOAD","dimacs":")") + json_escape(dimacs) +
               "\"}");
   if (r.string_or("status", "") != "ok") {
-    throw std::runtime_error("LOAD failed: " + r.string_or("message", "?"));
+    // Typed so callers can branch on the code (ServiceError is a
+    // runtime_error, so pre-existing catch sites still work).
+    throw ServiceError(r.string_or("code", "INTERNAL"),
+                       "LOAD failed: " + r.string_or("message", "?"));
   }
   return r.at("fingerprint").as_string();
 }
 
-json::Value Client::solve(const std::string& fingerprint, const std::string& objective,
-                          const std::string& algo, double deadline_ms) {
+std::string Client::solve_payload(const std::string& fingerprint,
+                                  const std::string& objective,
+                                  const std::string& algo, double deadline_ms) const {
   std::string payload = R"({"verb":"SOLVE","fingerprint":")" + fingerprint +
                         R"(","objective":")" + objective + "\"";
   if (!algo.empty()) payload += R"(,"algo":")" + json_escape(algo) + "\"";
   if (deadline_ms > 0.0) payload += ",\"deadline_ms\":" + std::to_string(deadline_ms);
   payload += "}";
-  return request(payload);
+  return payload;
+}
+
+json::Value Client::solve(const std::string& fingerprint, const std::string& objective,
+                          const std::string& algo, double deadline_ms) {
+  return request(solve_payload(fingerprint, objective, algo, deadline_ms));
+}
+
+json::Value Client::solve_retry(const std::string& fingerprint,
+                                const std::string& objective, const std::string& algo,
+                                double deadline_ms) {
+  return request_retry(solve_payload(fingerprint, objective, algo, deadline_ms));
 }
 
 json::Value Client::stats() { return request(R"({"verb":"STATS"})"); }
+
+json::Value Client::health() { return request(R"({"verb":"HEALTH"})"); }
 
 }  // namespace mcr::svc

@@ -5,17 +5,44 @@
 // strings built by the caller or by the convenience helpers below,
 // responses come back parsed. Not thread-safe; use one Client per
 // thread (connections are cheap, the server handles many).
+//
+// Resilience: request()/request_raw() are single-shot and throw
+// TransportError when the conversation breaks. request_retry() layers a
+// RetryPolicy on top — reconnect on transport failure, capped
+// exponential backoff with decorrelated jitter on retryable service
+// errors (BUSY / DEADLINE_EXCEEDED / SHUTTING_DOWN), all under one
+// overall wall-clock budget. Retrying is safe because SOLVE is
+// idempotent: results are cached and single-flighted by fingerprint.
 #ifndef MCR_SVC_CLIENT_H
 #define MCR_SVC_CLIENT_H
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
 #include "support/json.h"
+#include "svc/errors.h"
 #include "svc/protocol.h"
 
 namespace mcr::svc {
+
+/// Retry schedule for request_retry(). Backoff for attempt k is drawn
+/// uniformly from [initial_backoff_ms, 3 * previous_sleep] (decorrelated
+/// jitter), clamped to max_backoff_ms — a deterministic sequence for a
+/// fixed jitter_seed, so tests and chaos runs reproduce bit-identically.
+struct RetryPolicy {
+  /// Total tries including the first. <= 1 disables retries.
+  int max_attempts = 5;
+  double initial_backoff_ms = 10.0;
+  double max_backoff_ms = 2000.0;
+  /// Overall wall-clock budget across all attempts and sleeps;
+  /// <= 0 means unlimited. When the budget cannot cover the next
+  /// backoff sleep the last error is rethrown instead.
+  double budget_ms = 30'000.0;
+  /// Seed for the jitter PRNG (per-client, advanced across calls).
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
+};
 
 class Client {
  public:
@@ -30,11 +57,23 @@ class Client {
   ~Client();
 
   /// One request round trip: frames `payload`, reads one response
-  /// frame, parses it. Throws std::runtime_error on transport failure
-  /// or unparseable response.
+  /// frame, parses it. Throws TransportError (a std::runtime_error) on
+  /// transport failure or unparseable response. Server-side errors are
+  /// returned as parsed payloads, not thrown.
   [[nodiscard]] json::Value request(std::string_view payload);
   /// Same, returning the raw response payload text.
   [[nodiscard]] std::string request_raw(std::string_view payload);
+
+  void set_retry_policy(const RetryPolicy& policy);
+  [[nodiscard]] const RetryPolicy& retry_policy() const { return policy_; }
+
+  /// request() under the retry policy. Transport failures reconnect to
+  /// the original endpoint and retry; "status":"error" responses with a
+  /// retryable code back off and retry; non-retryable service errors
+  /// throw ServiceError immediately. When attempts or budget run out,
+  /// the last typed error is thrown. On success returns the parsed
+  /// "status":"ok" response.
+  [[nodiscard]] json::Value request_retry(std::string_view payload);
 
   /// Convenience verbs.
   [[nodiscard]] bool ping();
@@ -46,8 +85,16 @@ class Client {
                                   const std::string& objective = "min_mean",
                                   const std::string& algo = "",
                                   double deadline_ms = 0.0);
+  /// SOLVE under the retry policy (see request_retry). Throws
+  /// ServiceError / TransportError instead of returning error payloads.
+  [[nodiscard]] json::Value solve_retry(const std::string& fingerprint,
+                                        const std::string& objective = "min_mean",
+                                        const std::string& algo = "",
+                                        double deadline_ms = 0.0);
   /// Parsed STATS response.
   [[nodiscard]] json::Value stats();
+  /// Parsed HEALTH response (liveness, queue depth, last-solve age).
+  [[nodiscard]] json::Value health();
 
   /// Raw transport access for protocol-robustness tests.
   void send_bytes(std::string_view bytes);
@@ -55,10 +102,29 @@ class Client {
   [[nodiscard]] std::string read_payload(std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
   [[nodiscard]] int fd() const { return fd_; }
 
+  /// Drops and re-establishes the connection to the original endpoint.
+  /// Throws TransportError when the endpoint is unknown (moved-from
+  /// client) or the connect fails.
+  void reconnect();
+
  private:
+  struct Endpoint {
+    enum class Kind { kNone, kUnix, kTcp };
+    Kind kind = Kind::kNone;
+    std::string path;  // unix
+    int port = 0;      // tcp
+  };
+
   explicit Client(int fd) : fd_(fd) {}
+  [[nodiscard]] std::string solve_payload(const std::string& fingerprint,
+                                          const std::string& objective,
+                                          const std::string& algo,
+                                          double deadline_ms) const;
 
   int fd_ = -1;
+  Endpoint endpoint_;
+  RetryPolicy policy_;
+  std::uint64_t jitter_state_ = 0;  // lazily seeded from policy_
 };
 
 }  // namespace mcr::svc

@@ -1,0 +1,51 @@
+// Typed client-side errors for the mcr solve service.
+//
+// Two failure families, deliberately distinct types:
+//
+//  - TransportError: the conversation itself broke (connect refused,
+//    reset, truncated frame, unparseable response). The connection is
+//    dead; retrying requires a reconnect.
+//  - ServiceError: the server answered, with "status":"error". The
+//    connection is fine. Carries the protocol error code; codes BUSY,
+//    DEADLINE_EXCEEDED and SHUTTING_DOWN are retryable() — they describe
+//    the server's momentary state, not the request — while BAD_REQUEST,
+//    NOT_FOUND etc. are permanent.
+//
+// Both derive std::runtime_error so existing catch sites keep working.
+// Retrying SOLVE is always safe: results are cached and single-flighted
+// by fingerprint, so a retry either joins the in-flight solve or hits
+// the cache — it never doubles the work (docs/ROBUSTNESS.md).
+#ifndef MCR_SVC_ERRORS_H
+#define MCR_SVC_ERRORS_H
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mcr::svc {
+
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(std::string code, const std::string& message)
+      : std::runtime_error(code + ": " + message), code_(std::move(code)) {}
+
+  [[nodiscard]] const std::string& code() const { return code_; }
+  /// True for errors that describe transient server state.
+  [[nodiscard]] bool retryable() const { return is_retryable_code(code_); }
+
+  [[nodiscard]] static bool is_retryable_code(std::string_view code) {
+    return code == "BUSY" || code == "DEADLINE_EXCEEDED" || code == "SHUTTING_DOWN";
+  }
+
+ private:
+  std::string code_;
+};
+
+}  // namespace mcr::svc
+
+#endif  // MCR_SVC_ERRORS_H

@@ -6,16 +6,26 @@
 #include <cerrno>
 #include <cstring>
 
+#include "fault/fault.h"
+
 namespace mcr::svc {
 
-namespace {
-
-/// Reads exactly n bytes. Returns n on success, 0 on immediate clean
-/// EOF, -1 on a partial read or error.
-std::ptrdiff_t read_exact(int fd, char* buf, std::size_t n) {
+std::ptrdiff_t read_full(int fd, char* buf, std::size_t n) {
   std::size_t got = 0;
   while (got < n) {
-    const ::ssize_t rc = ::read(fd, buf + got, n - got);
+    std::size_t want = n - got;
+    // One hook evaluation per read syscall: the plan can turn this
+    // round into a no-op EINTR, a 1-byte short read, or a connection
+    // reset. Injected EINTR rounds are bounded by the plan's
+    // max_per_site cap, so a probability-1 plan cannot livelock.
+    const fault::Decision d = MCR_FAULT_POINT(fault::Site::kSockRead);
+    if (d.action == fault::Action::kEintr) continue;
+    if (d.action == fault::Action::kReset) {
+      errno = ECONNRESET;
+      return -1;
+    }
+    if (d.action == fault::Action::kShort && want > 1) want = 1;
+    const ::ssize_t rc = ::read(fd, buf + got, want);
     if (rc > 0) {
       got += static_cast<std::size_t>(rc);
       continue;
@@ -27,7 +37,33 @@ std::ptrdiff_t read_exact(int fd, char* buf, std::size_t n) {
   return static_cast<std::ptrdiff_t>(n);
 }
 
-}  // namespace
+bool write_full(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    std::size_t want = bytes.size() - sent;
+    const fault::Decision d = MCR_FAULT_POINT(fault::Site::kSockWrite);
+    if (d.action == fault::Action::kEintr) continue;
+    if (d.action == fault::Action::kReset) {
+      errno = ECONNRESET;
+      return false;
+    }
+    if (d.action == fault::Action::kShort && want > 1) want = 1;
+    // MSG_NOSIGNAL: a peer that closed mid-response must surface as a
+    // write error, not a process-killing SIGPIPE. Non-socket fds
+    // (tests drive the framing over pipes) fall back to write().
+    ::ssize_t rc = ::send(fd, bytes.data() + sent, want, MSG_NOSIGNAL);
+    if (rc < 0 && errno == ENOTSOCK) {
+      rc = ::write(fd, bytes.data() + sent, want);
+    }
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
 
 std::string encode_frame(std::string_view payload) {
   std::string frame;
@@ -43,7 +79,7 @@ std::string encode_frame(std::string_view payload) {
 
 ReadStatus read_frame(int fd, std::size_t max_frame_bytes, std::string& payload) {
   char header[kHeaderBytes];
-  const std::ptrdiff_t hrc = read_exact(fd, header, kHeaderBytes);
+  const std::ptrdiff_t hrc = read_full(fd, header, kHeaderBytes);
   if (hrc == 0) return ReadStatus::kClosed;
   if (hrc < 0) return ReadStatus::kTruncated;
   if (std::memcmp(header, kMagic, sizeof kMagic) != 0) return ReadStatus::kBadMagic;
@@ -54,30 +90,10 @@ ReadStatus read_frame(int fd, std::size_t max_frame_bytes, std::string& payload)
   }
   if (len > max_frame_bytes) return ReadStatus::kTooLarge;
   payload.resize(len);
-  if (len > 0 && read_exact(fd, payload.data(), len) != static_cast<std::ptrdiff_t>(len)) {
+  if (len > 0 && read_full(fd, payload.data(), len) != static_cast<std::ptrdiff_t>(len)) {
     return ReadStatus::kTruncated;
   }
   return ReadStatus::kOk;
-}
-
-bool write_all(int fd, std::string_view bytes) {
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    // MSG_NOSIGNAL: a peer that closed mid-response must surface as a
-    // write error, not a process-killing SIGPIPE. Non-socket fds
-    // (tests drive the framing over pipes) fall back to write().
-    ::ssize_t rc = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
-    if (rc < 0 && errno == ENOTSOCK) {
-      rc = ::write(fd, bytes.data() + sent, bytes.size() - sent);
-    }
-    if (rc > 0) {
-      sent += static_cast<std::size_t>(rc);
-      continue;
-    }
-    if (rc < 0 && errno == EINTR) continue;
-    return false;
-  }
-  return true;
 }
 
 std::string json_escape(std::string_view s) {

@@ -46,6 +46,22 @@ inline constexpr const char* kErrInternal = "INTERNAL";
 /// Header + payload as one byte string ready for write().
 [[nodiscard]] std::string encode_frame(std::string_view payload);
 
+/// Blocking read of exactly n bytes. Returns n on success, 0 on clean
+/// EOF before the first byte, -1 on error or short delivery (errno set
+/// by the failing syscall). Retries EINTR and short counts internally —
+/// every svc read goes through this helper so interrupted syscalls can
+/// never desynchronize the frame stream. Under MCR_FAULT_INJECTION the
+/// per-syscall fault hook (Site::kSockRead) can shorten reads, inject
+/// EINTR rounds, or simulate ECONNRESET here.
+[[nodiscard]] std::ptrdiff_t read_full(int fd, char* buf, std::size_t n);
+
+/// Blocking write of all bytes; retries EINTR and short writes. Returns
+/// false on any unrecoverable write error (e.g. EPIPE, ECONNRESET),
+/// with errno set. Uses send(MSG_NOSIGNAL) so a peer that closed
+/// mid-response surfaces as an error instead of SIGPIPE (non-socket fds
+/// fall back to write()). Fault hook: Site::kSockWrite.
+[[nodiscard]] bool write_full(int fd, std::string_view bytes);
+
 enum class ReadStatus {
   kOk,        // one whole frame read into `payload`
   kClosed,    // clean EOF before any header byte
@@ -61,9 +77,10 @@ enum class ReadStatus {
 [[nodiscard]] ReadStatus read_frame(int fd, std::size_t max_frame_bytes,
                                     std::string& payload);
 
-/// Blocking write of all bytes; retries EINTR and short writes.
-/// Returns false on any unrecoverable write error (e.g. EPIPE).
-[[nodiscard]] bool write_all(int fd, std::string_view bytes);
+/// Alias of write_full, kept for existing callers.
+[[nodiscard]] inline bool write_all(int fd, std::string_view bytes) {
+  return write_full(fd, bytes);
+}
 
 /// Escapes a string for embedding inside a JSON string literal
 /// (backslash, quote, and control characters; no surrounding quotes).

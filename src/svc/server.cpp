@@ -10,12 +10,14 @@
 #include <cerrno>
 #include <cstring>
 #include <map>
+#include <new>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "core/driver.h"
 #include "core/registry.h"
+#include "fault/fault.h"
 #include "gen/circuit.h"
 #include "gen/sprand.h"
 #include "gen/structured.h"
@@ -163,6 +165,7 @@ void Server::start() {
   }
   if (::pipe(wake_pipe_) != 0) throw_errno("pipe");
 
+  started_at_ = std::chrono::steady_clock::now();
   running_.store(true);
   accept_thread_ = std::thread([this] { accept_loop(); });
   dispatch_thread_ = std::thread([this] { dispatch_loop(); });
@@ -187,11 +190,14 @@ void Server::stop_and_drain() {
     }
   }
   // 3. Join connection threads; each finishes its current request first
-  //    (the dispatcher is still alive to complete queued jobs).
+  //    (the dispatcher is still alive to complete queued jobs). The fd
+  //    is closed here, after the join — handler threads never close
+  //    their own fd, so the reaper can never race a kernel fd reuse.
   {
     std::lock_guard lock(conns_mutex_);
     for (Connection& c : conns_) {
       if (c.thread.joinable()) c.thread.join();
+      if (c.fd >= 0) ::close(c.fd);
     }
     conns_.clear();
   }
@@ -241,9 +247,13 @@ void Server::accept_loop() {
       conns_.emplace_back();
       Connection& c = conns_.back();
       c.fd = conn_fd;
+      c.last_activity_ms.store(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
       c.thread = std::thread([this, &c] { connection_main(&c); });
       metrics_.counter("mcr_connections_total").add(1);
     }
+    reap_idle_connections();
     reap_finished_connections();
   }
   if (unix_fd_ >= 0) ::close(unix_fd_);
@@ -256,10 +266,30 @@ void Server::reap_finished_connections() {
   for (auto it = conns_.begin(); it != conns_.end();) {
     if (it->done.load() && it->thread.joinable()) {
       it->thread.join();
+      if (it->fd >= 0) ::close(it->fd);
       it = conns_.erase(it);
     } else {
       ++it;
     }
+  }
+}
+
+void Server::reap_idle_connections() {
+  if (options_.idle_timeout_ms <= 0) return;
+  const std::int64_t now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                  std::chrono::steady_clock::now().time_since_epoch())
+                                  .count();
+  std::lock_guard lock(conns_mutex_);
+  for (Connection& c : conns_) {
+    if (c.done.load() || c.idle_reaped.load()) continue;
+    if (now_ms - c.last_activity_ms.load() < options_.idle_timeout_ms) continue;
+    // Shutting down the socket makes the handler's blocked read return
+    // EOF; the thread then exits normally and the next reap joins it.
+    // The fd itself stays open until that join (see stop_and_drain),
+    // so this can never hit a recycled descriptor.
+    c.idle_reaped.store(true);
+    ::shutdown(c.fd, SHUT_RDWR);
+    metrics_.counter("mcr_idle_reaped_total").add(1);
   }
 }
 
@@ -268,6 +298,10 @@ void Server::connection_main(Connection* conn) {
   for (;;) {
     const ReadStatus st = read_frame(conn->fd, options_.max_frame_bytes, payload);
     if (st == ReadStatus::kClosed || st == ReadStatus::kTruncated) break;
+    conn->last_activity_ms.store(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
     if (st == ReadStatus::kBadMagic || st == ReadStatus::kTooLarge) {
       // Framing is unrecoverable: report (best effort) and close.
       metrics_.counter("mcr_bad_frames_total").add(1);
@@ -279,10 +313,24 @@ void Server::connection_main(Connection* conn) {
       (void)write_all(conn->fd, encode_frame(error_payload(code, msg)));
       break;
     }
-    const std::string response = handle_request(payload);
+    // Per-connection error isolation: nothing a single request does —
+    // allocation failure included — may take down the server or any
+    // other connection. handle_request maps everything it can to a
+    // typed error payload; this is the last-resort belt for what it
+    // cannot (bad_alloc while *building* a response, foreign throw
+    // types).
+    std::string response;
+    try {
+      response = handle_request(payload);
+    } catch (...) {
+      metrics_.counter("mcr_connection_errors_total").add(1);
+      response = error_payload(kErrInternal, "internal error handling request");
+    }
     if (!write_all(conn->fd, encode_frame(response))) break;
   }
-  ::close(conn->fd);
+  // The fd is deliberately left open: reap_finished_connections (or
+  // stop_and_drain) closes it after joining this thread, so the idle
+  // reaper can never shut down a recycled descriptor.
   conn->done.store(true);
 }
 
@@ -292,6 +340,11 @@ std::string Server::handle_request(const std::string& payload) {
   std::string verb = "INVALID";
   std::string response;
   try {
+    // Allocation fault point: an injected kFail here behaves exactly
+    // like the first allocation of request handling failing.
+    if (MCR_FAULT_POINT(fault::Site::kAlloc).action == fault::Action::kFail) {
+      throw std::bad_alloc();
+    }
     const json::Value req = json::parse(payload);
     verb = req.string_or("verb", "");
     const obs::Span span(obs::EventKind::kRequest, verb);
@@ -305,13 +358,20 @@ std::string Server::handle_request(const std::string& payload) {
       response = handle_solvers();
     } else if (verb == "STATS") {
       response = handle_stats();
+    } else if (verb == "HEALTH") {
+      response = handle_health();
     } else {
       throw RequestError(kErrBadRequest, "unknown verb '" + verb +
                                              "' (expected PING | LOAD | SOLVE | "
-                                             "SOLVERS | STATS)");
+                                             "SOLVERS | STATS | HEALTH)");
     }
   } catch (const RequestError& e) {
     response = error_payload(e.code, e.what());
+  } catch (const std::bad_alloc&) {
+    // Out-of-memory is the server's problem, not the request's: report
+    // INTERNAL (retryable-by-human), never BAD_REQUEST.
+    metrics_.counter("mcr_connection_errors_total").add(1);
+    response = error_payload(kErrInternal, "out of memory handling request");
   } catch (const std::exception& e) {
     response = error_payload(kErrBadRequest, e.what());
   }
@@ -387,6 +447,40 @@ std::string Server::handle_stats() const {
   return out;
 }
 
+std::string Server::handle_health() {
+  std::size_t depth = 0;
+  std::size_t in_flight = 0;
+  bool stopping = false;
+  {
+    std::lock_guard lock(queue_mutex_);
+    depth = queue_.size();
+    in_flight = in_flight_;
+    stopping = stopping_;
+  }
+  std::size_t connections = 0;
+  {
+    std::lock_guard lock(conns_mutex_);
+    connections = conns_.size();
+  }
+  const auto now = std::chrono::steady_clock::now();
+  const double uptime_s =
+      std::chrono::duration<double>(now - started_at_).count();
+  const std::int64_t last_ns = last_solve_steady_ns_.load();
+  const double last_solve_age_s =
+      last_ns < 0 ? -1.0
+                  : std::chrono::duration<double>(
+                        now.time_since_epoch() - std::chrono::nanoseconds(last_ns))
+                        .count();
+  std::ostringstream os;
+  os << "{\"status\":\"ok\",\"healthy\":" << (stopping ? "false" : "true")
+     << ",\"draining\":" << (stopping ? "true" : "false")
+     << ",\"queue_depth\":" << depth << ",\"in_flight\":" << in_flight
+     << ",\"queue_capacity\":" << options_.queue_capacity
+     << ",\"connections\":" << connections << ",\"uptime_seconds\":" << uptime_s
+     << ",\"last_solve_age_seconds\":" << last_solve_age_s << "}";
+  return os.str();
+}
+
 std::string Server::handle_solve(const json::Value& req) {
   auto [graph, fp] = resolve_graph(req);
   const Objective objective = parse_objective(req.string_or("objective", "min_mean"));
@@ -439,6 +533,18 @@ std::string Server::handle_solve(const json::Value& req) {
     job->deadline = std::chrono::steady_clock::now() +
                     std::chrono::microseconds(
                         static_cast<std::int64_t>(deadline_ms * 1000.0));
+    // Clock-skip fault point: a kSkip decision jumps the deadline into
+    // the past by `param` ms, as if the process had been suspended that
+    // long between accepting the request and scheduling it.
+    const fault::Decision skip = MCR_FAULT_POINT(fault::Site::kClockSkip);
+    if (skip.action == fault::Action::kSkip) {
+      job->deadline -= std::chrono::milliseconds(skip.param);
+    }
+    // Arm BEFORE the job becomes visible to the dispatcher: an
+    // already-expired deadline then cancels synchronously and the
+    // dispatcher expires the job deterministically, instead of racing
+    // the watchdog wake-up against the solve.
+    arm_deadline(job);
   }
   {
     std::lock_guard lock(queue_mutex_);
@@ -459,7 +565,6 @@ std::string Server::handle_solve(const json::Value& req) {
     metrics_.gauge("mcr_queue_depth").set(static_cast<std::int64_t>(queue_.size()));
   }
   queue_cv_.notify_one();
-  if (job->has_deadline) arm_deadline(job);
 
   std::unique_lock job_lock(job->mutex);
   job->cv.wait(job_lock, [&] { return job->done; });
@@ -468,6 +573,14 @@ std::string Server::handle_solve(const json::Value& req) {
 }
 
 void Server::arm_deadline(const std::shared_ptr<SolveJob>& job) {
+  // Already expired (tiny budget, or an injected clock skip): cancel
+  // synchronously instead of registering a watchdog entry that would
+  // fire "immediately" — synchronous cancellation is deterministic,
+  // a watchdog wake-up is a race.
+  if (job->deadline <= std::chrono::steady_clock::now()) {
+    job->cancel->store(true);
+    return;
+  }
   {
     std::lock_guard lock(deadline_mutex_);
     deadlines_.emplace_back(job->deadline, job->cancel);
@@ -500,6 +613,9 @@ void Server::watchdog_loop() {
 }
 
 void Server::fulfill(SolveJob& job) {
+  last_solve_steady_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                  std::chrono::steady_clock::now().time_since_epoch())
+                                  .count());
   {
     std::lock_guard lock(job.mutex);
     job.done = true;

@@ -73,6 +73,11 @@ struct ServerOptions {
   /// Per-frame payload cap; larger frames are rejected and the
   /// connection closed.
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Idle-connection reaper: connections with no completed request for
+  /// this long are shut down (their blocked read returns EOF and the
+  /// handler thread exits). 0 disables. Counted in
+  /// mcr_idle_reaped_total.
+  std::int64_t idle_timeout_ms = 0;
   /// Optional trace sink: per-request kRequest spans plus the usual
   /// driver/solver spans from dispatched solves.
   obs::TraceSink* trace = nullptr;
@@ -134,6 +139,11 @@ class Server {
     int fd = -1;
     std::thread thread;
     std::atomic<bool> done{false};
+    /// Steady-clock ms of the last frame activity (idle reaper input).
+    std::atomic<std::int64_t> last_activity_ms{0};
+    /// Set once by the reaper so a connection is shut down and counted
+    /// at most once.
+    std::atomic<bool> idle_reaped{false};
   };
 
   void accept_loop();
@@ -146,6 +156,7 @@ class Server {
   [[nodiscard]] std::string handle_solve(const json::Value& req);
   [[nodiscard]] std::string handle_solvers() const;
   [[nodiscard]] std::string handle_stats() const;
+  [[nodiscard]] std::string handle_health();
 
   /// Parses the request's graph source ("fingerprint" | "dimacs" |
   /// "path" | "generator") and returns (resident graph, fingerprint).
@@ -161,6 +172,7 @@ class Server {
   void fulfill(SolveJob& job);
   void arm_deadline(const std::shared_ptr<SolveJob>& job);
   void reap_finished_connections();
+  void reap_idle_connections();
 
   ServerOptions options_;
   obs::MetricsRegistry metrics_;
@@ -168,6 +180,10 @@ class Server {
   ResultCache cache_;
 
   std::atomic<bool> running_{false};
+  std::chrono::steady_clock::time_point started_at_{};
+  /// Steady-clock ns of the most recent solve completion (ok or error);
+  /// -1 until the first one. HEALTH reports its age.
+  std::atomic<std::int64_t> last_solve_steady_ns_{-1};
   int unix_fd_ = -1;
   int tcp_fd_ = -1;
   int bound_tcp_port_ = -1;

@@ -649,6 +649,58 @@ TEST(SvcServer, DrainCompletesInFlightRequests) {
                std::runtime_error);
 }
 
+TEST(SvcServer, HealthVerbReportsLivenessAndQueueState) {
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  so.queue_capacity = 17;
+  svc::Server server(so);
+  server.start();
+
+  svc::Client client = svc::Client::connect_unix(so.unix_socket_path);
+  const json::Value before = client.health();
+  ASSERT_EQ(before.string_or("status", ""), "ok");
+  EXPECT_TRUE(before.at("healthy").as_bool());
+  EXPECT_FALSE(before.at("draining").as_bool());
+  EXPECT_EQ(before.at("queue_depth").as_double(), 0.0);
+  EXPECT_EQ(before.at("in_flight").as_double(), 0.0);
+  EXPECT_EQ(before.at("queue_capacity").as_double(), 17.0);
+  EXPECT_GE(before.at("connections").as_double(), 1.0);  // at least ours
+  EXPECT_GE(before.at("uptime_seconds").as_double(), 0.0);
+  // No solve has completed yet: the age sentinel is -1.
+  EXPECT_EQ(before.at("last_solve_age_seconds").as_double(), -1.0);
+
+  const std::string fp = client.load_dimacs_text(dimacs_text(make_ring(8, 3)));
+  ASSERT_EQ(client.solve(fp).string_or("status", ""), "ok");
+  const json::Value after = client.health();
+  EXPECT_GE(after.at("last_solve_age_seconds").as_double(), 0.0);
+
+  server.stop_and_drain();
+}
+
+TEST(SvcServer, IdleReaperShutsDownStaleConnections) {
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  so.idle_timeout_ms = 100;  // reaper tick is 200ms in accept_loop
+  svc::Server server(so);
+  server.start();
+
+  svc::Client idle = svc::Client::connect_unix(so.unix_socket_path);
+  EXPECT_TRUE(idle.ping());  // connection established and serviced once
+
+  // Wait past the timeout plus one reaper tick: the server must
+  // half-close the idle connection, so the next request fails at the
+  // transport layer rather than hanging.
+  std::this_thread::sleep_for(600ms);
+  EXPECT_THROW((void)idle.ping(), svc::TransportError);
+  EXPECT_GE(server.metrics().counter("mcr_idle_reaped_total").value(), 1u);
+
+  // A fresh connection still works: reaping is per-connection hygiene,
+  // not a server-wide degradation.
+  svc::Client fresh = svc::Client::connect_unix(so.unix_socket_path);
+  EXPECT_TRUE(fresh.ping());
+  server.stop_and_drain();
+}
+
 // ---------------------------------------------------------------------------
 // Frame fuzzer (satellite: protocol robustness under ASan).
 

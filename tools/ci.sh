@@ -9,6 +9,11 @@
 # twice and gated with mcr_bench_diff: the self-diff must report zero
 # regressions (exit 0), and the A-vs-B cross-run diff uses a generous
 # threshold since CI machines are noisy (see docs/BENCHMARKING.md).
+# The sanitizer configs compile the fault-injection hooks in and run the
+# mcr_chaos seeded sweep (ASan, with --repeat-check) plus a
+# worker-death-heavy plan (TSan); the Release config asserts with nm
+# that no injector symbol leaked into the shipped artifacts
+# (docs/ROBUSTNESS.md).
 #
 #   tools/ci.sh [--fast]
 #
@@ -70,14 +75,32 @@ if [[ "$FAST" == 0 ]]; then
   run ctest --test-dir build --output-on-failure -j "$JOBS"
   obs_smoke build
   bench_smoke build
+
+  echo "=== Release hook-absence check ==="
+  # The zero-cost contract (docs/ROBUSTNESS.md): without
+  # -DMCR_FAULT_INJECTION=ON, MCR_FAULT_POINT folds to a constant and no
+  # injector symbol may exist in the archive or the served binaries.
+  for artifact in build/src/libmcr.a build/tools/mcr_serve build/tools/mcr_query; do
+    if nm -C "$artifact" 2>/dev/null | grep -q -e 'fault::Injector' -e 'fault::detail::decide_hook'; then
+      echo "FAIL: fault-injection symbols present in Release $artifact" >&2
+      exit 1
+    fi
+  done
+  echo "no injector symbols in Release artifacts"
 fi
 
-echo "=== ASan+UBSan build + tests ==="
-run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMCR_SANITIZE=ON
+echo "=== ASan+UBSan build + tests (fault hooks compiled in) ==="
+run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMCR_SANITIZE=ON \
+    -DMCR_FAULT_INJECTION=ON
 run cmake --build build-asan -j "$JOBS"
 run ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 obs_smoke build-asan
 bench_smoke build-asan
+
+echo "=== chaos smoke (sanitized, seeded fault plans) ==="
+# Eight seeds, each run twice: zero invariant violations and the same
+# seed must reproduce the same injection trace bit-identically.
+run build-asan/tools/mcr_chaos --seeds 8 --repeat-check
 
 echo "=== fuzz smoke (sanitized, ${FUZZ_TRIALS} trials per config) ==="
 FUZZ=build-asan/tools/mcr_fuzz
@@ -91,10 +114,17 @@ echo "=== TSan build + concurrency tests ==="
 # (work-stealing pool, parallel SCC driver, the svc server) get their own
 # config. Only the concurrency-heavy suites run here: TSan slows
 # execution ~10x and the sequential suites add no interleavings.
-run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMCR_SANITIZE_THREAD=ON
-run cmake --build build-tsan -j "$JOBS" --target test_parallel_driver test_obs test_svc
+run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMCR_SANITIZE_THREAD=ON \
+    -DMCR_FAULT_INJECTION=ON
+run cmake --build build-tsan -j "$JOBS" --target test_parallel_driver test_obs test_svc \
+    test_fault mcr_chaos
 run build-tsan/tests/test_parallel_driver
 run build-tsan/tests/test_obs
 run build-tsan/tests/test_svc
+run build-tsan/tests/test_fault
+# Worker-death-heavy plan under TSan: retire/respawn vs. destructor is
+# the raciest path in the pool's self-healing.
+run build-tsan/tools/mcr_chaos --seeds 4 \
+    --plan "worker_death=0.5,worker_stall=0.2,read_eintr=0.1,stall_ms=1,max_deaths=4,max_per_site=64"
 
 echo "=== ci.sh: all green ==="

@@ -15,13 +15,24 @@
 //     solvers                       list the server's registered solvers
 //     stats [--prometheus]          server metrics (JSON, or Prometheus
 //                                   text with --prometheus)
+//     health                        liveness + queue depth + last-solve age
 //     raw '<json>'                  send one raw request payload
 //
+//   --retry    retry transient failures (BUSY / DEADLINE_EXCEEDED /
+//              SHUTTING_DOWN and transport errors) with exponential
+//              backoff before giving up; safe, SOLVE is idempotent
 //   --version  print build provenance and exit
+//   --help     print the verb and exit-code reference
 //
-// Exit codes: 0 ok; 1 server-side error (the code, e.g. BUSY or
-// DEADLINE_EXCEEDED, is printed on stderr); 2 usage; 3 transport
-// failure (cannot connect / connection lost).
+// Exit codes (scriptable: each transient failure mode is distinct):
+//   0  ok
+//   1  server-side error not listed below (e.g. BAD_REQUEST, INTERNAL)
+//   2  usage error
+//   3  transport failure (cannot connect / connection lost)
+//   4  BUSY              server at admission capacity; retry later
+//   5  DEADLINE_EXCEEDED the request's deadline elapsed
+//   6  NOT_FOUND         fingerprint not resident (LOAD it again)
+//   7  SHUTTING_DOWN     server is draining; retry against its successor
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -31,10 +42,51 @@
 #include "obs/build_info.h"
 #include "support/json.h"
 #include "svc/client.h"
+#include "svc/errors.h"
 
 namespace {
 
 using namespace mcr;
+
+constexpr const char* kHelpText =
+    R"(usage: mcr_query --socket PATH|--tcp PORT <verb> [args]
+
+verbs:
+  ping                        liveness check
+  load <file.dimacs>          load a graph, print its fingerprint
+  solve <file.dimacs|fp:HEX>  solve and print the result
+    [--algo NAME] [--ratio] [--max] [--deadline-ms N] [--output json]
+  solvers                     list the server's registered solvers
+  stats [--prometheus]        server metrics
+  health                      liveness + queue depth + last-solve age
+  raw '<json>'                send one raw request payload
+
+flags:
+  --retry     retry transient failures (exponential backoff + jitter)
+  --version   print build provenance and exit
+  --help      this text
+
+exit codes:
+  0  ok
+  1  other server-side error (BAD_REQUEST, INTERNAL, ...)
+  2  usage error
+  3  transport failure (cannot connect / connection lost)
+  4  BUSY               server at admission capacity; retry later
+  5  DEADLINE_EXCEEDED  the request's deadline elapsed
+  6  NOT_FOUND          fingerprint not resident (LOAD it again)
+  7  SHUTTING_DOWN      server is draining
+)";
+
+/// The scriptable exit-code contract: transient, retryable conditions
+/// get their own codes so shell callers can branch without parsing
+/// stderr (documented in --help and docs/ROBUSTNESS.md).
+int exit_code_for(const std::string& code) {
+  if (code == "BUSY") return 4;
+  if (code == "DEADLINE_EXCEEDED") return 5;
+  if (code == "NOT_FOUND") return 6;
+  if (code == "SHUTTING_DOWN") return 7;
+  return 1;
+}
 
 svc::Client connect(const cli::Options& opt) {
   if (opt.has("socket")) return svc::Client::connect_unix(opt.get("socket"));
@@ -56,9 +108,10 @@ std::string read_file(const std::string& path) {
 /// Prints a response's error (if any) and maps it to an exit code.
 int finish(const json::Value& response) {
   if (response.string_or("status", "") == "ok") return 0;
-  std::cerr << "mcr_query: " << response.string_or("code", "ERROR") << ": "
+  const std::string code = response.string_or("code", "ERROR");
+  std::cerr << "mcr_query: " << code << ": "
             << response.string_or("message", "(no message)") << "\n";
-  return 1;
+  return exit_code_for(code);
 }
 
 int do_solve(svc::Client& client, const cli::Options& opt) {
@@ -85,7 +138,16 @@ int do_solve(svc::Client& client, const cli::Options& opt) {
   }
   payload += "}";
 
-  const std::string raw = client.request_raw(payload);
+  std::string raw;
+  if (opt.has("retry")) {
+    // request_retry throws typed errors; main maps them to exit codes.
+    // The parsed value is discarded here because the json printer below
+    // wants the exact response bytes.
+    (void)client.request_retry(payload);
+    raw = client.request_raw(payload);  // cache hit: instant, byte-stable
+  } else {
+    raw = client.request_raw(payload);
+  }
   const json::Value r = json::parse(raw);
   if (const int rc = finish(r); rc != 0) return rc;
 
@@ -130,9 +192,14 @@ int main(int argc, char** argv) {
       std::cout << obs::version_string("mcr_query");
       return 0;
     }
+    if (opt.has("help")) {
+      std::cout << kHelpText;
+      return 0;
+    }
     if (opt.positional.empty()) {
       std::cerr << "usage: mcr_query --socket PATH|--tcp PORT "
-                   "<ping|load|solve|solvers|stats|raw> [args]\n";
+                   "<ping|load|solve|solvers|stats|health|raw> [args] "
+                   "(--help for the exit-code table)\n";
       return 2;
     }
   } catch (const std::exception& e) {
@@ -141,7 +208,17 @@ int main(int argc, char** argv) {
   }
   try {
     svc::Client client = connect(opt);
+    if (opt.has("retry")) {
+      client.set_retry_policy(svc::RetryPolicy{});
+    }
     const std::string& verb = opt.positional[0];
+    if (verb == "health") {
+      const std::string raw = client.request_raw(R"({"verb":"HEALTH"})");
+      const json::Value r = json::parse(raw);
+      if (const int rc = finish(r); rc != 0) return rc;
+      std::cout << raw << "\n";
+      return 0;
+    }
     if (verb == "ping") {
       if (!client.ping()) {
         std::cerr << "mcr_query: ping failed\n";
@@ -194,6 +271,11 @@ int main(int argc, char** argv) {
     }
     std::cerr << "mcr_query: unknown verb '" << verb << "'\n";
     return 2;
+  } catch (const svc::ServiceError& e) {
+    // Typed server error thrown by the retry path after its budget ran
+    // out (or immediately for non-retryable codes).
+    std::cerr << "mcr_query: " << e.what() << "\n";
+    return exit_code_for(e.code());
   } catch (const std::invalid_argument& e) {
     std::cerr << "mcr_query: " << e.what() << "\n";
     return 2;
