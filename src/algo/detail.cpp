@@ -22,7 +22,8 @@ Rational exact_cycle_value(const Graph& g, ProblemKind kind,
 }
 
 void refine_to_exact(const Graph& g, ProblemKind kind, Rational& value,
-                     std::vector<ArcId>& cycle, OpCounters& counters) {
+                     std::vector<ArcId>& cycle, OpCounters& counters,
+                     const TileExec& tiles) {
   for (;;) {
     ++counters.feasibility_checks;
     obs::emit(obs::EventKind::kFeasibilityProbe, "refine.probe",
@@ -31,7 +32,7 @@ void refine_to_exact(const Graph& g, ProblemKind kind, Rational& value,
     std::vector<ArcId> witness;
     try {
       const std::vector<std::int64_t> cost = lambda_costs(g, value, kind);
-      BellmanFordResult bf = bellman_ford_all(g, cost, &counters);
+      BellmanFordResult bf = bellman_ford_all(g, cost, &counters, tiles);
       negative = bf.has_negative_cycle;
       witness = std::move(bf.cycle);
     } catch (const NumericOverflow&) {
@@ -40,7 +41,7 @@ void refine_to_exact(const Graph& g, ProblemKind kind, Rational& value,
       // repeat it wholesale in 128-bit costs.
       ++counters.numeric_promotions;
       const std::vector<int128> cost = lambda_costs_wide(g, value, kind);
-      BellmanFordWideResult bf = bellman_ford_all_wide(g, cost, &counters);
+      BellmanFordWideResult bf = bellman_ford_all_wide(g, cost, &counters, tiles);
       negative = bf.has_negative_cycle;
       witness = std::move(bf.cycle);
     }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/problem.h"
+#include "graph/arc_tiles.h"
 #include "graph/graph.h"
 #include "support/op_counters.h"
 #include "support/rational.h"
@@ -21,8 +22,12 @@ namespace mcr::detail {
 /// library returns exact rationals; it converges in one Bellman-Ford
 /// check when the float phase already found the optimum (the common
 /// case), and each extra round strictly decreases the candidate value.
+/// `tiles` spreads the Bellman-Ford probes' relaxation sweeps across
+/// the driver's worker pool (graph/arc_tiles.h); the default keeps
+/// them serial. The outcome is identical either way.
 void refine_to_exact(const Graph& g, ProblemKind kind, Rational& value,
-                     std::vector<ArcId>& cycle, OpCounters& counters);
+                     std::vector<ArcId>& cycle, OpCounters& counters,
+                     const TileExec& tiles = {});
 
 /// Exact mean/ratio of a cycle (transit treated as 1 for kCycleMean).
 [[nodiscard]] Rational exact_cycle_value(const Graph& g, ProblemKind kind,

@@ -26,7 +26,19 @@
 // Figure-1 structure; a larger epsilon reproduces the paper's
 // approximate ("not much improvement -> exit") semantics, which the
 // bench_ablation_howard harness measures.
+//
+// Loop-structure note: the improve step is a snapshot sweep — every
+// arc (u,v) is judged against the distances as they stood after the
+// reverse BFS, and each node adopts its best improving out-arc (ties
+// to the lowest arc id). That per-node min-fold runs through the tiled
+// engine (graph/arc_tiles.h), so one big SCC's improve step spreads
+// over the worker pool with bit-identical results for any tile size
+// and thread count. The policy-cycle evaluation and the reverse BFS
+// stay serial (pointer chases, Theta(n) against the sweep's Theta(m));
+// the reverse-policy adjacency they walk is flat CSR arrays rebuilt by
+// counting sort each iteration, not per-node vectors.
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <numeric>
 #include <vector>
@@ -72,6 +84,11 @@ class HowardSolver final : public Solver {
   [[nodiscard]] ProblemKind kind() const override { return kind_; }
 
   [[nodiscard]] CycleResult solve_scc(const Graph& g) const override {
+    return solve_scc(g, TileExec{});
+  }
+
+  [[nodiscard]] CycleResult solve_scc(const Graph& g,
+                                      const TileExec& tiles) const override {
     const NodeId n = g.num_nodes();
     const std::size_t un = static_cast<std::size_t>(n);
     CycleResult result;
@@ -101,12 +118,31 @@ class HowardSolver final : public Solver {
     }
     std::int64_t cur_den = 1;
 
-    // Scratch for policy-cycle evaluation and the reverse BFS.
+    // Scratch for policy-cycle evaluation and the reverse BFS. The
+    // reverse-policy adjacency is flat CSR (offsets + node array),
+    // rebuilt by counting sort each iteration — cheaper to refill and
+    // walk than n per-node vectors.
     std::vector<std::int32_t> visit_mark(un, -1);
     std::vector<std::int32_t> chain_pos(un, 0);
     std::vector<NodeId> chain;
-    std::vector<std::vector<NodeId>> rev_policy(un);
+    std::vector<std::int32_t> rev_first(un + 1, 0);
+    std::vector<std::int32_t> rev_cursor(un, 0);
+    std::vector<NodeId> rev_nodes(un, kInvalidNode);
     std::vector<NodeId> bfs;
+    std::vector<std::int64_t> dist_prev(un, 0);
+
+    const std::span<const ArcId> out_ids = g.out_arc_ids();
+    TiledSweep sweep(g.out_first(), tiles);
+    struct Cand {
+      std::int64_t val;
+      std::int32_t pos;
+      bool operator<(const Cand& o) const {
+        if (val != o.val) return val < o.val;
+        return pos < o.pos;
+      }
+    };
+    constexpr Cand kNoCand{std::numeric_limits<std::int64_t>::max(),
+                           std::numeric_limits<std::int32_t>::max()};
 
     Rational lambda;
     std::vector<ArcId> best_cycle;
@@ -178,19 +214,33 @@ class HowardSolver final : public Solver {
           // weight/transit ranges): finish exactly by cycle canceling,
           // like the iteration safety valve below.
           obs::emit(obs::EventKind::kSafetyValve, "howard.scale_overflow", iter);
-          detail::refine_to_exact(g, kind_, lambda, best_cycle, result.counters);
+          detail::refine_to_exact(g, kind_, lambda, best_cycle, result.counters,
+                                  tiles);
           break;
         }
       }
       const std::int64_t lam_num = lambda.num() * (cur_den / lambda.den());
 
       // --- Reverse BFS from s on the policy graph (Fig. 1, 10-12). ---
+      // Counting sort the reverse-policy adjacency into the flat CSR
+      // scratch; ascending-v fill keeps the per-target order (and thus
+      // the BFS visit order) identical to a per-node push_back build.
       const NodeId s = g.src(new_cycle.front());
-      for (auto& lst : rev_policy) lst.clear();
+      std::fill(rev_first.begin(), rev_first.end(), 0);
       for (NodeId v = 0; v < n; ++v) {
         if (v != s) {
-          rev_policy[static_cast<std::size_t>(g.dst(policy[static_cast<std::size_t>(v)]))]
-              .push_back(v);
+          ++rev_first[static_cast<std::size_t>(
+                          g.dst(policy[static_cast<std::size_t>(v)])) +
+                      1];
+        }
+      }
+      for (std::size_t i = 0; i < un; ++i) rev_first[i + 1] += rev_first[i];
+      std::copy(rev_first.begin(), rev_first.end() - 1, rev_cursor.begin());
+      for (NodeId v = 0; v < n; ++v) {
+        if (v != s) {
+          const auto t = static_cast<std::size_t>(
+              g.dst(policy[static_cast<std::size_t>(v)]));
+          rev_nodes[static_cast<std::size_t>(rev_cursor[t]++)] = v;
         }
       }
       bfs.clear();
@@ -198,7 +248,9 @@ class HowardSolver final : public Solver {
       for (std::size_t head = 0; head < bfs.size(); ++head) {
         const NodeId v = bfs[head];
         ++result.counters.node_visits;
-        for (const NodeId u : rev_policy[static_cast<std::size_t>(v)]) {
+        for (std::int32_t i = rev_first[static_cast<std::size_t>(v)];
+             i < rev_first[static_cast<std::size_t>(v) + 1]; ++i) {
+          const NodeId u = rev_nodes[static_cast<std::size_t>(i)];
           const ArcId a = policy[static_cast<std::size_t>(u)];
           dist[static_cast<std::size_t>(u)] =
               dist[static_cast<std::size_t>(v)] + g.weight(a) * cur_den -
@@ -213,25 +265,43 @@ class HowardSolver final : public Solver {
       // effective threshold is delta >= 1, which makes the solver exact.
       const std::int64_t eps_scaled =
           static_cast<std::int64_t>(epsilon_ * static_cast<double>(cur_den));
-      bool improved = false;
-      std::int64_t adopted = 0;
-      for (ArcId a = 0; a < g.num_arcs(); ++a) {
-        ++result.counters.arc_scans;
-        const NodeId u = g.src(a);
-        const NodeId v = g.dst(a);
-        const std::int64_t cand = dist[static_cast<std::size_t>(v)] +
-                                  g.weight(a) * cur_den - lam_num * transit(a);
-        const std::int64_t delta = dist[static_cast<std::size_t>(u)] - cand;
-        if (delta > 0) {
-          dist[static_cast<std::size_t>(u)] = cand;
-          policy[static_cast<std::size_t>(u)] = a;
-          ++result.counters.relaxations;
-          ++adopted;
-          if (delta > eps_scaled) improved = true;
-        }
-      }
-      obs::emit(obs::EventKind::kPolicyImprove, "howard.policy_improve", adopted);
-      if (!improved) break;
+      // Snapshot sweep over the out-arc CSR: each node folds the best
+      // candidate among its out-arcs against the post-BFS distances
+      // (dist_prev) and adopts it when strictly better. Improvement
+      // flags and counts are order-free folds, so the tiled sweep is
+      // deterministic for any tile size and thread count.
+      std::copy(dist.begin(), dist.end(), dist_prev.begin());
+      std::atomic<bool> improved{false};
+      std::atomic<std::int64_t> adopted{0};
+      std::atomic<std::uint64_t> relaxed{0};
+      sweep.run(
+          kNoCand,
+          [&](std::int32_t p) {
+            const ArcId a = out_ids[static_cast<std::size_t>(p)];
+            return Cand{dist_prev[static_cast<std::size_t>(g.dst(a))] +
+                            g.weight(a) * cur_den - lam_num * transit(a),
+                        p};
+          },
+          [&](NodeId u, const Cand& best) {
+            if (best.pos == std::numeric_limits<std::int32_t>::max()) return;
+            const std::int64_t delta =
+                dist_prev[static_cast<std::size_t>(u)] - best.val;
+            if (delta > 0) {
+              dist[static_cast<std::size_t>(u)] = best.val;
+              policy[static_cast<std::size_t>(u)] =
+                  out_ids[static_cast<std::size_t>(best.pos)];
+              relaxed.fetch_add(1, std::memory_order_relaxed);
+              adopted.fetch_add(1, std::memory_order_relaxed);
+              if (delta > eps_scaled) {
+                improved.store(true, std::memory_order_relaxed);
+              }
+            }
+          });
+      result.counters.arc_scans += static_cast<std::uint64_t>(sweep.positions());
+      result.counters.relaxations += relaxed.load(std::memory_order_relaxed);
+      obs::emit(obs::EventKind::kPolicyImprove, "howard.policy_improve",
+                adopted.load(std::memory_order_relaxed));
+      if (!improved.load(std::memory_order_relaxed)) break;
 
       // Safety valve: policy iteration is only pseudo-polynomial (the
       // paper proves O(n m alpha) / O(n^2 m (wmax-wmin)/eps) bounds). If
@@ -241,7 +311,8 @@ class HowardSolver final : public Solver {
       // paper's workloads; counted in feasibility_checks when it does.
       if (iter > iteration_cap(n, g.num_arcs())) {
         obs::emit(obs::EventKind::kSafetyValve, "howard.iteration_cap", iter);
-        detail::refine_to_exact(g, kind_, lambda, best_cycle, result.counters);
+        detail::refine_to_exact(g, kind_, lambda, best_cycle, result.counters,
+                                  tiles);
         break;
       }
     }

@@ -16,6 +16,14 @@
 // generically from the critical subgraph at lambda* (core/critical.h),
 // keeping this implementation exactly the three simple nested loops
 // whose compiler-friendliness the paper remarks on (§4.5).
+//
+// Both hot phases tile (graph/arc_tiles.h): each level of the table
+// fill is a snapshot sweep — level k reads only level k-1, so tiling it
+// over in-arc CSR ranges is trivially deterministic — and the final
+// min_v max_k extraction splits into node chunks whose per-chunk
+// minima merge in chunk order (first node wins ties, exactly like the
+// serial scan). Results are bit-identical for any tile size and thread
+// count.
 #include <limits>
 #include <optional>
 #include <vector>
@@ -25,6 +33,7 @@
 #include "obs/obs.h"
 #include "support/checked.h"
 #include "support/int128.h"
+#include "support/thread_pool.h"
 
 namespace mcr {
 
@@ -58,7 +67,8 @@ int128 dist_sub(int128 a, int128 b) { return a - b; }
 /// (cannot happen for a strongly connected component per contract).
 template <typename D>
 std::optional<std::pair<int128, int128>> karp_table(const Graph& g, D inf,
-                                                    OpCounters& counters) {
+                                                    OpCounters& counters,
+                                                    const TileExec& tiles) {
   const NodeId n = g.num_nodes();
   const std::size_t un = static_cast<std::size_t>(n);
 
@@ -66,48 +76,79 @@ std::optional<std::pair<int128, int128>> karp_table(const Graph& g, D inf,
   std::vector<D> d((un + 1) * un, inf);
   d[0] = D{0};  // D_0(source = node 0)
 
+  const std::span<const ArcId> in_ids = g.in_arc_ids();
+  TiledSweep sweep(g.in_first(), tiles);
   for (NodeId k = 1; k <= n; ++k) {
-    const std::size_t prev = static_cast<std::size_t>(k - 1) * un;
-    const std::size_t cur = static_cast<std::size_t>(k) * un;
-    for (NodeId v = 0; v < n; ++v) {
-      D best = inf;
-      for (const ArcId a : g.in_arcs(v)) {
-        ++counters.arc_scans;
-        const D du = d[prev + static_cast<std::size_t>(g.src(a))];
-        if (du == inf) continue;
-        const D cand = dist_add(du, D{g.weight(a)});
-        if (cand < best) best = cand;
-      }
-      d[cur + static_cast<std::size_t>(v)] = best;
-    }
+    const D* prev = d.data() + static_cast<std::size_t>(k - 1) * un;
+    D* cur = d.data() + static_cast<std::size_t>(k) * un;
+    sweep.run(
+        inf,
+        [&](std::int32_t p) -> D {
+          const ArcId a = in_ids[static_cast<std::size_t>(p)];
+          const D du = prev[static_cast<std::size_t>(g.src(a))];
+          if (du == inf) return inf;
+          return dist_add(du, D{g.weight(a)});
+        },
+        [&](NodeId v, const D& best) { cur[static_cast<std::size_t>(v)] = best; });
+    counters.arc_scans += static_cast<std::uint64_t>(sweep.positions());
   }
 
+  // Extraction: per-node max over k, global min over v. Nodes are
+  // independent, so chunk them; the chunk minima then merge in chunk
+  // (= ascending node) order with the same strict comparison, which
+  // reproduces the serial first-node-wins tie-break for any chunking.
+  struct ChunkBest {
+    bool found = false;
+    int128 num = 0;
+    int128 den = 1;
+  };
+  ThreadPool* pool = tiles.enabled() ? tiles.pool : nullptr;
+  const std::size_t chunks =
+      pool != nullptr
+          ? std::min<std::size_t>(un, 8 * static_cast<std::size_t>(pool->size()))
+          : std::size_t{1};
+  const std::size_t chunk_nodes = chunks ? (un + chunks - 1) / chunks : 0;
+  std::vector<ChunkBest> chunk_best(chunks);
   const std::size_t last = static_cast<std::size_t>(n) * un;
+  run_tiles(pool, chunks, [&](std::size_t c) {
+    ChunkBest best;
+    const NodeId lo = static_cast<NodeId>(c * chunk_nodes);
+    const NodeId hi = static_cast<NodeId>(std::min(un, (c + 1) * chunk_nodes));
+    for (NodeId v = lo; v < hi; ++v) {
+      const D dn = d[last + static_cast<std::size_t>(v)];
+      if (dn == inf) continue;  // no n-arc path to v
+      bool have_max = false;
+      int128 vmax_num = 0;
+      int128 vmax_den = 1;
+      for (NodeId k = 0; k < n; ++k) {
+        const D dk = d[static_cast<std::size_t>(k) * un + static_cast<std::size_t>(v)];
+        if (dk == inf) continue;
+        const int128 num = static_cast<int128>(dist_sub(dn, dk));
+        const int128 den = n - k;
+        if (!have_max || num * vmax_den > vmax_num * den) {
+          vmax_num = num;
+          vmax_den = den;
+          have_max = true;
+        }
+      }
+      // In a strongly connected graph D_k(v) is finite for some k < n.
+      if (have_max &&
+          (!best.found || vmax_num * best.den < best.num * vmax_den)) {
+        best.num = vmax_num;
+        best.den = vmax_den;
+        best.found = true;
+      }
+    }
+    chunk_best[c] = best;
+  });
   bool found = false;
   int128 best_num = 0;
   int128 best_den = 1;
-  for (NodeId v = 0; v < n; ++v) {
-    const D dn = d[last + static_cast<std::size_t>(v)];
-    if (dn == inf) continue;  // no n-arc path to v
-    bool have_max = false;
-    int128 vmax_num = 0;
-    int128 vmax_den = 1;
-    for (NodeId k = 0; k < n; ++k) {
-      const D dk = d[static_cast<std::size_t>(k) * un + static_cast<std::size_t>(v)];
-      if (dk == inf) continue;
-      const int128 num = static_cast<int128>(dist_sub(dn, dk));
-      const int128 den = n - k;
-      if (!have_max || num * vmax_den > vmax_num * den) {
-        vmax_num = num;
-        vmax_den = den;
-        have_max = true;
-      }
-    }
-    // In a strongly connected graph D_k(v) is finite for some k < n.
-    if (have_max &&
-        (!found || vmax_num * best_den < best_num * vmax_den)) {
-      best_num = vmax_num;
-      best_den = vmax_den;
+  for (const ChunkBest& cb : chunk_best) {
+    if (!cb.found) continue;
+    if (!found || cb.num * best_den < best_num * cb.den) {
+      best_num = cb.num;
+      best_den = cb.den;
       found = true;
     }
   }
@@ -123,17 +164,22 @@ class KarpSolver final : public Solver {
   [[nodiscard]] ProblemKind kind() const override { return ProblemKind::kCycleMean; }
 
   [[nodiscard]] CycleResult solve_scc(const Graph& g) const override {
+    return solve_scc(g, TileExec{});
+  }
+
+  [[nodiscard]] CycleResult solve_scc(const Graph& g,
+                                      const TileExec& tiles) const override {
     const NodeId n = g.num_nodes();
     CycleResult result;
 
     std::optional<std::pair<int128, int128>> best;
     try {
-      best = karp_table<std::int64_t>(g, kInf, result.counters);
+      best = karp_table<std::int64_t>(g, kInf, result.counters, tiles);
     } catch (const NumericOverflow&) {
       // A path sum left the int64 band: redo the table in int128.
       ++result.counters.numeric_promotions;
       result.counters.arc_scans = 0;  // count only the run that produced the answer
-      best = karp_table<int128>(g, kInfWide, result.counters);
+      best = karp_table<int128>(g, kInfWide, result.counters, tiles);
     }
     result.counters.iterations = static_cast<std::uint64_t>(n);
     // Karp is a fixed n-level table fill; one summary instant in place

@@ -8,6 +8,12 @@
 // into the running max for each v. The paper observes this "roughly
 // doubles the running time, as expected" (§4.4) — the shape
 // bench_karp_variants reproduces.
+//
+// Each level advance is a snapshot sweep (level k reads only level
+// k-1), so it runs through the tiled engine (graph/arc_tiles.h); the
+// pass-2 per-node max fold rides inside the same sweep's apply step.
+// Both are per-node-independent, so results are bit-identical for any
+// tile size and thread count.
 #include <limits>
 #include <vector>
 
@@ -30,6 +36,11 @@ class Karp2Solver final : public Solver {
   [[nodiscard]] ProblemKind kind() const override { return ProblemKind::kCycleMean; }
 
   [[nodiscard]] CycleResult solve_scc(const Graph& g) const override {
+    return solve_scc(g, TileExec{});
+  }
+
+  [[nodiscard]] CycleResult solve_scc(const Graph& g,
+                                      const TileExec& tiles) const override {
     const NodeId n = g.num_nodes();
     const std::size_t un = static_cast<std::size_t>(n);
     CycleResult result;
@@ -37,47 +48,54 @@ class Karp2Solver final : public Solver {
     std::vector<std::int64_t> prev(un, kInf);
     std::vector<std::int64_t> cur(un, kInf);
 
-    const auto advance = [&]() {
-      for (NodeId v = 0; v < n; ++v) {
-        std::int64_t best = kInf;
-        for (const ArcId a : g.in_arcs(v)) {
-          ++result.counters.arc_scans;
-          const std::int64_t du = prev[static_cast<std::size_t>(g.src(a))];
-          if (du == kInf) continue;
-          const std::int64_t cand = du + g.weight(a);
-          if (cand < best) best = cand;
-        }
-        cur[static_cast<std::size_t>(v)] = best;
-      }
+    const std::span<const ArcId> in_ids = g.in_arc_ids();
+    TiledSweep sweep(g.in_first(), tiles);
+    const auto candidate = [&](std::int32_t p) -> std::int64_t {
+      const ArcId a = in_ids[static_cast<std::size_t>(p)];
+      const std::int64_t du = prev[static_cast<std::size_t>(g.src(a))];
+      if (du == kInf) return kInf;
+      return du + g.weight(a);
+    };
+    const auto advance = [&](const auto& apply) {
+      sweep.run(kInf, candidate, apply);
+      result.counters.arc_scans += static_cast<std::uint64_t>(sweep.positions());
       prev.swap(cur);
+    };
+    const auto store = [&](NodeId v, std::int64_t best) {
+      cur[static_cast<std::size_t>(v)] = best;
     };
 
     // Pass 1: compute D_n into `prev`.
     prev[0] = 0;
-    for (NodeId k = 1; k <= n; ++k) advance();
+    for (NodeId k = 1; k <= n; ++k) advance(store);
     std::vector<std::int64_t> dn = prev;
 
     // Pass 2: recompute D_k for k = 0..n-1, folding the max ratio with
-    // raw 128-bit fraction comparisons.
+    // raw 128-bit fraction comparisons. The fold for level k rides in
+    // the advance to level k (each node folds its own slot, so the
+    // tiled sweep stays race-free and deterministic).
     std::vector<std::int64_t> vmax_num(un, 0);
     std::vector<std::int64_t> vmax_den(un, 0);  // 0 marks "no value yet"
+    const auto fold = [&](NodeId v, std::int64_t dk, NodeId k) {
+      if (dk == kInf || dn[static_cast<std::size_t>(v)] == kInf) return;
+      const std::int64_t num = dn[static_cast<std::size_t>(v)] - dk;
+      const std::int64_t den = n - k;
+      if (vmax_den[static_cast<std::size_t>(v)] == 0 ||
+          static_cast<int128>(num) * vmax_den[static_cast<std::size_t>(v)] >
+              static_cast<int128>(vmax_num[static_cast<std::size_t>(v)]) * den) {
+        vmax_num[static_cast<std::size_t>(v)] = num;
+        vmax_den[static_cast<std::size_t>(v)] = den;
+      }
+    };
     prev.assign(un, kInf);
     cur.assign(un, kInf);
     prev[0] = 0;
-    for (NodeId k = 0; k < n; ++k) {
-      if (k > 0) advance();
-      for (NodeId v = 0; v < n; ++v) {
-        const std::int64_t dk = prev[static_cast<std::size_t>(v)];
-        if (dk == kInf || dn[static_cast<std::size_t>(v)] == kInf) continue;
-        const std::int64_t num = dn[static_cast<std::size_t>(v)] - dk;
-        const std::int64_t den = n - k;
-        if (vmax_den[static_cast<std::size_t>(v)] == 0 ||
-            static_cast<int128>(num) * vmax_den[static_cast<std::size_t>(v)] >
-                static_cast<int128>(vmax_num[static_cast<std::size_t>(v)]) * den) {
-          vmax_num[static_cast<std::size_t>(v)] = num;
-          vmax_den[static_cast<std::size_t>(v)] = den;
-        }
-      }
+    fold(0, 0, 0);  // level 0 has the single finite entry D_0(0) = 0
+    for (NodeId k = 1; k < n; ++k) {
+      advance([&](NodeId v, std::int64_t best) {
+        cur[static_cast<std::size_t>(v)] = best;
+        fold(v, best, k);
+      });
     }
     result.counters.iterations = 2 * static_cast<std::uint64_t>(n);
     obs::emit(obs::EventKind::kIteration, "karp2.levels", 2 * n);

@@ -48,6 +48,11 @@ class LawlerSolver final : public Solver {
   [[nodiscard]] ProblemKind kind() const override { return kind_; }
 
   [[nodiscard]] CycleResult solve_scc(const Graph& g) const override {
+    return solve_scc(g, TileExec{});
+  }
+
+  [[nodiscard]] CycleResult solve_scc(const Graph& g,
+                                      const TileExec& tiles) const override {
     const ArcId m = g.num_arcs();
     CycleResult result;
 
@@ -103,7 +108,8 @@ class LawlerSolver final : public Solver {
       ++result.counters.feasibility_checks;
       obs::emit(obs::EventKind::kFeasibilityProbe, "lawler.probe",
                 static_cast<std::int64_t>(result.counters.feasibility_checks));
-      BellmanFordRealResult bf = bellman_ford_all_real(g, cost, &result.counters);
+      BellmanFordRealResult bf =
+          bellman_ford_all_real(g, cost, &result.counters, tiles);
       if (bf.has_negative_cycle) {
         // lambda* < mid: the probed value is too large.
         const Rational found = detail::exact_cycle_value(g, kind_, bf.cycle);
@@ -121,7 +127,8 @@ class LawlerSolver final : public Solver {
 
     result.value = best;
     result.cycle = std::move(witness);
-    detail::refine_to_exact(g, kind_, result.value, result.cycle, result.counters);
+    detail::refine_to_exact(g, kind_, result.value, result.cycle, result.counters,
+                            tiles);
     result.has_cycle = true;
     return result;
   }

@@ -284,6 +284,20 @@ DiffReport diff_artifacts(const BenchArtifact& baseline,
       d.delta_pct =
           (cand.seconds.median - base.seconds.median) / base.seconds.median * 100.0;
     }
+    // Perf counters: compare only fields both sides recorded. Whether a
+    // run has counters at all depends on the machine (perf_event_open
+    // permissions), so availability asymmetry is a note, not a verdict.
+    if (base.counters_available != cand.counters_available) {
+      d.note = base.counters_available ? "counters: baseline only"
+                                       : "counters: candidate only";
+    } else if (base.counters_available) {
+      for (const auto& [field, base_value] : base.counters) {
+        const auto cit = cand.counters.find(field);
+        if (cit == cand.counters.end() || base_value == 0.0) continue;
+        d.counter_delta_pct[field] =
+            (cit->second - base_value) / base_value * 100.0;
+      }
+    }
     const double threshold = options.threshold_pct;
     // Regression: slower than the threshold AND outside the baseline's
     // CI (so a wide, noisy baseline cannot flag).
@@ -332,6 +346,17 @@ void print_diff(std::ostream& os, const DiffReport& report, bool all_cells) {
     table.print(os);
   } else if (!all_cells) {
     os << "(no per-cell changes to report)\n";
+  }
+  if (all_cells) {
+    for (const CellDiff& d : report.cells) {
+      if (d.counter_delta_pct.empty()) continue;
+      os << "  counters " << d.workload << '/' << d.instance << '/' << d.solver
+         << ':';
+      for (const auto& [key, pct] : d.counter_delta_pct) {
+        os << ' ' << key << ' ' << fmt_fixed(pct, 1) << '%';
+      }
+      os << '\n';
+    }
   }
   os << report.cells.size() << " cells compared: " << report.regressions
      << " regression(s), " << report.improvements << " improvement(s), "

@@ -79,6 +79,12 @@ struct CellDiff {
   bool regression = false;
   bool improvement = false;
   std::string note;  // "missing in candidate", "skip: mem -> time", ...
+  /// Per-counter relative deltas, computed only over counter fields
+  /// present on BOTH sides (perf counters depend on kernel config, so a
+  /// baseline recorded with perf_event and a candidate without — or the
+  /// reverse — simply has no counter intersection). Availability
+  /// asymmetry is reported via `note`, never as a regression.
+  std::map<std::string, double> counter_delta_pct;
 };
 
 struct DiffReport {

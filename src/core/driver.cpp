@@ -1,12 +1,14 @@
 #include "core/driver.h"
 
 #include <exception>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "core/critical.h"
 #include "core/registry.h"
 #include "fault/fault.h"
+#include "graph/arc_tiles.h"
 #include "graph/scc.h"
 #include "graph/transforms.h"
 #include "support/stats.h"
@@ -40,7 +42,12 @@ void throw_if_cancelled(const SolveOptions& options) {
 }
 
 /// Records the pool's per-worker utilization (scheduling-dependent, so
-/// deliberately kept out of the deterministic solver metrics).
+/// deliberately kept out of the deterministic solver metrics). Worker
+/// stats are cumulative over the pool's lifetime, so this must run
+/// EXACTLY ONCE per pool, after its last wait — a solve that drives
+/// several task waves (tiled sweeps, batch instances) through one pool
+/// would otherwise re-add every earlier wave's totals each time and
+/// double-count mcr_pool_*_total.
 void record_pool_metrics(obs::MetricsRegistry& metrics, const ThreadPool& pool) {
   const std::vector<ThreadPool::WorkerStats> stats = pool.worker_stats();
   for (std::size_t w = 0; w < stats.size(); ++w) {
@@ -55,31 +62,28 @@ void record_pool_metrics(obs::MetricsRegistry& metrics, const ThreadPool& pool) 
   }
 }
 
-/// Runs tasks[0..n) either inline or across a pool, capturing any
-/// exception per slot; the first (lowest-index) exception is rethrown so
-/// failure behaviour does not depend on thread scheduling.
+/// Runs tasks[0..n) either inline (null pool or a single task) or
+/// across the given pool, capturing any exception per slot; the first
+/// (lowest-index) exception is rethrown so failure behaviour does not
+/// depend on thread scheduling. The caller owns the pool — sizing it,
+/// sharing it across waves, and recording its metrics once at the end.
 template <typename Fn>
-void run_indexed(std::size_t n, int threads, obs::MetricsRegistry* metrics,
-                 const Fn& task) {
-  if (threads <= 1 || n <= 1) {
+void run_indexed(ThreadPool* pool, std::size_t n, const Fn& task) {
+  if (pool == nullptr || n <= 1) {
     for (std::size_t i = 0; i < n; ++i) task(i);
     return;
   }
   std::vector<std::exception_ptr> errors(n);
-  {
-    ThreadPool pool(std::min<std::size_t>(static_cast<std::size_t>(threads), n));
-    for (std::size_t i = 0; i < n; ++i) {
-      pool.submit([&task, &errors, i] {
-        try {
-          task(i);
-        } catch (...) {
-          errors[i] = std::current_exception();
-        }
-      });
-    }
-    pool.wait_idle();
-    if (metrics != nullptr) record_pool_metrics(*metrics, pool);
+  for (std::size_t i = 0; i < n; ++i) {
+    pool->submit([&task, &errors, i] {
+      try {
+        task(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
   }
+  pool->wait_idle();
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }
@@ -101,8 +105,17 @@ CycleResult solve_decomposed(const Graph& g, const Solver& solver,
   SccDecomposition scc;
   std::vector<NodeId> local_id(static_cast<std::size_t>(g.num_nodes()), kInvalidNode);
   std::vector<NodeId> comp_size;
-  std::vector<std::vector<ArcSpec>> comp_arcs;
-  std::vector<std::vector<ArcId>> comp_parent_arc;
+  // Per-component arcs, grouped structure-of-arrays: one flat array per
+  // arc field plus a component offset table. The counting-sort grouping
+  // keeps every per-component slice contiguous, so component subgraphs
+  // build straight from subspans (no ArcSpec repacking) and the hot
+  // compare-update loops downstream scan dense arrays.
+  std::vector<std::size_t> comp_arc_first;
+  std::vector<NodeId> arc_src;
+  std::vector<NodeId> arc_dst;
+  std::vector<std::int64_t> arc_weight;
+  std::vector<std::int64_t> arc_transit;
+  std::vector<ArcId> arc_parent;
   std::vector<std::size_t> cyclic;
   {
     const obs::Span span(obs::EventKind::kSccDecompose, "scc_decompose");
@@ -119,20 +132,42 @@ CycleResult solve_decomposed(const Graph& g, const Solver& solver,
       if (!scc.component_is_cyclic[c]) continue;
       local_id[static_cast<std::size_t>(v)] = comp_size[c]++;
     }
-    comp_arcs.resize(num_comp);
-    comp_parent_arc.resize(num_comp);
-    for (ArcId a = 0; a < g.num_arcs(); ++a) {
-      const NodeId u = g.src(a);
-      const NodeId v = g.dst(a);
-      const auto c = static_cast<std::size_t>(scc.component[static_cast<std::size_t>(u)]);
-      if (scc.component[static_cast<std::size_t>(v)] != scc.component[static_cast<std::size_t>(u)]) {
-        continue;
+    const auto arc_component = [&](ArcId a) -> std::size_t {
+      // Intra-component arc of a cyclic component, or num_comp.
+      const auto cu = static_cast<std::size_t>(
+          scc.component[static_cast<std::size_t>(g.src(a))]);
+      if (scc.component[static_cast<std::size_t>(g.dst(a))] !=
+          scc.component[static_cast<std::size_t>(g.src(a))]) {
+        return num_comp;
       }
-      if (!scc.component_is_cyclic[c]) continue;
-      comp_arcs[c].push_back(ArcSpec{local_id[static_cast<std::size_t>(u)],
-                                     local_id[static_cast<std::size_t>(v)], g.weight(a),
-                                     g.transit(a)});
-      comp_parent_arc[c].push_back(a);
+      return scc.component_is_cyclic[cu] ? cu : num_comp;
+    };
+    comp_arc_first.assign(num_comp + 1, 0);
+    std::size_t kept = 0;
+    for (ArcId a = 0; a < g.num_arcs(); ++a) {
+      const std::size_t c = arc_component(a);
+      if (c == num_comp) continue;
+      ++comp_arc_first[c + 1];
+      ++kept;
+    }
+    for (std::size_t c = 0; c < num_comp; ++c) {
+      comp_arc_first[c + 1] += comp_arc_first[c];
+    }
+    arc_src.resize(kept);
+    arc_dst.resize(kept);
+    arc_weight.resize(kept);
+    arc_transit.resize(kept);
+    arc_parent.resize(kept);
+    std::vector<std::size_t> cursor(comp_arc_first.begin(), comp_arc_first.end() - 1);
+    for (ArcId a = 0; a < g.num_arcs(); ++a) {
+      const std::size_t c = arc_component(a);
+      if (c == num_comp) continue;
+      const std::size_t i = cursor[c]++;
+      arc_src[i] = local_id[static_cast<std::size_t>(g.src(a))];
+      arc_dst[i] = local_id[static_cast<std::size_t>(g.dst(a))];
+      arc_weight[i] = g.weight(a);
+      arc_transit[i] = g.transit(a);
+      arc_parent[i] = a;
     }
 
     cyclic.reserve(num_comp);
@@ -141,6 +176,14 @@ CycleResult solve_decomposed(const Graph& g, const Solver& solver,
     }
   }
   const std::size_t num_comp = static_cast<std::size_t>(scc.num_components);
+  const auto component_graph = [&](std::size_t c) {
+    const std::size_t off = comp_arc_first[c];
+    const std::size_t len = comp_arc_first[c + 1] - off;
+    return Graph(comp_size[c], std::span(arc_src).subspan(off, len),
+                 std::span(arc_dst).subspan(off, len),
+                 std::span(arc_weight).subspan(off, len),
+                 std::span(arc_transit).subspan(off, len));
+  };
   fault_phase_boundary("component_solve");
 
   // Solve each cyclic component independently (possibly concurrently;
@@ -152,26 +195,54 @@ CycleResult solve_decomposed(const Graph& g, const Solver& solver,
       options.metrics != nullptr
           ? &options.metrics->histogram("mcr_component_solve_seconds")
           : nullptr;
+
+  // One pool serves the whole solve, in one of two mutually exclusive
+  // modes (never both, which could deadlock a component task waiting on
+  // its own tile tasks):
+  //   * component mode — components are the pool's tasks, tiles (if
+  //     any) run inline inside each;
+  //   * tile mode — components run sequentially on this thread and
+  //     each one's relaxation sweeps fan tiles out over the pool. This
+  //     is the right shape when there are too few cyclic components to
+  //     keep the workers busy — in particular the 1-giant-SCC instance,
+  //     which used to run fully serially at any thread count.
+  // Either way the result is bit-identical to the serial solve.
+  const int threads = resolve_threads(options.num_threads);
+  const bool tiling = options.tile_arcs > 0;
+  const bool tile_mode =
+      tiling && threads > 1 &&
+      cyclic.size() < 2 * static_cast<std::size_t>(threads);
+  std::optional<ThreadPool> pool;
+  if (threads > 1 && (tile_mode || cyclic.size() > 1)) {
+    pool.emplace(tile_mode ? threads
+                           : static_cast<int>(std::min<std::size_t>(
+                                 static_cast<std::size_t>(threads), cyclic.size())));
+  }
+  TileStats tile_stats;
+  const TileExec tile_exec{tile_mode && pool ? &*pool : nullptr,
+                           tiling ? options.tile_arcs : 0,
+                           tiling ? &tile_stats : nullptr};
+  ThreadPool* component_pool = !tile_mode && pool ? &*pool : nullptr;
+
   std::vector<CycleResult> sub_results(cyclic.size());
-  run_indexed(cyclic.size(), resolve_threads(options.num_threads), options.metrics,
-              [&](std::size_t i) {
-                throw_if_cancelled(options);
-                const obs::SinkScope worker_scope(options.trace);
-                const std::size_t c = cyclic[i];
-                const Graph sub(comp_size[c], comp_arcs[c]);
-                std::string label;
-                if (options.trace != nullptr) {
-                  label = "component#" + std::to_string(c) +
-                          " n=" + std::to_string(sub.num_nodes()) +
-                          " m=" + std::to_string(sub.num_arcs());
-                }
-                const obs::Span span(obs::EventKind::kComponent, label);
-                Timer timer;
-                sub_results[i] = solver.solve_scc(sub);
-                if (component_seconds != nullptr) {
-                  component_seconds->observe(timer.seconds());
-                }
-              });
+  run_indexed(component_pool, cyclic.size(), [&](std::size_t i) {
+    throw_if_cancelled(options);
+    const obs::SinkScope worker_scope(options.trace);
+    const std::size_t c = cyclic[i];
+    const Graph sub = component_graph(c);
+    std::string label;
+    if (options.trace != nullptr) {
+      label = "component#" + std::to_string(c) +
+              " n=" + std::to_string(sub.num_nodes()) +
+              " m=" + std::to_string(sub.num_arcs());
+    }
+    const obs::Span span(obs::EventKind::kComponent, label);
+    Timer timer;
+    sub_results[i] = solver.solve_scc(sub, tile_exec);
+    if (component_seconds != nullptr) {
+      component_seconds->observe(timer.seconds());
+    }
+  });
 
   // Deterministic merge in component-index order: identical output for
   // any thread count.
@@ -201,7 +272,7 @@ CycleResult solve_decomposed(const Graph& g, const Solver& solver,
     // the winning component only.
     if (best_local_cycle.empty()) {
       const obs::Span span(obs::EventKind::kWitnessExtract, "witness_extract");
-      const Graph sub(comp_size[best_comp], comp_arcs[best_comp]);
+      const Graph sub = component_graph(best_comp);
       best_local_cycle = extract_optimal_cycle(sub, best.value, solver.kind());
       if (options.metrics != nullptr) {
         options.metrics->counter("mcr_witness_extractions_total").add(1);
@@ -209,9 +280,18 @@ CycleResult solve_decomposed(const Graph& g, const Solver& solver,
     }
     best.cycle.reserve(best_local_cycle.size());
     for (const ArcId a : best_local_cycle) {
-      best.cycle.push_back(comp_parent_arc[best_comp][static_cast<std::size_t>(a)]);
+      best.cycle.push_back(
+          arc_parent[comp_arc_first[best_comp] + static_cast<std::size_t>(a)]);
     }
   }
+
+  // The pool's work is done (tile waves and component tasks both drain
+  // through run_tiles/run_indexed wait_idle); record its utilization
+  // exactly once per pool lifetime — see record_pool_metrics.
+  if (pool && options.metrics != nullptr) {
+    record_pool_metrics(*options.metrics, *pool);
+  }
+  pool.reset();
 
   if (options.metrics != nullptr) {
     // Solver-work totals: sums over components in merge order, so they
@@ -229,6 +309,18 @@ CycleResult solve_decomposed(const Graph& g, const Solver& solver,
     m.counter("mcr_ops_feasibility_checks_total").add(c.feasibility_checks);
     m.counter("mcr_ops_cycle_evaluations_total").add(c.cycle_evaluations);
     m.counter("mcr_numeric_promotions_total").add(c.numeric_promotions);
+    if (tiling) {
+      // Tile-engine work (docs/OBSERVABILITY.md): counted only when
+      // tile_arcs > 0, and a pure function of (graph, solver,
+      // tile_arcs) — independent of the thread count, like every other
+      // mcr_ops_* counter.
+      m.counter("mcr_ops_tiles_partitions_total")
+          .add(tile_stats.partitions.load(std::memory_order_relaxed));
+      m.counter("mcr_ops_tiles_total")
+          .add(tile_stats.tiles.load(std::memory_order_relaxed));
+      m.counter("mcr_ops_tiles_waves_total")
+          .add(tile_stats.waves.load(std::memory_order_relaxed));
+    }
   }
   fault_phase_boundary("finalize");
   return best;
@@ -294,17 +386,30 @@ std::vector<CycleResult> solve_many(std::span<const Graph* const> graphs,
   const obs::Span batch_span(obs::EventKind::kBatch, batch_label);
   // Parallelism is across instances here; each instance solves its own
   // SCCs serially so a batch of b graphs costs b tasks, not b * #SCCs.
-  // Trace/metrics propagate into the per-instance solves (each runs
-  // solve_decomposed on a worker thread, which installs the sink there).
+  // tile_arcs still propagates: the per-instance sweeps run their tiles
+  // inline (no nested pool), so tiling changes nothing but the
+  // mcr_ops_tiles_* accounting — results stay bit-identical with the
+  // single-instance entry points. Trace/metrics propagate into the
+  // per-instance solves (each runs solve_decomposed on a worker thread,
+  // which installs the sink there).
   const SolveOptions instance_options{
       .num_threads = 1,
+      .tile_arcs = options.tile_arcs,
       .trace = options.trace,
       .metrics = options.metrics,
       .cancel = options.cancel};
-  run_indexed(graphs.size(), resolve_threads(options.num_threads), options.metrics,
-              [&](std::size_t i) {
-                results[i] = solve_decomposed(*graphs[i], solver, instance_options);
-              });
+  const int threads = resolve_threads(options.num_threads);
+  std::optional<ThreadPool> pool;
+  if (threads > 1 && graphs.size() > 1) {
+    pool.emplace(static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(threads), graphs.size())));
+  }
+  run_indexed(pool ? &*pool : nullptr, graphs.size(), [&](std::size_t i) {
+    results[i] = solve_decomposed(*graphs[i], solver, instance_options);
+  });
+  if (pool && options.metrics != nullptr) {
+    record_pool_metrics(*options.metrics, *pool);
+  }
   return results;
 }
 

@@ -35,6 +35,18 @@ struct SolveOptions {
   /// hardware thread; n > 1 = exactly n workers.
   int num_threads = 1;
 
+  /// Arc-tile granularity for intra-SCC parallelism (graph/arc_tiles.h).
+  /// 0 (default) leaves every relaxation sweep a single work item, so a
+  /// lone giant SCC runs serially no matter how many threads are
+  /// available. > 0 splits each sweep into tiles of at most this many
+  /// CSR positions; when the component count would leave workers idle,
+  /// the driver solves components sequentially and spreads the tiles of
+  /// each across the pool instead. The returned CycleResult (value,
+  /// witness, counters) is bit-identical for every (num_threads,
+  /// tile_arcs) combination; only the mcr_ops_tiles_* metrics reflect
+  /// the chosen granularity. 4096 is a good cache-sized default.
+  std::int32_t tile_arcs = 0;
+
   /// Optional trace sink (see obs/obs.h). The driver installs it on
   /// every thread the solve touches, brackets the phases
   /// (scc_decompose / component / merge / witness_extract) in spans,

@@ -14,6 +14,7 @@
 
 #include "core/problem.h"
 #include "core/result.h"
+#include "graph/arc_tiles.h"
 #include "graph/graph.h"
 
 namespace mcr {
@@ -37,6 +38,19 @@ class Solver {
   /// for the winning component, via extract_optimal_cycle().
   /// Preconditions are the caller's responsibility (see core/driver.h).
   [[nodiscard]] virtual CycleResult solve_scc(const Graph& g) const = 0;
+
+  /// Tile-aware variant: the driver passes its TileExec so solvers with
+  /// tiled relaxation kernels (Bellman-Ford-based probes, the Karp
+  /// family, Howard's improve step) can spread one component's sweeps
+  /// across the worker pool. The default ignores the hint — every
+  /// solver remains correct untiled — and overriders must return a
+  /// result bit-identical to solve_scc(g) for every tile size and
+  /// thread count (the driver's determinism contract).
+  [[nodiscard]] virtual CycleResult solve_scc(const Graph& g,
+                                              const TileExec& tiles) const {
+    (void)tiles;
+    return solve_scc(g);
+  }
 };
 
 }  // namespace mcr

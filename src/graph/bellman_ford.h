@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "graph/arc_tiles.h"
 #include "graph/graph.h"
 #include "support/int128.h"
 #include "support/op_counters.h"
@@ -37,9 +38,17 @@ struct BellmanFordResult {
 /// from a virtual super-source connected to every node with cost 0.
 /// Detects any negative cycle anywhere in the graph. O(nm) worst case
 /// with early exit when a pass makes no improvement.
+///
+/// Each pass is a snapshot ("Jacobi") sweep over the in-arc CSR: every
+/// node folds the minimum over its predecessors' previous-pass
+/// distances, ties broken by CSR position. That makes the result — the
+/// verdict, the witness cycle, the potentials, and the op counts —
+/// bit-identical for every `tiles` configuration (any tile size, any
+/// thread count, including the default untiled single-tile sweep).
 [[nodiscard]] BellmanFordResult bellman_ford_all(const Graph& g,
                                                  std::span<const std::int64_t> cost,
-                                                 OpCounters* counters = nullptr);
+                                                 OpCounters* counters = nullptr,
+                                                 const TileExec& tiles = {});
 
 struct BellmanFordWideResult {
   bool has_negative_cycle = false;
@@ -53,7 +62,8 @@ struct BellmanFordWideResult {
 /// potentials have no int64 consumer.
 [[nodiscard]] BellmanFordWideResult bellman_ford_all_wide(const Graph& g,
                                                           std::span<const int128> cost,
-                                                          OpCounters* counters = nullptr);
+                                                          OpCounters* counters = nullptr,
+                                                          const TileExec& tiles = {});
 
 struct BellmanFordRealResult {
   bool has_negative_cycle = false;
@@ -67,11 +77,13 @@ struct BellmanFordRealResult {
 /// caller); only the probe threshold is approximate.
 [[nodiscard]] BellmanFordRealResult bellman_ford_all_real(const Graph& g,
                                                           std::span<const double> cost,
-                                                          OpCounters* counters = nullptr);
+                                                          OpCounters* counters = nullptr,
+                                                          const TileExec& tiles = {});
 
 /// Convenience: true iff g with costs `cost` has a negative cycle.
 [[nodiscard]] bool has_negative_cycle(const Graph& g, std::span<const std::int64_t> cost,
-                                      OpCounters* counters = nullptr);
+                                      OpCounters* counters = nullptr,
+                                      const TileExec& tiles = {});
 
 }  // namespace mcr
 

@@ -6,30 +6,52 @@
 namespace mcr {
 
 Graph::Graph(NodeId num_nodes, const std::vector<ArcSpec>& arcs) : num_nodes_(num_nodes) {
-  if (num_nodes < 0) throw std::invalid_argument("Graph: negative node count");
-  const std::size_t n = static_cast<std::size_t>(num_nodes);
   const std::size_t m = arcs.size();
-  if (m > static_cast<std::size_t>(std::numeric_limits<ArcId>::max())) {
-    throw std::invalid_argument("Graph: too many arcs for 32-bit arc ids");
-  }
-
   src_.reserve(m);
   dst_.reserve(m);
   weight_.reserve(m);
   transit_.reserve(m);
-  min_weight_ = m ? std::numeric_limits<std::int64_t>::max() : 0;
-  max_weight_ = m ? std::numeric_limits<std::int64_t>::min() : 0;
   for (const ArcSpec& a : arcs) {
-    if (a.src < 0 || a.src >= num_nodes || a.dst < 0 || a.dst >= num_nodes) {
-      throw std::out_of_range("Graph: arc endpoint out of range");
-    }
     src_.push_back(a.src);
     dst_.push_back(a.dst);
     weight_.push_back(a.weight);
     transit_.push_back(a.transit);
-    if (a.weight < min_weight_) min_weight_ = a.weight;
-    if (a.weight > max_weight_) max_weight_ = a.weight;
-    total_transit_ += a.transit;
+  }
+  finish_build();
+}
+
+Graph::Graph(NodeId num_nodes, std::span<const NodeId> src, std::span<const NodeId> dst,
+             std::span<const std::int64_t> weight, std::span<const std::int64_t> transit)
+    : num_nodes_(num_nodes),
+      src_(src.begin(), src.end()),
+      dst_(dst.begin(), dst.end()),
+      weight_(weight.begin(), weight.end()),
+      transit_(transit.begin(), transit.end()) {
+  if (dst.size() != src.size() || weight.size() != src.size() ||
+      transit.size() != src.size()) {
+    throw std::invalid_argument("Graph: arc array size mismatch");
+  }
+  finish_build();
+}
+
+void Graph::finish_build() {
+  if (num_nodes_ < 0) throw std::invalid_argument("Graph: negative node count");
+  const std::size_t n = static_cast<std::size_t>(num_nodes_);
+  const std::size_t m = src_.size();
+  if (m > static_cast<std::size_t>(std::numeric_limits<ArcId>::max())) {
+    throw std::invalid_argument("Graph: too many arcs for 32-bit arc ids");
+  }
+
+  min_weight_ = m ? std::numeric_limits<std::int64_t>::max() : 0;
+  max_weight_ = m ? std::numeric_limits<std::int64_t>::min() : 0;
+  total_transit_ = 0;
+  for (std::size_t a = 0; a < m; ++a) {
+    if (src_[a] < 0 || src_[a] >= num_nodes_ || dst_[a] < 0 || dst_[a] >= num_nodes_) {
+      throw std::out_of_range("Graph: arc endpoint out of range");
+    }
+    if (weight_[a] < min_weight_) min_weight_ = weight_[a];
+    if (weight_[a] > max_weight_) max_weight_ = weight_[a];
+    total_transit_ += transit_[a];
   }
 
   // Counting sort of arc ids into the two CSR structures.

@@ -43,6 +43,13 @@ class Graph {
   /// must be in range. Prefer GraphBuilder for incremental construction.
   Graph(NodeId num_nodes, const std::vector<ArcSpec>& arcs);
 
+  /// Structure-of-arrays constructor: arc i is src[i] -> dst[i] with
+  /// weight[i] and transit[i]. All four spans must have equal size.
+  /// This is the allocation-lean path for callers that already hold
+  /// flat arc arrays (the SCC driver's per-component grouping).
+  Graph(NodeId num_nodes, std::span<const NodeId> src, std::span<const NodeId> dst,
+        std::span<const std::int64_t> weight, std::span<const std::int64_t> transit);
+
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
   Graph(Graph&&) = default;
@@ -77,6 +84,16 @@ class Graph {
   [[nodiscard]] std::size_t out_degree(NodeId u) const { return out_arcs(u).size(); }
   [[nodiscard]] std::size_t in_degree(NodeId v) const { return in_arcs(v).size(); }
 
+  /// Raw CSR views for position-range kernels (graph/arc_tiles.h): the
+  /// offset arrays (size num_nodes + 1) and the arc-id arrays they
+  /// index. out_arc_ids()[out_first()[u] .. out_first()[u+1]) are the
+  /// arcs leaving u, ascending by arc id; the in_* pair mirrors that
+  /// for arcs entering v.
+  [[nodiscard]] std::span<const std::int32_t> out_first() const { return out_first_; }
+  [[nodiscard]] std::span<const ArcId> out_arc_ids() const { return out_arcs_; }
+  [[nodiscard]] std::span<const std::int32_t> in_first() const { return in_first_; }
+  [[nodiscard]] std::span<const ArcId> in_arc_ids() const { return in_arcs_; }
+
   /// Extremes over all arcs; 0 for an arc-free graph.
   [[nodiscard]] std::int64_t min_weight() const { return min_weight_; }
   [[nodiscard]] std::int64_t max_weight() const { return max_weight_; }
@@ -84,6 +101,10 @@ class Graph {
   [[nodiscard]] std::int64_t total_transit() const { return total_transit_; }
 
  private:
+  /// Validates endpoints, computes the weight/transit summaries, and
+  /// builds both CSR indices from the already-filled arc arrays.
+  void finish_build();
+
   NodeId num_nodes_ = 0;
   // Struct-of-arrays arc storage: contiguous scans are the hot path.
   std::vector<NodeId> src_;

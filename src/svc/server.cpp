@@ -653,6 +653,7 @@ void Server::complete_error(SolveJob& job, const std::string& code,
 void Server::solve_single(SolveJob& job) {
   const auto solver = SolverRegistry::instance().create(job.key.algorithm);
   const SolveOptions so{.num_threads = options_.solve_threads,
+                        .tile_arcs = options_.solve_tile_arcs,
                         .trace = options_.trace,
                         .metrics = &metrics_,
                         .cancel = job.cancel.get()};
@@ -728,6 +729,7 @@ void Server::process_batch(std::vector<std::shared_ptr<SolveJob>>& batch) {
       ptrs.reserve(valid.size());
       for (const std::shared_ptr<SolveJob>& job : valid) ptrs.push_back(job->graph.get());
       const SolveOptions so{.num_threads = options_.solve_threads,
+                            .tile_arcs = options_.solve_tile_arcs,
                             .trace = options_.trace,
                             .metrics = &metrics_};
       Timer timer;

@@ -32,6 +32,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <list>
 #include <memory>
@@ -61,6 +62,10 @@ struct ServerOptions {
   int tcp_port = -1;
   /// SolveOptions::num_threads for dispatched solves (0 = hardware).
   int solve_threads = 0;
+  /// SolveOptions::tile_arcs for dispatched solves: arc-tile granularity
+  /// for intra-SCC parallelism (0 = untiled). Results are bit-identical
+  /// for any value; only throughput and mcr_ops_tiles_* change.
+  std::int32_t solve_tile_arcs = 0;
   /// Admission bound: max solve requests admitted and not yet finished
   /// (queued + executing). Beyond it, SOLVE is rejected with BUSY.
   std::size_t queue_capacity = 64;

@@ -202,6 +202,58 @@ TEST(BenchDiff, FlagsImprovementSymmetrically) {
   EXPECT_EQ(report.improvements, 1);
 }
 
+TEST(BenchDiff, CounterAvailabilityAsymmetryIsANoteNotARegression) {
+  const BenchArtifact base = small_artifact();  // counters available
+  BenchArtifact cand = small_artifact();
+  for (BenchCell& c : cand.cells) {
+    c.counters.clear();
+    c.counters_available = false;  // e.g. perf_event_open denied in CI
+  }
+  cand.counters_backend = "unavailable";
+  const DiffReport report = diff_artifacts(base, cand, DiffOptions{5.0});
+  EXPECT_EQ(report.regressions, 0);
+  EXPECT_EQ(report.improvements, 0);
+  bool saw_note = false;
+  for (const CellDiff& d : report.cells) {
+    if (!d.comparable) continue;
+    EXPECT_TRUE(d.comparable);
+    EXPECT_EQ(d.note, "counters: baseline only");
+    EXPECT_TRUE(d.counter_delta_pct.empty());
+    saw_note = true;
+  }
+  EXPECT_TRUE(saw_note);
+  // And the mirror image: candidate gained counters the baseline lacks.
+  const DiffReport mirror = diff_artifacts(cand, base, DiffOptions{5.0});
+  EXPECT_EQ(mirror.regressions, 0);
+  for (const CellDiff& d : mirror.cells) {
+    if (d.comparable) {
+      EXPECT_EQ(d.note, "counters: candidate only");
+    }
+  }
+}
+
+TEST(BenchDiff, CountersCompareOnlyMutuallyAvailableFields) {
+  const BenchArtifact base = small_artifact();
+  BenchArtifact cand = small_artifact();
+  // Candidate dropped task_clock_ns and gained branch_misses; only the
+  // shared "cycles" field should be compared.
+  for (BenchCell& c : cand.cells) {
+    c.counters.erase("task_clock_ns");
+    c.counters["branch_misses"] = 777.0;
+    c.counters["cycles"] = 1.5e6;  // +50% vs base's 1e6
+  }
+  const DiffReport report = diff_artifacts(base, cand, DiffOptions{5.0});
+  EXPECT_EQ(report.regressions, 0);  // counters never drive the verdict
+  for (const CellDiff& d : report.cells) {
+    if (!d.comparable) continue;
+    ASSERT_EQ(d.counter_delta_pct.size(), 1u);
+    EXPECT_NEAR(d.counter_delta_pct.at("cycles"), 50.0, 1e-9);
+  }
+  std::ostringstream os;
+  print_diff(os, report, /*all_cells=*/true);
+  EXPECT_NE(os.str().find("cycles"), std::string::npos) << os.str();
+}
+
 TEST(BenchDiff, MissingNewAndSkipChangedCellsAreIncomparable) {
   const BenchArtifact base = small_artifact();
   BenchArtifact cand = small_artifact();

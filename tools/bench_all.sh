@@ -9,9 +9,16 @@
 #
 # Usage:
 #   tools/bench_all.sh [BUILD_DIR] [OUT_DIR]
+#   tools/bench_all.sh --update-baseline [BUILD_DIR] [OUT_FILE]
 #
 #   BUILD_DIR  where mcr_bench lives (default: build)
 #   OUT_DIR    where BENCH_*.json land (default: bench_out)
+#
+# --update-baseline regenerates the committed regression baseline
+# (default OUT_FILE: BENCH_baseline.json at the repo root). This is the
+# single source of truth for the baseline recipe — ci.sh reruns the
+# exact same recipe for the candidate side of its gate, so regenerate
+# the baseline with this mode only (see docs/BENCHMARKING.md).
 #
 # Environment:
 #   MCR_BENCH_SCALE  small | medium | full (default small; full is the
@@ -25,6 +32,12 @@
 #                              candidate_out/BENCH_table2.json
 set -euo pipefail
 
+UPDATE_BASELINE=0
+if [[ "${1:-}" == "--update-baseline" ]]; then
+  UPDATE_BASELINE=1
+  shift
+fi
+
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench_out}"
 TRIALS="${MCR_BENCH_TRIALS:-5}"
@@ -33,6 +46,21 @@ BENCH="$BUILD_DIR/tools/mcr_bench"
 if [[ ! -x "$BENCH" ]]; then
   echo "bench_all.sh: $BENCH not found — build with: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
   exit 2
+fi
+
+if [[ "$UPDATE_BASELINE" == 1 ]]; then
+  # THE baseline recipe: a tiny sprand grid that finishes in seconds on
+  # any machine, covering the tiled solver families (Bellman-Ford via
+  # lawler, the Karp table fills, Howard) with threading + tiling on so
+  # the gate also exercises the parallel paths. ci.sh reruns this exact
+  # recipe for its candidate artifact; change it only together with a
+  # freshly regenerated committed baseline.
+  OUT_FILE="${2:-BENCH_baseline.json}"
+  MCR_BENCH_SCALE=small "$BENCH" --name baseline --workload sprand \
+      --solvers howard,karp,karp2,lawler --max-n 256 \
+      --trials "$TRIALS" --threads 2 --tile-arcs 1024 --out "$OUT_FILE"
+  echo "baseline written to $OUT_FILE"
+  exit 0
 fi
 mkdir -p "$OUT_DIR"
 

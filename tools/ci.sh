@@ -3,12 +3,15 @@
 # both, then run a differential-fuzz smoke (mean + ratio, serial and
 # threaded) under the sanitizers so exactness bugs of the Howard-rescale
 # class cannot regress silently. A third, TSan config re-runs the
-# concurrency-heavy suites (pool, parallel driver, solve service). Each config also runs a traced +
+# concurrency-heavy suites (pool, parallel driver, tiled kernels, solve
+# service). Each config also runs a traced +
 # metered multi-SCC smoke solve and validates the exported trace /
 # metrics JSON with python3 -m json.tool, plus a tiny mcr_bench grid run
 # twice and gated with mcr_bench_diff: the self-diff must report zero
 # regressions (exit 0), and the A-vs-B cross-run diff uses a generous
 # threshold since CI machines are noisy (see docs/BENCHMARKING.md).
+# The Release config additionally gates against the committed
+# BENCH_baseline.json via the bench_all.sh --update-baseline recipe.
 # The sanitizer configs compile the fault-injection hooks in and run the
 # mcr_chaos seeded sweep (ASan, with --repeat-check) plus a
 # worker-death-heavy plan (TSan); the Release config asserts with nm
@@ -76,6 +79,26 @@ if [[ "$FAST" == 0 ]]; then
   obs_smoke build
   bench_smoke build
 
+  echo "=== bench baseline gate ==="
+  # Gate against the committed baseline: rerun the exact recipe that
+  # produced BENCH_baseline.json (single-sourced in bench_all.sh
+  # --update-baseline) and diff. The threshold is deliberately generous
+  # — the baseline was recorded on a different machine, so only gross
+  # regressions (the CI-upper-bound guard plus this margin) fail; tune
+  # with MCR_CI_BASELINE_THRESHOLD, regenerate with
+  # tools/bench_all.sh --update-baseline (docs/BENCHMARKING.md).
+  if [[ -f BENCH_baseline.json ]]; then
+    baseline_tmp="$(mktemp -d)"
+    run tools/bench_all.sh --update-baseline build "$baseline_tmp/BENCH_candidate.json"
+    run build/tools/mcr_bench_diff BENCH_baseline.json \
+        "$baseline_tmp/BENCH_candidate.json" \
+        --threshold "${MCR_CI_BASELINE_THRESHOLD:-300}"
+    rm -rf "$baseline_tmp"
+  else
+    echo "FAIL: no committed BENCH_baseline.json (regenerate with tools/bench_all.sh --update-baseline)" >&2
+    exit 1
+  fi
+
   echo "=== Release hook-absence check ==="
   # The zero-cost contract (docs/ROBUSTNESS.md): without
   # -DMCR_FAULT_INJECTION=ON, MCR_FAULT_POINT folds to a constant and no
@@ -116,9 +139,10 @@ echo "=== TSan build + concurrency tests ==="
 # execution ~10x and the sequential suites add no interleavings.
 run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMCR_SANITIZE_THREAD=ON \
     -DMCR_FAULT_INJECTION=ON
-run cmake --build build-tsan -j "$JOBS" --target test_parallel_driver test_obs test_svc \
-    test_fault mcr_chaos
+run cmake --build build-tsan -j "$JOBS" --target test_parallel_driver test_tiled_kernels \
+    test_obs test_svc test_fault mcr_chaos
 run build-tsan/tests/test_parallel_driver
+run build-tsan/tests/test_tiled_kernels
 run build-tsan/tests/test_obs
 run build-tsan/tests/test_svc
 run build-tsan/tests/test_fault

@@ -6,7 +6,8 @@
 //
 //   mcr_bench [--name NAME] [--workload sprand|sprand_ratio|circuit]
 //             [--solvers a,b,c] [--out FILE] [--trials N] [--warmup N]
-//             [--max-n N] [--threads N] [--no-phases] [--list]
+//             [--max-n N] [--threads N] [--tile-arcs N] [--no-phases]
+//             [--list]
 //
 //   --name NAME     artifact name (default: the workload); the file
 //                   defaults to BENCH_<name>.json
@@ -17,7 +18,11 @@
 //   --trials N      timed repetitions per cell (default 5)
 //   --warmup N      discarded warmup runs per cell (default 1)
 //   --max-n N       drop grid cells with more than N nodes
+//   --n N --m M     replace the sprand grids with one custom cell
+//                   (single-instance A/B runs, e.g. tiling studies)
 //   --threads N     per-SCC worker threads for the measured solves
+//   --tile-arcs N   arc-tile granularity for intra-SCC parallelism
+//                   (0 = untiled; results are bit-identical either way)
 //   --no-phases     skip the traced phase-breakdown pass
 //   --list          print workloads and their default solver sets
 //
@@ -78,9 +83,19 @@ struct GridInstance {
   Graph graph;
 };
 
-std::vector<GridInstance> build_grid(const std::string& workload, NodeId max_n) {
+std::vector<GridInstance> build_grid(const std::string& workload, NodeId max_n,
+                                     NodeId custom_n, ArcId custom_m) {
   const Scale scale = bench_scale();
   std::vector<GridInstance> out;
+  if (custom_n != 0 && workload != "circuit") {
+    const GridCell cell{custom_n, custom_m};
+    const bool ratio = workload == "sprand_ratio";
+    Graph g = ratio ? ratio_instance(cell, 0) : table2_instance(cell, 0);
+    out.push_back(GridInstance{
+        "n" + std::to_string(cell.n) + "_m" + std::to_string(cell.m), cell.n,
+        cell.m, std::move(g)});
+    return out;
+  }
   if (workload == "circuit") {
     for (const CircuitCase& c : circuit_suite(scale)) {
       Graph g = gen::circuit(c.config);
@@ -132,7 +147,9 @@ int run(const cli::Options& opt) {
   repeat.repetitions = static_cast<int>(opt.get_int_in("trials", 5, 1, 1000));
   repeat.warmup = static_cast<int>(opt.get_int_in("warmup", 1, 0, 100));
   const SolveOptions solve_options{
-      .num_threads = static_cast<int>(opt.get_int_in("threads", 1, 0, 4096))};
+      .num_threads = static_cast<int>(opt.get_int_in("threads", 1, 0, 4096)),
+      .tile_arcs =
+          static_cast<std::int32_t>(opt.get_int_in("tile-arcs", 0, 0, 1 << 30))};
   const auto max_n = static_cast<NodeId>(opt.get_int_in("max-n", 0, 0, 1 << 26));
 
   obs::PerfCounterGroup perf;
@@ -152,7 +169,11 @@ int run(const cli::Options& opt) {
             << (perf.hardware() ? "" : " (" + perf.fallback_reason() + ")")
             << "\n";
 
-  const std::vector<GridInstance> grid = build_grid(workload, max_n);
+  const auto custom_n = static_cast<NodeId>(opt.get_int_in("n", 0, 0, 1 << 26));
+  const auto custom_m = static_cast<ArcId>(
+      opt.get_int_in("m", custom_n, custom_n, std::int64_t{1} << 30));
+  const std::vector<GridInstance> grid =
+      build_grid(workload, max_n, custom_n, custom_m);
   if (grid.empty()) throw std::runtime_error("workload grid is empty");
 
   TimeBudget budget(default_time_budget());

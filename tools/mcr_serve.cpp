@@ -1,13 +1,17 @@
 // mcr_serve — the resident solve service daemon.
 //
 //   mcr_serve --socket /tmp/mcr.sock [--listen PORT] [--threads N]
-//             [--queue K] [--batch N] [--cache N] [--graphs N]
-//             [--max-frame BYTES] [--preload FILE]... [--trace FILE]
+//             [--tile-arcs N] [--queue K] [--batch N] [--cache N]
+//             [--graphs N] [--max-frame BYTES] [--preload FILE]...
+//             [--trace FILE]
 //
 //   --socket PATH    Unix-domain listener (the normal deployment)
 //   --listen PORT    additional TCP listener on 127.0.0.1:PORT
 //                    (0 = ephemeral; the bound port is printed)
 //   --threads N      worker threads per dispatched solve (0 = hardware)
+//   --tile-arcs N    arc-tile granularity for intra-SCC parallelism in
+//                    dispatched solves (0 = untiled; bit-identical
+//                    results for any value)
 //   --queue K        admission bound: at most K solves admitted and
 //                    unfinished; beyond that SOLVE answers BUSY
 //   --batch N        max requests coalesced into one dispatch batch
@@ -67,7 +71,8 @@ int main(int argc, char** argv) {
     }
     if (!opt.positional.empty() || (!opt.has("socket") && !opt.has("listen"))) {
       std::cerr << "usage: mcr_serve --socket PATH [--listen PORT] [--threads N]\n"
-                   "                 [--queue K] [--batch N] [--cache N] [--graphs N]\n"
+                   "                 [--tile-arcs N] [--queue K] [--batch N]\n"
+                   "                 [--cache N] [--graphs N]\n"
                    "                 [--max-frame BYTES] [--preload FILE[,FILE...]]\n"
                    "                 [--trace FILE] [--version]\n";
       return 2;
@@ -80,6 +85,8 @@ int main(int argc, char** argv) {
                       ? static_cast<int>(opt.get_int_in("listen", 0, 0, 65535))
                       : -1;
     so.solve_threads = static_cast<int>(opt.get_int_in("threads", 0, 0, 4096));
+    so.solve_tile_arcs =
+        static_cast<std::int32_t>(opt.get_int_in("tile-arcs", 0, 0, 1 << 30));
     so.queue_capacity =
         static_cast<std::size_t>(opt.get_int_in("queue", 64, 1, 1 << 20));
     so.batch_max = static_cast<std::size_t>(opt.get_int_in("batch", 32, 1, 4096));
