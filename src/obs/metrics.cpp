@@ -59,20 +59,39 @@ std::string labeled_name(
 }
 
 Histogram::Histogram(std::vector<double> bounds)
-    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1),
+      exemplar_slots_(bounds_.size() + 1) {
   if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
     throw std::invalid_argument("Histogram: bucket bounds must be ascending");
   }
 }
 
-void Histogram::observe(double x) noexcept {
+std::size_t Histogram::bucket_index(double x) const noexcept {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
-  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
-      1, std::memory_order_relaxed);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void Histogram::observe(double x) noexcept {
+  buckets_[bucket_index(x)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   // fetch_add on atomic<double> via CAS: portable across libstdc++ versions.
   double cur = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(cur, cur + x, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::observe(double x, std::string_view exemplar) {
+  observe(x);
+  if (exemplar.empty()) return;
+  constexpr auto kStale = std::chrono::seconds(60);
+  const auto now = std::chrono::steady_clock::now();
+  ExemplarSlot& slot = exemplar_slots_[bucket_index(x)];
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  if (slot.label.empty() || x >= slot.value || now - slot.when > kStale) {
+    slot.value = x;
+    slot.label.assign(exemplar);
+    slot.when = now;
   }
 }
 
@@ -85,6 +104,13 @@ Histogram::Snapshot Histogram::snapshot() const {
   }
   s.count = count_.load(std::memory_order_relaxed);
   s.sum = sum_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(exemplar_mutex_);
+    s.exemplars.reserve(exemplar_slots_.size());
+    for (const ExemplarSlot& slot : exemplar_slots_) {
+      s.exemplars.push_back({slot.value, slot.label});
+    }
+  }
   return s;
 }
 
@@ -116,9 +142,6 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
-  if (name.find('{') != std::string::npos) {
-    throw std::invalid_argument("histogram '" + name + "' must be label-free");
-  }
   std::lock_guard<std::mutex> lock(mutex_);
   if (counters_.count(name) != 0 || gauges_.count(name) != 0) {
     throw std::invalid_argument("metric '" + name + "' already registered with another type");
@@ -146,18 +169,35 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
     type_line(name, "gauge");
     os << name << ' ' << g->value() << '\n';
   }
+  last_typed = {};
   for (const auto& [name, h] : histograms_) {
     const Histogram::Snapshot s = h->snapshot();
-    os << "# TYPE " << name << " histogram\n";
+    const std::string_view base = base_name(name);
+    type_line(name, "histogram");
+    // Instrument labels ("verb=\"SOLVE\"" for a name registered via
+    // labeled_name) are merged before `le` on every _bucket series and
+    // appended to _sum/_count; a label-free name emits the exact series
+    // it always has.
+    const std::string_view labels =
+        base.size() == name.size()
+            ? std::string_view{}
+            : std::string_view(name).substr(base.size() + 1,
+                                            name.size() - base.size() - 2);
+    const auto bucket_line = [&](std::string_view le, std::uint64_t count) {
+      os << base << "_bucket{";
+      if (!labels.empty()) os << labels << ',';
+      os << "le=\"" << le << "\"} " << count << '\n';
+    };
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < s.bounds.size(); ++i) {
       cumulative += s.counts[i];
-      os << name << "_bucket{le=\"" << fmt_double(s.bounds[i]) << "\"} "
-         << cumulative << '\n';
+      bucket_line(fmt_double(s.bounds[i]), cumulative);
     }
-    os << name << "_bucket{le=\"+Inf\"} " << s.count << '\n';
-    os << name << "_sum " << fmt_double(s.sum) << '\n';
-    os << name << "_count " << s.count << '\n';
+    bucket_line("+Inf", s.count);
+    const std::string label_suffix =
+        labels.empty() ? std::string() : '{' + std::string(labels) + '}';
+    os << base << "_sum" << label_suffix << ' ' << fmt_double(s.sum) << '\n';
+    os << base << "_count" << label_suffix << ' ' << s.count << '\n';
   }
 }
 
@@ -195,15 +235,26 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     out += "{\"count\":" + std::to_string(s.count);
     out += ",\"sum\":" + fmt_double(s.sum);
     out += ",\"buckets\":[";
+    const auto exemplar = [&](std::size_t i) {
+      if (i >= s.exemplars.size() || s.exemplars[i].label.empty()) return;
+      out += ",\"exemplar\":{\"value\":" + fmt_double(s.exemplars[i].value) +
+             ",\"label\":\"";
+      json_escape(out, s.exemplars[i].label);
+      out += "\"}";
+    };
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < s.bounds.size(); ++i) {
       cumulative += s.counts[i];
       if (i != 0) out += ',';
       out += "{\"le\":" + fmt_double(s.bounds[i]) +
-             ",\"count\":" + std::to_string(cumulative) + '}';
+             ",\"count\":" + std::to_string(cumulative);
+      exemplar(i);
+      out += '}';
     }
     if (!s.bounds.empty()) out += ',';
-    out += "{\"le\":\"+Inf\",\"count\":" + std::to_string(s.count) + "}]}";
+    out += "{\"le\":\"+Inf\",\"count\":" + std::to_string(s.count);
+    exemplar(s.bounds.size());
+    out += "}]}";
   }
   out += "}}";
   os << out;

@@ -11,11 +11,22 @@
 // Naming follows Prometheus conventions: snake_case, `_total` suffix
 // for counters, optional labels inline in the name
 // (`mcr_pool_tasks_total{worker="0"}`). The text exporter groups label
-// variants under one `# TYPE` line; histograms must be label-free.
+// variants under one `# TYPE` line; for labeled histograms
+// (`mcr_request_seconds{verb="SOLVE"}`) the instrument labels are
+// merged before `le` in every `_bucket` series and appended to the
+// `_sum`/`_count` series, so each variant stays one valid Prometheus
+// histogram.
+//
+// Histogram buckets optionally carry an *exemplar* — the label (in
+// practice: a trace_id) of the worst recent observation that landed in
+// the bucket, so a tail-latency bucket links straight to a fetchable
+// trace. Exemplars are exported in the JSON view only; the classic text
+// exposition format has no exemplar syntax.
 #ifndef MCR_OBS_METRICS_H
 #define MCR_OBS_METRICS_H
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <initializer_list>
 #include <iosfwd>
@@ -77,19 +88,43 @@ class Histogram {
 
   void observe(double x) noexcept;
 
+  /// Observation carrying an exemplar label (a trace_id). The label is
+  /// retained for the bucket `x` lands in when the slot is empty, the
+  /// observation is at least as bad as the current holder, or the
+  /// holder is stale (older than ~60s) — "worst recent" semantics. The
+  /// exemplar path takes a mutex; plain observe() stays lock-free.
+  void observe(double x, std::string_view exemplar);
+
+  struct Exemplar {
+    double value = 0.0;
+    std::string label;  // empty = no exemplar recorded for this bucket
+  };
+
   struct Snapshot {
     std::vector<double> bounds;          // upper bounds, ascending
     std::vector<std::uint64_t> counts;   // per-bucket (bounds.size() + 1)
+    std::vector<Exemplar> exemplars;     // per-bucket (bounds.size() + 1)
     std::uint64_t count = 0;
     double sum = 0.0;
   };
   [[nodiscard]] Snapshot snapshot() const;
 
  private:
+  struct ExemplarSlot {
+    double value = 0.0;
+    std::string label;
+    std::chrono::steady_clock::time_point when;
+  };
+
+  [[nodiscard]] std::size_t bucket_index(double x) const noexcept;
+
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> buckets_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+
+  mutable std::mutex exemplar_mutex_;
+  std::vector<ExemplarSlot> exemplar_slots_;
 };
 
 class MetricsRegistry {

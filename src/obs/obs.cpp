@@ -18,6 +18,10 @@ const char* to_string(EventKind kind) {
       return "batch";
     case EventKind::kRequest:
       return "request";
+    case EventKind::kQueue:
+      return "queue";
+    case EventKind::kDispatch:
+      return "dispatch";
     case EventKind::kIteration:
       return "iteration";
     case EventKind::kPolicyImprove:

@@ -37,6 +37,8 @@ enum class EventKind : std::uint8_t {
   kWitnessExtract,  // witness recovery for value-only solvers
   kBatch,           // one solve_many batch
   kRequest,         // one service request (mcr::svc), verb as the name
+  kQueue,           // time a service request spent in the admission queue
+  kDispatch,        // dispatcher ownership of a request (pickup..complete)
   // Instant kinds (point events with an integer payload).
   kIteration,         // one outer iteration of a solver's main loop
   kPolicyImprove,     // policy arcs adopted this round (Howard)
@@ -108,6 +110,44 @@ class Span {
  private:
   TraceSink* sink_;
   EventKind kind_;
+};
+
+/// Fan-out sink: forwards every event to up to two downstream sinks,
+/// skipping null ones. The service uses this to feed both its legacy
+/// process-wide TraceRecorder (--trace FILE) and the per-request flight
+/// recorder from one emission site. Thread safety is inherited from the
+/// downstream sinks; the tee itself holds no state.
+class TeeSink final : public TraceSink {
+ public:
+  TeeSink(TraceSink* a, TraceSink* b) noexcept : a_(a), b_(b) {}
+
+  void begin_span(EventKind kind, std::string_view name) override {
+    if (a_ != nullptr) a_->begin_span(kind, name);
+    if (b_ != nullptr) b_->begin_span(kind, name);
+  }
+  void end_span(EventKind kind) override {
+    if (a_ != nullptr) a_->end_span(kind);
+    if (b_ != nullptr) b_->end_span(kind);
+  }
+  void instant(EventKind kind, std::string_view name,
+               std::int64_t value) override {
+    if (a_ != nullptr) a_->instant(kind, name, value);
+    if (b_ != nullptr) b_->instant(kind, name, value);
+  }
+
+  /// The cheapest equivalent sink: nullptr when both branches are null,
+  /// the single non-null branch when only one is set, else the tee
+  /// itself. Installing the result avoids virtual fan-out dispatch on
+  /// every event when one branch would do.
+  [[nodiscard]] TraceSink* effective() noexcept {
+    if (a_ == nullptr) return b_;
+    if (b_ == nullptr) return a_;
+    return this;
+  }
+
+ private:
+  TraceSink* a_;
+  TraceSink* b_;
 };
 
 /// Emits an instant event if (and only if) a sink is installed. The

@@ -71,6 +71,34 @@ double uniform(std::uint64_t& s, double lo, double hi) {
   return lo + u * (hi - lo);
 }
 
+bool has_trace_id(std::string_view payload) {
+  return payload.find("\"trace_id\"") != std::string_view::npos;
+}
+
+/// Splices trace-context fields before the payload object's closing
+/// brace; parent_span may be empty (omitted).
+std::string with_trace_context(std::string_view payload,
+                               std::string_view trace_id,
+                               std::string_view parent_span) {
+  const auto brace = payload.rfind('}');
+  if (brace == std::string_view::npos || trace_id.empty()) {
+    return std::string(payload);
+  }
+  std::string out(payload.substr(0, brace));
+  const auto last = out.find_last_not_of(" \t\r\n");
+  if (last != std::string::npos && out[last] != '{') out += ',';
+  out += "\"trace_id\":\"";
+  out += json_escape(trace_id);
+  out += '"';
+  if (!parent_span.empty()) {
+    out += ",\"parent_span\":\"";
+    out += json_escape(parent_span);
+    out += '"';
+  }
+  out.append(payload.substr(brace));
+  return out;
+}
+
 }  // namespace
 
 Client Client::connect_unix(const std::string& socket_path) {
@@ -91,7 +119,8 @@ Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       endpoint_(std::exchange(other.endpoint_, Endpoint{})),
       policy_(other.policy_),
-      jitter_state_(other.jitter_state_) {}
+      jitter_state_(other.jitter_state_),
+      trace_id_(std::move(other.trace_id_)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
@@ -100,6 +129,7 @@ Client& Client::operator=(Client&& other) noexcept {
     endpoint_ = std::exchange(other.endpoint_, Endpoint{});
     policy_ = other.policy_;
     jitter_state_ = other.jitter_state_;
+    trace_id_ = std::move(other.trace_id_);
   }
   return *this;
 }
@@ -154,6 +184,16 @@ std::string Client::read_payload(std::size_t max_frame_bytes) {
 }
 
 std::string Client::request_raw(std::string_view payload) {
+  // The sticky trace id rides on every outgoing object-shaped payload
+  // that doesn't already carry one — raw callers (mcr_query's solve
+  // path, byte-identity tests) get the same propagation as request().
+  // Non-JSON payloads (robustness tests send garbage) pass untouched.
+  std::string augmented;
+  if (!trace_id_.empty() && !has_trace_id(payload) && !payload.empty() &&
+      payload.back() == '}') {
+    augmented = with_trace_context(payload, trace_id_, {});
+    payload = augmented;
+  }
   send_bytes(encode_frame(payload));
   return read_payload();
 }
@@ -178,11 +218,22 @@ json::Value Client::request_retry(std::string_view payload) {
                std::chrono::steady_clock::now() - start)
         .count();
   };
+  // One trace id for the whole flight: every attempt carries the same
+  // id plus its own "attempt/<k>" parent span, so the server's flight
+  // recorder groups retries of one call under one identity.
+  const bool caller_traced = has_trace_id(payload);
+  const std::string flight_id =
+      caller_traced ? std::string()
+                    : (trace_id_.empty() ? generate_trace_id() : trace_id_);
   double prev_sleep = policy_.initial_backoff_ms;
   for (int attempt = 1;; ++attempt) {
     bool transport_failed = false;
     try {
-      const json::Value r = request(payload);
+      const std::string attempt_payload =
+          caller_traced ? std::string(payload)
+                        : with_trace_context(payload, flight_id,
+                                             "attempt/" + std::to_string(attempt));
+      const json::Value r = request(attempt_payload);
       if (r.string_or("status", "") != "error") return r;
       ServiceError err(r.string_or("code", kErrInternal), r.string_or("message", ""));
       if (!err.retryable() || attempt >= policy_.max_attempts) throw err;

@@ -67,12 +67,26 @@ class Client {
   void set_retry_policy(const RetryPolicy& policy);
   [[nodiscard]] const RetryPolicy& retry_policy() const { return policy_; }
 
+  /// Sticky trace id: spliced as "trace_id" into every subsequent
+  /// request payload that does not already carry one, so the server
+  /// echoes it back and retains the request's trace under it. Empty
+  /// (the default) lets request_retry mint one per flight and leaves
+  /// single-shot requests to the server's own generation.
+  void set_trace_id(std::string trace_id) { trace_id_ = std::move(trace_id); }
+  [[nodiscard]] const std::string& trace_id() const { return trace_id_; }
+
   /// request() under the retry policy. Transport failures reconnect to
   /// the original endpoint and retry; "status":"error" responses with a
   /// retryable code back off and retry; non-retryable service errors
   /// throw ServiceError immediately. When attempts or budget run out,
   /// the last typed error is thrown. On success returns the parsed
   /// "status":"ok" response.
+  ///
+  /// Trace context: unless the payload already carries a "trace_id",
+  /// every attempt of one call shares a single trace id (the sticky one
+  /// from set_trace_id, or a freshly minted one) and marks itself as
+  /// "parent_span":"attempt/<k>" — the server then retains each attempt
+  /// as a child trace of the same logical flight.
   [[nodiscard]] json::Value request_retry(std::string_view payload);
 
   /// Convenience verbs.
@@ -125,6 +139,7 @@ class Client {
   Endpoint endpoint_;
   RetryPolicy policy_;
   std::uint64_t jitter_state_ = 0;  // lazily seeded from policy_
+  std::string trace_id_;            // sticky; empty = per-call/server minted
 };
 
 }  // namespace mcr::svc

@@ -3,7 +3,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "fault/fault.h"
@@ -117,6 +119,65 @@ std::string json_escape(std::string_view s) {
         }
     }
   }
+  return out;
+}
+
+std::string generate_trace_id() {
+  // splitmix64 over (seed, counter): ids are unique per process and
+  // collide across processes only by 128-bit accident.
+  static const std::uint64_t seed = [] {
+    const auto now = static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return now ^ (static_cast<std::uint64_t>(::getpid()) << 32);
+  }();
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  const auto mix = [](std::uint64_t x) {
+    x += 0x9e37'79b9'7f4a'7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58'476d'1ce4'e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d0'49bb'1331'11ebULL;
+    return x ^ (x >> 31);
+  };
+  const std::uint64_t hi = mix(seed ^ n);
+  const std::uint64_t lo = mix(hi ^ ~n);
+  std::string id(32, '0');
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (int i = 0; i < 16; ++i) {
+    id[static_cast<std::size_t>(i)] = kHex[(hi >> (60 - 4 * i)) & 0xf];
+    id[static_cast<std::size_t>(16 + i)] = kHex[(lo >> (60 - 4 * i)) & 0xf];
+  }
+  return id;
+}
+
+bool is_valid_trace_id(std::string_view id) {
+  if (id.empty() || id.size() > kMaxTraceIdBytes) return false;
+  for (const char c : id) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+                    (c >= 'A' && c <= 'Z') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string with_trace_id(std::string_view json_object,
+                          std::string_view trace_id) {
+  const auto brace = json_object.find('{');
+  if (brace == std::string_view::npos || trace_id.empty()) {
+    return std::string(json_object);
+  }
+  std::string out;
+  out.reserve(json_object.size() + trace_id.size() + 16);
+  out.append(json_object.substr(0, brace + 1));
+  out += "\"trace_id\":\"";
+  out += json_escape(trace_id);
+  out += '"';
+  // Keep `{}` well-formed: only add the comma when fields follow.
+  const auto rest = json_object.substr(brace + 1);
+  const auto first_content = rest.find_first_not_of(" \t\r\n");
+  if (first_content != std::string_view::npos && rest[first_content] != '}') {
+    out += ',';
+  }
+  out.append(rest);
   return out;
 }
 

@@ -89,6 +89,34 @@ enum class ReadStatus {
 /// `{"status":"error","code":"<code>","message":"<escaped message>"}`.
 [[nodiscard]] std::string error_payload(std::string_view code, std::string_view message);
 
+// --- Trace context -------------------------------------------------------
+//
+// Requests may carry optional "trace_id" / "parent_span" fields; the
+// server generates a trace_id when the client sent none and echoes it
+// in every response (success and error alike), so one id follows the
+// request across client retries, the flight recorder, the access log,
+// and histogram exemplars.
+
+/// Maximum accepted trace-id length on the wire.
+inline constexpr std::size_t kMaxTraceIdBytes = 64;
+
+/// Fresh process-unique trace id: 32 lowercase hex characters (128
+/// random-looking bits from a seeded counter — uniqueness, not
+/// cryptography).
+[[nodiscard]] std::string generate_trace_id();
+
+/// Accepts 1..kMaxTraceIdBytes characters from [0-9a-zA-Z_-]. Anything
+/// else is rejected (the server then answers BAD_REQUEST rather than
+/// echoing attacker-shaped bytes into logs and exports).
+[[nodiscard]] bool is_valid_trace_id(std::string_view id);
+
+/// Splices `"trace_id":"<id>",` immediately after the opening '{' of a
+/// serialized JSON object, keeping the object's existing field order —
+/// and crucially its *last* field — intact. Returns the payload
+/// unchanged when it is not an object or the id is empty.
+[[nodiscard]] std::string with_trace_id(std::string_view json_object,
+                                        std::string_view trace_id);
+
 }  // namespace mcr::svc
 
 #endif  // MCR_SVC_PROTOCOL_H

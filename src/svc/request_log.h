@@ -1,0 +1,63 @@
+// RequestLog — structured per-request access log for the solve service.
+//
+// One JSON object per line (JSONL), written and flushed as each request
+// finishes so a crashed daemon still leaves complete records for every
+// request it answered. Off by default; `mcr_serve --log-json PATH`
+// turns it on. Schema (fields omitted when empty / not applicable):
+//
+//   {"ts_ms":..,"trace_id":"..","verb":"SOLVE","fingerprint":"..",
+//    "algo":"howard","objective":"mean","cache":"hit|miss|join",
+//    "queue_ms":..,"solve_ms":..,"deadline_ms":..,"code":"",
+//    "total_ms":..}
+//
+// "code" is the protocol error code, empty string for success.
+// See docs/OBSERVABILITY.md for the full field reference.
+#ifndef MCR_SVC_REQUEST_LOG_H
+#define MCR_SVC_REQUEST_LOG_H
+
+#include <fstream>
+#include <mutex>
+#include <string>
+
+namespace mcr::svc {
+
+class RequestLog {
+ public:
+  /// One finished request. Negative durations / empty strings mean
+  /// "not applicable" and are omitted from the line.
+  struct Entry {
+    double ts_ms = 0.0;  // server-relative completion time
+    std::string trace_id;
+    std::string verb;
+    std::string fingerprint;
+    std::string algo;
+    std::string objective;
+    std::string cache;  // "hit" | "miss" | "join" | ""
+    double queue_ms = -1.0;
+    double solve_ms = -1.0;
+    double deadline_ms = -1.0;  // client-supplied budget
+    std::string code;           // protocol error code; "" = ok
+    double total_ms = -1.0;
+  };
+
+  /// Opens `path` for append. ok() reports whether the stream opened;
+  /// a dead stream turns write() into a no-op rather than an error.
+  explicit RequestLog(const std::string& path);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+  /// Serializes one line and flushes it. Thread-safe.
+  void write(const Entry& entry);
+
+  /// The serialized line for an entry, without the trailing newline.
+  /// Exposed for tests.
+  [[nodiscard]] static std::string format(const Entry& entry);
+
+ private:
+  std::mutex mutex_;
+  std::ofstream out_;
+};
+
+}  // namespace mcr::svc
+
+#endif  // MCR_SVC_REQUEST_LOG_H

@@ -94,12 +94,36 @@ Graph generate_from_spec(const json::Value& spec) {
                                          "' (expected sprand | circuit | ring)");
 }
 
+/// Request-latency bucket bounds: log-spaced, three per decade, 10µs
+/// to 10s, so sub-millisecond cached replays and multi-second cold
+/// solves resolve into distinct buckets instead of collapsing into the
+/// coarse default grid.
+std::vector<double> request_seconds_bounds() {
+  std::vector<double> bounds;
+  for (double decade = 1e-5; decade < 10.0; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.1544346900318837);  // 10^(1/3)
+    bounds.push_back(decade * 4.6415888336127790);  // 10^(2/3)
+  }
+  bounds.push_back(10.0);
+  return bounds;
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       graphs_(options_.graph_entries, &metrics_),
-      cache_(options_.cache_entries, &metrics_) {}
+      cache_(options_.cache_entries, &metrics_),
+      flight_(options_.flight) {
+  if (!options_.request_log_path.empty()) {
+    request_log_ = std::make_unique<RequestLog>(options_.request_log_path);
+    if (!request_log_->ok()) {
+      throw std::runtime_error("Server: cannot open request log " +
+                               options_.request_log_path);
+    }
+  }
+}
 
 Server::~Server() { stop_and_drain(); }
 
@@ -335,9 +359,8 @@ void Server::connection_main(Connection* conn) {
 }
 
 std::string Server::handle_request(const std::string& payload) {
-  const obs::SinkScope sink_scope(options_.trace);
   Timer timer;
-  std::string verb = "INVALID";
+  RequestContext ctx;
   std::string response;
   try {
     // Allocation fault point: an injected kFail here behaves exactly
@@ -346,38 +369,127 @@ std::string Server::handle_request(const std::string& payload) {
       throw std::bad_alloc();
     }
     const json::Value req = json::parse(payload);
-    verb = req.string_or("verb", "");
-    const obs::Span span(obs::EventKind::kRequest, verb);
-    if (verb == "PING") {
+    ctx.verb = req.string_or("verb", "");
+    const std::string wire_id = req.string_or("trace_id", "");
+    ctx.parent_span = req.string_or("parent_span", "");
+    if (ctx.parent_span.size() > kMaxTraceIdBytes) {
+      ctx.parent_span.resize(kMaxTraceIdBytes);
+    }
+    if (!wire_id.empty() && !is_valid_trace_id(wire_id)) {
+      throw RequestError(kErrBadRequest,
+                         "invalid trace_id (expected 1..64 characters from "
+                         "[0-9a-zA-Z_-])");
+    }
+    ctx.trace_id = wire_id.empty() ? generate_trace_id() : wire_id;
+    ctx.trace = flight_.begin(ctx.trace_id, ctx.verb, ctx.parent_span);
+    // Every span this thread emits goes to both the legacy process-wide
+    // sink (--trace FILE) and this request's flight-recorder trace.
+    obs::TeeSink tee(options_.trace, ctx.trace.get());
+    const obs::SinkScope sink_scope(tee.effective());
+    const obs::Span span(obs::EventKind::kRequest, ctx.verb);
+    if (ctx.verb == "PING") {
       response = "{\"status\":\"ok\",\"service\":\"mcr\"}";
-    } else if (verb == "LOAD") {
-      response = handle_load(req);
-    } else if (verb == "SOLVE") {
-      response = handle_solve(req);
-    } else if (verb == "SOLVERS") {
+    } else if (ctx.verb == "LOAD") {
+      response = handle_load(req, ctx);
+    } else if (ctx.verb == "SOLVE") {
+      response = handle_solve(req, ctx);
+    } else if (ctx.verb == "SOLVERS") {
       response = handle_solvers();
-    } else if (verb == "STATS") {
+    } else if (ctx.verb == "STATS") {
       response = handle_stats();
-    } else if (verb == "HEALTH") {
+    } else if (ctx.verb == "HEALTH") {
       response = handle_health();
+    } else if (ctx.verb == "TRACE") {
+      response = handle_trace(req);
     } else {
-      throw RequestError(kErrBadRequest, "unknown verb '" + verb +
-                                             "' (expected PING | LOAD | SOLVE | "
-                                             "SOLVERS | STATS | HEALTH)");
+      throw RequestError(kErrBadRequest,
+                         "unknown verb '" + ctx.verb +
+                             "' (expected PING | LOAD | SOLVE | "
+                             "SOLVERS | STATS | HEALTH | TRACE)");
     }
   } catch (const RequestError& e) {
+    ctx.error_code = e.code;
     response = error_payload(e.code, e.what());
   } catch (const std::bad_alloc&) {
     // Out-of-memory is the server's problem, not the request's: report
     // INTERNAL (retryable-by-human), never BAD_REQUEST.
     metrics_.counter("mcr_connection_errors_total").add(1);
+    ctx.error_code = kErrInternal;
     response = error_payload(kErrInternal, "out of memory handling request");
   } catch (const std::exception& e) {
+    ctx.error_code = kErrBadRequest;
     response = error_payload(kErrBadRequest, e.what());
   }
-  metrics_.counter(obs::labeled_name("mcr_requests_total", {{"verb", verb}})).add(1);
-  metrics_.histogram("mcr_request_seconds").observe(timer.seconds());
+  // Echo (or mint, when the request never parsed) the trace id on every
+  // response, error payloads included. Spliced at the front so the
+  // response object's *last* field stays what it was — callers extract
+  // "result" by suffix.
+  if (ctx.trace_id.empty()) ctx.trace_id = generate_trace_id();
+  response = with_trace_id(response, ctx.trace_id);
+  finish_request(ctx, timer.millis());
   return response;
+}
+
+void Server::finish_request(RequestContext& ctx, double total_ms) {
+  if (ctx.trace != nullptr) {
+    const auto note = [&](const char* key, const std::string& value) {
+      if (!value.empty()) ctx.trace->note(key, value);
+    };
+    note("fingerprint", ctx.fingerprint);
+    note("algo", ctx.algo);
+    note("objective", ctx.objective);
+    note("cache", ctx.cache);
+    flight_.finish(ctx.trace, ctx.error_code, total_ms);
+  }
+  if (request_log_ != nullptr) {
+    RequestLog::Entry entry;
+    entry.ts_ms = flight_.now_us() / 1000.0;
+    entry.trace_id = ctx.trace_id;
+    entry.verb = ctx.verb;
+    entry.fingerprint = ctx.fingerprint;
+    entry.algo = ctx.algo;
+    entry.objective = ctx.objective;
+    entry.cache = ctx.cache;
+    entry.queue_ms = ctx.queue_ms;
+    entry.solve_ms = ctx.solve_ms;
+    entry.deadline_ms = ctx.deadline_ms;
+    entry.code = ctx.error_code;
+    entry.total_ms = total_ms;
+    request_log_->write(entry);
+  }
+  metrics_.counter(obs::labeled_name("mcr_requests_total", {{"verb", ctx.verb}}))
+      .add(1);
+  const double seconds = total_ms / 1000.0;
+  metrics_.histogram("mcr_request_seconds", request_seconds_bounds())
+      .observe(seconds, ctx.trace_id);
+  metrics_
+      .histogram(
+          obs::labeled_name("mcr_request_seconds", {{"verb", ctx.verb}}),
+          request_seconds_bounds())
+      .observe(seconds, ctx.trace_id);
+}
+
+std::string Server::handle_trace(const json::Value& req) const {
+  obs::FlightRecorder::Filter filter;
+  // "id" (not "trace_id") selects the *target* trace — "trace_id" on a
+  // TRACE request is, as on every request, this request's own context.
+  filter.trace_id = req.string_or("id", "");
+  filter.verb = req.string_or("match_verb", "");
+  filter.min_ms = req.number_or("min_ms", -1.0);
+  const double limit = req.number_or("limit", 32.0);
+  filter.limit = limit <= 0.0 ? 0 : static_cast<std::size_t>(limit);
+  const std::size_t count = flight_.select(filter).size();
+  // chrome_trace is one self-contained Chrome trace_event JSON object;
+  // clients cut it out and hand it straight to Perfetto.
+  std::string out = "{\"status\":\"ok\",\"count\":" + std::to_string(count);
+  out += ",\"ring_size\":" + std::to_string(flight_.ring_size());
+  out += ",\"pinned_size\":" + std::to_string(flight_.pinned_size());
+  out += ",\"finished_total\":" + std::to_string(flight_.finished_total());
+  out += ",\"evicted_total\":" + std::to_string(flight_.evicted_total());
+  out += ",\"chrome_trace\":";
+  out += flight_.chrome_trace_json(filter);
+  out += "}";
+  return out;
 }
 
 std::pair<std::shared_ptr<const Graph>, std::string> Server::resolve_graph(
@@ -411,8 +523,9 @@ std::pair<std::shared_ptr<const Graph>, std::string> Server::resolve_graph(
   return {std::move(g), fp};
 }
 
-std::string Server::handle_load(const json::Value& req) {
+std::string Server::handle_load(const json::Value& req, RequestContext& ctx) {
   const auto [graph, fp] = resolve_graph(req);
+  ctx.fingerprint = fp;
   std::ostringstream os;
   os << "{\"status\":\"ok\",\"fingerprint\":\"" << fp
      << "\",\"nodes\":" << graph->num_nodes() << ",\"arcs\":" << graph->num_arcs()
@@ -481,11 +594,14 @@ std::string Server::handle_health() {
   return os.str();
 }
 
-std::string Server::handle_solve(const json::Value& req) {
+std::string Server::handle_solve(const json::Value& req, RequestContext& ctx) {
   auto [graph, fp] = resolve_graph(req);
   const Objective objective = parse_objective(req.string_or("objective", "min_mean"));
   const std::string algo =
       req.string_or("algo", objective.ratio ? "howard_ratio" : "howard");
+  ctx.fingerprint = fp;
+  ctx.algo = algo;
+  ctx.objective = objective.name;
   const SolverRegistry& reg = SolverRegistry::instance();
   bool solver_is_ratio = false;
   try {
@@ -511,15 +627,23 @@ std::string Server::handle_solve(const json::Value& req) {
     out += "}";
     return out;
   };
+  const auto respond_error = [&](const std::string& code,
+                                 const std::string& message) {
+    ctx.error_code = code;
+    return error_payload(code, message);
+  };
   if (outcome.role == ResultCache::Role::kHit) {
+    ctx.cache = "hit";
     return respond_ok(outcome.result, outcome.solve_ms, true);
   }
   if (outcome.role == ResultCache::Role::kJoined) {
+    ctx.cache = "join";
     if (!outcome.error_code.empty()) {
-      return error_payload(outcome.error_code, outcome.error_message);
+      return respond_error(outcome.error_code, outcome.error_message);
     }
     return respond_ok(outcome.result, outcome.solve_ms, true);
   }
+  ctx.cache = "miss";
 
   // Flight leader: admission against the bounded queue.
   auto job = std::make_shared<SolveJob>();
@@ -527,7 +651,9 @@ std::string Server::handle_solve(const json::Value& req) {
   job->graph = std::move(graph);
   job->maximize = objective.maximize;
   job->ratio = objective.ratio;
+  job->trace = ctx.trace;
   const double deadline_ms = req.number_or("deadline_ms", 0.0);
+  if (deadline_ms > 0.0) ctx.deadline_ms = deadline_ms;
   if (deadline_ms > 0.0) {
     job->has_deadline = true;
     job->deadline = std::chrono::steady_clock::now() +
@@ -546,11 +672,12 @@ std::string Server::handle_solve(const json::Value& req) {
     // the watchdog wake-up against the solve.
     arm_deadline(job);
   }
+  job->enqueue_us = flight_.now_us();
   {
     std::lock_guard lock(queue_mutex_);
     if (stopping_) {
       cache_.fail(key, kErrShuttingDown, "server is draining");
-      return error_payload(kErrShuttingDown, "server is draining");
+      return respond_error(kErrShuttingDown, "server is draining");
     }
     if (in_flight_ >= options_.queue_capacity) {
       metrics_.counter("mcr_rejected_total").add(1);
@@ -558,7 +685,7 @@ std::string Server::handle_solve(const json::Value& req) {
           "solve queue is full (capacity " +
           std::to_string(options_.queue_capacity) + "); retry later";
       cache_.fail(key, kErrBusy, msg);
-      return error_payload(kErrBusy, msg);
+      return respond_error(kErrBusy, msg);
     }
     ++in_flight_;
     queue_.push_back(job);
@@ -568,7 +695,9 @@ std::string Server::handle_solve(const json::Value& req) {
 
   std::unique_lock job_lock(job->mutex);
   job->cv.wait(job_lock, [&] { return job->done; });
-  if (!job->ok) return error_payload(job->error_code, job->error_message);
+  ctx.queue_ms = job->queue_wait_ms;
+  if (!job->ok) return respond_error(job->error_code, job->error_message);
+  ctx.solve_ms = job->solve_ms;
   return respond_ok(job->result, job->solve_ms, false);
 }
 
@@ -652,11 +781,28 @@ void Server::complete_error(SolveJob& job, const std::string& code,
 
 void Server::solve_single(SolveJob& job) {
   const auto solver = SolverRegistry::instance().create(job.key.algorithm);
+  // Full-detail solver spans (component/iteration/...) flow into the
+  // request's trace only when head sampling selected it; the
+  // request-level outline (queue/dispatch spans) is recorded for every
+  // request regardless.
+  obs::TeeSink tee(options_.trace,
+                   job.trace != nullptr && job.trace->sampled()
+                       ? static_cast<obs::TraceSink*>(job.trace.get())
+                       : nullptr);
   const SolveOptions so{.num_threads = options_.solve_threads,
                         .tile_arcs = options_.solve_tile_arcs,
-                        .trace = options_.trace,
+                        .trace = tee.effective(),
                         .metrics = &metrics_,
                         .cancel = job.cancel.get()};
+  const double dispatch_begin_us = flight_.now_us();
+  // Recorded before complete_* so the span is inside the trace by the
+  // time the leader thread wakes and finishes it.
+  const auto record_dispatch = [&] {
+    if (job.trace != nullptr) {
+      job.trace->record_span(obs::EventKind::kDispatch, job.key.algorithm,
+                             dispatch_begin_us, flight_.now_us());
+    }
+  };
   Timer timer;
   try {
     const Graph& g = *job.graph;
@@ -665,13 +811,17 @@ void Server::solve_single(SolveJob& job) {
                                   : maximum_cycle_mean(g, *solver, so))
         : job.ratio  ? minimum_cycle_ratio(g, *solver, so)
                      : minimum_cycle_mean(g, *solver, so);
+    record_dispatch();
     complete_ok(job, r, timer.millis());
   } catch (const SolveCancelled&) {
     metrics_.counter("mcr_deadline_cancelled_total").add(1);
+    record_dispatch();
     complete_error(job, kErrDeadline, "deadline exceeded during solve");
   } catch (const std::invalid_argument& e) {
+    record_dispatch();
     complete_error(job, kErrBadRequest, e.what());
   } catch (const std::exception& e) {
+    record_dispatch();
     complete_error(job, kErrInternal, e.what());
   }
 }
@@ -679,6 +829,17 @@ void Server::solve_single(SolveJob& job) {
 void Server::process_batch(std::vector<std::shared_ptr<SolveJob>>& batch) {
   metrics_.histogram("mcr_batch_size", {1, 2, 4, 8, 16, 32, 64, 128})
       .observe(static_cast<double>(batch.size()));
+  // Dispatcher pickup: retro-date each job's queue-wait span back to
+  // its admission time. Recorded here (not at admission) because the
+  // wait only has an end once the dispatcher owns the job.
+  const double pickup_us = flight_.now_us();
+  for (const std::shared_ptr<SolveJob>& job : batch) {
+    job->queue_wait_ms = (pickup_us - job->enqueue_us) / 1000.0;
+    if (job->trace != nullptr) {
+      job->trace->record_span(obs::EventKind::kQueue, "queue",
+                              job->enqueue_us, pickup_us);
+    }
+  }
   // Expire jobs whose deadline passed while queued — no work for them.
   std::vector<std::shared_ptr<SolveJob>> live;
   live.reserve(batch.size());
@@ -723,6 +884,7 @@ void Server::process_batch(std::vector<std::shared_ptr<SolveJob>>& batch) {
       }
     }
     if (valid.empty()) continue;
+    const double batch_begin_us = flight_.now_us();
     try {
       const auto solver = SolverRegistry::instance().create(group_key.first);
       std::vector<const Graph*> ptrs;
@@ -736,11 +898,25 @@ void Server::process_batch(std::vector<std::shared_ptr<SolveJob>>& batch) {
       const std::vector<CycleResult> results =
           solve_many(std::span<const Graph* const>(ptrs), *solver, so);
       const double batch_ms = timer.millis();
+      // Batched jobs share one dispatch interval. Full-detail solver
+      // spans are not attributable per job on this path — sampling
+      // detail applies on the per-instance path only.
+      const double batch_end_us = flight_.now_us();
       for (std::size_t i = 0; i < valid.size(); ++i) {
+        if (valid[i]->trace != nullptr) {
+          valid[i]->trace->record_span(obs::EventKind::kDispatch,
+                                       group_key.first, batch_begin_us,
+                                       batch_end_us);
+        }
         complete_ok(*valid[i], results[i], batch_ms);
       }
     } catch (const std::exception& e) {
+      const double batch_end_us = flight_.now_us();
       for (const std::shared_ptr<SolveJob>& job : valid) {
+        if (job->trace != nullptr) {
+          job->trace->record_span(obs::EventKind::kDispatch, group_key.first,
+                                  batch_begin_us, batch_end_us);
+        }
         complete_error(*job, kErrInternal, e.what());
       }
     }

@@ -41,11 +41,13 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "svc/cache.h"
 #include "svc/graph_registry.h"
 #include "svc/protocol.h"
+#include "svc/request_log.h"
 
 namespace mcr::json {
 class Value;
@@ -86,6 +88,13 @@ struct ServerOptions {
   /// Optional trace sink: per-request kRequest spans plus the usual
   /// driver/solver spans from dispatched solves.
   obs::TraceSink* trace = nullptr;
+  /// Flight recorder tuning (ring/pinned capacities, slow-pin
+  /// threshold, head-sampling rate). The recorder itself is always on:
+  /// every request records its queue/dispatch/solve outline into a
+  /// bounded per-request trace, retained per these options.
+  obs::FlightRecorder::Options flight{};
+  /// Per-request JSONL access log path; empty (the default) disables.
+  std::string request_log_path;
 };
 
 class Server {
@@ -119,8 +128,28 @@ class Server {
   [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] GraphRegistry& graphs() { return graphs_; }
   [[nodiscard]] ResultCache& cache() { return cache_; }
+  /// The always-on per-request trace retainer (TRACE verb source,
+  /// post-mortem dump payload).
+  [[nodiscard]] obs::FlightRecorder& flight() { return flight_; }
 
  private:
+  /// Everything one request accumulates for the flight recorder, the
+  /// access log, and the per-verb latency metrics. Lives on the
+  /// connection thread's stack for the request's duration.
+  struct RequestContext {
+    std::string trace_id;
+    std::string parent_span;
+    std::string verb = "INVALID";
+    std::shared_ptr<obs::RequestTrace> trace;
+    std::string fingerprint;
+    std::string algo;
+    std::string objective;
+    std::string cache;  // "hit" | "miss" | "join" | ""
+    double queue_ms = -1.0;
+    double solve_ms = -1.0;
+    double deadline_ms = -1.0;
+    std::string error_code;  // protocol code; "" = ok
+  };
   struct SolveJob {
     CacheKey key;
     std::shared_ptr<const Graph> graph;
@@ -130,6 +159,12 @@ class Server {
         std::make_shared<std::atomic<bool>>(false);
     bool has_deadline = false;
     std::chrono::steady_clock::time_point deadline{};
+    /// Flight-recorder wiring: the requesting trace (always set by the
+    /// leader) plus admission time, so the dispatcher can retro-date
+    /// the queue-wait span from its pickup site.
+    std::shared_ptr<obs::RequestTrace> trace;
+    double enqueue_us = 0.0;
+    double queue_wait_ms = -1.0;  // written by the dispatcher at pickup
     // Completion channel (leader connection thread waits here).
     std::mutex mutex;
     std::condition_variable cv;
@@ -157,11 +192,19 @@ class Server {
   void watchdog_loop();
 
   [[nodiscard]] std::string handle_request(const std::string& payload);
-  [[nodiscard]] std::string handle_load(const json::Value& req);
-  [[nodiscard]] std::string handle_solve(const json::Value& req);
+  [[nodiscard]] std::string handle_load(const json::Value& req,
+                                        RequestContext& ctx);
+  [[nodiscard]] std::string handle_solve(const json::Value& req,
+                                         RequestContext& ctx);
   [[nodiscard]] std::string handle_solvers() const;
   [[nodiscard]] std::string handle_stats() const;
   [[nodiscard]] std::string handle_health();
+  [[nodiscard]] std::string handle_trace(const json::Value& req) const;
+
+  /// Tail of handle_request: finishes the flight-recorder trace, writes
+  /// the access-log line, and records the request latency (aggregate +
+  /// per-verb histograms, exemplared with the trace id).
+  void finish_request(RequestContext& ctx, double total_ms);
 
   /// Parses the request's graph source ("fingerprint" | "dimacs" |
   /// "path" | "generator") and returns (resident graph, fingerprint).
@@ -183,6 +226,8 @@ class Server {
   obs::MetricsRegistry metrics_;
   GraphRegistry graphs_;
   ResultCache cache_;
+  obs::FlightRecorder flight_;
+  std::unique_ptr<RequestLog> request_log_;
 
   std::atomic<bool> running_{false};
   std::chrono::steady_clock::time_point started_at_{};

@@ -24,6 +24,7 @@
 #include "core/registry.h"
 #include "gen/circuit.h"
 #include "gen/structured.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace_recorder.h"
@@ -356,6 +357,228 @@ TEST(TracedSolve, UntracedSolveMatchesTracedSolve) {
   EXPECT_FALSE(rec.events().empty());
 }
 
+// --- TeeSink fan-out --------------------------------------------------
+
+TEST(TeeSink, ForwardsToBothBranches) {
+  TraceRecorder a;
+  TraceRecorder b;
+  obs::TeeSink tee(&a, &b);
+  ASSERT_EQ(tee.effective(), &tee);
+  {
+    const obs::SinkScope scope(tee.effective());
+    const obs::Span span(EventKind::kRequest, "PING");
+    obs::emit(EventKind::kIteration, "iter", 7);
+  }
+  ASSERT_EQ(a.events().size(), 3u);
+  ASSERT_EQ(b.events().size(), 3u);
+  EXPECT_EQ(a.events()[1].name, "iter");
+  EXPECT_EQ(b.events()[1].value, 7);
+}
+
+TEST(TeeSink, EffectiveCollapsesNullBranches) {
+  TraceRecorder rec;
+  obs::TeeSink both_null(nullptr, nullptr);
+  EXPECT_EQ(both_null.effective(), nullptr);
+  obs::TeeSink left(&rec, nullptr);
+  EXPECT_EQ(left.effective(), &rec);
+  obs::TeeSink right(nullptr, &rec);
+  EXPECT_EQ(right.effective(), &rec);
+}
+
+// --- FlightRecorder: retention, pinning, sampling, export -------------
+
+obs::FlightRecorder::Options tiny_flight(std::size_t capacity,
+                                         std::size_t pinned,
+                                         double slow_ms) {
+  obs::FlightRecorder::Options o;
+  o.capacity = capacity;
+  o.pinned_capacity = pinned;
+  o.slow_ms = slow_ms;
+  o.sample_rate = 0.0;
+  return o;
+}
+
+TEST(FlightRecorder, RingEvictsOldestDeterministically) {
+  obs::FlightRecorder fr(tiny_flight(4, 4, -1.0));  // slow-pinning off
+  for (int i = 0; i < 10; ++i) {
+    auto t = fr.begin("id" + std::to_string(i), "SOLVE", "");
+    fr.finish(t, "", 1.0);
+  }
+  EXPECT_EQ(fr.ring_size(), 4u);
+  EXPECT_EQ(fr.pinned_size(), 0u);
+  EXPECT_EQ(fr.finished_total(), 10u);
+  EXPECT_EQ(fr.evicted_total(), 6u);
+  // Exactly the newest four survive, oldest first.
+  const auto kept = fr.select({});
+  ASSERT_EQ(kept.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(kept[static_cast<std::size_t>(i)]->trace_id(),
+              "id" + std::to_string(6 + i));
+  }
+}
+
+TEST(FlightRecorder, ErroredTracesSurviveRingEviction) {
+  obs::FlightRecorder fr(tiny_flight(2, 4, -1.0));
+  auto bad = fr.begin("failing", "SOLVE", "");
+  fr.finish(bad, "INTERNAL", 0.5);
+  EXPECT_TRUE(bad->pinned());
+  for (int i = 0; i < 8; ++i) {
+    auto t = fr.begin("ok" + std::to_string(i), "SOLVE", "");
+    fr.finish(t, "", 0.1);
+  }
+  // Long gone from the two-slot ring, still reachable via the pin.
+  obs::FlightRecorder::Filter by_id;
+  by_id.trace_id = "failing";
+  const auto found = fr.select(by_id);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0]->error_code(), "INTERNAL");
+  EXPECT_TRUE(found[0]->pinned());
+}
+
+TEST(FlightRecorder, SlowThresholdControlsPinning) {
+  obs::FlightRecorder fr(tiny_flight(8, 8, 100.0));
+  auto fast = fr.begin("fast", "SOLVE", "");
+  fr.finish(fast, "", 50.0);
+  auto slow = fr.begin("slow", "SOLVE", "");
+  fr.finish(slow, "", 150.0);
+  EXPECT_FALSE(fast->pinned());
+  EXPECT_TRUE(slow->pinned());
+  EXPECT_EQ(fr.pinned_size(), 1u);
+
+  // slow_ms == 0 pins everything; the pinned set still keeps its bound.
+  obs::FlightRecorder all(tiny_flight(8, 2, 0.0));
+  for (int i = 0; i < 6; ++i) {
+    std::string id = "t";
+    id += std::to_string(i);
+    auto t = all.begin(std::move(id), "PING", "");
+    all.finish(t, "", 0.0);
+  }
+  EXPECT_EQ(all.pinned_size(), 2u);
+  EXPECT_EQ(all.ring_size(), 6u);
+}
+
+TEST(FlightRecorder, PinnedTraceAppearsOnceInSelect) {
+  obs::FlightRecorder fr(tiny_flight(4, 4, 0.0));  // everything pinned
+  auto t = fr.begin("dup", "SOLVE", "");
+  fr.finish(t, "", 1.0);
+  EXPECT_EQ(fr.ring_size(), 1u);
+  EXPECT_EQ(fr.pinned_size(), 1u);
+  EXPECT_EQ(fr.select({}).size(), 1u);  // ring + pin deduplicated
+}
+
+TEST(FlightRecorder, SelectFiltersByVerbDurationAndLimit) {
+  obs::FlightRecorder fr(tiny_flight(16, 4, -1.0));
+  for (int i = 0; i < 6; ++i) {
+    std::string id = "s";
+    id += std::to_string(i);
+    auto t = fr.begin(std::move(id), i % 2 ? "SOLVE" : "PING", "");
+    fr.finish(t, "", i % 2 ? 200.0 : 1.0);
+  }
+  obs::FlightRecorder::Filter by_verb;
+  by_verb.verb = "SOLVE";
+  EXPECT_EQ(fr.select(by_verb).size(), 3u);
+  obs::FlightRecorder::Filter by_ms;
+  by_ms.min_ms = 100.0;
+  EXPECT_EQ(fr.select(by_ms).size(), 3u);
+  obs::FlightRecorder::Filter capped;
+  capped.limit = 2;
+  const auto newest = fr.select(capped);
+  ASSERT_EQ(newest.size(), 2u);  // trimmed to the newest two, oldest first
+  EXPECT_EQ(newest[0]->trace_id(), "s4");
+  EXPECT_EQ(newest[1]->trace_id(), "s5");
+}
+
+TEST(FlightRecorder, SamplingIsAPureFunctionOfTraceId) {
+  obs::FlightRecorder never(tiny_flight(4, 4, -1.0));
+  obs::FlightRecorder::Options always_opts = tiny_flight(4, 4, -1.0);
+  always_opts.sample_rate = 1.0;
+  obs::FlightRecorder always(always_opts);
+  obs::FlightRecorder::Options half_opts = tiny_flight(4, 4, -1.0);
+  half_opts.sample_rate = 0.5;
+  obs::FlightRecorder half(half_opts);
+
+  int sampled = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string id = "trace-" + std::to_string(i);
+    EXPECT_FALSE(never.would_sample(id));
+    EXPECT_TRUE(always.would_sample(id));
+    const bool first = half.would_sample(id);
+    EXPECT_EQ(half.would_sample(id), first);  // reproducible per id
+    sampled += first ? 1 : 0;
+  }
+  EXPECT_GT(sampled, 50);   // loose two-sided bound on a fair-ish hash
+  EXPECT_LT(sampled, 150);
+  // begin() honours the same decision.
+  EXPECT_TRUE(always.begin("x", "SOLVE", "")->sampled());
+  EXPECT_FALSE(never.begin("x", "SOLVE", "")->sampled());
+}
+
+TEST(FlightRecorder, TraceCapsEventsAndCountsDrops) {
+  obs::FlightRecorder fr(tiny_flight(2, 2, -1.0));
+  auto t = fr.begin("big", "SOLVE", "");
+  const std::size_t emissions = obs::RequestTrace::kMaxEvents + 100;
+  for (std::size_t i = 0; i < emissions; ++i) {
+    t->instant(EventKind::kIteration, "iter", static_cast<std::int64_t>(i));
+  }
+  fr.finish(t, "", 1.0);
+  EXPECT_EQ(t->events().size(), obs::RequestTrace::kMaxEvents);
+  EXPECT_EQ(t->dropped_events(), 100u);
+}
+
+TEST(FlightRecorder, ChromeExportIsValidAndCarriesIdentity) {
+  obs::FlightRecorder fr(tiny_flight(8, 4, -1.0));
+  auto t = fr.begin("abc123", "SOLVE", "attempt/2");
+  t->begin_span(EventKind::kRequest, "SOLVE");
+  t->record_span(EventKind::kQueue, "queue", 10.0, 20.0);
+  t->begin_span(EventKind::kDispatch, "howard");
+  t->instant(EventKind::kIteration, "iter", 5);
+  t->end_span(EventKind::kDispatch);
+  t->end_span(EventKind::kRequest);
+  t->note("algo", "howard");
+  fr.finish(t, "", 12.5);
+
+  const std::string json = fr.chrome_trace_json({});
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"trace_id\":\"abc123\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent_span\":\"attempt/2\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("request_info"), std::string::npos);
+  EXPECT_NE(json.find("\"algo\":\"howard\""), std::string::npos);
+
+  // The post-mortem dump is the same exporter over everything retained.
+  const std::string dump = fr.dump_json();
+  EXPECT_TRUE(JsonChecker(dump).valid()) << dump;
+  EXPECT_NE(dump.find("abc123"), std::string::npos);
+}
+
+TEST(FlightRecorder, ConcurrentRequestsStayBounded) {
+  obs::FlightRecorder fr(tiny_flight(8, 4, 0.0));  // pin everything
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&fr, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string id = "w";
+        id += std::to_string(w);
+        id += '-';
+        id += std::to_string(i);
+        auto t = fr.begin(std::move(id), "SOLVE", "");
+        t->begin_span(EventKind::kRequest, "SOLVE");
+        t->end_span(EventKind::kRequest);
+        fr.finish(t, i % 7 == 0 ? "BUSY" : "", 1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(fr.finished_total(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_LE(fr.ring_size(), 8u);
+  EXPECT_LE(fr.pinned_size(), 4u);
+  EXPECT_TRUE(JsonChecker(fr.dump_json()).valid());
+}
+
 // --- Metrics instruments ----------------------------------------------
 
 TEST(Metrics, CounterGaugeBasics) {
@@ -431,6 +654,69 @@ TEST(Metrics, JsonExportIsValid) {
   EXPECT_NE(json.find("\"mcr_a_total\":1"), std::string::npos);
   EXPECT_NE(json.find("\"mcr_b\":-7"), std::string::npos);
   EXPECT_NE(json.find("\"+Inf\""), std::string::npos);
+}
+
+TEST(Metrics, LabeledHistogramExportsGroupedPrometheusText) {
+  obs::MetricsRegistry reg;
+  reg.histogram("mcr_req_seconds", {0.1, 1.0}).observe(0.05);
+  reg.histogram("mcr_req_seconds{verb=\"SOLVE\"}", {0.1, 1.0}).observe(0.5);
+  reg.histogram("mcr_req_seconds{verb=\"PING\"}", {0.1, 1.0}).observe(0.01);
+  const std::string text = reg.prometheus_text();
+  // One TYPE line for the family, labels merged ahead of le on buckets,
+  // and appended whole on _sum/_count.
+  std::size_t type_lines = 0;
+  for (std::size_t p = text.find("# TYPE mcr_req_seconds histogram");
+       p != std::string::npos;
+       p = text.find("# TYPE mcr_req_seconds histogram", p + 1)) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  EXPECT_NE(text.find("mcr_req_seconds_bucket{le=\"0.1\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mcr_req_seconds_bucket{verb=\"SOLVE\",le=\"1\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mcr_req_seconds_bucket{verb=\"PING\",le=\"+Inf\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mcr_req_seconds_count{verb=\"SOLVE\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mcr_req_seconds_sum{verb=\"PING\"} 0.01"),
+            std::string::npos)
+      << text;
+}
+
+TEST(Metrics, HistogramExemplarKeepsWorstRecentPerBucket) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("mcr_ex_seconds", {0.1, 1.0});
+  h.observe(0.5, "trace-a");
+  h.observe(0.8, "trace-b");   // worse in the same bucket: replaces a
+  h.observe(0.6, "trace-c");   // better while b is fresh: kept out
+  h.observe(0.02, "trace-d");  // different bucket, lands independently
+  h.observe(5.0, "trace-inf");
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.exemplars.size(), snap.counts.size());
+  EXPECT_EQ(snap.exemplars[0].label, "trace-d");
+  EXPECT_EQ(snap.exemplars[1].label, "trace-b");
+  EXPECT_DOUBLE_EQ(snap.exemplars[1].value, 0.8);
+  EXPECT_EQ(snap.exemplars[2].label, "trace-inf");  // +Inf bucket
+
+  // Equal observations take over (recency wins ties)...
+  h.observe(0.8, "trace-e");
+  EXPECT_EQ(h.snapshot().exemplars[1].label, "trace-e");
+  // ...and an unlabeled observation never clears a held exemplar.
+  h.observe(0.9);
+  EXPECT_EQ(h.snapshot().exemplars[1].label, "trace-e");
+
+  // JSON exposes the exemplar next to its bucket; classic text does not
+  // (the exposition format has no exemplar syntax).
+  const std::string json = reg.json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"exemplar\":{\"value\":0.8,\"label\":\"trace-e\"}"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(reg.prometheus_text().find("trace-e"), std::string::npos);
 }
 
 // --- Label escaping (Prometheus exposition format) --------------------

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -30,6 +31,7 @@
 #include "svc/client.h"
 #include "svc/graph_registry.h"
 #include "svc/protocol.h"
+#include "svc/request_log.h"
 #include "svc/result_json.h"
 #include "svc/server.h"
 
@@ -699,6 +701,299 @@ TEST(SvcServer, IdleReaperShutsDownStaleConnections) {
   svc::Client fresh = svc::Client::connect_unix(so.unix_socket_path);
   EXPECT_TRUE(fresh.ping());
   server.stop_and_drain();
+}
+
+// ---------------------------------------------------------------------------
+// Trace context on the wire, the flight recorder, TRACE, request logs.
+
+TEST(TraceContext, GeneratedIdsAreValidAndDistinct) {
+  const std::string a = svc::generate_trace_id();
+  const std::string b = svc::generate_trace_id();
+  EXPECT_EQ(a.size(), 32u);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(svc::is_valid_trace_id(a));
+  EXPECT_TRUE(svc::is_valid_trace_id(b));
+}
+
+TEST(TraceContext, ValidatorAcceptsTokenCharsOnly) {
+  EXPECT_TRUE(svc::is_valid_trace_id("abc-123_XYZ"));
+  EXPECT_TRUE(svc::is_valid_trace_id("a"));
+  EXPECT_FALSE(svc::is_valid_trace_id(""));
+  EXPECT_FALSE(svc::is_valid_trace_id("has space"));
+  EXPECT_FALSE(svc::is_valid_trace_id("quote\"inside"));
+  EXPECT_FALSE(svc::is_valid_trace_id(std::string(svc::kMaxTraceIdBytes + 1, 'a')));
+  EXPECT_TRUE(svc::is_valid_trace_id(std::string(svc::kMaxTraceIdBytes, 'a')));
+}
+
+TEST(TraceContext, WithTraceIdSplicesAtTheFront) {
+  // The id leads the object so existing consumers that slice from the
+  // *last* field ("result", "chrome_trace") keep working unchanged.
+  EXPECT_EQ(svc::with_trace_id("{\"status\":\"ok\"}", "t1"),
+            "{\"trace_id\":\"t1\",\"status\":\"ok\"}");
+  EXPECT_EQ(svc::with_trace_id("{}", "t2"), "{\"trace_id\":\"t2\"}");
+}
+
+TEST(SvcTrace, ServerEchoesMintsAndRejectsWireTraceIds) {
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  so.flight.slow_ms = 0.0;  // pin everything
+  svc::Server server(so);
+  server.start();
+  svc::Client client = svc::Client::connect_unix(so.unix_socket_path);
+
+  // Caller-supplied id: echoed verbatim, spliced at the response front.
+  const std::string echoed = client.request_raw(
+      R"({"verb":"PING","trace_id":"caller-id-1"})");
+  EXPECT_EQ(echoed.rfind("{\"trace_id\":\"caller-id-1\",", 0), 0u) << echoed;
+
+  // No id on the wire: the server mints one and still reports it.
+  const json::Value minted = json::parse(client.request_raw(R"({"verb":"PING"})"));
+  const std::string minted_id = minted.string_or("trace_id", "");
+  EXPECT_EQ(minted_id.size(), 32u);
+  EXPECT_TRUE(svc::is_valid_trace_id(minted_id));
+
+  // A malformed id is a BAD_REQUEST; the error response carries a
+  // server-minted id so even the rejection is traceable.
+  const json::Value rejected = json::parse(client.request_raw(
+      R"({"verb":"PING","trace_id":"not ok!"})"));
+  EXPECT_EQ(rejected.string_or("code", ""), "BAD_REQUEST");
+  EXPECT_TRUE(svc::is_valid_trace_id(rejected.string_or("trace_id", "")));
+  EXPECT_NE(rejected.string_or("trace_id", ""), "not ok!");
+
+  // Errors always pin: both traceable requests above are retrievable.
+  EXPECT_GE(server.flight().pinned_size(), 1u);
+  server.stop_and_drain();
+}
+
+TEST(SvcTrace, TraceVerbServesQueueAndDispatchSpans) {
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  so.flight.slow_ms = 0.0;
+  so.flight.sample_rate = 1.0;  // full solver detail for every request
+  svc::Server server(so);
+  server.start();
+  svc::Client client = svc::Client::connect_unix(so.unix_socket_path);
+
+  client.set_trace_id("e2e-solve-trace");
+  const std::string fp = client.load_dimacs_text(dimacs_text(make_ring(16, 2)));
+  ASSERT_EQ(client.solve(fp).string_or("status", ""), "ok");
+
+  client.set_trace_id("");  // the TRACE request gets its own context
+  const std::string raw = client.request_raw(
+      R"({"verb":"TRACE","id":"e2e-solve-trace"})");
+  const json::Value v = json::parse(raw);
+  ASSERT_EQ(v.string_or("status", ""), "ok");
+  EXPECT_EQ(v.at("count").as_double(), 2.0);  // the LOAD and the SOLVE
+  EXPECT_GE(v.at("ring_size").as_double(), 2.0);
+  EXPECT_GE(v.at("finished_total").as_double(), 2.0);
+  ASSERT_TRUE(v.at("chrome_trace").is_object());
+  // The solve's life-cycle spans are all present in the export: the
+  // request envelope, the queue wait, and the dispatch with solver
+  // detail (sampled at 1.0, so component spans ride along).
+  EXPECT_NE(raw.find("\"cat\":\"request\""), std::string::npos);
+  EXPECT_NE(raw.find("\"cat\":\"queue\""), std::string::npos);
+  EXPECT_NE(raw.find("\"cat\":\"dispatch\""), std::string::npos);
+  EXPECT_NE(raw.find("\"cat\":\"solve\""), std::string::npos);
+  EXPECT_NE(raw.find("e2e-solve-trace"), std::string::npos);
+  server.stop_and_drain();
+}
+
+TEST(SvcTrace, TraceVerbFiltersByVerbAndDuration) {
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  so.flight.slow_ms = 0.0;
+  svc::Server server(so);
+  server.start();
+  svc::Client client = svc::Client::connect_unix(so.unix_socket_path);
+
+  EXPECT_TRUE(client.ping());
+  EXPECT_TRUE(client.ping());
+  const std::string fp = client.load_dimacs_text(dimacs_text(make_ring(8, 1)));
+  ASSERT_EQ(client.solve(fp).string_or("status", ""), "ok");
+
+  json::Value v = json::parse(client.request_raw(
+      R"({"verb":"TRACE","match_verb":"SOLVE"})"));
+  EXPECT_EQ(v.at("count").as_double(), 1.0);
+  v = json::parse(client.request_raw(R"({"verb":"TRACE","match_verb":"PING"})"));
+  EXPECT_EQ(v.at("count").as_double(), 2.0);
+  // An impossible duration floor matches nothing but still answers ok.
+  v = json::parse(client.request_raw(R"({"verb":"TRACE","min_ms":1e9})"));
+  EXPECT_EQ(v.string_or("status", ""), "ok");
+  EXPECT_EQ(v.at("count").as_double(), 0.0);
+  // limit trims to the newest traces.
+  v = json::parse(client.request_raw(R"({"verb":"TRACE","limit":1})"));
+  EXPECT_EQ(v.at("count").as_double(), 1.0);
+  server.stop_and_drain();
+}
+
+// TRACE under load: concurrent clients fetch the ring while solves are
+// in flight (this file runs under TSan in CI — the assertion here is
+// mostly "no data races, every response parses").
+TEST(SvcTrace, ConcurrentTraceFetchesDuringLiveSolves) {
+  ensure_sleepy_solvers();
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  so.flight.slow_ms = 0.0;
+  so.flight.sample_rate = 1.0;
+  // Every TRACE request is itself recorded, and the fetchers below issue
+  // thousands of them while the solves sleep — size the ring so the
+  // flood cannot evict the two SOLVE traces before the final check.
+  so.flight.capacity = 1 << 16;
+  svc::Server server(so);
+  server.start();
+
+  std::vector<std::string> fps;
+  {
+    svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+    fps.push_back(c.load_dimacs_text(dimacs_text(make_ring(8, 1))));
+    fps.push_back(c.load_dimacs_text(dimacs_text(make_ring(8, 2))));
+  }
+
+  std::atomic<int> solving{2};
+  std::vector<std::thread> solvers;
+  solvers.reserve(2);
+  for (int i = 0; i < 2; ++i) {
+    solvers.emplace_back([&, i] {
+      svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+      const json::Value v = c.solve(fps[static_cast<std::size_t>(i)], "min_mean",
+                                    i == 0 ? "test_sleepy" : "test_sleepy2");
+      EXPECT_EQ(v.string_or("status", ""), "ok");
+      solving.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  std::vector<std::thread> fetchers;
+  fetchers.reserve(2);
+  for (int f = 0; f < 2; ++f) {
+    fetchers.emplace_back([&] {
+      svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+      while (solving.load(std::memory_order_acquire) > 0) {
+        const json::Value v = c.request(R"({"verb":"TRACE"})");
+        EXPECT_EQ(v.string_or("status", ""), "ok");
+      }
+    });
+  }
+  for (std::thread& t : solvers) t.join();
+  for (std::thread& t : fetchers) t.join();
+
+  // Both solves are now retained and exportable.
+  svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+  const json::Value v = c.request(R"({"verb":"TRACE","match_verb":"SOLVE"})");
+  EXPECT_EQ(v.at("count").as_double(), 2.0);
+  server.stop_and_drain();
+}
+
+// A retried flight keeps one trace id across attempts, each attempt a
+// child span ("attempt/<k>"), so the server-side ring shows the whole
+// story: the BUSY rejections and the final success, under one id.
+TEST(SvcTrace, RetryReusesFlightTraceIdWithAttemptSpans) {
+  ensure_sleepy_solvers();
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  so.queue_capacity = 1;
+  so.flight.slow_ms = 0.0;
+  svc::Server server(so);
+  server.start();
+
+  std::vector<std::string> fps;
+  {
+    svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+    fps.push_back(c.load_dimacs_text(dimacs_text(make_ring(8, 1))));
+    fps.push_back(c.load_dimacs_text(dimacs_text(make_ring(8, 2))));
+  }
+
+  // Fill the single admission slot with a slow solve...
+  std::thread occupant([&] {
+    svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+    EXPECT_EQ(c.solve(fps[0], "min_mean", "test_sleepy").string_or("status", ""),
+              "ok");
+  });
+  std::this_thread::sleep_for(80ms);
+
+  // ...so the retrying client draws at least one BUSY before it lands.
+  svc::Client client = svc::Client::connect_unix(so.unix_socket_path);
+  svc::RetryPolicy policy;
+  policy.max_attempts = 20;
+  policy.initial_backoff_ms = 40.0;
+  policy.max_backoff_ms = 80.0;
+  policy.budget_ms = 20'000.0;
+  client.set_retry_policy(policy);
+  client.set_trace_id("retry-flight-1");
+  const json::Value r = client.solve_retry(fps[1], "min_mean", "howard");
+  EXPECT_EQ(r.string_or("status", ""), "ok");
+  EXPECT_EQ(r.string_or("trace_id", ""), "retry-flight-1");
+  occupant.join();
+
+  client.set_trace_id("");
+  const std::string raw =
+      client.request_raw(R"({"verb":"TRACE","id":"retry-flight-1"})");
+  const json::Value v = json::parse(raw);
+  ASSERT_EQ(v.string_or("status", ""), "ok");
+  EXPECT_GE(v.at("count").as_double(), 2.0);  // >= one BUSY + the success
+  EXPECT_NE(raw.find("\"parent_span\":\"attempt/1\""), std::string::npos) << raw;
+  server.stop_and_drain();
+}
+
+TEST(RequestLogFormat, OmitsEmptyStringsAndNegativeDurations) {
+  svc::RequestLog::Entry e;
+  e.ts_ms = 1500.25;
+  e.trace_id = "t1";
+  e.verb = "SOLVE";
+  e.cache = "miss";
+  e.queue_ms = 0.5;
+  e.solve_ms = 2.0;
+  e.total_ms = 3.25;
+  // fingerprint/algo/objective empty, deadline_ms negative: all absent;
+  // "code" present even when empty so successes are greppable.
+  EXPECT_EQ(svc::RequestLog::format(e),
+            "{\"ts_ms\":1500.25,\"trace_id\":\"t1\",\"verb\":\"SOLVE\","
+            "\"cache\":\"miss\",\"queue_ms\":0.5,\"solve_ms\":2,"
+            "\"code\":\"\",\"total_ms\":3.25}");
+  e.code = "BUSY";
+  e.deadline_ms = 100.0;
+  EXPECT_NE(svc::RequestLog::format(e).find("\"deadline_ms\":100,\"code\":\"BUSY\""),
+            std::string::npos);
+}
+
+TEST(SvcTrace, RequestLogWritesOneJsonLinePerRequest) {
+  const std::string log_path = unique_socket_path() + ".jsonl";
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  so.request_log_path = log_path;
+  svc::Server server(so);
+  server.start();
+
+  svc::Client client = svc::Client::connect_unix(so.unix_socket_path);
+  EXPECT_TRUE(client.ping());
+  const std::string fp = client.load_dimacs_text(dimacs_text(make_ring(8, 4)));
+  ASSERT_EQ(client.solve(fp).string_or("status", ""), "ok");        // miss
+  ASSERT_EQ(client.solve(fp).string_or("status", ""), "ok");        // hit
+  EXPECT_EQ(client.solve(std::string(32, '0')).string_or("code", ""),
+            "NOT_FOUND");
+  server.stop_and_drain();
+
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<json::Value> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(json::parse(line));
+  }
+  ASSERT_EQ(lines.size(), 5u);
+  for (const json::Value& entry : lines) {
+    EXPECT_FALSE(entry.string_or("trace_id", "").empty());
+    EXPECT_FALSE(entry.string_or("verb", "").empty());
+    EXPECT_TRUE(entry.has("code"));  // "" on success, typed code on error
+    EXPECT_GE(entry.at("total_ms").as_double(), 0.0);
+  }
+  EXPECT_EQ(lines[0].string_or("verb", ""), "PING");
+  EXPECT_EQ(lines[1].string_or("verb", ""), "LOAD");
+  EXPECT_EQ(lines[2].string_or("cache", ""), "miss");
+  EXPECT_GE(lines[2].at("solve_ms").as_double(), 0.0);
+  EXPECT_GE(lines[2].at("queue_ms").as_double(), 0.0);
+  EXPECT_EQ(lines[2].string_or("fingerprint", ""), fp);
+  EXPECT_EQ(lines[3].string_or("cache", ""), "hit");
+  EXPECT_EQ(lines[4].string_or("code", ""), "NOT_FOUND");
+  ::unlink(log_path.c_str());
 }
 
 // ---------------------------------------------------------------------------

@@ -6,16 +6,23 @@
 # concurrency-heavy suites (pool, parallel driver, tiled kernels, solve
 # service). Each config also runs a traced +
 # metered multi-SCC smoke solve and validates the exported trace /
-# metrics JSON with python3 -m json.tool, plus a tiny mcr_bench grid run
-# twice and gated with mcr_bench_diff: the self-diff must report zero
+# metrics JSON with python3 -m json.tool, plus a live-daemon
+# observability smoke: mcr_serve with the flight recorder pinning
+# everything and a JSONL request log, a solve tagged with a known trace
+# id, the TRACE payload fetched back by that id and json.tool-validated,
+# and every request-log line parsed as JSON. A tiny mcr_bench grid runs
+# twice and is gated with mcr_bench_diff: the self-diff must report zero
 # regressions (exit 0), and the A-vs-B cross-run diff uses a generous
 # threshold since CI machines are noisy (see docs/BENCHMARKING.md).
 # The Release config additionally gates against the committed
 # BENCH_baseline.json via the bench_all.sh --update-baseline recipe.
 # The sanitizer configs compile the fault-injection hooks in and run the
-# mcr_chaos seeded sweep (ASan, with --repeat-check) plus a
-# worker-death-heavy plan (TSan); the Release config asserts with nm
-# that no injector symbol leaked into the shipped artifacts
+# mcr_chaos seeded sweep (ASan, with --repeat-check; the sweep's
+# in-process servers run tiny always-on flight recorders whose capacity
+# bounds are asserted per seed) plus a worker-death-heavy plan (TSan),
+# and a chaos --crash-test that must die by SIGABRT while leaving a
+# json.tool-valid post-mortem flight dump; the Release config asserts
+# with nm that no injector symbol leaked into the shipped artifacts
 # (docs/ROBUSTNESS.md).
 #
 #   tools/ci.sh [--fast]
@@ -49,6 +56,41 @@ obs_smoke() {
   rm -rf "$tmp"
 }
 
+# Live-daemon observability smoke: mcr_serve with slow-ms 0 (pin every
+# request trace) and full-detail sampling, driven by mcr_query. The
+# solve's caller-chosen trace id must locate its trace via the TRACE
+# verb, the fetched payload must be loadable JSON, and the structured
+# request log must be one parseable JSON object per line. $1 = build dir.
+svc_obs_smoke() {
+  local bdir="$1"
+  local tmp
+  tmp="$(mktemp -d)"
+  echo "=== svc observability smoke ($bdir) ==="
+  local sock="$tmp/mcr.sock"
+  run "$bdir/tools/mcr_gen" circuit --n 500 --module 16 --seed 7 \
+      --out "$tmp/g.dimacs"
+  "$bdir/tools/mcr_serve" --socket "$sock" --slow-ms 0 --trace-sample 1.0 \
+      --log-json "$tmp/requests.jsonl" --flight-dump none &
+  local server_pid=$!
+  for _ in $(seq 1 100); do [[ -S "$sock" ]] && break; sleep 0.1; done
+  run "$bdir/tools/mcr_query" --socket "$sock" solve "$tmp/g.dimacs" \
+      --trace-id ci-smoke-trace > /dev/null
+  run "$bdir/tools/mcr_query" --socket "$sock" trace --trace-id ci-smoke-trace \
+      --out "$tmp/trace_fetch.json"
+  run python3 -m json.tool "$tmp/trace_fetch.json" > /dev/null
+  grep -q ci-smoke-trace "$tmp/trace_fetch.json"
+  run "$bdir/tools/mcr_query" --socket "$sock" stats > /dev/null
+  kill -TERM "$server_pid"
+  wait "$server_pid"
+  [[ -s "$tmp/requests.jsonl" ]]
+  while IFS= read -r line; do
+    printf '%s' "$line" | python3 -m json.tool > /dev/null
+  done < "$tmp/requests.jsonl"
+  grep -q '"verb":"SOLVE"' "$tmp/requests.jsonl"
+  grep -q '"trace_id":"ci-smoke-trace"' "$tmp/requests.jsonl"
+  rm -rf "$tmp"
+}
+
 # Benchmark artifact + regression-gate smoke: a tiny grid run twice,
 # both artifacts schema-validated, then gated. The strict gate is the
 # deterministic self-diff; the cross-run diff only proves the gate can
@@ -77,6 +119,7 @@ if [[ "$FAST" == 0 ]]; then
   run cmake --build build -j "$JOBS"
   run ctest --test-dir build --output-on-failure -j "$JOBS"
   obs_smoke build
+  svc_obs_smoke build
   bench_smoke build
 
   echo "=== bench baseline gate ==="
@@ -118,12 +161,30 @@ run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMCR_SANITIZE=ON
 run cmake --build build-asan -j "$JOBS"
 run ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 obs_smoke build-asan
+svc_obs_smoke build-asan
 bench_smoke build-asan
 
 echo "=== chaos smoke (sanitized, seeded fault plans) ==="
 # Eight seeds, each run twice: zero invariant violations and the same
-# seed must reproduce the same injection trace bit-identically.
+# seed must reproduce the same injection trace bit-identically. Each
+# seed's in-process server runs a tiny flight recorder (capacity 8,
+# everything pinned, full sampling); the sweep itself asserts the
+# retention bounds held.
 run build-asan/tools/mcr_chaos --seeds 8 --repeat-check
+
+echo "=== chaos crash-test (post-mortem flight dump) ==="
+# With the fatal-signal handler installed the harness raises SIGABRT
+# after its workload: the process must die abnormally AND leave a
+# well-formed Chrome-JSON dump of the retained request traces.
+crash_tmp="$(mktemp -d)"
+if build-asan/tools/mcr_chaos --seeds 1 --solves 6 \
+    --crash-test "$crash_tmp/flight_dump.json"; then
+  echo "FAIL: --crash-test exited zero (expected death by SIGABRT)" >&2
+  exit 1
+fi
+run python3 -m json.tool "$crash_tmp/flight_dump.json" > /dev/null
+echo "post-mortem flight dump present and well-formed"
+rm -rf "$crash_tmp"
 
 echo "=== fuzz smoke (sanitized, ${FUZZ_TRIALS} trials per config) ==="
 FUZZ=build-asan/tools/mcr_fuzz

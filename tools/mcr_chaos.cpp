@@ -25,13 +25,26 @@
 // In a build without MCR_FAULT_INJECTION the hooks fold to constants;
 // the tool says so and degrades to a pure verification sweep.
 //
+// The in-process servers run their flight recorders in a deliberately
+// tiny configuration (ring/pinned capacity --flight, slow-ms 0, head
+// sampling 1.0 — every request pinned with full solver detail), and the
+// sweep asserts after every seed that both retention sets stayed within
+// capacity: the flight recorder must hold its memory bound under
+// sustained faulty load. --crash-test PATH additionally installs the
+// fatal-signal dump handler after the first seed's workload and raises
+// SIGABRT: the process must die by the signal (nonzero exit) *and*
+// leave a well-formed Chrome-JSON ring dump at PATH — the post-mortem
+// contract ci.sh validates.
+//
 //   mcr_chaos [--seeds N] [--seed-base B] [--solves N] [--plan SPEC]
-//             [--repeat-check] [--trace]
+//             [--repeat-check] [--trace] [--flight N]
+//             [--crash-test PATH]
 //
 // Exit status: 0 = no invariant violations, 1 = violations (each is
-// printed), 2 = usage error.
+// printed), 2 = usage error; --crash-test dies by SIGABRT.
 #include <unistd.h>
 
+#include <csignal>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -43,6 +56,7 @@
 #include "fault/fault.h"
 #include "gen/sprand.h"
 #include "graph/io.h"
+#include "obs/flight_recorder.h"
 #include "support/json.h"
 #include "svc/client.h"
 #include "svc/errors.h"
@@ -226,7 +240,8 @@ void run_workload(const std::string& socket_path, const std::vector<Graph>& grap
 
 SeedReport run_seed(std::uint64_t seed, const fault::Plan& base_plan,
                     const std::vector<Graph>& graphs,
-                    const std::vector<std::string>& dimacs, int solves, int run_index) {
+                    const std::vector<std::string>& dimacs, int solves, int run_index,
+                    std::size_t flight_capacity, const std::string& crash_dump) {
   SeedReport report;
   report.seed = seed;
 
@@ -241,6 +256,14 @@ SeedReport run_seed(std::uint64_t seed, const fault::Plan& base_plan,
   // Leave the idle reaper off: it is wall-clock-driven and would make
   // the injection trace timing-dependent.
   options.idle_timeout_ms = 0;
+  // A deliberately tiny flight recorder under maximum pressure: slow-ms
+  // 0 pins every request and sample 1.0 records full solver detail, so
+  // both retention sets churn through eviction constantly. The bound
+  // checks after the workload are the memory contract.
+  options.flight.capacity = flight_capacity;
+  options.flight.pinned_capacity = flight_capacity;
+  options.flight.slow_ms = 0.0;
+  options.flight.sample_rate = 1.0;
 
 #if defined(MCR_FAULT_INJECTION) && MCR_FAULT_INJECTION
   fault::Plan plan = base_plan;
@@ -258,6 +281,35 @@ SeedReport run_seed(std::uint64_t seed, const fault::Plan& base_plan,
   } catch (const std::exception& e) {
     report.violations.push_back(std::string("session aborted: ") + e.what());
   }
+
+  // Memory contract: however the faults fell, the flight recorder must
+  // have stayed within both of its configured capacities.
+  if (server.flight().ring_size() > options.flight.capacity) {
+    report.violations.push_back(
+        "flight recorder ring exceeded capacity: " +
+        std::to_string(server.flight().ring_size()) + " > " +
+        std::to_string(options.flight.capacity));
+  }
+  if (server.flight().pinned_size() > options.flight.pinned_capacity) {
+    report.violations.push_back(
+        "flight recorder pinned set exceeded capacity: " +
+        std::to_string(server.flight().pinned_size()) + " > " +
+        std::to_string(options.flight.pinned_capacity));
+  }
+
+  if (!crash_dump.empty()) {
+    // Post-mortem contract: die by SIGABRT with the dump handler
+    // installed. The handler writes the retained ring as Chrome JSON to
+    // `crash_dump` and re-raises with the default disposition, so the
+    // process exits abnormally — ci.sh asserts both the nonzero status
+    // and that the artifact parses.
+    std::cout << "mcr_chaos: crash-test: raising SIGABRT with "
+              << server.flight().ring_size() << " retained trace(s); dump -> "
+              << crash_dump << std::endl;
+    obs::install_fatal_dump(&server.flight(), crash_dump);
+    std::raise(SIGABRT);
+  }
+
   // Crash-only contract: shutdown must drain and join even while the
   // plan is still firing (a hang here fails the whole sweep).
   server.stop_and_drain();
@@ -278,17 +330,23 @@ int main(int argc, char** argv) {
   int seeds = 8;
   int solves = 12;
   std::uint64_t seed_base = 1;
+  std::size_t flight_capacity = 8;
+  std::string crash_dump;
   fault::Plan base_plan;
   try {
     opt = cli::parse(argc, argv);
     seeds = static_cast<int>(opt.get_int_in("seeds", 8, 1, 100000));
     solves = static_cast<int>(opt.get_int_in("solves", 12, 1, 100000));
     seed_base = static_cast<std::uint64_t>(opt.get_int("seed-base", 1));
+    flight_capacity =
+        static_cast<std::size_t>(opt.get_int_in("flight", 8, 1, 1 << 20));
+    crash_dump = opt.get("crash-test");
     base_plan = fault::Plan::parse(opt.get("plan", kDefaultPlan));
   } catch (const std::exception& e) {
     std::cerr << "mcr_chaos: " << e.what() << "\n"
               << "usage: mcr_chaos [--seeds N] [--seed-base B] [--solves N]\n"
-              << "                 [--plan SPEC] [--repeat-check] [--trace]\n";
+              << "                 [--plan SPEC] [--repeat-check] [--trace]\n"
+              << "                 [--flight N] [--crash-test PATH]\n";
     return 2;
   }
 
@@ -306,10 +364,12 @@ int main(int argc, char** argv) {
   int violations = 0;
   for (int i = 0; i < seeds; ++i) {
     const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(i);
-    SeedReport report = run_seed(seed, base_plan, graphs, dimacs, solves, 0);
+    SeedReport report = run_seed(seed, base_plan, graphs, dimacs, solves, 0,
+                                 flight_capacity, crash_dump);
 
     if (opt.has("repeat-check")) {
-      const SeedReport again = run_seed(seed, base_plan, graphs, dimacs, solves, 1);
+      const SeedReport again = run_seed(seed, base_plan, graphs, dimacs, solves, 1,
+                                        flight_capacity, crash_dump);
       if (again.trace != report.trace) {
         report.violations.push_back(
             "non-deterministic injection trace across identical runs:\n  first:  " +

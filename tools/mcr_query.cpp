@@ -13,10 +13,23 @@
 //                                   cached results; cache status goes
 //                                   to stderr)
 //     solvers                       list the server's registered solvers
-//     stats [--prometheus]          server metrics (JSON, or Prometheus
-//                                   text with --prometheus)
+//     stats [--prometheus] [--json] server metrics: per-verb latency
+//                                   summary table (p50/p95/p99 from the
+//                                   histogram buckets) by default, the
+//                                   raw JSON with --json, Prometheus
+//                                   text with --prometheus
 //     health                        liveness + queue depth + last-solve age
+//     trace [--trace-id H] [--verb V] [--min-ms N] [--limit N] [--out FILE]
+//                                   fetch recent/pinned request traces
+//                                   from the flight recorder as
+//                                   Perfetto-loadable Chrome JSON
+//                                   (stdout or --out FILE; summary on
+//                                   stderr)
 //     raw '<json>'                  send one raw request payload
+//
+//   solve also accepts --trace-id H to propagate a caller-chosen trace
+//   id; every response's trace_id is echoed on stderr so the request's
+//   trace can be fetched back with `trace --trace-id`.
 //
 //   --retry    retry transient failures (BUSY / DEADLINE_EXCEEDED /
 //              SHUTTING_DOWN and transport errors) with exponential
@@ -33,10 +46,13 @@
 //   5  DEADLINE_EXCEEDED the request's deadline elapsed
 //   6  NOT_FOUND         fingerprint not resident (LOAD it again)
 //   7  SHUTTING_DOWN     server is draining; retry against its successor
+#include <cstdint>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "cli.h"
 #include "obs/build_info.h"
@@ -56,9 +72,12 @@ verbs:
   load <file.dimacs>          load a graph, print its fingerprint
   solve <file.dimacs|fp:HEX>  solve and print the result
     [--algo NAME] [--ratio] [--max] [--deadline-ms N] [--output json]
+    [--trace-id H]
   solvers                     list the server's registered solvers
-  stats [--prometheus]        server metrics
+  stats [--prometheus|--json] server metrics (default: latency table)
   health                      liveness + queue depth + last-solve age
+  trace [--trace-id H] [--verb V] [--min-ms N] [--limit N] [--out FILE]
+                              fetch request traces (Chrome JSON)
   raw '<json>'                send one raw request payload
 
 flags:
@@ -153,7 +172,8 @@ int do_solve(svc::Client& client, const cli::Options& opt) {
 
   const json::Value& result = r.at("result");
   const bool cached = r.at("cached").as_bool();
-  std::cerr << (cached ? "(cached)" : "(solved)") << "\n";
+  std::cerr << (cached ? "(cached)" : "(solved)") << " trace_id="
+            << r.string_or("trace_id", "?") << "\n";
   if (opt.get("output") == "json") {
     // The response embeds the shared result schema as its final field;
     // print exactly those bytes so responses for the same cache key are
@@ -178,6 +198,171 @@ int do_solve(svc::Client& client, const cli::Options& opt) {
             << result.at("value").as_double() << "), cycle length "
             << static_cast<std::int64_t>(result.at("cycle_length").as_double())
             << ", " << result.at("milliseconds").as_double() << " ms\n";
+  return 0;
+}
+
+/// One histogram's cumulative buckets, decoded from the stats JSON.
+struct BucketSet {
+  std::vector<double> bounds;           // finite upper bounds, seconds
+  std::vector<std::uint64_t> cumulative;  // same length + 1 (+Inf last)
+  std::vector<std::string> exemplars;     // per bucket; "" = none
+  std::uint64_t total = 0;
+};
+
+BucketSet decode_buckets(const json::Value& hist) {
+  BucketSet bs;
+  for (const json::Value& b : hist.at("buckets").as_array()) {
+    const json::Value& le = b.at("le");
+    if (le.is_number()) bs.bounds.push_back(le.as_double());
+    bs.cumulative.push_back(
+        static_cast<std::uint64_t>(b.at("count").as_double()));
+    bs.exemplars.push_back(
+        b.has("exemplar") ? b.at("exemplar").string_or("label", "") : "");
+  }
+  bs.total = static_cast<std::uint64_t>(hist.at("count").as_double());
+  return bs;
+}
+
+/// Prometheus-style histogram_quantile: locate the bucket holding the
+/// q-th observation and interpolate linearly inside it. Observations in
+/// the +Inf bucket report the largest finite bound (a floor, flagged
+/// with '>' by the caller).
+double bucket_quantile(const BucketSet& bs, double q) {
+  if (bs.total == 0) return 0.0;
+  const double rank = q * static_cast<double>(bs.total);
+  for (std::size_t i = 0; i < bs.cumulative.size(); ++i) {
+    if (static_cast<double>(bs.cumulative[i]) < rank) continue;
+    if (i >= bs.bounds.size()) return bs.bounds.empty() ? 0.0 : bs.bounds.back();
+    const double lo = i == 0 ? 0.0 : bs.bounds[i - 1];
+    const double hi = bs.bounds[i];
+    const double below = i == 0 ? 0.0 : static_cast<double>(bs.cumulative[i - 1]);
+    const double in_bucket = static_cast<double>(bs.cumulative[i]) - below;
+    if (in_bucket <= 0.0) return hi;
+    return lo + (hi - lo) * ((rank - below) / in_bucket);
+  }
+  return bs.bounds.empty() ? 0.0 : bs.bounds.back();
+}
+
+/// The exemplar nearest the q-th-quantile bucket (searching upward
+/// first — the slow outlier is what you want a trace of).
+std::string quantile_exemplar(const BucketSet& bs, double q) {
+  if (bs.total == 0) return "";
+  const double rank = q * static_cast<double>(bs.total);
+  std::size_t at = bs.cumulative.empty() ? 0 : bs.cumulative.size() - 1;
+  for (std::size_t i = 0; i < bs.cumulative.size(); ++i) {
+    if (static_cast<double>(bs.cumulative[i]) >= rank) {
+      at = i;
+      break;
+    }
+  }
+  for (std::size_t i = at; i < bs.exemplars.size(); ++i) {
+    if (!bs.exemplars[i].empty()) return bs.exemplars[i];
+  }
+  for (std::size_t i = at; i-- > 0;) {
+    if (!bs.exemplars[i].empty()) return bs.exemplars[i];
+  }
+  return "";
+}
+
+std::string fmt_ms(double seconds) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(seconds * 1000.0 < 10.0 ? 3 : 1);
+  os << seconds * 1000.0;
+  return os.str();
+}
+
+/// Human stats view: one latency row per verb (plus the aggregate),
+/// quantiles interpolated from the mcr_request_seconds histograms.
+int print_stats_table(const json::Value& r) {
+  const json::Value& hists = r.at("metrics").at("histograms");
+  const std::string base = "mcr_request_seconds";
+  struct Row {
+    std::string label;
+    BucketSet buckets;
+  };
+  std::vector<Row> rows;
+  for (const auto& [name, hist] : hists.as_object()) {
+    if (name == base) {
+      rows.push_back({"(all)", decode_buckets(hist)});
+    } else if (name.rfind(base + "{verb=\"", 0) == 0) {
+      std::string verb = name.substr(base.size() + 7);
+      if (const auto quote = verb.find('"'); quote != std::string::npos) {
+        verb.resize(quote);
+      }
+      rows.push_back({verb, decode_buckets(hist)});
+    }
+  }
+  if (rows.empty()) {
+    std::cout << "no request latency data yet (mcr_request_seconds is empty); "
+                 "--json for raw metrics\n";
+    return 0;
+  }
+  std::cout << "request latency (ms, interpolated from histogram buckets)\n";
+  std::cout << "  verb       count      p50      p95      p99  p99 trace\n";
+  for (const Row& row : rows) {
+    const std::string p99_trace = quantile_exemplar(row.buckets, 0.99);
+    std::ostringstream line;
+    line << "  " << row.label;
+    for (std::size_t pad = row.label.size(); pad < 8; ++pad) line << ' ';
+    line.setf(std::ios::right);
+    line << std::setw(9) << row.buckets.total;
+    for (const double q : {0.50, 0.95, 0.99}) {
+      line << std::setw(9) << fmt_ms(bucket_quantile(row.buckets, q));
+    }
+    line << "  " << (p99_trace.empty() ? "-" : p99_trace);
+    std::cout << line.str() << "\n";
+  }
+  std::cout << "(fetch a trace: mcr_query ... trace --trace-id ID; "
+               "--json for raw metrics)\n";
+  return 0;
+}
+
+int do_trace(svc::Client& client, const cli::Options& opt) {
+  std::string payload = R"({"verb":"TRACE")";
+  if (opt.has("trace-id")) {
+    payload += R"(,"id":")" + svc::json_escape(opt.get("trace-id")) + "\"";
+  }
+  if (opt.has("verb")) {
+    payload += R"(,"match_verb":")" + svc::json_escape(opt.get("verb")) + "\"";
+  }
+  if (const double min_ms = opt.get_double("min-ms", -1.0); min_ms >= 0.0) {
+    payload += ",\"min_ms\":" + std::to_string(min_ms);
+  }
+  payload += ",\"limit\":" + std::to_string(opt.get_int_in("limit", 32, 0, 1 << 20));
+  payload += "}";
+  const std::string raw = client.request_raw(payload);
+  const json::Value r = json::parse(raw);
+  if (const int rc = finish(r); rc != 0) return rc;
+  // chrome_trace is the response's final field; cut its exact bytes.
+  const std::size_t pos = raw.find("\"chrome_trace\":");
+  if (pos == std::string::npos || raw.back() != '}') {
+    std::cerr << "mcr_query: malformed TRACE response\n";
+    return 3;
+  }
+  const std::size_t begin = pos + 15;
+  const std::string chrome = raw.substr(begin, raw.size() - 1 - begin);
+  std::cerr << "traces matched: "
+            << static_cast<std::int64_t>(r.number_or("count", 0)) << " (ring "
+            << static_cast<std::int64_t>(r.number_or("ring_size", 0))
+            << ", pinned "
+            << static_cast<std::int64_t>(r.number_or("pinned_size", 0))
+            << ", finished "
+            << static_cast<std::int64_t>(r.number_or("finished_total", 0))
+            << ", evicted "
+            << static_cast<std::int64_t>(r.number_or("evicted_total", 0))
+            << ")\n";
+  if (opt.has("out")) {
+    std::ofstream out(opt.get("out"));
+    if (!out) {
+      std::cerr << "mcr_query: cannot write " << opt.get("out") << "\n";
+      return 2;
+    }
+    out << chrome << "\n";
+    std::cerr << "wrote " << opt.get("out") << "\n";
+  } else {
+    std::cout << chrome << "\n";
+  }
   return 0;
 }
 
@@ -212,6 +397,12 @@ int main(int argc, char** argv) {
       client.set_retry_policy(svc::RetryPolicy{});
     }
     const std::string& verb = opt.positional[0];
+    // Sticky trace id for request verbs; the `trace` verb reuses the
+    // same flag as its *filter*, so leave the client unset there.
+    if (opt.has("trace-id") && verb != "trace") {
+      client.set_trace_id(opt.get("trace-id"));
+    }
+    if (verb == "trace") return do_trace(client, opt);
     if (verb == "health") {
       const std::string raw = client.request_raw(R"({"verb":"HEALTH"})");
       const json::Value r = json::parse(raw);
@@ -256,10 +447,13 @@ int main(int argc, char** argv) {
       if (const int rc = finish(r); rc != 0) return rc;
       if (opt.has("prometheus")) {
         std::cout << r.at("prometheus").as_string();
-      } else {
-        std::cout << raw << "\n";
+        return 0;
       }
-      return 0;
+      if (opt.has("json")) {
+        std::cout << raw << "\n";
+        return 0;
+      }
+      return print_stats_table(r);
     }
     if (verb == "raw") {
       if (opt.positional.size() != 2) {

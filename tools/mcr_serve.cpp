@@ -3,7 +3,9 @@
 //   mcr_serve --socket /tmp/mcr.sock [--listen PORT] [--threads N]
 //             [--tile-arcs N] [--queue K] [--batch N] [--cache N]
 //             [--graphs N] [--max-frame BYTES] [--preload FILE]...
-//             [--trace FILE]
+//             [--trace FILE] [--slow-ms MS] [--trace-sample P]
+//             [--flight N] [--flight-pinned N] [--flight-dump PATH]
+//             [--log-json PATH]
 //
 //   --socket PATH    Unix-domain listener (the normal deployment)
 //   --listen PORT    additional TCP listener on 127.0.0.1:PORT
@@ -21,7 +23,20 @@
 //   --preload FILE   load a DIMACS file into the registry at startup
 //                    (repeatable via comma-separated list)
 //   --trace FILE     write a Chrome/Perfetto trace on exit
+//   --slow-ms MS     pin request traces at least this slow (0 pins all,
+//                    -1 disables slow-pinning; errors always pin)
+//   --trace-sample P head-sampling probability in [0,1] for full-detail
+//                    solver spans in retained request traces
+//   --flight N       flight-recorder ring capacity (recent traces)
+//   --flight-pinned N  pinned-trace capacity (slow/errored)
+//   --flight-dump PATH post-mortem ring dump on a fatal signal
+//                    ("none" disables; default mcr_flight_dump.json)
+//   --log-json PATH  per-request JSONL access log (default off)
 //   --version        print build provenance and exit
+//
+// The flight recorder itself is always on: the TRACE verb serves the
+// recent/pinned request traces of a live daemon as Perfetto-loadable
+// Chrome JSON. See docs/OBSERVABILITY.md.
 //
 // SIGTERM / SIGINT drain gracefully: stop accepting, finish every
 // in-flight request, then exit 0. Protocol reference: docs/SERVICE.md.
@@ -74,7 +89,10 @@ int main(int argc, char** argv) {
                    "                 [--tile-arcs N] [--queue K] [--batch N]\n"
                    "                 [--cache N] [--graphs N]\n"
                    "                 [--max-frame BYTES] [--preload FILE[,FILE...]]\n"
-                   "                 [--trace FILE] [--version]\n";
+                   "                 [--trace FILE] [--slow-ms MS] [--trace-sample P]\n"
+                   "                 [--flight N] [--flight-pinned N]\n"
+                   "                 [--flight-dump PATH] [--log-json PATH]\n"
+                   "                 [--version]\n";
       return 2;
     }
 
@@ -98,8 +116,23 @@ int main(int argc, char** argv) {
         "max-frame", static_cast<std::int64_t>(svc::kDefaultMaxFrameBytes), 1024,
         1 << 30));
     if (opt.has("trace")) so.trace = &recorder;
+    so.flight.capacity =
+        static_cast<std::size_t>(opt.get_int_in("flight", 256, 1, 1 << 20));
+    so.flight.pinned_capacity =
+        static_cast<std::size_t>(opt.get_int_in("flight-pinned", 64, 1, 1 << 20));
+    so.flight.slow_ms = opt.get_double("slow-ms", 250.0);
+    so.flight.sample_rate = opt.get_double("trace-sample", 0.0);
+    if (so.flight.sample_rate < 0.0 || so.flight.sample_rate > 1.0) {
+      std::cerr << "mcr_serve: --trace-sample must be in [0,1]\n";
+      return 2;
+    }
+    so.request_log_path = opt.get("log-json");
 
     svc::Server server(so);
+    const std::string dump_path = opt.get("flight-dump", "mcr_flight_dump.json");
+    if (dump_path != "none") {
+      obs::install_fatal_dump(&server.flight(), dump_path);
+    }
     for (const std::string& file : split_csv(opt.get("preload"))) {
       std::cout << "preload: " << file << " -> " << server.preload_dimacs_file(file)
                 << "\n";
