@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "obs/trace_recorder.h"  // json_escape
 
 #if __has_include("mcr_build_info_gen.h")
 #include "mcr_build_info_gen.h"
@@ -84,6 +85,27 @@ std::string version_string(const std::string& tool) {
   out += "  compiler:   " + b.compiler + "\n";
   out += "  build type: " + b.build_type + "\n";
   out += "  flags:      " + b.flags + "\n";
+  return out;
+}
+
+std::string build_info_json() {
+  const BuildInfo& b = build_info();
+  std::string out = "{";
+  const auto field = [&](const char* key, const std::string& value) {
+    if (out.size() > 1) out += ',';
+    out += '"';
+    out += key;
+    out += "\":\"";
+    json_escape(out, value);
+    out += '"';
+  };
+  field("git_sha", b.git_sha);
+  field("compiler", b.compiler);
+  field("flags", b.flags);
+  field("build_type", b.build_type);
+  field("cpu_model", b.cpu_model);
+  field("governor", b.governor);
+  out += ",\"hardware_threads\":" + std::to_string(b.hardware_threads) + "}";
   return out;
 }
 

@@ -40,6 +40,11 @@ void export_build_info(MetricsRegistry& metrics);
 /// field per line. Ends with a newline.
 [[nodiscard]] std::string version_string(const std::string& tool);
 
+/// BuildInfo as one JSON object (every field escaped) — embedded in the
+/// STATS response and in mcr_load report artifacts so any recorded
+/// number is attributable to the binary that produced it.
+[[nodiscard]] std::string build_info_json();
+
 }  // namespace mcr::obs
 
 #endif  // MCR_OBS_BUILD_INFO_H

@@ -85,14 +85,20 @@ void Histogram::observe(double x, std::string_view exemplar) {
   observe(x);
   if (exemplar.empty()) return;
   constexpr auto kStale = std::chrono::seconds(60);
-  const auto now = std::chrono::steady_clock::now();
   ExemplarSlot& slot = exemplar_slots_[bucket_index(x)];
   std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  const auto now =
+      exemplar_clock_ ? exemplar_clock_() : std::chrono::steady_clock::now();
   if (slot.label.empty() || x >= slot.value || now - slot.when > kStale) {
     slot.value = x;
     slot.label.assign(exemplar);
     slot.when = now;
   }
+}
+
+void Histogram::set_exemplar_clock(ExemplarClock clock) {
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  exemplar_clock_ = std::move(clock);
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
@@ -122,7 +128,8 @@ std::vector<double> MetricsRegistry::default_bounds() {
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (gauges_.count(name) != 0 || histograms_.count(name) != 0) {
+  if (gauges_.count(name) != 0 || histograms_.count(name) != 0 ||
+      windowed_.count(name) != 0) {
     throw std::invalid_argument("metric '" + name + "' already registered with another type");
   }
   auto& slot = counters_[name];
@@ -132,7 +139,8 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
+  if (counters_.count(name) != 0 || histograms_.count(name) != 0 ||
+      windowed_.count(name) != 0) {
     throw std::invalid_argument("metric '" + name + "' already registered with another type");
   }
   auto& slot = gauges_[name];
@@ -149,6 +157,46 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
+}
+
+SlidingWindowHistogram& MetricsRegistry::windowed_histogram(
+    const std::string& name, std::vector<double> bounds,
+    SlidingWindowHistogram::Options options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // A windowed instrument may share its name with a cumulative
+  // histogram (the windowed view of the same family) but not with a
+  // scalar instrument.
+  if (counters_.count(name) != 0 || gauges_.count(name) != 0) {
+    throw std::invalid_argument("metric '" + name + "' already registered with another type");
+  }
+  auto& slot = windowed_[name];
+  if (!slot) {
+    slot = std::make_unique<SlidingWindowHistogram>(std::move(bounds),
+                                                    std::move(options));
+  }
+  return *slot;
+}
+
+std::map<std::string, SlidingWindowHistogram::Snapshot>
+MetricsRegistry::windowed_snapshots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, SlidingWindowHistogram::Snapshot> out;
+  for (const auto& [name, h] : windowed_) out.emplace(name, h->snapshot());
+  return out;
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counter_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : counters_) out.emplace(name, c->value());
+  return out;
+}
+
+std::map<std::string, std::int64_t> MetricsRegistry::gauge_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, g] : gauges_) out.emplace(name, g->value());
+  return out;
 }
 
 void MetricsRegistry::write_prometheus(std::ostream& os) const {
@@ -255,6 +303,29 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     out += "{\"le\":\"+Inf\",\"count\":" + std::to_string(s.count);
     exemplar(s.bounds.size());
     out += "}]}";
+  }
+  out += "},\"windowed\":{";
+  first = true;
+  for (const auto& [name, h] : windowed_) {
+    if (!first) out += ',';
+    first = false;
+    const SlidingWindowHistogram::Snapshot s = h->snapshot();
+    key(name);
+    out += "{\"count\":" + std::to_string(s.count);
+    out += ",\"sum\":" + fmt_double(s.sum);
+    out += ",\"window_seconds\":" + fmt_double(s.window_seconds);
+    out += ",\"covered_seconds\":" + fmt_double(s.covered_seconds);
+    out += ",\"buckets\":[";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+      cumulative += s.counts[i];
+      if (i != 0) out += ',';
+      out += "{\"le\":" + fmt_double(s.bounds[i]) +
+             ",\"count\":" + std::to_string(cumulative);
+      out += '}';
+    }
+    if (!s.bounds.empty()) out += ',';
+    out += "{\"le\":\"+Inf\",\"count\":" + std::to_string(s.count) + "}]}";
   }
   out += "}}";
   os << out;

@@ -28,6 +28,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <initializer_list>
 #include <iosfwd>
 #include <map>
@@ -37,6 +38,8 @@
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "obs/windowed.h"
 
 namespace mcr::obs {
 
@@ -109,6 +112,12 @@ class Histogram {
   };
   [[nodiscard]] Snapshot snapshot() const;
 
+  /// Time source for the exemplar staleness takeover, injectable so the
+  /// 60s policy is testable without sleeping. Empty restores the
+  /// default (std::chrono::steady_clock::now).
+  using ExemplarClock = std::function<std::chrono::steady_clock::time_point()>;
+  void set_exemplar_clock(ExemplarClock clock);
+
  private:
   struct ExemplarSlot {
     double value = 0.0;
@@ -125,6 +134,7 @@ class Histogram {
 
   mutable std::mutex exemplar_mutex_;
   std::vector<ExemplarSlot> exemplar_slots_;
+  ExemplarClock exemplar_clock_;  // empty = steady_clock
 };
 
 class MetricsRegistry {
@@ -137,6 +147,29 @@ class MetricsRegistry {
   [[nodiscard]] Gauge& gauge(const std::string& name);
   [[nodiscard]] Histogram& histogram(const std::string& name,
                                      std::vector<double> bounds = default_bounds());
+
+  /// Time-windowed companion to histogram(): a SlidingWindowHistogram
+  /// registered under `name`. Windowed instruments live in their own
+  /// namespace and may deliberately share a name with a cumulative
+  /// histogram — the windowed view of the same family (exported under
+  /// the JSON "windowed" key; absent from the Prometheus text, which
+  /// has no windowed semantics). Sharing a name with a counter or gauge
+  /// still throws.
+  [[nodiscard]] SlidingWindowHistogram& windowed_histogram(
+      const std::string& name, std::vector<double> bounds = default_bounds(),
+      SlidingWindowHistogram::Options options = {});
+
+  /// Merged snapshots of every windowed instrument, keyed by name.
+  [[nodiscard]] std::map<std::string, SlidingWindowHistogram::Snapshot>
+  windowed_snapshots() const;
+
+  /// Every counter's current value, keyed by name — the input for
+  /// delta-based snapshot telemetry (the stats pump diffs two of these).
+  [[nodiscard]] std::map<std::string, std::uint64_t> counter_values() const;
+
+  /// Every gauge's current value, keyed by name (the pump reports these
+  /// as point-in-time readings, no delta).
+  [[nodiscard]] std::map<std::string, std::int64_t> gauge_values() const;
 
   /// Exponential seconds buckets, 1us .. ~65s.
   [[nodiscard]] static std::vector<double> default_bounds();
@@ -154,6 +187,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<SlidingWindowHistogram>> windowed_;
 };
 
 }  // namespace mcr::obs

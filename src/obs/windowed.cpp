@@ -1,0 +1,134 @@
+#include "obs/windowed.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace mcr::obs {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::optional<double> histogram_quantile(
+    const std::vector<double>& bounds,
+    const std::vector<std::uint64_t>& cumulative, std::uint64_t total,
+    double q) {
+  if (total == 0 || bounds.empty() || cumulative.empty()) return std::nullopt;
+  const double rank = q * static_cast<double>(total);
+  for (std::size_t i = 0; i < cumulative.size(); ++i) {
+    if (static_cast<double>(cumulative[i]) < rank) continue;
+    if (i >= bounds.size()) return bounds.back();  // +Inf bucket: floor
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = bounds[i];
+    const double below = i == 0 ? 0.0 : static_cast<double>(cumulative[i - 1]);
+    const double in_bucket = static_cast<double>(cumulative[i]) - below;
+    if (in_bucket <= 0.0) return hi;
+    return lo + (hi - lo) * ((rank - below) / in_bucket);
+  }
+  return bounds.back();
+}
+
+SlidingWindowHistogram::SlidingWindowHistogram(std::vector<double> bounds)
+    : SlidingWindowHistogram(std::move(bounds), Options{}) {}
+
+SlidingWindowHistogram::SlidingWindowHistogram(std::vector<double> bounds,
+                                               Options options)
+    : bounds_(std::move(bounds)), options_(std::move(options)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument(
+        "SlidingWindowHistogram: bucket bounds must be ascending");
+  }
+  if (options_.slots < 2) {
+    throw std::invalid_argument("SlidingWindowHistogram: need >= 2 slots");
+  }
+  if (!(options_.window_seconds > 0.0)) {
+    throw std::invalid_argument(
+        "SlidingWindowHistogram: window_seconds must be positive");
+  }
+  slot_ns_ = static_cast<std::int64_t>(options_.window_seconds * 1e9 /
+                                       static_cast<double>(options_.slots));
+  if (slot_ns_ <= 0) slot_ns_ = 1;
+  born_ns_ = now_ns();
+  slots_ = std::vector<Slot>(options_.slots);
+  for (Slot& slot : slots_) {
+    slot.buckets =
+        std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) slot.buckets[i] = 0;
+  }
+}
+
+std::int64_t SlidingWindowHistogram::now_ns() const {
+  return options_.clock ? options_.clock() : steady_now_ns();
+}
+
+std::size_t SlidingWindowHistogram::bucket_index(double x) const {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void SlidingWindowHistogram::rotate(Slot& slot, std::int64_t tick) {
+  std::lock_guard<std::mutex> lock(rotate_mutex_);
+  if (slot.tick.load(std::memory_order_relaxed) >= tick) return;  // lost the race
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    slot.buckets[i].store(0, std::memory_order_relaxed);
+  }
+  slot.count.store(0, std::memory_order_relaxed);
+  slot.sum.store(0.0, std::memory_order_relaxed);
+  slot.tick.store(tick, std::memory_order_release);
+}
+
+void SlidingWindowHistogram::observe(double x) {
+  const std::int64_t tick = now_ns() / slot_ns_;
+  Slot& slot = slots_[static_cast<std::size_t>(tick) % slots_.size()];
+  if (slot.tick.load(std::memory_order_acquire) != tick) rotate(slot, tick);
+  slot.buckets[bucket_index(x)].fetch_add(1, std::memory_order_relaxed);
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  double cur = slot.sum.load(std::memory_order_relaxed);
+  while (!slot.sum.compare_exchange_weak(cur, cur + x,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+SlidingWindowHistogram::Snapshot SlidingWindowHistogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.assign(bounds_.size() + 1, 0);
+  s.window_seconds = options_.window_seconds;
+  const std::int64_t now = now_ns();
+  const std::int64_t tick = now / slot_ns_;
+  // Live sub-windows: the current tick and the slots-1 before it.
+  const std::int64_t oldest_live = tick - static_cast<std::int64_t>(slots_.size()) + 1;
+  for (const Slot& slot : slots_) {
+    const std::int64_t slot_tick = slot.tick.load(std::memory_order_acquire);
+    if (slot_tick < oldest_live || slot_tick > tick) continue;
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      s.counts[i] += slot.buckets[i].load(std::memory_order_relaxed);
+    }
+    s.count += slot.count.load(std::memory_order_relaxed);
+    s.sum += slot.sum.load(std::memory_order_relaxed);
+  }
+  // The merged view spans from the start of the oldest live sub-window
+  // to now, clamped to the histogram's own lifetime.
+  const std::int64_t window_begin_ns =
+      std::max(born_ns_, oldest_live * slot_ns_);
+  s.covered_seconds =
+      std::max(0.0, static_cast<double>(now - window_begin_ns) / 1e9);
+  return s;
+}
+
+std::vector<std::uint64_t> SlidingWindowHistogram::cumulative_counts(
+    const Snapshot& s) {
+  std::vector<std::uint64_t> cumulative;
+  cumulative.reserve(s.counts.size());
+  std::uint64_t running = 0;
+  for (const std::uint64_t c : s.counts) {
+    running += c;
+    cumulative.push_back(running);
+  }
+  return cumulative;
+}
+
+}  // namespace mcr::obs

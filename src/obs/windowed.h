@@ -1,0 +1,129 @@
+// Time-windowed telemetry: SlidingWindowHistogram and the shared,
+// guarded histogram-quantile interpolation.
+//
+// The cumulative instruments in obs/metrics.h answer "what happened
+// since boot"; a long-lived daemon also needs "what is happening *right
+// now*" — the p99 of the last minute, not the lifetime average. A
+// SlidingWindowHistogram keeps a ring of B sub-window histograms and
+// rotates through them on a monotonic clock: recording lands in the
+// sub-window the clock currently points at, reading merges every
+// sub-window that is still inside the window. Old observations age out
+// in sub-window granularity, so the merged view always covers between
+// (B-1)/B and B/B of the nominal window.
+//
+// Concurrency contract, matching the atomic MetricsRegistry: the record
+// path is lock-free whenever the target sub-window is current (the hot
+// case — every record in the same sub-window period after the first).
+// Only the first recorder to enter a new sub-window takes the rotation
+// mutex to reset it. Readers never block writers. Observations racing a
+// rotation boundary may land in the adjacent sub-window or (rarely) be
+// dropped with the reset — an error of at most one observation per
+// writer per rotation, acceptable for telemetry and bounded by
+// construction (the merged count never exceeds the number recorded).
+//
+// The clock is injectable so rotation is deterministic under test; the
+// default reads std::chrono::steady_clock.
+#ifndef MCR_OBS_WINDOWED_H
+#define MCR_OBS_WINDOWED_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace mcr::obs {
+
+/// Monotonic time source in nanoseconds since an arbitrary epoch.
+/// Injectable everywhere windowed telemetry tells time.
+using MonotonicClock = std::function<std::int64_t()>;
+
+/// The default clock: std::chrono::steady_clock, in nanoseconds.
+[[nodiscard]] std::int64_t steady_now_ns();
+
+/// Prometheus-style histogram_quantile over cumulative bucket counts:
+/// locate the bucket holding the q-th observation and interpolate
+/// linearly inside it. `cumulative` has one entry per finite bound plus
+/// the +Inf bucket; `total` is the all-bucket count.
+///
+/// Guarded against every degenerate family: returns std::nullopt when
+/// there are no observations or no finite bounds (nothing to
+/// interpolate — callers print "-" instead of a NaN or a fake 0).
+/// Observations in the +Inf bucket report the largest finite bound, a
+/// floor rather than an estimate.
+[[nodiscard]] std::optional<double> histogram_quantile(
+    const std::vector<double>& bounds,
+    const std::vector<std::uint64_t>& cumulative, std::uint64_t total,
+    double q);
+
+class SlidingWindowHistogram {
+ public:
+  struct Options {
+    /// Nominal window the merged view covers.
+    double window_seconds = 60.0;
+    /// Sub-windows in the ring; more slots = smoother aging, more
+    /// memory. Must be >= 2 (one current, one aging out).
+    std::size_t slots = 6;
+    /// Time source; empty uses steady_now_ns.
+    MonotonicClock clock;
+  };
+
+  /// `bounds` are inclusive upper bounds, ascending, with an implicit
+  /// +Inf bucket — Prometheus semantics, same as obs::Histogram.
+  /// (Two overloads rather than `Options options = {}`: a nested class
+  /// with default member initializers cannot appear as a brace-default
+  /// argument inside its enclosing class on GCC.)
+  explicit SlidingWindowHistogram(std::vector<double> bounds);
+  SlidingWindowHistogram(std::vector<double> bounds, Options options);
+
+  void observe(double x);
+
+  struct Snapshot {
+    std::vector<double> bounds;         // finite upper bounds, ascending
+    std::vector<std::uint64_t> counts;  // per-bucket (bounds.size() + 1)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    /// Nominal window and the span the merge actually covers (shorter
+    /// than the window right after construction).
+    double window_seconds = 0.0;
+    double covered_seconds = 0.0;
+  };
+  /// Merge-on-read over the live sub-windows.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Cumulative per-bucket counts of `s` (the histogram_quantile input).
+  [[nodiscard]] static std::vector<std::uint64_t> cumulative_counts(
+      const Snapshot& s);
+
+  [[nodiscard]] double window_seconds() const {
+    return options_.window_seconds;
+  }
+
+ private:
+  struct Slot {
+    /// Which rotation tick this slot currently holds; -1 = never used.
+    std::atomic<std::int64_t> tick{-1};
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  [[nodiscard]] std::int64_t now_ns() const;
+  [[nodiscard]] std::size_t bucket_index(double x) const;
+  /// Ensures `slot` holds `tick`, resetting it under the rotation mutex
+  /// when it still holds an older one.
+  void rotate(Slot& slot, std::int64_t tick);
+
+  std::vector<double> bounds_;
+  Options options_;
+  std::int64_t slot_ns_ = 0;
+  std::int64_t born_ns_ = 0;
+  std::vector<Slot> slots_;
+  mutable std::mutex rotate_mutex_;
+};
+
+}  // namespace mcr::obs
+
+#endif  // MCR_OBS_WINDOWED_H

@@ -304,7 +304,10 @@ json::Value Client::solve_retry(const std::string& fingerprint,
   return request_retry(solve_payload(fingerprint, objective, algo, deadline_ms));
 }
 
-json::Value Client::stats() { return request(R"({"verb":"STATS"})"); }
+json::Value Client::stats(bool window) {
+  return request(window ? R"({"verb":"STATS","window":true})"
+                        : R"({"verb":"STATS"})");
+}
 
 json::Value Client::health() { return request(R"({"verb":"HEALTH"})"); }
 

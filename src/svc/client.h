@@ -105,8 +105,9 @@ class Client {
                                         const std::string& objective = "min_mean",
                                         const std::string& algo = "",
                                         double deadline_ms = 0.0);
-  /// Parsed STATS response.
-  [[nodiscard]] json::Value stats();
+  /// Parsed STATS response. `window` additionally requests the
+  /// time-windowed per-verb latency view ("window" key).
+  [[nodiscard]] json::Value stats(bool window = false);
   /// Parsed HEALTH response (liveness, queue depth, last-solve age).
   [[nodiscard]] json::Value health();
 

@@ -8,11 +8,13 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <new>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 
 #include "core/driver.h"
@@ -109,6 +111,21 @@ std::vector<double> request_seconds_bounds() {
   return bounds;
 }
 
+std::string fmt_json_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// `q`-th percentile of a windowed snapshot in milliseconds, or "null"
+/// when the window holds no observations (never NaN on the wire).
+std::string window_quantile_ms_json(
+    const obs::SlidingWindowHistogram::Snapshot& s, double q) {
+  const auto v = obs::histogram_quantile(
+      s.bounds, obs::SlidingWindowHistogram::cumulative_counts(s), s.count, q);
+  return v.has_value() ? fmt_json_double(*v * 1000.0) : "null";
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options)
@@ -189,11 +206,24 @@ void Server::start() {
   }
   if (::pipe(wake_pipe_) != 0) throw_errno("pipe");
 
+  const bool pump_enabled =
+      options_.stats_interval_s > 0.0 && !options_.stats_out_path.empty();
+  if (pump_enabled) {
+    // Opened before any thread spawns so a bad path fails start()
+    // cleanly instead of leaving a half-started server.
+    stats_out_.open(options_.stats_out_path, std::ios::app);
+    if (!stats_out_) {
+      throw std::runtime_error("Server: cannot open stats output " +
+                               options_.stats_out_path);
+    }
+  }
+
   started_at_ = std::chrono::steady_clock::now();
   running_.store(true);
   accept_thread_ = std::thread([this] { accept_loop(); });
   dispatch_thread_ = std::thread([this] { dispatch_loop(); });
   watchdog_thread_ = std::thread([this] { watchdog_loop(); });
+  if (pump_enabled) stats_thread_ = std::thread([this] { stats_loop(); });
 }
 
 void Server::stop_and_drain() {
@@ -239,6 +269,17 @@ void Server::stop_and_drain() {
   }
   deadline_cv_.notify_all();
   watchdog_thread_.join();
+  // 6. Stats pump, last — its final line then reflects every request
+  //    that completed during the drain.
+  if (stats_thread_.joinable()) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      stopping_stats_ = true;
+    }
+    stats_cv_.notify_all();
+    stats_thread_.join();
+    stats_out_.close();
+  }
 
   ::close(wake_pipe_[0]);
   ::close(wake_pipe_[1]);
@@ -276,6 +317,8 @@ void Server::accept_loop() {
                                    .count());
       c.thread = std::thread([this, &c] { connection_main(&c); });
       metrics_.counter("mcr_connections_total").add(1);
+      metrics_.gauge("mcr_active_connections")
+          .set(static_cast<std::int64_t>(conns_.size()));
     }
     reap_idle_connections();
     reap_finished_connections();
@@ -296,6 +339,8 @@ void Server::reap_finished_connections() {
       ++it;
     }
   }
+  metrics_.gauge("mcr_active_connections")
+      .set(static_cast<std::int64_t>(conns_.size()));
 }
 
 void Server::reap_idle_connections() {
@@ -396,7 +441,7 @@ std::string Server::handle_request(const std::string& payload) {
     } else if (ctx.verb == "SOLVERS") {
       response = handle_solvers();
     } else if (ctx.verb == "STATS") {
-      response = handle_stats();
+      response = handle_stats(req);
     } else if (ctx.verb == "HEALTH") {
       response = handle_health();
     } else if (ctx.verb == "TRACE") {
@@ -467,6 +512,10 @@ void Server::finish_request(RequestContext& ctx, double total_ms) {
           obs::labeled_name("mcr_request_seconds", {{"verb", ctx.verb}}),
           request_seconds_bounds())
       .observe(seconds, ctx.trace_id);
+  // Windowed companions of the same family: what STATS {"window":true},
+  // the stats pump, and `mcr_query top` read.
+  windowed_request_seconds("").observe(seconds);
+  windowed_request_seconds(ctx.verb).observe(seconds);
 }
 
 std::string Server::handle_trace(const json::Value& req) const {
@@ -551,12 +600,88 @@ std::string Server::handle_solvers() const {
   return out;
 }
 
-std::string Server::handle_stats() const {
-  std::string out = "{\"status\":\"ok\",\"metrics\":";
+std::string Server::handle_stats(const json::Value& req) const {
+  std::string out = "{\"status\":\"ok\",\"uptime_seconds\":";
+  out += fmt_json_double(uptime_seconds());
+  out += ",\"build\":";
+  out += obs::build_info_json();
+  // Opt-in: the windowed view costs a merge over every ring slot of
+  // every per-verb instrument, so plain STATS callers don't pay it.
+  if (req.has("window") && req.at("window").as_bool()) {
+    out += ",\"window\":";
+    out += window_json();
+  }
+  out += ",\"metrics\":";
   out += metrics_.json();
+  // "prometheus" must stay the LAST field: clients cut the escaped text
+  // out of the response by suffix (see docs/SERVICE.md).
   out += ",\"prometheus\":\"";
   out += json_escape(metrics_.prometheus_text());
   out += "\"}";
+  return out;
+}
+
+double Server::uptime_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       started_at_)
+      .count();
+}
+
+obs::SlidingWindowHistogram& Server::windowed_request_seconds(
+    const std::string& verb) {
+  obs::SlidingWindowHistogram::Options wopt;
+  wopt.window_seconds = options_.stats_window_s;
+  wopt.slots = options_.stats_window_slots;
+  const std::string name =
+      verb.empty() ? "mcr_request_seconds"
+                   : obs::labeled_name("mcr_request_seconds", {{"verb", verb}});
+  return metrics_.windowed_histogram(name, request_seconds_bounds(), wopt);
+}
+
+std::string Server::window_json() const {
+  const auto snapshots = metrics_.windowed_snapshots();
+  std::string out = "{\"window_seconds\":";
+  out += fmt_json_double(options_.stats_window_s);
+  double covered = 0.0;
+  for (const auto& [name, snap] : snapshots) {
+    covered = std::max(covered, snap.covered_seconds);
+  }
+  out += ",\"covered_seconds\":" + fmt_json_double(covered);
+  out += ",\"verbs\":{";
+  bool first = true;
+  for (const auto& [name, snap] : snapshots) {
+    // Keys are the windowed mcr_request_seconds family: the bare name is
+    // the all-verbs aggregate; labeled variants carry verb="X".
+    static constexpr std::string_view kBase = "mcr_request_seconds";
+    static constexpr std::string_view kVerbPrefix =
+        "mcr_request_seconds{verb=\"";
+    std::string verb;
+    if (name == kBase) {
+      verb = "(all)";
+    } else if (name.rfind(kVerbPrefix, 0) == 0 && name.size() > kVerbPrefix.size() + 2) {
+      verb = name.substr(kVerbPrefix.size(),
+                         name.size() - kVerbPrefix.size() - 2);
+    } else {
+      continue;  // foreign windowed instrument; not part of this view
+    }
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(verb);  // verbs come off the wire; keep the JSON valid
+    out += "\":{\"count\":" + std::to_string(snap.count);
+    // All verbs share one request timeline, so every rate is computed
+    // over the window-wide covered span — a per-instrument span would
+    // report absurd rates in the instant after a verb's first request.
+    const double rps =
+        covered > 0.0 ? static_cast<double>(snap.count) / covered : 0.0;
+    out += ",\"rps\":" + fmt_json_double(rps);
+    out += ",\"p50_ms\":" + window_quantile_ms_json(snap, 0.50);
+    out += ",\"p95_ms\":" + window_quantile_ms_json(snap, 0.95);
+    out += ",\"p99_ms\":" + window_quantile_ms_json(snap, 0.99);
+    out += ",\"p999_ms\":" + window_quantile_ms_json(snap, 0.999);
+    out += '}';
+  }
+  out += "}}";
   return out;
 }
 
@@ -592,6 +717,62 @@ std::string Server::handle_health() {
      << ",\"connections\":" << connections << ",\"uptime_seconds\":" << uptime_s
      << ",\"last_solve_age_seconds\":" << last_solve_age_s << "}";
   return os.str();
+}
+
+std::string Server::telemetry_snapshot_json() {
+  const std::int64_t ts_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::string out = "{\"ts_ms\":" + std::to_string(ts_ms);
+  out += ",\"uptime_seconds\":" + fmt_json_double(uptime_seconds());
+  out += ",\"window\":";
+  out += window_json();
+  out += ",\"gauges\":{";
+  bool first = true;
+  for (const auto& [name, value] : metrics_.gauge_values()) {
+    // mcr_build_info is a constant-1 info gauge with long labels —
+    // provenance belongs in the report artifact, not on every line.
+    if (name.rfind("mcr_build_info", 0) == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\":" + std::to_string(value);
+  }
+  out += "},\"counters_delta\":{";
+  first = true;
+  const auto counters = metrics_.counter_values();
+  for (const auto& [name, value] : counters) {
+    const auto prev = stats_prev_counters_.find(name);
+    const std::uint64_t delta =
+        prev == stats_prev_counters_.end() ? value : value - prev->second;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\":" + std::to_string(delta);
+  }
+  out += "}}";
+  stats_prev_counters_ = counters;
+  return out;
+}
+
+void Server::stats_loop() {
+  const auto interval = std::chrono::duration<double>(options_.stats_interval_s);
+  std::unique_lock lock(stats_mutex_);
+  for (;;) {
+    // wait_for (not wait_until) drifts by a line's write time per tick —
+    // fine for a telemetry feed, and immune to interval arithmetic
+    // around suspends.
+    if (stats_cv_.wait_for(lock, interval, [&] { return stopping_stats_; })) {
+      // One final line at drain so even a run shorter than the interval
+      // leaves a non-empty, parseable time series behind.
+      stats_out_ << telemetry_snapshot_json() << '\n' << std::flush;
+      return;
+    }
+    stats_out_ << telemetry_snapshot_json() << '\n' << std::flush;
+  }
 }
 
 std::string Server::handle_solve(const json::Value& req, RequestContext& ctx) {
@@ -690,6 +871,12 @@ std::string Server::handle_solve(const json::Value& req, RequestContext& ctx) {
     ++in_flight_;
     queue_.push_back(job);
     metrics_.gauge("mcr_queue_depth").set(static_cast<std::int64_t>(queue_.size()));
+    metrics_.gauge("mcr_in_flight").set(static_cast<std::int64_t>(in_flight_));
+    if (queue_.size() > queue_depth_highwater_) {
+      queue_depth_highwater_ = queue_.size();
+      metrics_.gauge("mcr_queue_depth_highwater")
+          .set(static_cast<std::int64_t>(queue_depth_highwater_));
+    }
   }
   queue_cv_.notify_one();
 
@@ -753,6 +940,7 @@ void Server::fulfill(SolveJob& job) {
   {
     std::lock_guard lock(queue_mutex_);
     --in_flight_;
+    metrics_.gauge("mcr_in_flight").set(static_cast<std::int64_t>(in_flight_));
   }
 }
 
@@ -829,6 +1017,14 @@ void Server::solve_single(SolveJob& job) {
 void Server::process_batch(std::vector<std::shared_ptr<SolveJob>>& batch) {
   metrics_.histogram("mcr_batch_size", {1, 2, 4, 8, 16, 32, 64, 128})
       .observe(static_cast<double>(batch.size()));
+  // Occupancy of the most recent dispatcher batch relative to batch_max,
+  // in percent — a saturation signal (pinned at 100 = dispatcher is the
+  // bottleneck, not arrival rate).
+  metrics_.gauge("mcr_batch_occupancy")
+      .set(options_.batch_max == 0
+               ? 0
+               : static_cast<std::int64_t>(100 * batch.size() /
+                                           options_.batch_max));
   // Dispatcher pickup: retro-date each job's queue-wait span back to
   // its admission time. Recorded here (not at admission) because the
   // wait only has an end once the dispatcher owns the job.

@@ -34,7 +34,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <fstream>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -95,6 +97,20 @@ struct ServerOptions {
   obs::FlightRecorder::Options flight{};
   /// Per-request JSONL access log path; empty (the default) disables.
   std::string request_log_path;
+  /// Sliding-window telemetry shape for the windowed
+  /// mcr_request_seconds family: the nominal window the live view
+  /// covers and the number of ring sub-windows it rotates through.
+  /// Consumed by STATS {"window":true}, the stats pump, and
+  /// `mcr_query top`.
+  double stats_window_s = 60.0;
+  std::size_t stats_window_slots = 6;
+  /// Periodic snapshot pump: every `stats_interval_s` seconds (and once
+  /// more at drain) one JSON line — windowed per-verb percentiles,
+  /// saturation gauges, counter deltas since the previous line — is
+  /// appended to `stats_out_path`. The pump runs only when the interval
+  /// is positive AND the path is set.
+  double stats_interval_s = 0.0;
+  std::string stats_out_path;
 };
 
 class Server {
@@ -131,6 +147,12 @@ class Server {
   /// The always-on per-request trace retainer (TRACE verb source,
   /// post-mortem dump payload).
   [[nodiscard]] obs::FlightRecorder& flight() { return flight_; }
+
+  /// One snapshot line of the stats pump's JSONL time series (ts,
+  /// uptime, windowed per-verb percentiles, gauges, counter deltas
+  /// since the previous call). Stateful: each call advances the delta
+  /// baseline. Exposed so tests can drive the pump synchronously.
+  [[nodiscard]] std::string telemetry_snapshot_json();
 
  private:
   /// Everything one request accumulates for the flight recorder, the
@@ -190,6 +212,7 @@ class Server {
   void connection_main(Connection* conn);
   void dispatch_loop();
   void watchdog_loop();
+  void stats_loop();
 
   [[nodiscard]] std::string handle_request(const std::string& payload);
   [[nodiscard]] std::string handle_load(const json::Value& req,
@@ -197,9 +220,19 @@ class Server {
   [[nodiscard]] std::string handle_solve(const json::Value& req,
                                          RequestContext& ctx);
   [[nodiscard]] std::string handle_solvers() const;
-  [[nodiscard]] std::string handle_stats() const;
+  [[nodiscard]] std::string handle_stats(const json::Value& req) const;
   [[nodiscard]] std::string handle_health();
   [[nodiscard]] std::string handle_trace(const json::Value& req) const;
+
+  /// `{"window_seconds":..,"verbs":{"(all)":{..},"SOLVE":{..}}}` —
+  /// windowed per-verb count/rps/percentiles, shared by STATS
+  /// {"window":true} and the stats pump.
+  [[nodiscard]] std::string window_json() const;
+  [[nodiscard]] double uptime_seconds() const;
+  /// The windowed companion of the mcr_request_seconds family
+  /// (aggregate when `verb` is empty).
+  obs::SlidingWindowHistogram& windowed_request_seconds(
+      const std::string& verb);
 
   /// Tail of handle_request: finishes the flight-recorder trace, writes
   /// the access-log line, and records the request latency (aggregate +
@@ -242,6 +275,15 @@ class Server {
   std::thread accept_thread_;
   std::thread dispatch_thread_;
   std::thread watchdog_thread_;
+  std::thread stats_thread_;
+
+  std::mutex stats_mutex_;
+  std::condition_variable stats_cv_;
+  bool stopping_stats_ = false;
+  std::ofstream stats_out_;
+  /// Counter baseline for the pump's per-line deltas; touched only by
+  /// telemetry_snapshot_json (pump thread, or a test driving it).
+  std::map<std::string, std::uint64_t> stats_prev_counters_;
 
   std::mutex conns_mutex_;
   std::list<Connection> conns_;
@@ -250,6 +292,7 @@ class Server {
   std::condition_variable queue_cv_;
   std::deque<std::shared_ptr<SolveJob>> queue_;
   std::size_t in_flight_ = 0;  // admitted, not yet fulfilled
+  std::size_t queue_depth_highwater_ = 0;  // deepest queue since start
   bool stopping_ = false;          // refuse new admissions
   bool stopping_dispatch_ = false; // dispatcher exits once queue empty
 

@@ -12,7 +12,9 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -28,6 +30,8 @@
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace_recorder.h"
+#include "obs/windowed.h"
+#include "support/prng.h"
 #include "support/thread_pool.h"
 
 namespace mcr {
@@ -844,6 +848,189 @@ TEST(DriverMetrics, ComponentHistogramCountsComponents) {
   const auto snap = reg.histogram("mcr_component_solve_seconds").snapshot();
   EXPECT_EQ(snap.count, reg.counter("mcr_components_cyclic_total").value());
   EXPECT_GE(snap.sum, 0.0);
+}
+
+// --- Windowed telemetry -----------------------------------------------
+
+TEST(WindowedQuantile, GuardsDegenerateFamilies) {
+  // No observations: undefined, never 0 or NaN.
+  EXPECT_FALSE(obs::histogram_quantile({}, {}, 0, 0.5).has_value());
+  EXPECT_FALSE(obs::histogram_quantile({1.0}, {0, 0}, 0, 0.99).has_value());
+  // Observations but no finite bounds (single +Inf bucket): nothing to
+  // interpolate against.
+  EXPECT_FALSE(obs::histogram_quantile({}, {5}, 5, 0.5).has_value());
+  // All mass in the +Inf bucket: the largest finite bound, as a floor.
+  const auto inf_floor = obs::histogram_quantile({1.0}, {0, 5}, 5, 0.5);
+  ASSERT_TRUE(inf_floor.has_value());
+  EXPECT_DOUBLE_EQ(*inf_floor, 1.0);
+  // The regular interpolated case, for contrast: rank 5 of 10 lands
+  // mid-bucket between 1 and 2.
+  const auto mid = obs::histogram_quantile({1.0, 2.0}, {0, 10, 10}, 10, 0.5);
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_DOUBLE_EQ(*mid, 1.5);
+}
+
+TEST(WindowedHistogram, RotationDeterminismWithFakeClock) {
+  std::int64_t now = 0;
+  obs::SlidingWindowHistogram::Options o;
+  o.window_seconds = 6.0;
+  o.slots = 3;  // 2s sub-windows
+  o.clock = [&now] { return now; };
+  obs::SlidingWindowHistogram h({1.0, 10.0}, o);
+
+  h.observe(0.5);  // tick 0
+  now = 2'000'000'000;
+  h.observe(5.0);  // tick 1
+  now = 4'000'000'000;
+  h.observe(0.5);  // tick 2
+  auto s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 6.0);
+
+  // Advancing one sub-window ages exactly the oldest slot out — no
+  // observation is ever half-expired.
+  now = 6'000'000'000;  // tick 3
+  s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.sum, 5.5);
+
+  // Recording in tick 3 reuses (and resets) the ring slot tick 0 held.
+  h.observe(20.0);
+  s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  ASSERT_EQ(s.counts.size(), 3u);
+  EXPECT_EQ(s.counts[2], 1u);  // 20.0 in the +Inf bucket
+
+  // Far future: everything aged out; covered spans the live (empty)
+  // window, not the histogram's whole lifetime.
+  now = 12'000'000'000;  // tick 6; oldest live tick is 4
+  s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_NEAR(s.covered_seconds, 4.0, 1e-9);
+}
+
+TEST(WindowedHistogram, MergeMatchesReferenceCumulative) {
+  // While nothing has aged out, the merged window must agree exactly
+  // with a cumulative histogram fed the same stream.
+  std::int64_t now = 0;
+  obs::SlidingWindowHistogram::Options o;
+  o.window_seconds = 60.0;
+  o.slots = 6;  // 10s sub-windows; we stay within ticks 0..5
+  o.clock = [&now] { return now; };
+  const std::vector<double> bounds{0.25, 0.5, 1.0};
+  obs::SlidingWindowHistogram windowed(bounds, o);
+  obs::Histogram reference(bounds);
+
+  Prng prng(42);
+  for (int i = 0; i < 5000; ++i) {
+    now = prng.uniform_int(0, 59) * 1'000'000'000;
+    const double x = prng.uniform_real() * 2.0;
+    windowed.observe(x);
+    reference.observe(x);
+  }
+  const auto w = windowed.snapshot();
+  const auto r = reference.snapshot();
+  EXPECT_EQ(w.count, r.count);
+  ASSERT_EQ(w.counts.size(), r.counts.size());
+  for (std::size_t i = 0; i < w.counts.size(); ++i) {
+    EXPECT_EQ(w.counts[i], r.counts[i]) << "bucket " << i;
+  }
+  EXPECT_NEAR(w.sum, r.sum, 1e-6);
+  // And the cumulative transform feeding histogram_quantile is a plain
+  // prefix sum.
+  const auto cumulative = obs::SlidingWindowHistogram::cumulative_counts(w);
+  ASSERT_EQ(cumulative.size(), w.counts.size());
+  EXPECT_EQ(cumulative.back(), w.count);
+}
+
+TEST(WindowedHistogram, ConcurrentRecordReadStaysBounded) {
+  // Hammer a tiny, fast-rotating window from several writers while a
+  // reader merges continuously. The documented contract: the merge
+  // never *exceeds* what was recorded (observations racing a rotation
+  // may drop, never double), and nothing trips TSan.
+  obs::SlidingWindowHistogram::Options o;
+  o.window_seconds = 0.05;
+  o.slots = 5;
+  obs::SlidingWindowHistogram h({0.5}, o);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 20000;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> bad{0};
+  std::thread reader([&] {
+    while (!done.load()) {
+      const auto s = h.snapshot();
+      if (s.count > static_cast<std::uint64_t>(kWriters) * kPerWriter) {
+        bad.fetch_add(1);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerWriter; ++i) h.observe(i % 2 == 0 ? 0.25 : 0.75);
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  done.store(true);
+  reader.join();
+  EXPECT_EQ(bad.load(), 0u);
+  // The final snapshot is similarly bounded.
+  EXPECT_LE(h.snapshot().count,
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
+}
+
+TEST(Metrics, WindowedSharesHistogramNamesButConflictsWithScalars) {
+  obs::MetricsRegistry reg;
+  // Deliberate: the windowed instrument is the live view of the same
+  // family as the cumulative histogram.
+  reg.histogram("mcr_request_seconds", {0.1, 1.0}).observe(0.5);
+  reg.windowed_histogram("mcr_request_seconds", {0.1, 1.0}).observe(0.5);
+  // Scalar instruments still conflict, in both directions.
+  (void)reg.counter("mcr_taken_total");
+  EXPECT_THROW((void)reg.windowed_histogram("mcr_taken_total"),
+               std::invalid_argument);
+  (void)reg.windowed_histogram("mcr_windowed_only_seconds");
+  EXPECT_THROW((void)reg.counter("mcr_windowed_only_seconds"),
+               std::invalid_argument);
+  EXPECT_THROW((void)reg.gauge("mcr_windowed_only_seconds"),
+               std::invalid_argument);
+  // JSON exposes windowed instruments under their own key; the classic
+  // Prometheus text has no windowed semantics and must not grow a
+  // colliding series.
+  const std::string json = reg.json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"windowed\":"), std::string::npos) << json;
+  EXPECT_EQ(reg.prometheus_text().find("mcr_windowed_only_seconds"),
+            std::string::npos);
+  const auto snapshots = reg.windowed_snapshots();
+  ASSERT_EQ(snapshots.size(), 2u);  // the shared name and the windowed-only one
+  EXPECT_EQ(snapshots.at("mcr_request_seconds").count, 1u);
+}
+
+TEST(Metrics, ExemplarStaleTakeoverWithInjectedClock) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("mcr_stale_seconds", {1.0});
+  std::chrono::steady_clock::time_point now{};
+  h.set_exemplar_clock([&now] { return now; });
+
+  h.observe(0.9, "trace-slow");
+  h.observe(0.5, "trace-better");  // smaller while the holder is fresh
+  EXPECT_EQ(h.snapshot().exemplars[0].label, "trace-slow");
+
+  // Past the 60s staleness horizon a *smaller* observation takes the
+  // slot over — "worst recent", not "worst ever".
+  now += std::chrono::seconds(61);
+  h.observe(0.1, "trace-fresh");
+  auto snap = h.snapshot();
+  EXPECT_EQ(snap.exemplars[0].label, "trace-fresh");
+  EXPECT_DOUBLE_EQ(snap.exemplars[0].value, 0.1);
+
+  // Within the horizon the usual worst-wins rule is back.
+  now += std::chrono::seconds(30);
+  h.observe(0.05, "trace-small");
+  EXPECT_EQ(h.snapshot().exemplars[0].label, "trace-fresh");
 }
 
 // --- ThreadPool worker stats ------------------------------------------

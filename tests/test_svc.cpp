@@ -398,6 +398,105 @@ TEST(SvcServer, PingLoadSolveCacheAndStats) {
   EXPECT_FALSE(server.running());
 }
 
+TEST(SvcServer, StatsWindowUptimeBuildAndSaturationGauges) {
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  so.stats_window_s = 300.0;  // the whole test stays inside one window
+  svc::Server server(so);
+  server.start();
+  svc::Client client = svc::Client::connect_unix(so.unix_socket_path);
+
+  const Graph g = make_ring(32, 5);
+  const std::string fp = client.load_dimacs_text(dimacs_text(g));
+  ASSERT_EQ(client.solve(fp).string_or("status", ""), "ok");
+  ASSERT_EQ(client.solve(fp).string_or("status", ""), "ok");
+
+  // Plain STATS now reports uptime and build provenance, but pays for
+  // the windowed merge only on request.
+  const json::Value plain = client.stats();
+  ASSERT_EQ(plain.string_or("status", ""), "ok");
+  EXPECT_GT(plain.number_or("uptime_seconds", -1.0), 0.0);
+  ASSERT_TRUE(plain.has("build"));
+  EXPECT_FALSE(plain.at("build").string_or("compiler", "").empty());
+  EXPECT_GE(plain.at("build").number_or("hardware_threads", -1.0), 1.0);
+  EXPECT_FALSE(plain.has("window"));
+  EXPECT_NE(plain.at("prometheus").as_string().find("mcr_build_info{"),
+            std::string::npos);
+
+  const json::Value windowed = client.stats(/*window=*/true);
+  ASSERT_TRUE(windowed.has("window"));
+  const json::Value& w = windowed.at("window");
+  EXPECT_DOUBLE_EQ(w.number_or("window_seconds", 0.0), 300.0);
+  const json::Value& verbs = w.at("verbs");
+  ASSERT_TRUE(verbs.has("(all)"));
+  ASSERT_TRUE(verbs.has("SOLVE"));
+  EXPECT_GE(verbs.at("SOLVE").number_or("count", 0.0), 2.0);
+  // With observations in the window every percentile is a number, and
+  // the tail bounds the median.
+  ASSERT_TRUE(verbs.at("SOLVE").at("p50_ms").is_number());
+  ASSERT_TRUE(verbs.at("SOLVE").at("p99_ms").is_number());
+  EXPECT_LE(verbs.at("SOLVE").at("p50_ms").as_double(),
+            verbs.at("SOLVE").at("p99_ms").as_double());
+
+  // Saturation gauges: the two solves each passed through the queue, so
+  // the high-water mark moved; the snapshot connection is live.
+  const json::Value& gauges = windowed.at("metrics").at("gauges");
+  EXPECT_GE(gauges.number_or("mcr_queue_depth_highwater", -1.0), 1.0);
+  EXPECT_GE(gauges.number_or("mcr_active_connections", 0.0), 1.0);
+  EXPECT_GE(gauges.number_or("mcr_in_flight", -1.0), 0.0);
+
+  server.stop_and_drain();
+}
+
+TEST(SvcServer, TelemetrySnapshotJsonIsDeltaBasedAndPumpWritesJsonl) {
+  const std::string stats_path = unique_socket_path() + ".stats.jsonl";
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  so.stats_interval_s = 10.0;  // one tick at drain; the test drives the
+  so.stats_out_path = stats_path;  // rest synchronously
+  svc::Server server(so);
+  server.start();
+  svc::Client client = svc::Client::connect_unix(so.unix_socket_path);
+
+  const Graph g = make_ring(16, 3);
+  const std::string fp = client.load_dimacs_text(dimacs_text(g));
+  ASSERT_EQ(client.solve(fp).string_or("status", ""), "ok");
+
+  // First snapshot: deltas equal the raw counters (empty baseline).
+  const json::Value first = json::parse(server.telemetry_snapshot_json());
+  EXPECT_GT(first.number_or("ts_ms", 0.0), 0.0);
+  EXPECT_GT(first.number_or("uptime_seconds", -1.0), 0.0);
+  const double solves_first = first.at("counters_delta")
+                                  .number_or("mcr_requests_total{verb=\"SOLVE\"}", -1.0);
+  EXPECT_EQ(solves_first, 1.0);
+  ASSERT_TRUE(first.at("window").at("verbs").has("SOLVE"));
+  // The info gauge is provenance, not telemetry: filtered from lines.
+  EXPECT_EQ(server.telemetry_snapshot_json().find("mcr_build_info"),
+            std::string::npos);
+
+  // Second snapshot after one more solve: the delta is 1, not 2 — each
+  // line advances the baseline.
+  ASSERT_EQ(client.solve(fp).string_or("status", ""), "ok");
+  const json::Value second = json::parse(server.telemetry_snapshot_json());
+  EXPECT_EQ(second.at("counters_delta")
+                .number_or("mcr_requests_total{verb=\"SOLVE\"}", -1.0),
+            1.0);
+
+  // Drain writes a final line, so even a shorter-than-interval run
+  // leaves a parseable, non-empty time series.
+  server.stop_and_drain();
+  std::ifstream in(stats_path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(json::parse(line).has("window"), true) << line;
+  }
+  EXPECT_GE(lines, 1u);
+  ::unlink(stats_path.c_str());
+}
+
 TEST(SvcServer, TcpListenerOnEphemeralPort) {
   svc::ServerOptions so;
   so.tcp_port = 0;  // ephemeral

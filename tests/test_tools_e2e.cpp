@@ -6,6 +6,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -13,6 +14,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "support/json.h"
 
 namespace {
 
@@ -307,6 +310,92 @@ TEST(ToolsE2E, ServeQueryConcurrentClientsAndDrain) {
   const std::string serve_log = slurp(log);
   EXPECT_NE(serve_log.find("draining"), std::string::npos) << serve_log;
   EXPECT_NE(serve_log.find("drained, exiting"), std::string::npos) << serve_log;
+  fs::remove_all(dir);
+}
+
+// Workload observatory e2e: mcr_serve with the windowed-telemetry pump
+// enabled, an open-loop mcr_load run against it, then a cross-check
+// that the client-side exact percentiles agree with the server's
+// windowed (bucket-interpolated) percentiles.
+TEST(ToolsE2E, LoadHarnessAgreesWithServerWindowedPercentiles) {
+  namespace fs = std::filesystem;
+  const auto dir =
+      fs::temp_directory_path() / ("mcr_e2e_load." + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  const std::string sock = (dir / "mcr.sock").string();
+  const std::string log = (dir / "serve.log").string();
+  const std::string stats_path = (dir / "stats.jsonl").string();
+  const std::string report_path = (dir / "load.json").string();
+
+  // Window far larger than the run, so every observation is still
+  // in-window when the final pump line is written at drain.
+  const pid_t server = spawn_tool(
+      {tool("mcr_serve"), "--socket", sock, "--window", "300",
+       "--stats-interval", "0.4", "--stats-out", stats_path},
+      log);
+  ASSERT_GT(server, 0);
+  ASSERT_TRUE(wait_for_ping(sock)) << slurp(log);
+
+  // Open loop, all-cold SOLVEs on an instance big enough that real
+  // solve work dominates transport overhead — otherwise the client
+  // (round trip from intended send time) and the server (receipt to
+  // response) measure different things and no tolerance is honest.
+  // The offered rate is far below capacity so open-loop backlog stays
+  // out of the picture even under sanitizer slowdown.
+  const auto load = run(tool("mcr_load") + " --socket " + sock +
+                        " --rps 60 --duration 3 --connections 4"
+                        " --mix solve=100 --cold-pct 100 --graph-n 2048"
+                        " --seed 7 --output " + report_path);
+  ASSERT_EQ(load.exit_code, 0) << load.stdout_text;
+  EXPECT_NE(load.stdout_text.find("0 transport errors"), std::string::npos)
+      << load.stdout_text;
+
+  // Drain the server so the pump writes its final line, then read both
+  // sides' artifacts.
+  ASSERT_EQ(::kill(server, SIGTERM), 0);
+  int status = -1;
+  ASSERT_EQ(::waitpid(server, &status, 0), server);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  const mcr::json::Value report = mcr::json::parse(slurp(report_path));
+  EXPECT_EQ(report.number_or("schema_version", 0.0), 1.0);
+  EXPECT_EQ(report.string_or("mode", ""), "open");
+  const double completed = report.number_or("completed", 0.0);
+  EXPECT_GE(completed, 50.0);
+  EXPECT_EQ(report.number_or("transport_errors", -1.0), 0.0);
+  EXPECT_GE(report.at("cache").number_or("misses", 0.0), completed);
+  const mcr::json::Value& lat = report.at("latency_ms");
+  ASSERT_TRUE(lat.at("p50").is_number());
+  ASSERT_TRUE(lat.at("p95").is_number());
+
+  std::ifstream in(stats_path);
+  ASSERT_TRUE(in.is_open());
+  std::string line, last;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    last = line;
+    ++lines;
+  }
+  EXPECT_GE(lines, 2u);  // ~3 s run at 0.4 s interval plus the drain line
+  const mcr::json::Value snap = mcr::json::parse(last);
+  const mcr::json::Value& verbs = snap.at("window").at("verbs");
+  ASSERT_TRUE(verbs.has("SOLVE")) << last;
+  EXPECT_GE(verbs.at("SOLVE").number_or("count", 0.0), completed);
+
+  // Cross-check: exact client percentiles vs bucket-interpolated server
+  // percentiles. The service histogram is log-spaced 3 buckets/decade,
+  // so interpolation may be off by up to one bucket factor
+  // 10^(1/3) ≈ 2.154; allow a little slack on top for transport.
+  for (const char* q : {"p50", "p95"}) {
+    const double client_ms = lat.at(q).as_double();
+    const double server_ms =
+        verbs.at("SOLVE").number_or(std::string(q) + "_ms", -1.0);
+    ASSERT_GT(server_ms, 0.0) << q << " in " << last;
+    EXPECT_LT(client_ms / server_ms, 2.6) << q;
+    EXPECT_GT(client_ms / server_ms, 1.0 / 2.6) << q;
+  }
   fs::remove_all(dir);
 }
 

@@ -10,7 +10,11 @@
 # observability smoke: mcr_serve with the flight recorder pinning
 # everything and a JSONL request log, a solve tagged with a known trace
 # id, the TRACE payload fetched back by that id and json.tool-validated,
-# and every request-log line parsed as JSON. A tiny mcr_bench grid runs
+# and every request-log line parsed as JSON, and a live-daemon load
+# smoke: mcr_serve with the windowed-telemetry pump on, a closed-loop
+# mixed-verb mcr_load run with a nonzero cold fraction, gated on zero
+# transport errors plus json.tool-valid report and stats JSONL
+# artifacts. A tiny mcr_bench grid runs
 # twice and is gated with mcr_bench_diff: the self-diff must report zero
 # regressions (exit 0), and the A-vs-B cross-run diff uses a generous
 # threshold since CI machines are noisy (see docs/BENCHMARKING.md).
@@ -91,6 +95,36 @@ svc_obs_smoke() {
   rm -rf "$tmp"
 }
 
+# Live-daemon load smoke: mcr_serve with the windowed-telemetry pump
+# enabled, hammered by a short closed-loop mcr_load run with a mixed
+# verb workload and a nonzero cold fraction (so real solves execute,
+# not just cache replays). Gates: mcr_load exits 0 (zero transport
+# errors), the --output report is json.tool-valid, and the --stats-out
+# JSONL time series is non-empty with every line parseable. $1 = build dir.
+load_smoke() {
+  local bdir="$1"
+  local tmp
+  tmp="$(mktemp -d)"
+  echo "=== load smoke ($bdir) ==="
+  local sock="$tmp/mcr.sock"
+  "$bdir/tools/mcr_serve" --socket "$sock" --window 60 \
+      --stats-interval 0.5 --stats-out "$tmp/stats.jsonl" &
+  local server_pid=$!
+  for _ in $(seq 1 100); do [[ -S "$sock" ]] && break; sleep 0.1; done
+  run "$bdir/tools/mcr_load" --socket "$sock" --concurrency 4 --duration 3 \
+      --mix solve=80,stats=10,ping=10 --cold-pct 20 --graph-n 256 \
+      --output "$tmp/load_report.json"
+  kill -TERM "$server_pid"
+  wait "$server_pid"
+  run python3 -m json.tool "$tmp/load_report.json" > /dev/null
+  [[ -s "$tmp/stats.jsonl" ]]
+  while IFS= read -r line; do
+    printf '%s' "$line" | python3 -m json.tool > /dev/null
+  done < "$tmp/stats.jsonl"
+  grep -q '"window"' "$tmp/stats.jsonl"
+  rm -rf "$tmp"
+}
+
 # Benchmark artifact + regression-gate smoke: a tiny grid run twice,
 # both artifacts schema-validated, then gated. The strict gate is the
 # deterministic self-diff; the cross-run diff only proves the gate can
@@ -120,6 +154,7 @@ if [[ "$FAST" == 0 ]]; then
   run ctest --test-dir build --output-on-failure -j "$JOBS"
   obs_smoke build
   svc_obs_smoke build
+  load_smoke build
   bench_smoke build
 
   echo "=== bench baseline gate ==="
@@ -162,6 +197,7 @@ run cmake --build build-asan -j "$JOBS"
 run ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 obs_smoke build-asan
 svc_obs_smoke build-asan
+load_smoke build-asan
 bench_smoke build-asan
 
 echo "=== chaos smoke (sanitized, seeded fault plans) ==="

@@ -18,6 +18,11 @@
 //                                   histogram buckets) by default, the
 //                                   raw JSON with --json, Prometheus
 //                                   text with --prometheus
+//     top [--interval S] [--count N] refreshing live view: windowed
+//                                   per-verb p50/p95/p99 + rps from
+//                                   STATS {"window":true}, saturation
+//                                   gauges, cache hit ratio per refresh
+//                                   (N frames then exit; 0 = forever)
 //     health                        liveness + queue depth + last-solve age
 //     trace [--trace-id H] [--verb V] [--min-ms N] [--limit N] [--out FILE]
 //                                   fetch recent/pinned request traces
@@ -46,16 +51,22 @@
 //   5  DEADLINE_EXCEEDED the request's deadline elapsed
 //   6  NOT_FOUND         fingerprint not resident (LOAD it again)
 //   7  SHUTTING_DOWN     server is draining; retry against its successor
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cli.h"
 #include "obs/build_info.h"
+#include "obs/windowed.h"
 #include "support/json.h"
 #include "svc/client.h"
 #include "svc/errors.h"
@@ -75,6 +86,9 @@ verbs:
     [--trace-id H]
   solvers                     list the server's registered solvers
   stats [--prometheus|--json] server metrics (default: latency table)
+  top [--interval S] [--count N]
+                              refreshing live view (windowed percentiles,
+                              rps, saturation gauges, cache hit ratio)
   health                      liveness + queue depth + last-solve age
   trace [--trace-id H] [--verb V] [--min-ms N] [--limit N] [--out FILE]
                               fetch request traces (Chrome JSON)
@@ -223,24 +237,12 @@ BucketSet decode_buckets(const json::Value& hist) {
   return bs;
 }
 
-/// Prometheus-style histogram_quantile: locate the bucket holding the
-/// q-th observation and interpolate linearly inside it. Observations in
-/// the +Inf bucket report the largest finite bound (a floor, flagged
-/// with '>' by the caller).
-double bucket_quantile(const BucketSet& bs, double q) {
-  if (bs.total == 0) return 0.0;
-  const double rank = q * static_cast<double>(bs.total);
-  for (std::size_t i = 0; i < bs.cumulative.size(); ++i) {
-    if (static_cast<double>(bs.cumulative[i]) < rank) continue;
-    if (i >= bs.bounds.size()) return bs.bounds.empty() ? 0.0 : bs.bounds.back();
-    const double lo = i == 0 ? 0.0 : bs.bounds[i - 1];
-    const double hi = bs.bounds[i];
-    const double below = i == 0 ? 0.0 : static_cast<double>(bs.cumulative[i - 1]);
-    const double in_bucket = static_cast<double>(bs.cumulative[i]) - below;
-    if (in_bucket <= 0.0) return hi;
-    return lo + (hi - lo) * ((rank - below) / in_bucket);
-  }
-  return bs.bounds.empty() ? 0.0 : bs.bounds.back();
+/// Quantile over a decoded bucket set, via the shared guarded
+/// interpolation (obs::histogram_quantile): nullopt — printed as "-" —
+/// for an empty histogram or one with no finite bounds, instead of a
+/// NaN or a fabricated 0.
+std::optional<double> bucket_quantile(const BucketSet& bs, double q) {
+  return obs::histogram_quantile(bs.bounds, bs.cumulative, bs.total, q);
 }
 
 /// The exemplar nearest the q-th-quantile bucket (searching upward
@@ -269,6 +271,23 @@ std::string fmt_ms(double seconds) {
   os.setf(std::ios::fixed);
   os.precision(seconds * 1000.0 < 10.0 ? 3 : 1);
   os << seconds * 1000.0;
+  return os.str();
+}
+
+/// "-" when the quantile is undefined (empty family).
+std::string fmt_ms_opt(const std::optional<double>& seconds) {
+  return seconds.has_value() ? fmt_ms(*seconds) : "-";
+}
+
+/// A windowed percentile field ("p50_ms" etc): already in ms, null when
+/// the verb has no observations in the window.
+std::string fmt_window_ms(const json::Value& row, const std::string& key) {
+  if (!row.has(key) || !row.at(key).is_number()) return "-";
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  const double ms = row.at(key).as_double();
+  os.precision(ms < 10.0 ? 3 : 1);
+  os << ms;
   return os.str();
 }
 
@@ -308,13 +327,90 @@ int print_stats_table(const json::Value& r) {
     line.setf(std::ios::right);
     line << std::setw(9) << row.buckets.total;
     for (const double q : {0.50, 0.95, 0.99}) {
-      line << std::setw(9) << fmt_ms(bucket_quantile(row.buckets, q));
+      line << std::setw(9) << fmt_ms_opt(bucket_quantile(row.buckets, q));
     }
     line << "  " << (p99_trace.empty() ? "-" : p99_trace);
     std::cout << line.str() << "\n";
   }
   std::cout << "(fetch a trace: mcr_query ... trace --trace-id ID; "
                "--json for raw metrics)\n";
+  return 0;
+}
+
+/// `top` — refreshing live view over STATS {"window":true}: windowed
+/// per-verb p50/p95/p99 and rps, saturation gauges, and the cache hit
+/// ratio over the refresh interval. Clears the screen only on a tty, so
+/// piped output (and the e2e tests) get plain appended frames.
+int do_top(svc::Client& client, const cli::Options& opt) {
+  const double interval_s = opt.get_double("interval", 2.0);
+  if (interval_s <= 0.0) {
+    std::cerr << "mcr_query: top --interval must be positive\n";
+    return 2;
+  }
+  const std::int64_t frames = opt.get_int_in("count", 0, 0, 1 << 30);
+  const bool tty = ::isatty(STDOUT_FILENO) == 1;
+  std::uint64_t prev_hits = 0;
+  std::uint64_t prev_misses = 0;
+  bool have_prev = false;
+  for (std::int64_t frame = 0; frames == 0 || frame < frames; ++frame) {
+    if (frame > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+    }
+    const json::Value r = client.stats(/*window=*/true);
+    if (const int rc = finish(r); rc != 0) return rc;
+    const json::Value& window = r.at("window");
+    const json::Value& metrics = r.at("metrics");
+    const json::Value& gauges = metrics.at("gauges");
+    const json::Value& counters = metrics.at("counters");
+    const auto gauge = [&](const char* name) {
+      return static_cast<std::int64_t>(gauges.number_or(name, 0.0));
+    };
+    const auto hits = static_cast<std::uint64_t>(
+        counters.number_or("mcr_cache_hits_total", 0.0));
+    const auto misses = static_cast<std::uint64_t>(
+        counters.number_or("mcr_cache_misses_total", 0.0));
+    const std::uint64_t dh = have_prev ? hits - prev_hits : hits;
+    const std::uint64_t dm = have_prev ? misses - prev_misses : misses;
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(1);
+    out << "mcr top — uptime " << r.number_or("uptime_seconds", 0.0)
+        << " s, window " << window.number_or("window_seconds", 0.0)
+        << " s (covered " << window.number_or("covered_seconds", 0.0)
+        << " s)\n";
+    out << "  queue " << gauge("mcr_queue_depth") << " (hwm "
+        << gauge("mcr_queue_depth_highwater") << ")  in-flight "
+        << gauge("mcr_in_flight") << "  connections "
+        << gauge("mcr_active_connections") << "  batch "
+        << gauge("mcr_batch_occupancy") << "%\n";
+    out << "  cache hit ratio: ";
+    if (dh + dm == 0) {
+      out << "-";
+    } else {
+      out << 100.0 * static_cast<double>(dh) / static_cast<double>(dh + dm)
+          << "%";
+    }
+    out << (have_prev ? " (interval)\n" : " (lifetime)\n");
+    out << "\n  verb       count      rps      p50      p95      p99\n";
+    for (const auto& [verb, row] : window.at("verbs").as_object()) {
+      out << "  " << verb;
+      for (std::size_t pad = verb.size(); pad < 8; ++pad) out << ' ';
+      out << std::setw(9)
+          << static_cast<std::int64_t>(row.number_or("count", 0.0))
+          << std::setw(9) << row.number_or("rps", 0.0);
+      out.unsetf(std::ios::fixed);
+      for (const char* key : {"p50_ms", "p95_ms", "p99_ms"}) {
+        out << std::setw(9) << fmt_window_ms(row, key);
+      }
+      out.setf(std::ios::fixed);
+      out << "\n";
+    }
+    if (tty) std::cout << "\033[H\033[2J";
+    std::cout << out.str() << std::flush;
+    prev_hits = hits;
+    prev_misses = misses;
+    have_prev = true;
+  }
   return 0;
 }
 
@@ -383,8 +479,8 @@ int main(int argc, char** argv) {
     }
     if (opt.positional.empty()) {
       std::cerr << "usage: mcr_query --socket PATH|--tcp PORT "
-                   "<ping|load|solve|solvers|stats|health|raw> [args] "
-                   "(--help for the exit-code table)\n";
+                   "<ping|load|solve|solvers|stats|top|health|trace|raw> "
+                   "[args] (--help for the exit-code table)\n";
       return 2;
     }
   } catch (const std::exception& e) {
@@ -455,6 +551,7 @@ int main(int argc, char** argv) {
       }
       return print_stats_table(r);
     }
+    if (verb == "top") return do_top(client, opt);
     if (verb == "raw") {
       if (opt.positional.size() != 2) {
         std::cerr << "mcr_query: raw needs one JSON payload argument\n";

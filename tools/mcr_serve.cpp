@@ -5,7 +5,8 @@
 //             [--graphs N] [--max-frame BYTES] [--preload FILE]...
 //             [--trace FILE] [--slow-ms MS] [--trace-sample P]
 //             [--flight N] [--flight-pinned N] [--flight-dump PATH]
-//             [--log-json PATH]
+//             [--log-json PATH] [--window SECONDS] [--window-slots N]
+//             [--stats-interval SECONDS] [--stats-out PATH]
 //
 //   --socket PATH    Unix-domain listener (the normal deployment)
 //   --listen PORT    additional TCP listener on 127.0.0.1:PORT
@@ -32,6 +33,11 @@
 //   --flight-dump PATH post-mortem ring dump on a fatal signal
 //                    ("none" disables; default mcr_flight_dump.json)
 //   --log-json PATH  per-request JSONL access log (default off)
+//   --window S       sliding telemetry window in seconds (default 60)
+//   --window-slots N ring sub-windows per window (default 6)
+//   --stats-interval S  emit one telemetry snapshot line every S seconds
+//   --stats-out PATH    JSONL file for snapshot lines (pump runs only
+//                    when both --stats-interval and --stats-out are set)
 //   --version        print build provenance and exit
 //
 // The flight recorder itself is always on: the TRACE verb serves the
@@ -92,6 +98,8 @@ int main(int argc, char** argv) {
                    "                 [--trace FILE] [--slow-ms MS] [--trace-sample P]\n"
                    "                 [--flight N] [--flight-pinned N]\n"
                    "                 [--flight-dump PATH] [--log-json PATH]\n"
+                   "                 [--window SECONDS] [--window-slots N]\n"
+                   "                 [--stats-interval SECONDS] [--stats-out PATH]\n"
                    "                 [--version]\n";
       return 2;
     }
@@ -127,6 +135,15 @@ int main(int argc, char** argv) {
       return 2;
     }
     so.request_log_path = opt.get("log-json");
+    so.stats_window_s = opt.get_double("window", 60.0);
+    so.stats_window_slots =
+        static_cast<std::size_t>(opt.get_int_in("window-slots", 6, 2, 600));
+    so.stats_interval_s = opt.get_double("stats-interval", 0.0);
+    so.stats_out_path = opt.get("stats-out");
+    if (so.stats_window_s <= 0.0) {
+      std::cerr << "mcr_serve: --window must be positive\n";
+      return 2;
+    }
 
     svc::Server server(so);
     const std::string dump_path = opt.get("flight-dump", "mcr_flight_dump.json");
