@@ -102,7 +102,15 @@ CycleResult solve_decomposed(const Graph& g, const Solver& solver,
 
   fault_phase_boundary("scc_decompose");
   CycleResult best;
-  SccDecomposition scc;
+  // The decomposition either comes precomputed with the graph (packs
+  // attach Tarjan's exact output as a hint, see Graph::SccHint) or is
+  // computed here. Both paths normalize into the same three views, so
+  // the grouping below — and therefore every solve result — is
+  // bit-identical regardless of where the decomposition came from.
+  SccDecomposition scc_storage;
+  std::span<const NodeId> comp_of;
+  std::vector<bool> comp_cyclic;
+  NodeId scc_num_components = 0;
   std::vector<NodeId> local_id(static_cast<std::size_t>(g.num_nodes()), kInvalidNode);
   std::vector<NodeId> comp_size;
   // Per-component arcs, grouped structure-of-arrays: one flat array per
@@ -119,8 +127,23 @@ CycleResult solve_decomposed(const Graph& g, const Solver& solver,
   std::vector<std::size_t> cyclic;
   {
     const obs::Span span(obs::EventKind::kSccDecompose, "scc_decompose");
-    scc = strongly_connected_components(g);
-    const std::size_t num_comp = static_cast<std::size_t>(scc.num_components);
+    if (const Graph::SccHint* hint = g.scc_hint(); hint != nullptr) {
+      comp_of = hint->component;
+      scc_num_components = hint->num_components;
+      comp_cyclic.assign(static_cast<std::size_t>(scc_num_components), false);
+      for (const NodeId c : hint->cyclic_components) {
+        comp_cyclic[static_cast<std::size_t>(c)] = true;
+      }
+      if (options.metrics != nullptr) {
+        options.metrics->counter("mcr_scc_hint_solves_total").add(1);
+      }
+    } else {
+      scc_storage = strongly_connected_components(g);
+      comp_of = scc_storage.component;
+      scc_num_components = scc_storage.num_components;
+      comp_cyclic = std::move(scc_storage.component_is_cyclic);
+    }
+    const std::size_t num_comp = static_cast<std::size_t>(scc_num_components);
 
     // Group nodes and arcs by cyclic component in one pass each (building
     // per-component subgraphs via induced_subgraph would rescan all arcs
@@ -128,19 +151,18 @@ CycleResult solve_decomposed(const Graph& g, const Solver& solver,
     // hundreds of SCCs).
     comp_size.assign(num_comp, 0);
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      const auto c = static_cast<std::size_t>(scc.component[static_cast<std::size_t>(v)]);
-      if (!scc.component_is_cyclic[c]) continue;
+      const auto c = static_cast<std::size_t>(comp_of[static_cast<std::size_t>(v)]);
+      if (!comp_cyclic[c]) continue;
       local_id[static_cast<std::size_t>(v)] = comp_size[c]++;
     }
     const auto arc_component = [&](ArcId a) -> std::size_t {
       // Intra-component arc of a cyclic component, or num_comp.
-      const auto cu = static_cast<std::size_t>(
-          scc.component[static_cast<std::size_t>(g.src(a))]);
-      if (scc.component[static_cast<std::size_t>(g.dst(a))] !=
-          scc.component[static_cast<std::size_t>(g.src(a))]) {
+      const auto cu = static_cast<std::size_t>(comp_of[static_cast<std::size_t>(g.src(a))]);
+      if (comp_of[static_cast<std::size_t>(g.dst(a))] !=
+          comp_of[static_cast<std::size_t>(g.src(a))]) {
         return num_comp;
       }
-      return scc.component_is_cyclic[cu] ? cu : num_comp;
+      return comp_cyclic[cu] ? cu : num_comp;
     };
     comp_arc_first.assign(num_comp + 1, 0);
     std::size_t kept = 0;
@@ -172,10 +194,10 @@ CycleResult solve_decomposed(const Graph& g, const Solver& solver,
 
     cyclic.reserve(num_comp);
     for (std::size_t c = 0; c < num_comp; ++c) {
-      if (scc.component_is_cyclic[c]) cyclic.push_back(c);
+      if (comp_cyclic[c]) cyclic.push_back(c);
     }
   }
-  const std::size_t num_comp = static_cast<std::size_t>(scc.num_components);
+  const std::size_t num_comp = static_cast<std::size_t>(scc_num_components);
   const auto component_graph = [&](std::size_t c) {
     const std::size_t off = comp_arc_first[c];
     const std::size_t len = comp_arc_first[c + 1] - off;

@@ -11,10 +11,17 @@
 //   * The graph is immutable after construction; solvers keep their own
 //     scratch arrays. This makes concurrent solves of the same graph
 //     safe and keeps solver state explicit.
+//   * Storage is either owned (the builder constructors below) or
+//     external (adopt_external): every accessor reads through spans, so
+//     a graph can view a read-only mmap'd pack (src/store) with zero
+//     per-process copy. External views carry a keepalive handle that
+//     pins the backing memory for the graph's lifetime.
 #ifndef MCR_GRAPH_GRAPH_H
 #define MCR_GRAPH_GRAPH_H
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -49,6 +56,35 @@ class Graph {
   /// flat arc arrays (the SCC driver's per-component grouping).
   Graph(NodeId num_nodes, std::span<const NodeId> src, std::span<const NodeId> dst,
         std::span<const std::int64_t> weight, std::span<const std::int64_t> transit);
+
+  /// Everything a zero-copy external view needs: the arc arrays, both
+  /// prebuilt CSR indices, and the weight/transit summaries that
+  /// finish_build would otherwise recompute. The referenced memory must
+  /// stay valid and immutable for the graph's lifetime (see
+  /// adopt_external's keepalive).
+  struct ExternalParts {
+    NodeId num_nodes = 0;
+    std::span<const NodeId> src;
+    std::span<const NodeId> dst;
+    std::span<const std::int64_t> weight;
+    std::span<const std::int64_t> transit;
+    std::span<const std::int32_t> out_first;  // size num_nodes + 1
+    std::span<const ArcId> out_arcs;          // size num_arcs
+    std::span<const std::int32_t> in_first;   // size num_nodes + 1
+    std::span<const ArcId> in_arcs;           // size num_arcs
+    std::int64_t min_weight = 0;
+    std::int64_t max_weight = 0;
+    std::int64_t total_transit = 0;
+  };
+
+  /// Adopts externally owned storage without copying: accessors read
+  /// the given spans directly, and `keepalive` (an mmap'd pack mapping,
+  /// typically) is held until the graph — and every graph moved from it
+  /// — is destroyed. Only array-size consistency is validated here; the
+  /// caller (store::PackReader) is responsible for deep validation of
+  /// the content, which checksummed packs get at attach time.
+  [[nodiscard]] static Graph adopt_external(const ExternalParts& parts,
+                                            std::shared_ptr<const void> keepalive);
 
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
@@ -94,31 +130,83 @@ class Graph {
   [[nodiscard]] std::span<const std::int32_t> in_first() const { return in_first_; }
   [[nodiscard]] std::span<const ArcId> in_arc_ids() const { return in_arcs_; }
 
+  /// Flat arc arrays in arc-id order (the pack serializer's input).
+  [[nodiscard]] std::span<const NodeId> srcs() const { return src_; }
+  [[nodiscard]] std::span<const NodeId> dsts() const { return dst_; }
+  [[nodiscard]] std::span<const std::int64_t> weights() const { return weight_; }
+  [[nodiscard]] std::span<const std::int64_t> transits() const { return transit_; }
+
   /// Extremes over all arcs; 0 for an arc-free graph.
   [[nodiscard]] std::int64_t min_weight() const { return min_weight_; }
   [[nodiscard]] std::int64_t max_weight() const { return max_weight_; }
   /// Sum of all transit times (the paper's T).
   [[nodiscard]] std::int64_t total_transit() const { return total_transit_; }
 
+  /// True when this graph views externally owned memory (an mmap'd pack)
+  /// rather than heap vectors it owns.
+  [[nodiscard]] bool is_external() const { return keepalive_ != nullptr; }
+
+  /// Bytes of graph data this instance makes resident: heap bytes for
+  /// owned graphs, mapped bytes viewed for external ones. Deterministic
+  /// (size-based, not capacity-based) so registry accounting is stable.
+  [[nodiscard]] std::size_t resident_bytes() const {
+    return (src_.size() + dst_.size() + out_arcs_.size() + in_arcs_.size()) *
+               sizeof(NodeId) +
+           (weight_.size() + transit_.size()) * sizeof(std::int64_t) +
+           (out_first_.size() + in_first_.size()) * sizeof(std::int32_t);
+  }
+
+  /// Precomputed SCC decomposition attached to this graph (a pack's
+  /// front-loaded condensation). The driver consumes it instead of
+  /// re-running Tarjan per solve; the referenced memory must match the
+  /// graph's lifetime (external views share the pack keepalive). The
+  /// contract is exact: `component` and the ascending cyclic worklist
+  /// must equal strongly_connected_components(*this) output, so solves
+  /// stay bit-identical with and without the hint.
+  struct SccHint {
+    std::span<const NodeId> component;           // size num_nodes
+    NodeId num_components = 0;
+    std::span<const NodeId> cyclic_components;   // ascending component ids
+  };
+  void set_scc_hint(const SccHint& hint) { scc_hint_ = hint; }
+  [[nodiscard]] const SccHint* scc_hint() const {
+    return scc_hint_.has_value() ? &*scc_hint_ : nullptr;
+  }
+
  private:
-  /// Validates endpoints, computes the weight/transit summaries, and
-  /// builds both CSR indices from the already-filled arc arrays.
+  Graph() = default;
+
+  /// Validates endpoints, computes the weight/transit summaries, builds
+  /// both CSR indices from the already-filled own_* arc arrays, and
+  /// points the accessor spans at the owned storage.
   void finish_build();
 
   NodeId num_nodes_ = 0;
-  // Struct-of-arrays arc storage: contiguous scans are the hot path.
-  std::vector<NodeId> src_;
-  std::vector<NodeId> dst_;
-  std::vector<std::int64_t> weight_;
-  std::vector<std::int64_t> transit_;
-  // CSR indices.
-  std::vector<std::int32_t> out_first_;
-  std::vector<ArcId> out_arcs_;
-  std::vector<std::int32_t> in_first_;
-  std::vector<ArcId> in_arcs_;
+  // Accessor views: into the own_* vectors (builder path) or external
+  // memory (adopt_external). std::vector's heap buffer is stable across
+  // moves, so the default move keeps these spans valid either way.
+  std::span<const NodeId> src_;
+  std::span<const NodeId> dst_;
+  std::span<const std::int64_t> weight_;
+  std::span<const std::int64_t> transit_;
+  std::span<const std::int32_t> out_first_;
+  std::span<const ArcId> out_arcs_;
+  std::span<const std::int32_t> in_first_;
+  std::span<const ArcId> in_arcs_;
+  // Owned backing storage; empty in external-view mode.
+  std::vector<NodeId> own_src_;
+  std::vector<NodeId> own_dst_;
+  std::vector<std::int64_t> own_weight_;
+  std::vector<std::int64_t> own_transit_;
+  std::vector<std::int32_t> own_out_first_;
+  std::vector<ArcId> own_out_arcs_;
+  std::vector<std::int32_t> own_in_first_;
+  std::vector<ArcId> own_in_arcs_;
   std::int64_t min_weight_ = 0;
   std::int64_t max_weight_ = 0;
   std::int64_t total_transit_ = 0;
+  std::shared_ptr<const void> keepalive_;  // pins external memory
+  std::optional<SccHint> scc_hint_;
 };
 
 }  // namespace mcr

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 namespace mcr {
@@ -24,8 +25,17 @@ void write_dimacs(std::ostream& os, const Graph& g, const std::string& comment) 
   }
 }
 
+namespace {
+
+/// Whitespace as istream token extraction sees it within one line
+/// (getline consumed the '\n').
+bool dimacs_ws(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+}  // namespace
+
 Graph read_dimacs(std::istream& is) {
-  std::string line;
   std::size_t lineno = 0;
   NodeId n = -1;
   ArcId declared_m = 0;
@@ -33,9 +43,59 @@ Graph read_dimacs(std::istream& is) {
   const auto fail = [&](const std::string& msg) {
     throw std::runtime_error("read_dimacs: line " + std::to_string(lineno) + ": " + msg);
   };
-  while (std::getline(is, line)) {
-    ++lineno;
-    if (line.empty() || line[0] == 'c') continue;
+
+  // Fast path for canonical arc lines — 'a' in column 0 followed by 3
+  // or 4 plain decimal tokens. Returns false on anything unusual
+  // (extra tokens, malformed or overflowing numbers, 'a' with no
+  // fields), deferring to the token-extraction path below so accept /
+  // reject behavior and error text stay byte-identical with the
+  // original istream-based reader. Multi-million-arc packs hit this
+  // branch for every arc line; the istringstream-per-line cost was the
+  // parse bottleneck.
+  const auto fast_arc_line = [&](std::string_view line) -> bool {
+    if (n < 0) return false;  // "arc line before problem line" path
+    long long vals[4] = {0, 0, 0, 0};
+    int count = 0;
+    std::size_t i = 1;  // past the 'a'
+    for (;;) {
+      while (i < line.size() && dimacs_ws(line[i])) ++i;
+      if (i == line.size()) break;
+      if (count == 4) return false;  // legacy path reports the extra token
+      bool neg = false;
+      if (line[i] == '+' || line[i] == '-') {
+        neg = line[i] == '-';
+        ++i;
+      }
+      if (i == line.size() || line[i] < '0' || line[i] > '9') return false;
+      const unsigned long long bound =
+          neg ? 9223372036854775808ULL : 9223372036854775807ULL;
+      unsigned long long acc = 0;
+      for (; i < line.size() && line[i] >= '0' && line[i] <= '9'; ++i) {
+        const unsigned long long digit = static_cast<unsigned long long>(line[i] - '0');
+        if (acc > (bound - digit) / 10) return false;  // would overflow int64
+        acc = acc * 10 + digit;
+      }
+      if (i < line.size() && !dimacs_ws(line[i])) return false;  // "12x"
+      vals[count++] = neg ? static_cast<long long>(-acc) : static_cast<long long>(acc);
+    }
+    if (count < 3) return false;
+    const long long u = vals[0], v = vals[1], w = vals[2];
+    const long long t = count == 4 ? vals[3] : 1;
+    if (u < 1 || u > n || v < 1 || v > n) fail("arc endpoint out of range");
+    if (t <= 0) {
+      fail("non-positive transit time " + std::to_string(t) +
+           " (the format requires t >= 1)");
+    }
+    arcs.push_back(ArcSpec{static_cast<NodeId>(u - 1), static_cast<NodeId>(v - 1), w, t});
+    return true;
+  };
+
+  // Everything the fast path declines, handled exactly as the original
+  // per-line istringstream reader did (bug-for-bug: an unreadable 4th
+  // token still falls back to t = 1, a whitespace-only line reports
+  // kind '\0', ...).
+  const auto slow_line = [&](std::string_view sv) {
+    const std::string line(sv);
     std::istringstream ls(line);
     char kind = 0;
     ls >> kind;
@@ -64,7 +124,37 @@ Graph read_dimacs(std::istream& is) {
     } else {
       fail(std::string("unknown line kind '") + kind + "'");
     }
+  };
+
+  const auto handle_line = [&](std::string_view line) {
+    ++lineno;
+    if (line.empty() || line[0] == 'c') return;
+    if (line[0] == 'a' && fast_arc_line(line)) return;
+    slow_line(line);
+  };
+
+  // Buffered line scan: read in large chunks and split on '\n'
+  // manually instead of getline + istringstream per line. `carry`
+  // holds at most one partial line between chunks.
+  std::vector<char> chunk(1 << 20);
+  std::string carry;
+  for (;;) {
+    is.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    const std::size_t got = static_cast<std::size_t>(is.gcount());
+    if (got == 0) break;
+    carry.append(chunk.data(), got);
+    std::size_t begin = 0;
+    for (;;) {
+      const std::size_t nl = carry.find('\n', begin);
+      if (nl == std::string::npos) break;
+      handle_line(std::string_view(carry).substr(begin, nl - begin));
+      begin = nl + 1;
+    }
+    carry.erase(0, begin);
   }
+  // Final line without a trailing newline (getline would yield it too).
+  if (!carry.empty()) handle_line(carry);
+
   if (n < 0) throw std::runtime_error("read_dimacs: missing problem line");
   if (static_cast<ArcId>(arcs.size()) != declared_m) {
     throw std::runtime_error("read_dimacs: arc count mismatch (declared " +

@@ -1,0 +1,32 @@
+#include "store/dataset_watcher.h"
+
+#include <utility>
+
+#include "store/pack_reader.h"
+
+namespace mcr::store {
+
+std::shared_ptr<const Dataset> DatasetWatcher::attach(const std::string& path) {
+  // Open and validate outside the lock: attach of a large pack is
+  // checksum-bound, and a failure here must not perturb the published
+  // generation (PackReader::open throws before anything is swapped).
+  PackReader reader = PackReader::open(path);
+
+  auto ds = std::make_shared<Dataset>();
+  ds->graph = reader.graph();
+  ds->fingerprint = reader.fingerprint_hex();
+  ds->path = path;
+  ds->bytes = reader.file_bytes();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ds->generation = next_generation_++;
+  current_ = ds;
+  return ds;
+}
+
+std::shared_ptr<const Dataset> DatasetWatcher::current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+}  // namespace mcr::store

@@ -1,0 +1,58 @@
+// Versioned dataset attachment with atomic hot-swap.
+//
+// A Dataset is one attached pack generation: the zero-copy graph view,
+// its fingerprint, and a monotonically increasing generation number.
+// DatasetWatcher publishes the current generation behind a shared_ptr:
+// attach() validates the new pack fully before swapping, so a corrupt
+// replacement leaves the old generation serving; readers that grabbed
+// the old snapshot (in-flight solves, cache entries) keep the old
+// mapping alive until their last reference drops. Result caches key on
+// fingerprint, so entries computed against an old generation stay
+// valid and new-generation requests miss cleanly.
+#ifndef MCR_STORE_DATASET_WATCHER_H
+#define MCR_STORE_DATASET_WATCHER_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace mcr::store {
+
+/// An immutable snapshot of one attached pack generation.
+struct Dataset {
+  std::shared_ptr<const Graph> graph;  // pins the mapping
+  std::string fingerprint;             // 32 lowercase hex chars
+  std::string path;                    // pack file this generation came from
+  std::uint64_t generation = 0;        // 1 for the first attach, then ++
+  std::uint64_t bytes = 0;             // pack file size
+};
+
+class DatasetWatcher {
+ public:
+  DatasetWatcher() = default;
+  DatasetWatcher(const DatasetWatcher&) = delete;
+  DatasetWatcher& operator=(const DatasetWatcher&) = delete;
+
+  /// Opens and validates the pack at `path`, then atomically publishes
+  /// it as the next generation. Throws PackError on any validation
+  /// failure, in which case the previously published generation (if
+  /// any) remains current. Safe to call concurrently; generations are
+  /// assigned in publish order.
+  std::shared_ptr<const Dataset> attach(const std::string& path);
+
+  /// The currently published generation, or nullptr before the first
+  /// successful attach.
+  [[nodiscard]] std::shared_ptr<const Dataset> current() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const Dataset> current_;
+  std::uint64_t next_generation_ = 1;
+};
+
+}  // namespace mcr::store
+
+#endif  // MCR_STORE_DATASET_WATCHER_H

@@ -1,0 +1,160 @@
+// On-disk layout of the .mcrpack zero-copy graph container.
+//
+// A pack is one contiguous file servers mmap read-only and attach with
+// zero per-process copy (the osrm contiguous-block idiom):
+//
+//   +--------------------------------------------------------------+
+//   | PackHeader (fixed size, offset 0)                            |
+//   |   magic "MCRPACK1" · format version · endianness tag         |
+//   |   file size · whole-file checksum · content fingerprint      |
+//   |   graph summaries (n, m, min/max weight, total transit)      |
+//   |   SCC summaries (component count, cyclic count)              |
+//   |   section table: (id, offset, bytes) per section             |
+//   +--------------------------------------------------------------+
+//   | sections, each 64-byte aligned, in SectionId order:          |
+//   |   arc arrays      src dst weight transit      (arc-id order) |
+//   |   CSR indices     out_first out_arcs in_first in_arcs        |
+//   |   condensation    scc_component scc_cyclic                   |
+//   |   per-component   ComponentMeta records                      |
+//   +--------------------------------------------------------------+
+//
+// Every multi-byte field is little-endian; the endianness tag rejects
+// foreign-endian packs instead of byte-swapping them. The checksum is a
+// 64-bit splitmix chain over the whole file with the checksum field
+// itself read as zero, so corruption anywhere — header, table, or
+// section bytes — is detected at attach time.
+//
+// Versioning: readers accept exactly kFormatVersion. Any layout change
+// (new section, field width, reordering) bumps the version; packs are
+// cheap to regenerate from their source inputs, so there is no
+// migration path by design. See docs/STORAGE.md.
+#ifndef MCR_STORE_FORMAT_H
+#define MCR_STORE_FORMAT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace mcr::store {
+
+inline constexpr char kPackMagic[8] = {'M', 'C', 'R', 'P', 'A', 'C', 'K', '1'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+/// Written as the native value of this constant; a reader on a
+/// foreign-endian host sees the bytes reversed and rejects the pack.
+inline constexpr std::uint32_t kEndianTag = 0x01020304u;
+/// Section payloads start on 64-byte boundaries so the mmap'd arrays are
+/// aligned for any element type (and for cache-line-friendly sweeps).
+inline constexpr std::size_t kSectionAlignment = 64;
+
+/// Section order is also file order; kCount doubles as the table size.
+enum class SectionId : std::uint32_t {
+  kArcSrc = 0,      // NodeId[m]   arc source, arc-id order
+  kArcDst,          // NodeId[m]   arc destination
+  kArcWeight,       // int64[m]    arc weight w(e)
+  kArcTransit,      // int64[m]    arc transit time t(e)
+  kOutFirst,        // int32[n+1]  CSR offsets, out-adjacency
+  kOutArcs,         // ArcId[m]    CSR arc ids, out-adjacency
+  kInFirst,         // int32[n+1]  CSR offsets, in-adjacency
+  kInArcs,          // ArcId[m]    CSR arc ids, in-adjacency
+  kSccComponent,    // NodeId[n]   Tarjan component id per node
+  kSccCyclic,       // NodeId[k]   cyclic component ids, driver order
+  kComponentMeta,   // ComponentMeta[num_components]
+  kCount,
+};
+
+inline constexpr std::size_t kSectionCount = static_cast<std::size_t>(SectionId::kCount);
+
+struct SectionEntry {
+  std::uint32_t id = 0;        // SectionId value, table is in id order
+  std::uint32_t reserved = 0;  // zero
+  std::uint64_t offset = 0;    // from file start, kSectionAlignment-aligned
+  std::uint64_t bytes = 0;     // payload length (no padding)
+};
+static_assert(sizeof(SectionEntry) == 24);
+
+/// Per-component metadata: sizes for admission/scheduling decisions and
+/// a tile-granularity hint for graph/arc_tiles.h. The hint is advisory —
+/// runtime tiling stays opt-in via SolveOptions.tile_arcs so solve
+/// metrics remain comparable across storage backends.
+struct ComponentMeta {
+  std::int32_t nodes = 0;      // nodes in this component
+  std::int32_t arcs = 0;       // intra-component arcs
+  std::int32_t tile_hint = 0;  // suggested tile_arcs; 0 = tiling not useful
+  std::int32_t cyclic = 0;     // 1 if the component contains a cycle
+};
+static_assert(sizeof(ComponentMeta) == 16);
+
+struct PackHeader {
+  char magic[8] = {};                 // kPackMagic
+  std::uint32_t format_version = 0;   // kFormatVersion
+  std::uint32_t endian_tag = 0;       // kEndianTag
+  std::uint64_t file_bytes = 0;       // total file size, must match stat
+  std::uint64_t checksum = 0;         // pack_checksum(file, this field = 0)
+  std::uint64_t fingerprint_hi = 0;   // graph content fingerprint
+  std::uint64_t fingerprint_lo = 0;   //   (graph/fingerprint.h)
+  std::int32_t num_nodes = 0;
+  std::int32_t num_arcs = 0;
+  std::int32_t num_components = 0;
+  std::int32_t num_cyclic = 0;        // cyclic components (worklist length)
+  std::int64_t min_weight = 0;
+  std::int64_t max_weight = 0;
+  std::int64_t total_transit = 0;
+  std::uint32_t section_count = 0;    // kSectionCount
+  std::uint32_t reserved = 0;         // zero
+  SectionEntry sections[kSectionCount];
+};
+static_assert(std::is_trivially_copyable_v<PackHeader>);
+static_assert(sizeof(PackHeader) == 96 + kSectionCount * sizeof(SectionEntry));
+
+/// Rounds a file offset up to the next section boundary.
+[[nodiscard]] constexpr std::uint64_t align_up(std::uint64_t offset) {
+  return (offset + kSectionAlignment - 1) & ~static_cast<std::uint64_t>(kSectionAlignment - 1);
+}
+
+/// Whole-file checksum: a splitmix64 chain absorbed 8 bytes at a time
+/// (zero-padded tail), with the header's checksum field read as zeros so
+/// the stored value can cover itself. `checksum_field_offset` is the
+/// byte offset of that field within `data`; pass the real offset when
+/// hashing a finished file and data-size when hashing a buffer that
+/// already has the field zeroed.
+[[nodiscard]] std::uint64_t pack_checksum(const unsigned char* data, std::size_t size,
+                                          std::size_t checksum_field_offset);
+
+/// Byte offset of PackHeader::checksum within the header (and the file).
+[[nodiscard]] constexpr std::size_t checksum_field_offset() {
+  return offsetof(PackHeader, checksum);
+}
+
+/// What a pack failed validation on. kIo covers open/stat/mmap/write
+/// failures; everything else is a content rejection.
+enum class PackErrorKind {
+  kIo,
+  kTruncated,
+  kBadMagic,
+  kBadEndianness,
+  kBadVersion,
+  kBadHeader,
+  kBadSection,
+  kChecksumMismatch,
+};
+
+[[nodiscard]] const char* pack_error_kind_name(PackErrorKind kind);
+
+/// Typed pack rejection: callers branch on kind(), logs get what().
+class PackError : public std::runtime_error {
+ public:
+  PackError(PackErrorKind kind, const std::string& message)
+      : std::runtime_error(std::string(pack_error_kind_name(kind)) + ": " + message),
+        kind_(kind) {}
+
+  [[nodiscard]] PackErrorKind kind() const { return kind_; }
+
+ private:
+  PackErrorKind kind_;
+};
+
+}  // namespace mcr::store
+
+#endif  // MCR_STORE_FORMAT_H

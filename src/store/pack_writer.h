@@ -1,0 +1,34 @@
+// Offline serializer for .mcrpack graph containers (see format.h).
+//
+// Packing is deterministic: the arc arrays are written in arc-id order,
+// the CSR indices are the graph's own counting-sort output, and the SCC
+// sections store exactly what Tarjan produces — so packing the same
+// graph twice (or repacking a pack's own view) yields byte-identical
+// files, which the golden-bytes tests pin.
+#ifndef MCR_STORE_PACK_WRITER_H
+#define MCR_STORE_PACK_WRITER_H
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace mcr::store {
+
+/// What write_pack produced, for tool output and logs.
+struct PackWriteInfo {
+  std::uint64_t file_bytes = 0;
+  std::string fingerprint;        // 32 lowercase hex chars
+  std::int32_t num_components = 0;
+  std::int32_t num_cyclic = 0;
+};
+
+/// Serializes g into a pack file at `path` (overwriting any existing
+/// file), computing the content fingerprint, the SCC condensation, and
+/// per-component metadata along the way. Throws PackError(kIo) if the
+/// file cannot be written.
+PackWriteInfo write_pack(const std::string& path, const Graph& g);
+
+}  // namespace mcr::store
+
+#endif  // MCR_STORE_PACK_WRITER_H

@@ -311,4 +311,11 @@ json::Value Client::stats(bool window) {
 
 json::Value Client::health() { return request(R"({"verb":"HEALTH"})"); }
 
+json::Value Client::reload(const std::string& path) {
+  std::string payload = R"({"verb":"RELOAD")";
+  if (!path.empty()) payload += ",\"path\":\"" + json_escape(path) + "\"";
+  payload += "}";
+  return request(payload);
+}
+
 }  // namespace mcr::svc

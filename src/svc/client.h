@@ -110,6 +110,11 @@ class Client {
   [[nodiscard]] json::Value stats(bool window = false);
   /// Parsed HEALTH response (liveness, queue depth, last-solve age).
   [[nodiscard]] json::Value health();
+  /// RELOAD: hot-swap the server's dataset to the pack at `path`, or
+  /// re-attach the currently attached path when `path` is empty.
+  /// Returns the parsed response (new fingerprint and generation on
+  /// success, an error payload on rejection).
+  [[nodiscard]] json::Value reload(const std::string& path = "");
 
   /// Raw transport access for protocol-robustness tests.
   void send_bytes(std::string_view bytes);

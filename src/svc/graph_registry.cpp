@@ -1,9 +1,19 @@
 #include "svc/graph_registry.h"
 
+#include <utility>
+
 #include "graph/fingerprint.h"
 #include "obs/metrics.h"
 
 namespace mcr::svc {
+namespace {
+
+const std::string kBuilderBytesGauge =
+    obs::labeled_name("mcr_graph_bytes", {{"backing", "builder"}});
+const std::string kMmapBytesGauge =
+    obs::labeled_name("mcr_graph_bytes", {{"backing", "mmap"}});
+
+}  // namespace
 
 GraphRegistry::GraphRegistry(std::size_t capacity, obs::MetricsRegistry* metrics)
     : capacity_(capacity == 0 ? 1 : capacity), metrics_(metrics) {}
@@ -11,22 +21,46 @@ GraphRegistry::GraphRegistry(std::size_t capacity, obs::MetricsRegistry* metrics
 std::string GraphRegistry::add(Graph&& g) {
   std::string fp = fingerprint_hex(g);
   std::lock_guard lock(mutex_);
-  if (const auto it = index_.find(fp); it != index_.end()) {
+  insert_locked(fp, std::make_shared<const Graph>(std::move(g)));
+  return fp;
+}
+
+void GraphRegistry::add_shared(const std::string& fingerprint_hex,
+                               std::shared_ptr<const Graph> g) {
+  std::lock_guard lock(mutex_);
+  insert_locked(fingerprint_hex, std::move(g));
+}
+
+void GraphRegistry::insert_locked(const std::string& fingerprint_hex,
+                                  std::shared_ptr<const Graph> g) {
+  if (const auto it = index_.find(fingerprint_hex); it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
-    return fp;
+    return;
   }
-  lru_.push_front(Entry{fp, std::make_shared<const Graph>(std::move(g))});
-  index_[fp] = lru_.begin();
+  Entry entry;
+  entry.fingerprint = fingerprint_hex;
+  entry.bytes = g->resident_bytes();
+  entry.external = g->is_external();
+  entry.graph = std::move(g);
+  (entry.external ? mmap_bytes_ : builder_bytes_) += entry.bytes;
+  lru_.push_front(std::move(entry));
+  index_[fingerprint_hex] = lru_.begin();
   if (metrics_ != nullptr) metrics_->counter("mcr_graph_loads_total").add(1);
   while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().fingerprint);
+    const Entry& victim = lru_.back();
+    (victim.external ? mmap_bytes_ : builder_bytes_) -= victim.bytes;
+    index_.erase(victim.fingerprint);
     lru_.pop_back();
     if (metrics_ != nullptr) metrics_->counter("mcr_graph_evictions_total").add(1);
   }
-  if (metrics_ != nullptr) {
-    metrics_->gauge("mcr_graphs_resident").set(static_cast<std::int64_t>(lru_.size()));
-  }
-  return fp;
+  publish_gauges_locked();
+}
+
+void GraphRegistry::publish_gauges_locked() {
+  if (metrics_ == nullptr) return;
+  metrics_->gauge("mcr_graphs_resident").set(static_cast<std::int64_t>(lru_.size()));
+  metrics_->gauge(kBuilderBytesGauge).set(static_cast<std::int64_t>(builder_bytes_));
+  metrics_->gauge(kMmapBytesGauge).set(static_cast<std::int64_t>(mmap_bytes_));
 }
 
 std::shared_ptr<const Graph> GraphRegistry::find(const std::string& fingerprint_hex) {
@@ -40,6 +74,16 @@ std::shared_ptr<const Graph> GraphRegistry::find(const std::string& fingerprint_
 std::size_t GraphRegistry::size() const {
   std::lock_guard lock(mutex_);
   return lru_.size();
+}
+
+std::uint64_t GraphRegistry::builder_bytes() const {
+  std::lock_guard lock(mutex_);
+  return builder_bytes_;
+}
+
+std::uint64_t GraphRegistry::mmap_bytes() const {
+  std::lock_guard lock(mutex_);
+  return mmap_bytes_;
 }
 
 }  // namespace mcr::svc

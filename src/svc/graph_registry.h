@@ -8,11 +8,16 @@
 // immutable so concurrent solves need no further synchronization.
 //
 // Capacity is bounded (LRU): a long-lived daemon fed a stream of
-// distinct graphs must not grow without limit.
+// distinct graphs must not grow without limit. Resident bytes are
+// tracked per backing kind — builder-owned heap copies versus
+// mmap-backed pack views — since eviction frees real memory for the
+// former but only drops a reference to shared page cache for the
+// latter.
 #ifndef MCR_SVC_GRAPH_REGISTRY_H
 #define MCR_SVC_GRAPH_REGISTRY_H
 
 #include <cstddef>
+#include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
@@ -30,8 +35,9 @@ namespace mcr::svc {
 class GraphRegistry {
  public:
   /// `capacity` = max resident graphs (LRU eviction beyond). With
-  /// `metrics` set, maintains the mcr_graphs_resident gauge and the
-  /// mcr_graph_loads_total / mcr_graph_evictions_total counters.
+  /// `metrics` set, maintains the mcr_graphs_resident and per-backing
+  /// mcr_graph_bytes gauges and the mcr_graph_loads_total /
+  /// mcr_graph_evictions_total counters.
   explicit GraphRegistry(std::size_t capacity,
                          obs::MetricsRegistry* metrics = nullptr);
 
@@ -39,22 +45,42 @@ class GraphRegistry {
   /// content that is already resident just touches the LRU entry.
   std::string add(Graph&& g);
 
+  /// Registers an externally owned graph (an mmap-backed pack view)
+  /// under a fingerprint the caller already knows — the pack header
+  /// carries it, so re-hashing the mapped arrays is skipped. Idempotent
+  /// like add(); the shared_ptr keeps the backing mapping alive while
+  /// the entry is resident.
+  void add_shared(const std::string& fingerprint_hex, std::shared_ptr<const Graph> g);
+
   /// Looks a fingerprint up (and touches it). nullptr when absent.
   [[nodiscard]] std::shared_ptr<const Graph> find(const std::string& fingerprint_hex);
 
   [[nodiscard]] std::size_t size() const;
 
+  /// Resident graph bytes by backing: heap bytes of builder-owned
+  /// graphs and mapped bytes viewed by mmap-backed ones.
+  [[nodiscard]] std::uint64_t builder_bytes() const;
+  [[nodiscard]] std::uint64_t mmap_bytes() const;
+
  private:
   struct Entry {
     std::string fingerprint;
     std::shared_ptr<const Graph> graph;
+    std::uint64_t bytes = 0;
+    bool external = false;
   };
+
+  /// Inserts (or touches) under the lock, evicting beyond capacity.
+  void insert_locked(const std::string& fingerprint_hex, std::shared_ptr<const Graph> g);
+  void publish_gauges_locked();
 
   std::size_t capacity_;
   obs::MetricsRegistry* metrics_;
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  // front = hottest
   std::map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t builder_bytes_ = 0;
+  std::uint64_t mmap_bytes_ = 0;
 };
 
 }  // namespace mcr::svc

@@ -14,9 +14,9 @@
 // size.
 //
 // Requests carry a "verb" field (PING / LOAD / SOLVE / SOLVERS /
-// STATS); responses carry "status": "ok" or "error" (with "code" and
-// "message"). See docs/SERVICE.md for the full verb and error-code
-// reference.
+// STATS / HEALTH / TRACE / RELOAD); responses carry "status": "ok" or
+// "error" (with "code" and "message"). See docs/SERVICE.md for the
+// full verb and error-code reference.
 #ifndef MCR_SVC_PROTOCOL_H
 #define MCR_SVC_PROTOCOL_H
 

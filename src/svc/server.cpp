@@ -25,6 +25,7 @@
 #include "gen/structured.h"
 #include "graph/io.h"
 #include "obs/build_info.h"
+#include "store/format.h"
 #include "support/json.h"
 #include "support/stats.h"
 #include "svc/result_json.h"
@@ -150,6 +151,10 @@ void Server::start() {
     throw std::runtime_error("Server::start: no listener configured");
   }
   obs::export_build_info(metrics_);
+
+  // Attach the dataset before any listener exists: a server configured
+  // with a bad pack should fail to start, not serve NOT_FOUND.
+  if (!options_.dataset_path.empty()) attach_dataset(options_.dataset_path);
 
   if (!options_.unix_socket_path.empty()) {
     unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -291,6 +296,26 @@ void Server::stop_and_drain() {
 
 std::string Server::preload_dimacs_file(const std::string& path) {
   return graphs_.add(load_dimacs(path));
+}
+
+std::shared_ptr<const store::Dataset> Server::attach_dataset(const std::string& path) {
+  // attach() validates the pack fully before publishing; on a throw the
+  // previously published generation (if any) is untouched and keeps
+  // serving — that is the zero-downtime guarantee of RELOAD.
+  std::shared_ptr<const store::Dataset> ds = dataset_.attach(path);
+  graphs_.add_shared(ds->fingerprint, ds->graph);
+  metrics_.gauge("mcr_dataset_generation")
+      .set(static_cast<std::int64_t>(ds->generation));
+  metrics_.counter("mcr_dataset_attaches_total").add(1);
+  return ds;
+}
+
+std::shared_ptr<const store::Dataset> Server::reload_dataset() {
+  const std::shared_ptr<const store::Dataset> cur = dataset_.current();
+  if (cur == nullptr) {
+    throw std::runtime_error("reload_dataset: no dataset attached");
+  }
+  return attach_dataset(cur->path);
 }
 
 void Server::accept_loop() {
@@ -446,11 +471,13 @@ std::string Server::handle_request(const std::string& payload) {
       response = handle_health();
     } else if (ctx.verb == "TRACE") {
       response = handle_trace(req);
+    } else if (ctx.verb == "RELOAD") {
+      response = handle_reload(req, ctx);
     } else {
       throw RequestError(kErrBadRequest,
                          "unknown verb '" + ctx.verb +
                              "' (expected PING | LOAD | SOLVE | "
-                             "SOLVERS | STATS | HEALTH | TRACE)");
+                             "SOLVERS | STATS | HEALTH | TRACE | RELOAD)");
     }
   } catch (const RequestError& e) {
     ctx.error_code = e.code;
@@ -541,12 +568,49 @@ std::string Server::handle_trace(const json::Value& req) const {
   return out;
 }
 
+std::string Server::handle_reload(const json::Value& req, RequestContext& ctx) {
+  std::string path = req.has("path") ? req.at("path").as_string() : std::string();
+  if (path.empty()) {
+    const std::shared_ptr<const store::Dataset> cur = dataset_.current();
+    if (cur == nullptr) {
+      throw RequestError(kErrBadRequest,
+                         "no dataset attached (start with --dataset, or pass "
+                         "\"path\" to RELOAD)");
+    }
+    path = cur->path;
+  }
+  std::shared_ptr<const store::Dataset> ds;
+  try {
+    ds = attach_dataset(path);
+  } catch (const store::PackError& e) {
+    // The swap never happened; the old generation keeps serving.
+    throw RequestError(kErrBadRequest,
+                       std::string("cannot attach dataset: ") + e.what());
+  }
+  ctx.fingerprint = ds->fingerprint;
+  std::string out = "{\"status\":\"ok\",\"path\":\"" + json_escape(ds->path) +
+                    "\",\"fingerprint\":\"" + ds->fingerprint +
+                    "\",\"generation\":" + std::to_string(ds->generation) +
+                    ",\"nodes\":" + std::to_string(ds->graph->num_nodes()) +
+                    ",\"arcs\":" + std::to_string(ds->graph->num_arcs()) +
+                    ",\"bytes\":" + std::to_string(ds->bytes) + "}";
+  return out;
+}
+
 std::pair<std::shared_ptr<const Graph>, std::string> Server::resolve_graph(
     const json::Value& req) {
   if (req.has("fingerprint")) {
     const std::string fp = req.at("fingerprint").as_string();
     std::shared_ptr<const Graph> g = graphs_.find(fp);
     if (g == nullptr) {
+      // The attached dataset is authoritative even if LRU pressure from
+      // LOADed graphs evicted its registry entry: re-register instead
+      // of bouncing the request.
+      if (const auto ds = dataset_.current();
+          ds != nullptr && ds->fingerprint == fp) {
+        graphs_.add_shared(ds->fingerprint, ds->graph);
+        return {ds->graph, fp};
+      }
       throw RequestError(kErrNotFound,
                          "no graph with fingerprint " + fp +
                              " is resident (LOAD it first, or it was evicted)");
@@ -605,6 +669,12 @@ std::string Server::handle_stats(const json::Value& req) const {
   out += fmt_json_double(uptime_seconds());
   out += ",\"build\":";
   out += obs::build_info_json();
+  if (const auto ds = dataset_.current(); ds != nullptr) {
+    out += ",\"dataset\":{\"path\":\"" + json_escape(ds->path) +
+           "\",\"fingerprint\":\"" + ds->fingerprint +
+           "\",\"generation\":" + std::to_string(ds->generation) +
+           ",\"bytes\":" + std::to_string(ds->bytes) + "}";
+  }
   // Opt-in: the windowed view costs a merge over every ring slot of
   // every per-verb instrument, so plain STATS callers don't pay it.
   if (req.has("window") && req.at("window").as_bool()) {

@@ -46,6 +46,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "store/dataset_watcher.h"
 #include "svc/cache.h"
 #include "svc/graph_registry.h"
 #include "svc/protocol.h"
@@ -111,6 +112,12 @@ struct ServerOptions {
   /// is positive AND the path is set.
   double stats_interval_s = 0.0;
   std::string stats_out_path;
+  /// .mcrpack dataset to attach at start() (mmap'd zero-copy, see
+  /// docs/STORAGE.md). Empty disables. The attached graph is registered
+  /// in the GraphRegistry under its content fingerprint; RELOAD (and
+  /// SIGHUP in mcr_serve) hot-swaps to a new generation without
+  /// interrupting in-flight solves.
+  std::string dataset_path;
 };
 
 class Server {
@@ -140,6 +147,24 @@ class Server {
   /// Loads a DIMACS file into the registry (the --preload path in
   /// mcr_serve); returns the fingerprint. Call before or after start().
   std::string preload_dimacs_file(const std::string& path);
+
+  /// Attaches (or hot-swaps to) the pack at `path`: validates it,
+  /// publishes it as the next dataset generation, and registers its
+  /// zero-copy graph in the registry. Throws store::PackError on a bad
+  /// pack, in which case the current generation keeps serving. Thread-
+  /// safe; this is what the RELOAD verb and SIGHUP call.
+  std::shared_ptr<const store::Dataset> attach_dataset(const std::string& path);
+
+  /// Re-attaches the currently attached dataset path (the SIGHUP
+  /// no-argument reload). Throws std::runtime_error when no dataset has
+  /// ever been attached.
+  std::shared_ptr<const store::Dataset> reload_dataset();
+
+  /// The currently published dataset generation; nullptr when the
+  /// server runs without --dataset.
+  [[nodiscard]] std::shared_ptr<const store::Dataset> dataset() const {
+    return dataset_.current();
+  }
 
   [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] GraphRegistry& graphs() { return graphs_; }
@@ -223,6 +248,8 @@ class Server {
   [[nodiscard]] std::string handle_stats(const json::Value& req) const;
   [[nodiscard]] std::string handle_health();
   [[nodiscard]] std::string handle_trace(const json::Value& req) const;
+  [[nodiscard]] std::string handle_reload(const json::Value& req,
+                                          RequestContext& ctx);
 
   /// `{"window_seconds":..,"verbs":{"(all)":{..},"SOLVE":{..}}}` —
   /// windowed per-verb count/rps/percentiles, shared by STATS
@@ -258,6 +285,7 @@ class Server {
   ServerOptions options_;
   obs::MetricsRegistry metrics_;
   GraphRegistry graphs_;
+  store::DatasetWatcher dataset_;
   ResultCache cache_;
   obs::FlightRecorder flight_;
   std::unique_ptr<RequestLog> request_log_;

@@ -171,5 +171,125 @@ TEST(DimacsIo, LoadMissingFileThrows) {
   EXPECT_THROW(load_dimacs("/nonexistent/path/graph.dimacs"), std::runtime_error);
 }
 
+// ---------------------------------------------------------------------------
+// The buffered line scanner has a fast path for canonical arc lines and
+// falls back to the legacy token-extraction path for anything unusual.
+// These tests pin the exact error strings (and the deliberate legacy
+// quirks) so the fast path can never drift from the reference behavior.
+
+std::string read_error(const std::string& text) {
+  std::istringstream is(text);
+  try {
+    (void)read_dimacs(is);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(DimacsScanner, ExactErrorStrings) {
+  EXPECT_EQ(read_error("p mcr 4 1\na 1\n"),
+            "read_dimacs: line 2: malformed arc line");
+  EXPECT_EQ(read_error("p mcr 4 1\na 1 2 3 4 5\n"),
+            "read_dimacs: line 2: trailing tokens after arc line ('5')");
+  // Endpoint range via the fast path (canonical tokens)...
+  EXPECT_EQ(read_error("p mcr 4 1\na 1 9 3\n"),
+            "read_dimacs: line 2: arc endpoint out of range");
+  // ...and via the legacy path (a '+' sign is canonical too, tabs are
+  // whitespace): same string either way.
+  EXPECT_EQ(read_error("p mcr 4 1\na\t+1\t9\t3\n"),
+            "read_dimacs: line 2: arc endpoint out of range");
+  EXPECT_EQ(read_error("p mcr 4 1\na 1 2 3 0\n"),
+            "read_dimacs: line 2: non-positive transit time 0 (the format "
+            "requires t >= 1)");
+  EXPECT_EQ(read_error("p mcr 4 1\na 1 2 3 -7\n"),
+            "read_dimacs: line 2: non-positive transit time -7 (the format "
+            "requires t >= 1)");
+  // A weight that overflows int64 declines the fast path; the stream
+  // extraction then fails the same way a non-number would.
+  EXPECT_EQ(read_error("p mcr 4 1\na 1 2 99999999999999999999\n"),
+            "read_dimacs: line 2: malformed arc line");
+  EXPECT_EQ(read_error("a 1 2 3\n"), "read_dimacs: line 1: arc line before problem line");
+  EXPECT_EQ(read_error("x 1 2\n"), "read_dimacs: line 1: unknown line kind 'x'");
+  EXPECT_EQ(read_error("p mcr x 1\n"),
+            "read_dimacs: line 1: malformed problem line (expected 'p mcr <n> <m>')");
+  EXPECT_EQ(read_error(""), "read_dimacs: missing problem line");
+  EXPECT_EQ(read_error("p mcr 4 2\na 1 2 3\n"),
+            "read_dimacs: arc count mismatch (declared 2, found 1)");
+}
+
+TEST(DimacsScanner, WhitespaceOnlyLineReportsNulKind) {
+  // Legacy quirk, preserved bug-for-bug: token extraction from a
+  // whitespace-only line leaves kind = '\0', so the message embeds a
+  // NUL — which what() (a C string) truncates at.
+  EXPECT_EQ(read_error("p mcr 4 0\n \n"),
+            "read_dimacs: line 2: unknown line kind '");
+}
+
+TEST(DimacsScanner, UnreadableFourthTokenFallsBackToTransitOne) {
+  // Legacy quirk, preserved bug-for-bug: a 4th token that fails int64
+  // extraction falls back to t = 1, and the stuck failbit hides it from
+  // the trailing-token check.
+  std::istringstream is("p mcr 2 1\na 1 2 5 x\n");
+  const Graph g = read_dimacs(is);
+  ASSERT_EQ(g.num_arcs(), 1);
+  EXPECT_EQ(g.weight(0), 5);
+  EXPECT_EQ(g.transit(0), 1);
+  // Same stuck-failbit quirk when the junk is glued to the weight: "3x"
+  // reads weight 3, then 'x' consumes the transit extraction.
+  std::istringstream glued("p mcr 4 1\na 1 2 3x\n");
+  const Graph g2 = read_dimacs(glued);
+  ASSERT_EQ(g2.num_arcs(), 1);
+  EXPECT_EQ(g2.weight(0), 3);
+  EXPECT_EQ(g2.transit(0), 1);
+}
+
+TEST(DimacsScanner, CrlfAndFinalLineWithoutNewline) {
+  // CR is line-internal whitespace (the scanner splits on LF only), so
+  // CRLF files parse; a last line with no terminator still counts.
+  std::istringstream is("p mcr 2 2\r\na 1 2 5\r\na 2 1 -3 4");
+  const Graph g = read_dimacs(is);
+  ASSERT_EQ(g.num_arcs(), 2);
+  EXPECT_EQ(g.weight(0), 5);
+  EXPECT_EQ(g.transit(0), 1);
+  EXPECT_EQ(g.weight(1), -3);
+  EXPECT_EQ(g.transit(1), 4);
+}
+
+TEST(DimacsScanner, FastAndSlowPathsAgreeOnEquivalentSpellings) {
+  // The same graph spelled canonically (fast path) and with legacy
+  // oddities (leading whitespace, '+' signs, tab separators — slow
+  // path) must parse identically.
+  std::istringstream fast("p mcr 3 3\na 1 2 10\na 2 3 -5 3\na 3 1 7\n");
+  std::istringstream slow(
+      "p mcr 3 3\n  a 1 2 10\na\t+2\t+3\t-5\t+3\na 3 1 +7\n");
+  const Graph a = read_dimacs(fast);
+  const Graph b = read_dimacs(slow);
+  ASSERT_EQ(a.num_arcs(), b.num_arcs());
+  for (ArcId e = 0; e < a.num_arcs(); ++e) {
+    EXPECT_EQ(a.src(e), b.src(e));
+    EXPECT_EQ(a.dst(e), b.dst(e));
+    EXPECT_EQ(a.weight(e), b.weight(e));
+    EXPECT_EQ(a.transit(e), b.transit(e));
+  }
+}
+
+TEST(DimacsScanner, ChunkBoundarySafety) {
+  // A file big enough to span multiple 1 MiB read chunks, with the
+  // header asserting the exact arc count: no line is lost or doubled at
+  // chunk boundaries.
+  constexpr int kArcs = 150000;  // ~1.7 MB of text
+  std::string text = "p mcr 2 " + std::to_string(kArcs) + "\n";
+  for (int i = 0; i < kArcs; ++i) {
+    text += (i % 2) == 0 ? "a 1 2 7\n" : "a 2 1 -345678 9\n";
+  }
+  std::istringstream is(text);
+  const Graph g = read_dimacs(is);
+  ASSERT_EQ(g.num_arcs(), kArcs);
+  EXPECT_EQ(g.weight(0), 7);
+  EXPECT_EQ(g.weight(1), -345678);
+  EXPECT_EQ(g.transit(1), 9);
+}
+
 }  // namespace
 }  // namespace mcr

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <mutex>
 #include <sstream>
@@ -31,6 +32,8 @@
 #include "svc/client.h"
 #include "svc/graph_registry.h"
 #include "svc/protocol.h"
+#include "store/format.h"
+#include "store/pack_writer.h"
 #include "svc/request_log.h"
 #include "svc/result_json.h"
 #include "svc/server.h"
@@ -1154,6 +1157,137 @@ TEST(FrameFuzz, TruncatedHeadersAbsurdLengthsAndGarbage) {
   EXPECT_TRUE(c.ping());
   EXPECT_GE(server.metrics().counter("mcr_bad_frames_total").value(), 2u);
   server.stop_and_drain();
+}
+
+// ---------------------------------------------------------------------------
+// Versioned datasets: --dataset attach at startup, RELOAD hot-swap.
+
+/// A /tmp pack written from a graph, removed on scope exit.
+struct TempPackFile {
+  explicit TempPackFile(const Graph& g) {
+    static std::atomic<int> counter{0};
+    path = "/tmp/mcr_svc_pack_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1)) + ".mcrpack";
+    store::write_pack(path, g);
+  }
+  ~TempPackFile() { std::remove(path.c_str()); }
+  TempPackFile(const TempPackFile&) = delete;
+  TempPackFile& operator=(const TempPackFile&) = delete;
+  std::string path;
+};
+
+TEST(SvcDataset, AttachAtStartupThenHotSwapServesBothGenerations) {
+  const Graph ga = make_ring(24, 7);
+  const Graph gb = make_ring(40, 11);
+  const std::string fp_a = fingerprint_hex(ga);
+  const std::string fp_b = fingerprint_hex(gb);
+  TempPackFile pack_a(ga), pack_b(gb);
+
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  so.dataset_path = pack_a.path;
+  svc::Server server(so);
+  server.start();
+  svc::Client client = svc::Client::connect_unix(so.unix_socket_path);
+
+  // Generation 1 is resident at startup: solvable with no LOAD, and
+  // bit-equal to a local solve of the same content.
+  const json::Value first = client.solve(fp_a);
+  ASSERT_EQ(first.string_or("status", ""), "ok");
+  const CycleResult local_a =
+      minimum_cycle_mean(ga, *SolverRegistry::instance().create("howard"));
+  EXPECT_EQ(first.at("result").at("value_num").as_double(),
+            static_cast<double>(local_a.value.num()));
+  json::Value stats = client.stats();
+  ASSERT_TRUE(stats.has("dataset"));
+  EXPECT_EQ(stats.at("dataset").at("generation").as_double(), 1.0);
+  EXPECT_EQ(stats.at("dataset").at("fingerprint").as_string(), fp_a);
+
+  // Hot-swap to pack B. The response names B's fingerprint and the
+  // bumped generation.
+  const json::Value swapped = client.reload(pack_b.path);
+  ASSERT_EQ(swapped.string_or("status", ""), "ok");
+  EXPECT_EQ(swapped.at("fingerprint").as_string(), fp_b);
+  EXPECT_EQ(swapped.at("generation").as_double(), 2.0);
+
+  // Post-swap solves hit B; A's content and cache entry stay valid.
+  const json::Value post = client.solve(fp_b);
+  ASSERT_EQ(post.string_or("status", ""), "ok");
+  const CycleResult local_b =
+      minimum_cycle_mean(gb, *SolverRegistry::instance().create("howard"));
+  EXPECT_EQ(post.at("result").at("value_num").as_double(),
+            static_cast<double>(local_b.value.num()));
+  const json::Value replay = client.solve(fp_a);
+  ASSERT_EQ(replay.string_or("status", ""), "ok");
+  EXPECT_TRUE(replay.at("cached").as_bool());
+
+  stats = client.stats();
+  EXPECT_EQ(stats.at("dataset").at("generation").as_double(), 2.0);
+  EXPECT_EQ(stats.at("dataset").at("fingerprint").as_string(), fp_b);
+  EXPECT_EQ(stats.at("dataset").at("path").as_string(), pack_b.path);
+
+  server.stop_and_drain();
+}
+
+TEST(SvcDataset, FailedReloadAnswersBadRequestAndKeepsServing) {
+  const Graph ga = make_ring(24, 3);
+  TempPackFile pack_a(ga);
+  // A corrupt pack: one payload byte flipped fails the checksum.
+  std::string bytes;
+  {
+    std::ifstream is(pack_a.path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes[bytes.size() - 1] = static_cast<char>(bytes[bytes.size() - 1] ^ 0x10);
+  const std::string corrupt_path = pack_a.path + ".corrupt";
+  {
+    std::ofstream os(corrupt_path, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  so.dataset_path = pack_a.path;
+  svc::Server server(so);
+  server.start();
+  svc::Client client = svc::Client::connect_unix(so.unix_socket_path);
+
+  const json::Value rejected = client.reload(corrupt_path);
+  EXPECT_EQ(rejected.string_or("status", ""), "error");
+  EXPECT_EQ(rejected.string_or("code", ""), "BAD_REQUEST");
+  EXPECT_NE(rejected.string_or("message", "").find("checksum"),
+            std::string::npos);
+
+  // The old generation is untouched and still serves.
+  const json::Value stats = client.stats();
+  EXPECT_EQ(stats.at("dataset").at("generation").as_double(), 1.0);
+  EXPECT_EQ(client.solve(fingerprint_hex(ga)).string_or("status", ""), "ok");
+
+  std::remove(corrupt_path.c_str());
+  server.stop_and_drain();
+}
+
+TEST(SvcDataset, ReloadWithoutDatasetOrPathIsBadRequest) {
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  svc::Server server(so);
+  server.start();
+  svc::Client client = svc::Client::connect_unix(so.unix_socket_path);
+  const json::Value v = client.reload();
+  EXPECT_EQ(v.string_or("status", ""), "error");
+  EXPECT_EQ(v.string_or("code", ""), "BAD_REQUEST");
+  server.stop_and_drain();
+}
+
+TEST(SvcDataset, StartupWithBadDatasetFailsLoudly) {
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  so.dataset_path = "/tmp/mcr_svc_pack_absent.mcrpack";
+  svc::Server server(so);
+  // A daemon told to serve a dataset it cannot attach must not come up
+  // quietly empty.
+  EXPECT_THROW(server.start(), store::PackError);
 }
 
 }  // namespace

@@ -14,7 +14,11 @@
 # smoke: mcr_serve with the windowed-telemetry pump on, a closed-loop
 # mixed-verb mcr_load run with a nonzero cold fraction, gated on zero
 # transport errors plus json.tool-valid report and stats JSONL
-# artifacts. A tiny mcr_bench grid runs
+# artifacts, and a zero-copy store smoke: two mcr_pack datasets served
+# via --dataset and hot-swapped under a --strict mcr_load reload mix
+# with zero failures, with the post-swap fingerprint/generation asserted
+# via STATS (the ASan leg additionally re-runs the pack
+# corruption-rejection suite). A tiny mcr_bench grid runs
 # twice and is gated with mcr_bench_diff: the self-diff must report zero
 # regressions (exit 0), and the A-vs-B cross-run diff uses a generous
 # threshold since CI machines are noisy (see docs/BENCHMARKING.md).
@@ -125,6 +129,67 @@ load_smoke() {
   rm -rf "$tmp"
 }
 
+# Zero-copy store smoke: pack two generated datasets with mcr_pack,
+# verify them (and prove a corrupted copy is rejected), then serve pack
+# A via --dataset and hot-swap under load: mcr_load runs a mixed
+# workload with a nonzero reload weight rotating between both packs,
+# --strict gating on zero service errors as the swaps happen. A final
+# deterministic RELOAD to pack B must answer with B's fingerprint, a
+# post-swap SOLVE against that fingerprint must succeed, and STATS must
+# report the advanced generation. $1 = build dir.
+store_smoke() {
+  local bdir="$1"
+  local tmp
+  tmp="$(mktemp -d)"
+  echo "=== store smoke ($bdir) ==="
+  local sock="$tmp/mcr.sock"
+  local fp_a fp_b
+  fp_a="$(run "$bdir/tools/mcr_pack" gen sprand --n 400 --m 1200 --seed 11 \
+      --out "$tmp/a.mcrpack")"
+  fp_b="$(run "$bdir/tools/mcr_pack" gen circuit --n 300 --module 16 --seed 22 \
+      --out "$tmp/b.mcrpack")"
+  run "$bdir/tools/mcr_pack" info "$tmp/a.mcrpack" > /dev/null
+  run "$bdir/tools/mcr_pack" verify "$tmp/b.mcrpack" > /dev/null
+  # One flipped payload byte must fail verification (typed checksum error).
+  cp "$tmp/a.mcrpack" "$tmp/corrupt.mcrpack"
+  printf '\xff' | dd of="$tmp/corrupt.mcrpack" bs=1 seek=1000 conv=notrunc status=none
+  if "$bdir/tools/mcr_pack" verify "$tmp/corrupt.mcrpack" 2> "$tmp/verify_err"; then
+    echo "FAIL: corrupted pack passed mcr_pack verify" >&2
+    exit 1
+  fi
+  grep -q "checksum" "$tmp/verify_err"
+
+  "$bdir/tools/mcr_serve" --socket "$sock" --dataset "$tmp/a.mcrpack" \
+      --flight-dump none &
+  local server_pid=$!
+  for _ in $(seq 1 100); do [[ -S "$sock" ]] && break; sleep 0.1; done
+  # Generation 1 solves with no LOAD: the dataset is resident at startup.
+  run "$bdir/tools/mcr_query" --socket "$sock" solve "fp:$fp_a" > /dev/null
+  # Hot-swap under load: reload rotates B,A while solves are in flight;
+  # --strict fails the smoke on any service error during the swaps.
+  run "$bdir/tools/mcr_load" --socket "$sock" --concurrency 4 --duration 2 \
+      --mix solve=80,stats=10,reload=10 \
+      --reload-paths "$tmp/b.mcrpack,$tmp/a.mcrpack" --strict --graph-n 128
+  # Deterministic final swap to B: the response must carry B's
+  # fingerprint, B must be solvable, and STATS must show the advanced
+  # generation pointing at B.
+  [[ "$(run "$bdir/tools/mcr_query" --socket "$sock" reload \
+      --path "$tmp/b.mcrpack")" == "$fp_b" ]]
+  run "$bdir/tools/mcr_query" --socket "$sock" solve "fp:$fp_b" > /dev/null
+  run "$bdir/tools/mcr_query" --socket "$sock" stats --json \
+      > "$tmp/stats.json"
+  python3 - "$tmp/stats.json" "$fp_b" <<'PY'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+ds = stats["dataset"]
+assert ds["fingerprint"] == sys.argv[2], ds
+assert ds["generation"] >= 2, ds
+PY
+  kill -TERM "$server_pid"
+  wait "$server_pid"
+  rm -rf "$tmp"
+}
+
 # Benchmark artifact + regression-gate smoke: a tiny grid run twice,
 # both artifacts schema-validated, then gated. The strict gate is the
 # deterministic self-diff; the cross-run diff only proves the gate can
@@ -155,6 +220,7 @@ if [[ "$FAST" == 0 ]]; then
   obs_smoke build
   svc_obs_smoke build
   load_smoke build
+  store_smoke build
   bench_smoke build
 
   echo "=== bench baseline gate ==="
@@ -198,7 +264,15 @@ run ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 obs_smoke build-asan
 svc_obs_smoke build-asan
 load_smoke build-asan
+store_smoke build-asan
 bench_smoke build-asan
+
+echo "=== store corruption-rejection tests (sanitized) ==="
+# Explicitly re-run the pack rejection suite under ASan+UBSan: mmap
+# bounds mistakes in the validator are exactly what the sanitizers
+# catch, so this leg is the one that must exercise every typed
+# rejection path.
+run ctest --test-dir build-asan -R 'PackRejection' --output-on-failure
 
 echo "=== chaos smoke (sanitized, seeded fault plans) ==="
 # Eight seeds, each run twice: zero invariant violations and the same

@@ -5,6 +5,7 @@
 //            [--concurrency K]                    closed-loop workers
 //            [--connections N] [--duration S] [--requests N]
 //            [--mix solve=90,stats=5,ping=5] [--cold-pct P]
+//            [--reload-paths A.mcrpack,B.mcrpack] [--strict]
 //            [--graph-n N] [--seed N] [--output PATH] [--version]
 //
 // Two load models:
@@ -24,7 +25,12 @@
 // Workload shape:
 //
 //   --mix solve=90,stats=5,ping=5   relative weights per verb
-//                    (solve | ping | stats | health | solvers)
+//                    (solve | ping | stats | health | solvers | reload;
+//                    reload defaults to weight 0 — give it weight to
+//                    exercise dataset hot-swap under load)
+//   --reload-paths A,B   RELOAD rotates through these pack paths
+//                    round-robin; without it RELOAD is sent bare and
+//                    re-attaches the server's current dataset path
 //   --cold-pct P     percent of SOLVEs forced cold: each cold request
 //                    carries a never-repeated generator seed, so its
 //                    fingerprint misses the result cache and the solve
@@ -42,6 +48,8 @@
 //
 // Exit status: 0 = run completed with zero transport errors; 1 = at
 // least one transport error (or a fatal setup failure); 2 = usage.
+// --strict widens the failure condition: any *service* error (a non-ok
+// protocol response) also exits 1, so CI can assert a clean run.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -122,7 +130,7 @@ class ArrivalSchedule {
 };
 
 struct MixEntry {
-  std::string verb;  // solve | ping | stats | health | solvers
+  std::string verb;  // solve | ping | stats | health | solvers | reload
   double weight = 0.0;
 };
 
@@ -152,10 +160,11 @@ std::vector<MixEntry> parse_mix(const std::string& spec) {
     e.verb = item.substr(0, eq);
     e.weight = parse_number(item.substr(eq + 1), "--mix weight");
     if (e.verb != "solve" && e.verb != "ping" && e.verb != "stats" &&
-        e.verb != "health" && e.verb != "solvers") {
+        e.verb != "health" && e.verb != "solvers" && e.verb != "reload") {
       throw std::invalid_argument(
           "--mix verb '" + e.verb +
-          "' unknown (expected solve | ping | stats | health | solvers)");
+          "' unknown (expected solve | ping | stats | health | solvers | "
+          "reload)");
     }
     if (e.weight < 0.0) {
       throw std::invalid_argument("--mix weight for '" + e.verb +
@@ -216,6 +225,8 @@ struct LoadConfig {
   std::uint64_t request_cap = 0;  // 0 = unbounded
   std::vector<MixEntry> mix;
   double cold_pct = 0.0;
+  std::vector<std::string> reload_paths;  // RELOAD rotation; empty = bare
+  bool strict = false;  // service errors also fail the run
   std::int64_t graph_n = 128;
   std::uint64_t seed = 1;
 };
@@ -229,6 +240,11 @@ mcr::svc::Client connect(const LoadConfig& cfg) {
 /// silently warm the cache), so they come from one process-wide counter
 /// well away from the warm pool.
 std::atomic<std::uint64_t> g_cold_seed{1u << 20};
+
+/// RELOAD rotates through --reload-paths process-wide, not per worker,
+/// so a two-path A,B rotation really alternates generations even when
+/// many workers draw the reload verb.
+std::atomic<std::uint64_t> g_reload_rr{0};
 
 constexpr std::uint64_t kWarmSeeds = 8;  // warm SOLVE generator pool
 
@@ -269,6 +285,16 @@ void issue_one(mcr::svc::Client& client, const LoadConfig& cfg, Prng& prng,
     payload = R"({"verb":"STATS"})";
   } else if (verb == "health") {
     payload = R"({"verb":"HEALTH"})";
+  } else if (verb == "reload") {
+    if (cfg.reload_paths.empty()) {
+      payload = R"({"verb":"RELOAD"})";
+    } else {
+      const std::uint64_t i = g_reload_rr.fetch_add(1);
+      payload = "{\"verb\":\"RELOAD\",\"path\":\"" +
+                mcr::svc::json_escape(
+                    cfg.reload_paths[i % cfg.reload_paths.size()]) +
+                "\"}";
+    }
   } else {
     payload = R"({"verb":"SOLVERS"})";
   }
@@ -388,6 +414,7 @@ int main(int argc, char** argv) {
              "                [--concurrency K]                  closed loop\n"
              "                [--connections N] [--duration S] [--requests N]\n"
              "                [--mix solve=90,stats=5,ping=5] [--cold-pct P]\n"
+             "                [--reload-paths A.mcrpack,B.mcrpack] [--strict]\n"
              "                [--graph-n N] [--seed N] [--output PATH]\n"
              "                [--version]\n";
       return 2;
@@ -431,6 +458,14 @@ int main(int argc, char** argv) {
     }
     cfg.graph_n = opt.get_int_in("graph-n", 128, 2, 1 << 20);
     cfg.seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+    cfg.strict = opt.has("strict");
+    {
+      std::stringstream ss(opt.get("reload-paths"));
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        if (!item.empty()) cfg.reload_paths.push_back(item);
+      }
+    }
 
     // Probe the endpoint once before spawning workers so a wrong path
     // fails with one clear message instead of N.
@@ -586,7 +621,13 @@ int main(int argc, char** argv) {
       f << out << "\n";
       std::cout << "  report: " << opt.get("output") << "\n";
     }
-    return total.transport_errors == 0 ? 0 : 1;
+    if (total.transport_errors != 0) return 1;
+    if (cfg.strict && error_total != 0) {
+      std::cerr << "mcr_load: --strict and " << error_total
+                << " service errors\n";
+      return 1;
+    }
+    return 0;
   } catch (const std::invalid_argument& e) {
     std::cerr << "mcr_load: " << e.what() << "\n";
     return 2;

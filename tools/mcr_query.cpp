@@ -24,6 +24,9 @@
 //                                   gauges, cache hit ratio per refresh
 //                                   (N frames then exit; 0 = forever)
 //     health                        liveness + queue depth + last-solve age
+//     reload [--path FILE.mcrpack]  hot-swap the server's dataset (no
+//                                   --path re-attaches the current one);
+//                                   prints the new fingerprint/generation
 //     trace [--trace-id H] [--verb V] [--min-ms N] [--limit N] [--out FILE]
 //                                   fetch recent/pinned request traces
 //                                   from the flight recorder as
@@ -90,6 +93,7 @@ verbs:
                               refreshing live view (windowed percentiles,
                               rps, saturation gauges, cache hit ratio)
   health                      liveness + queue depth + last-solve age
+  reload [--path FILE]        hot-swap the server's dataset (.mcrpack)
   trace [--trace-id H] [--verb V] [--min-ms N] [--limit N] [--out FILE]
                               fetch request traces (Chrome JSON)
   raw '<json>'                send one raw request payload
@@ -332,6 +336,18 @@ int print_stats_table(const json::Value& r) {
     line << "  " << (p99_trace.empty() ? "-" : p99_trace);
     std::cout << line.str() << "\n";
   }
+  const json::Value& gauges = r.at("metrics").at("gauges");
+  const double resident = gauges.number_or("mcr_graphs_resident", 0.0);
+  const double builder_b =
+      gauges.number_or("mcr_graph_bytes{backing=\"builder\"}", 0.0);
+  const double mmap_b = gauges.number_or("mcr_graph_bytes{backing=\"mmap\"}", 0.0);
+  std::ostringstream mem;
+  mem.setf(std::ios::fixed);
+  mem.precision(1);
+  mem << "resident graphs: " << static_cast<std::int64_t>(resident) << " ("
+      << builder_b / (1024.0 * 1024.0) << " MiB builder, " << mmap_b / (1024.0 * 1024.0)
+      << " MiB mmap)";
+  std::cout << mem.str() << "\n";
   std::cout << "(fetch a trace: mcr_query ... trace --trace-id ID; "
                "--json for raw metrics)\n";
   return 0;
@@ -383,6 +399,17 @@ int do_top(svc::Client& client, const cli::Options& opt) {
         << gauge("mcr_in_flight") << "  connections "
         << gauge("mcr_active_connections") << "  batch "
         << gauge("mcr_batch_occupancy") << "%\n";
+    out << "  graphs " << gauge("mcr_graphs_resident") << " ("
+        << gauges.number_or("mcr_graph_bytes{backing=\"builder\"}", 0.0) /
+               (1024.0 * 1024.0)
+        << " MiB builder, "
+        << gauges.number_or("mcr_graph_bytes{backing=\"mmap\"}", 0.0) /
+               (1024.0 * 1024.0)
+        << " MiB mmap)";
+    if (const std::int64_t gen = gauge("mcr_dataset_generation"); gen > 0) {
+      out << "  dataset generation " << gen;
+    }
+    out << "\n";
     out << "  cache hit ratio: ";
     if (dh + dm == 0) {
       out << "-";
@@ -479,7 +506,7 @@ int main(int argc, char** argv) {
     }
     if (opt.positional.empty()) {
       std::cerr << "usage: mcr_query --socket PATH|--tcp PORT "
-                   "<ping|load|solve|solvers|stats|top|health|trace|raw> "
+                   "<ping|load|solve|solvers|stats|top|health|reload|trace|raw> "
                    "[args] (--help for the exit-code table)\n";
       return 2;
     }
@@ -552,6 +579,16 @@ int main(int argc, char** argv) {
       return print_stats_table(r);
     }
     if (verb == "top") return do_top(client, opt);
+    if (verb == "reload") {
+      const json::Value r = client.reload(opt.get("path"));
+      if (const int rc = finish(r); rc != 0) return rc;
+      std::cout << r.at("fingerprint").as_string() << "\n";
+      std::cerr << "reloaded " << r.string_or("path", "?") << " (generation "
+                << static_cast<std::int64_t>(r.number_or("generation", 0)) << ", "
+                << static_cast<std::int64_t>(r.number_or("nodes", 0)) << " nodes, "
+                << static_cast<std::int64_t>(r.number_or("arcs", 0)) << " arcs)\n";
+      return 0;
+    }
     if (verb == "raw") {
       if (opt.positional.size() != 2) {
         std::cerr << "mcr_query: raw needs one JSON payload argument\n";

@@ -3,6 +3,7 @@
 //   mcr_serve --socket /tmp/mcr.sock [--listen PORT] [--threads N]
 //             [--tile-arcs N] [--queue K] [--batch N] [--cache N]
 //             [--graphs N] [--max-frame BYTES] [--preload FILE]...
+//             [--dataset FILE.mcrpack]
 //             [--trace FILE] [--slow-ms MS] [--trace-sample P]
 //             [--flight N] [--flight-pinned N] [--flight-dump PATH]
 //             [--log-json PATH] [--window SECONDS] [--window-slots N]
@@ -23,6 +24,10 @@
 //   --max-frame B    reject request frames larger than B bytes
 //   --preload FILE   load a DIMACS file into the registry at startup
 //                    (repeatable via comma-separated list)
+//   --dataset FILE   attach a .mcrpack dataset at startup (mmap'd
+//                    zero-copy; the RELOAD verb or SIGHUP hot-swaps to
+//                    a new generation without dropping requests — see
+//                    docs/STORAGE.md)
 //   --trace FILE     write a Chrome/Perfetto trace on exit
 //   --slow-ms MS     pin request traces at least this slow (0 pins all,
 //                    -1 disables slow-pinning; errors always pin)
@@ -45,7 +50,10 @@
 // Chrome JSON. See docs/OBSERVABILITY.md.
 //
 // SIGTERM / SIGINT drain gracefully: stop accepting, finish every
-// in-flight request, then exit 0. Protocol reference: docs/SERVICE.md.
+// in-flight request, then exit 0. SIGHUP re-attaches the current
+// --dataset path (pick up a republished pack without a restart); it is
+// ignored when no dataset is attached. Protocol reference:
+// docs/SERVICE.md.
 #include <csignal>
 #include <fstream>
 #include <iostream>
@@ -68,6 +76,10 @@ int g_signal_pipe[2] = {-1, -1};
 
 void on_signal(int) {
   [[maybe_unused]] const ssize_t rc = ::write(g_signal_pipe[1], "x", 1);
+}
+
+void on_sighup(int) {
+  [[maybe_unused]] const ssize_t rc = ::write(g_signal_pipe[1], "h", 1);
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -95,6 +107,7 @@ int main(int argc, char** argv) {
                    "                 [--tile-arcs N] [--queue K] [--batch N]\n"
                    "                 [--cache N] [--graphs N]\n"
                    "                 [--max-frame BYTES] [--preload FILE[,FILE...]]\n"
+                   "                 [--dataset FILE.mcrpack]\n"
                    "                 [--trace FILE] [--slow-ms MS] [--trace-sample P]\n"
                    "                 [--flight N] [--flight-pinned N]\n"
                    "                 [--flight-dump PATH] [--log-json PATH]\n"
@@ -140,6 +153,7 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(opt.get_int_in("window-slots", 6, 2, 600));
     so.stats_interval_s = opt.get_double("stats-interval", 0.0);
     so.stats_out_path = opt.get("stats-out");
+    so.dataset_path = opt.get("dataset");
     if (so.stats_window_s <= 0.0) {
       std::cerr << "mcr_serve: --window must be positive\n";
       return 2;
@@ -155,6 +169,11 @@ int main(int argc, char** argv) {
                 << "\n";
     }
     server.start();
+    if (const auto ds = server.dataset(); ds != nullptr) {
+      std::cout << "dataset: " << ds->path << " -> " << ds->fingerprint
+                << " (generation " << ds->generation << ", " << ds->graph->num_nodes()
+                << " nodes, " << ds->graph->num_arcs() << " arcs)\n";
+    }
     if (!so.unix_socket_path.empty()) {
       std::cout << "mcr_serve: listening on unix:" << so.unix_socket_path << "\n";
     }
@@ -173,10 +192,22 @@ int main(int argc, char** argv) {
     std::signal(SIGPIPE, SIG_IGN);
     std::signal(SIGTERM, on_signal);
     std::signal(SIGINT, on_signal);
-    char byte = 0;
-    while (::read(g_signal_pipe[0], &byte, 1) < 0) {
-      // EINTR: the signal itself interrupts the read; retry and pick up
-      // the byte the handler wrote.
+    std::signal(SIGHUP, on_sighup);
+    for (;;) {
+      char byte = 0;
+      const ssize_t got = ::read(g_signal_pipe[0], &byte, 1);
+      if (got < 0) continue;  // EINTR: retry and pick up the handler's byte
+      if (got == 0) break;
+      if (byte != 'h') break;  // SIGTERM/SIGINT: fall through to drain
+      // SIGHUP: hot-swap to the current dataset path. A bad pack (or no
+      // dataset) must not take the daemon down — log and keep serving.
+      try {
+        const auto ds = server.reload_dataset();
+        std::cout << "mcr_serve: reloaded " << ds->path << " -> " << ds->fingerprint
+                  << " (generation " << ds->generation << ")" << std::endl;
+      } catch (const std::exception& e) {
+        std::cerr << "mcr_serve: reload failed: " << e.what() << std::endl;
+      }
     }
 
     std::cout << "mcr_serve: signal received, draining" << std::endl;
