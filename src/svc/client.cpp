@@ -1,5 +1,6 @@
 #include "svc/client.h"
 
+#include <netdb.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -40,20 +41,33 @@ int open_unix(const std::string& socket_path) {
   return fd;
 }
 
-int open_tcp(int port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw_errno("socket(AF_INET)");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    const int saved = errno;
-    ::close(fd);
-    errno = saved;
-    throw_errno("connect(127.0.0.1:" + std::to_string(port) + ")");
+int open_tcp(const std::string& host, int port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &results);
+  if (rc != 0) {
+    throw TransportError("resolve(" + host + "): " + ::gai_strerror(rc));
   }
-  return fd;
+  int saved = ECONNREFUSED;
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      saved = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(results);
+      return fd;
+    }
+    saved = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(results);
+  errno = saved;
+  throw_errno("connect(" + host + ":" + std::to_string(port) + ")");
 }
 
 /// splitmix64 step — enough PRNG for backoff jitter, with no global
@@ -108,9 +122,12 @@ Client Client::connect_unix(const std::string& socket_path) {
   return c;
 }
 
-Client Client::connect_tcp(int port) {
-  Client c(open_tcp(port));
+Client Client::connect_tcp(int port) { return connect_tcp("127.0.0.1", port); }
+
+Client Client::connect_tcp(const std::string& host, int port) {
+  Client c(open_tcp(host, port));
   c.endpoint_.kind = Endpoint::Kind::kTcp;
+  c.endpoint_.host = host;
   c.endpoint_.port = port;
   return c;
 }
@@ -147,7 +164,7 @@ void Client::reconnect() {
       return;
     }
     case Endpoint::Kind::kTcp: {
-      const int fd = open_tcp(endpoint_.port);
+      const int fd = open_tcp(endpoint_.host, endpoint_.port);
       if (fd_ >= 0) ::close(fd_);
       fd_ = fd;
       return;

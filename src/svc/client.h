@@ -47,8 +47,11 @@ struct RetryPolicy {
 class Client {
  public:
   [[nodiscard]] static Client connect_unix(const std::string& socket_path);
-  /// Loopback TCP (the server binds 127.0.0.1 only).
+  /// Loopback TCP shorthand for connect_tcp("127.0.0.1", port).
   [[nodiscard]] static Client connect_tcp(int port);
+  /// TCP to an arbitrary host (numeric address or name, resolved via
+  /// getaddrinfo) — used to reach workers bound off-loopback.
+  [[nodiscard]] static Client connect_tcp(const std::string& host, int port);
 
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
@@ -131,8 +134,9 @@ class Client {
   struct Endpoint {
     enum class Kind { kNone, kUnix, kTcp };
     Kind kind = Kind::kNone;
-    std::string path;  // unix
-    int port = 0;      // tcp
+    std::string path;               // unix
+    std::string host = "127.0.0.1"; // tcp
+    int port = 0;                   // tcp
   };
 
   explicit Client(int fd) : fd_(fd) {}

@@ -7,8 +7,9 @@
 //    dead; retrying requires a reconnect.
 //  - ServiceError: the server answered, with "status":"error". The
 //    connection is fine. Carries the protocol error code; codes BUSY,
-//    DEADLINE_EXCEEDED and SHUTTING_DOWN are retryable() — they describe
-//    the server's momentary state, not the request — while BAD_REQUEST,
+//    DEADLINE_EXCEEDED, SHUTTING_DOWN and UPSTREAM_UNAVAILABLE are
+//    retryable() — they describe the server's (or, through mcr_router,
+//    the fleet's) momentary state, not the request — while BAD_REQUEST,
 //    NOT_FOUND etc. are permanent.
 //
 // Both derive std::runtime_error so existing catch sites keep working.
@@ -39,7 +40,8 @@ class ServiceError : public std::runtime_error {
   [[nodiscard]] bool retryable() const { return is_retryable_code(code_); }
 
   [[nodiscard]] static bool is_retryable_code(std::string_view code) {
-    return code == "BUSY" || code == "DEADLINE_EXCEEDED" || code == "SHUTTING_DOWN";
+    return code == "BUSY" || code == "DEADLINE_EXCEEDED" || code == "SHUTTING_DOWN" ||
+           code == "UPSTREAM_UNAVAILABLE";
   }
 
  private:

@@ -42,6 +42,11 @@ inline constexpr const char* kErrFrameTooLarge = "FRAME_TOO_LARGE";
 inline constexpr const char* kErrBadFrame = "BAD_FRAME";
 inline constexpr const char* kErrShuttingDown = "SHUTTING_DOWN";
 inline constexpr const char* kErrInternal = "INTERNAL";
+/// Minted by mcr_router when no healthy replica could serve a request
+/// (every candidate's breaker open, all replicas failed, or the only
+/// response was cut off mid-frame). Retryable: the fleet's momentary
+/// state, not the request.
+inline constexpr const char* kErrUpstream = "UPSTREAM_UNAVAILABLE";
 
 /// Header + payload as one byte string ready for write().
 [[nodiscard]] std::string encode_frame(std::string_view payload);

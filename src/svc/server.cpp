@@ -1,5 +1,7 @@
 #include "svc/server.h"
 
+#include <arpa/inet.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -197,10 +199,24 @@ void Server::start() {
     ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    const std::string host =
+        options_.tcp_bind_host.empty() ? "127.0.0.1" : options_.tcp_bind_host;
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      addrinfo hints{};
+      hints.ai_family = AF_INET;
+      hints.ai_socktype = SOCK_STREAM;
+      addrinfo* res = nullptr;
+      const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &res);
+      if (rc != 0 || res == nullptr) {
+        throw std::runtime_error("Server::start: cannot resolve bind host '" + host +
+                                 "': " + ::gai_strerror(rc));
+      }
+      addr.sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+      ::freeaddrinfo(res);
+    }
     addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
     if (::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-      throw_errno("bind(127.0.0.1:" + std::to_string(options_.tcp_port) + ")");
+      throw_errno("bind(" + host + ":" + std::to_string(options_.tcp_port) + ")");
     }
     if (::listen(tcp_fd_, 128) != 0) throw_errno("listen(tcp)");
     sockaddr_in bound{};
@@ -232,6 +248,9 @@ void Server::start() {
 }
 
 void Server::stop_and_drain() {
+  // Raise the drain guard before running_ flips: any thread that sees
+  // running() == false is guaranteed attach_dataset already refuses.
+  draining_.store(true);
   if (!running_.exchange(false)) return;
   {
     std::lock_guard lock(queue_mutex_);
@@ -299,6 +318,13 @@ std::string Server::preload_dimacs_file(const std::string& path) {
 }
 
 std::shared_ptr<const store::Dataset> Server::attach_dataset(const std::string& path) {
+  // A SIGHUP (or RELOAD frame) racing stop_and_drain must not publish a
+  // generation nothing will serve — and must not touch the watcher while
+  // teardown is in flight.
+  if (draining_.load()) {
+    throw RequestError(kErrShuttingDown,
+                       "attach_dataset: server is draining; reload refused");
+  }
   // attach() validates the pack fully before publishing; on a throw the
   // previously published generation (if any) is untouched and keeps
   // serving — that is the zero-downtime guarantee of RELOAD.

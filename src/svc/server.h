@@ -62,9 +62,13 @@ struct ServerOptions {
   /// Unix-domain listener path; empty disables. A stale socket file
   /// (path exists but nothing accepts) is replaced; a live one fails.
   std::string unix_socket_path;
-  /// TCP listener on 127.0.0.1 (loopback only — front a real proxy for
-  /// anything else): port number, 0 = ephemeral, -1 = disabled.
+  /// TCP listener: port number, 0 = ephemeral, -1 = disabled.
   int tcp_port = -1;
+  /// Bind address for the TCP listener. Loopback by default; set
+  /// "0.0.0.0" (or a specific interface address) so a worker can sit
+  /// behind an mcr_router on another host. Numeric IPv4, or a name
+  /// resolved via getaddrinfo.
+  std::string tcp_bind_host = "127.0.0.1";
   /// SolveOptions::num_threads for dispatched solves (0 = hardware).
   int solve_threads = 0;
   /// SolveOptions::tile_arcs for dispatched solves: arc-tile granularity
@@ -291,6 +295,13 @@ class Server {
   std::unique_ptr<RequestLog> request_log_;
 
   std::atomic<bool> running_{false};
+  /// Set (and never cleared) once stop_and_drain begins, *before*
+  /// running_ flips — so observing running() == false implies the drain
+  /// guard is already up. attach_dataset refuses new generations after
+  /// this point: a SIGHUP/RELOAD racing the drain must not publish a
+  /// dataset that nothing will ever serve (see test_svc
+  /// ReloadDuringDrainIsRefused).
+  std::atomic<bool> draining_{false};
   std::chrono::steady_clock::time_point started_at_{};
   /// Steady-clock ns of the most recent solve completion (ok or error);
   /// -1 until the first one. HEALTH reports its age.

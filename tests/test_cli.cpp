@@ -78,5 +78,24 @@ TEST(Cli, LastOccurrenceWins) {
   EXPECT_EQ(o.get("n"), "2");
 }
 
+TEST(Cli, GetAllPreservesEveryOccurrenceInOrder) {
+  // Repeatable flags (mcr_router --worker, mcr_load --target): get()
+  // stays last-wins, get_all() sees every occurrence in argv order.
+  const Options o = parse({"--worker", "unix:/tmp/a.sock", "--replicas", "2",
+                           "--worker", "9301", "--worker=unix:/tmp/b.sock"});
+  const std::vector<std::string> workers = o.get_all("worker");
+  ASSERT_EQ(workers.size(), 3u);
+  EXPECT_EQ(workers[0], "unix:/tmp/a.sock");
+  EXPECT_EQ(workers[1], "9301");
+  EXPECT_EQ(workers[2], "unix:/tmp/b.sock");
+  EXPECT_EQ(o.get("worker"), "unix:/tmp/b.sock");  // last-wins unchanged
+  ASSERT_EQ(o.get_all("replicas").size(), 1u);
+}
+
+TEST(Cli, GetAllOfMissingKeyIsEmpty) {
+  const Options o = parse({"--n", "1"});
+  EXPECT_TRUE(o.get_all("missing").empty());
+}
+
 }  // namespace
 }  // namespace mcr::cli

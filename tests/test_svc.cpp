@@ -515,6 +515,30 @@ TEST(SvcServer, TcpListenerOnEphemeralPort) {
   server.stop_and_drain();
 }
 
+TEST(SvcServer, TcpBindAddressIsConfigurable) {
+  // --listen HOST:PORT plumbing: bind the wildcard address on an
+  // ephemeral port and talk to it over loopback (a worker sitting
+  // behind an mcr_router on another machine binds exactly like this).
+  svc::ServerOptions so;
+  so.tcp_bind_host = "0.0.0.0";
+  so.tcp_port = 0;
+  svc::Server server(so);
+  server.start();
+  ASSERT_GT(server.tcp_port(), 0);
+
+  svc::Client client = svc::Client::connect_tcp("127.0.0.1", server.tcp_port());
+  EXPECT_TRUE(client.ping());
+  server.stop_and_drain();
+
+  // An unresolvable bind host fails loudly at start(), not at the first
+  // request.
+  svc::ServerOptions bad;
+  bad.tcp_bind_host = "no.such.host.invalid";
+  bad.tcp_port = 0;
+  svc::Server unbindable(bad);
+  EXPECT_THROW(unbindable.start(), std::runtime_error);
+}
+
 TEST(SvcServer, ErrorsAreExplicitAndConnectionSurvives) {
   svc::ServerOptions so;
   so.unix_socket_path = unique_socket_path();
@@ -1278,6 +1302,47 @@ TEST(SvcDataset, ReloadWithoutDatasetOrPathIsBadRequest) {
   EXPECT_EQ(v.string_or("status", ""), "error");
   EXPECT_EQ(v.string_or("code", ""), "BAD_REQUEST");
   server.stop_and_drain();
+}
+
+TEST(SvcDataset, ReloadDuringDrainIsRefused) {
+  // The RELOAD/SIGHUP-vs-drain race: once stop_and_drain has begun, a
+  // racing attach_dataset must NOT publish a generation that nothing
+  // will ever serve. The server sets its drain guard *before* running_
+  // flips, so observing running() == false makes this deterministic.
+  ensure_sleepy_solvers();
+  const Graph ga = make_ring(24, 7);
+  const Graph gb = make_ring(40, 11);
+  const std::string fp_a = fingerprint_hex(ga);
+  TempPackFile pack_a(ga), pack_b(gb);
+
+  svc::ServerOptions so;
+  so.unix_socket_path = unique_socket_path();
+  so.dataset_path = pack_a.path;
+  svc::Server server(so);
+  server.start();
+
+  // Park a slow solve in flight so the drain has something to wait on
+  // while we race the attach.
+  std::thread solver_thread([&] {
+    svc::Client c = svc::Client::connect_unix(so.unix_socket_path);
+    const json::Value r = c.solve(fp_a, "min_mean", "test_sleepy");
+    EXPECT_EQ(r.string_or("status", ""), "ok");
+  });
+  while (server.metrics().gauge("mcr_in_flight").value() < 1) {
+    std::this_thread::sleep_for(1ms);
+  }
+
+  std::thread drainer([&] { server.stop_and_drain(); });
+  while (server.running()) std::this_thread::sleep_for(1ms);
+  EXPECT_THROW((void)server.attach_dataset(pack_b.path), std::runtime_error);
+  drainer.join();
+  solver_thread.join();
+
+  // The pre-drain generation is still the published one.
+  const auto ds = server.dataset();
+  ASSERT_NE(ds, nullptr);
+  EXPECT_EQ(ds->generation, 1u);
+  EXPECT_EQ(ds->fingerprint, fp_a);
 }
 
 TEST(SvcDataset, StartupWithBadDatasetFailsLoudly) {

@@ -18,7 +18,12 @@
 # via --dataset and hot-swapped under a --strict mcr_load reload mix
 # with zero failures, with the post-swap fingerprint/generation asserted
 # via STATS (the ASan leg additionally re-runs the pack
-# corruption-rejection suite). A tiny mcr_bench grid runs
+# corruption-rejection suite), and a fault-tolerant fleet smoke: three
+# workers behind mcr_router under a --strict mcr_load run with one
+# worker SIGKILLed mid-run and restarted — zero client-visible errors,
+# nonzero failover counter, breaker re-closed to up=1 (the TSan leg
+# additionally runs the router concurrency tests). A tiny mcr_bench
+# grid runs
 # twice and is gated with mcr_bench_diff: the self-diff must report zero
 # regressions (exit 0), and the A-vs-B cross-run diff uses a generous
 # threshold since CI machines are noisy (see docs/BENCHMARKING.md).
@@ -190,6 +195,78 @@ PY
   rm -rf "$tmp"
 }
 
+# Fault-tolerant fleet smoke (docs/FLEET.md): three workers behind
+# mcr_router, hammered by a --strict mcr_load run while one worker is
+# SIGKILLed mid-run and later restarted. Gates: mcr_load exits 0 with
+# ZERO client-visible errors (the router absorbed the loss via
+# failover), the router's mcr_router_failovers_total counter is
+# nonzero (failover actually happened — the kill wasn't a no-op), and
+# after the worker restarts the active prober re-closes its breaker:
+# mcr_router_backend_up{worker=...} returns to 1. $1 = build dir.
+router_smoke() {
+  local bdir="$1"
+  local tmp
+  tmp="$(mktemp -d)"
+  echo "=== router smoke ($bdir) ==="
+  local w1="$tmp/w1.sock" w2="$tmp/w2.sock" w3="$tmp/w3.sock"
+  local rsock="$tmp/router.sock"
+  "$bdir/tools/mcr_serve" --socket "$w1" --flight-dump none &
+  local w1_pid=$!
+  "$bdir/tools/mcr_serve" --socket "$w2" --flight-dump none &
+  local w2_pid=$!
+  "$bdir/tools/mcr_serve" --socket "$w3" --flight-dump none &
+  local w3_pid=$!
+  for s in "$w1" "$w2" "$w3"; do
+    for _ in $(seq 1 100); do [[ -S "$s" ]] && break; sleep 0.1; done
+  done
+  "$bdir/tools/mcr_router" --socket "$rsock" \
+      --worker "unix:$w1" --worker "unix:$w2" --worker "unix:$w3" \
+      --replicas 2 --probe-interval-ms 100 &
+  local router_pid=$!
+  for _ in $(seq 1 100); do [[ -S "$rsock" ]] && break; sleep 0.1; done
+
+  # Chaos alongside the load: SIGKILL w2 one second into the run (dirty
+  # death — no drain, no goodbye), restart it a second later on the same
+  # socket path. The prober must notice both transitions.
+  ( sleep 1; kill -9 "$w2_pid"
+    sleep 1
+    "$bdir/tools/mcr_serve" --socket "$w2" --flight-dump none &
+    echo $! > "$tmp/w2_revived.pid" ) &
+  local chaos_pid=$!
+  run "$bdir/tools/mcr_load" --target "unix:$rsock" --concurrency 4 \
+      --duration 4 --mix solve=80,stats=10,ping=10 --cold-pct 20 \
+      --graph-n 256 --strict --output "$tmp/load_report.json"
+  wait "$chaos_pid"
+  run python3 -m json.tool "$tmp/load_report.json" > /dev/null
+
+  # Failover must actually have happened, and the revived worker must be
+  # probed back to up=1 with a re-closed breaker (poll: the breaker's
+  # jittered cooldown decides when the half-open trial runs).
+  local up=""
+  for _ in $(seq 1 100); do
+    up="$("$bdir/tools/mcr_query" --socket "$rsock" stats --json | \
+      python3 -c "
+import json, sys
+stats = json.load(sys.stdin)
+counters = stats['metrics']['counters']
+assert counters['mcr_router_failovers_total'] > 0, counters
+print(stats['metrics']['gauges']['mcr_router_backend_up{worker=\"unix:$w2\"}'])
+")"
+    [[ "$up" == "1" ]] && break
+    sleep 0.1
+  done
+  if [[ "$up" != "1" ]]; then
+    echo "FAIL: revived worker never returned to up=1" >&2
+    exit 1
+  fi
+
+  kill -TERM "$router_pid"
+  wait "$router_pid"
+  kill -TERM "$w1_pid" "$w3_pid" "$(cat "$tmp/w2_revived.pid")"
+  wait "$w1_pid" "$w3_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+
 # Benchmark artifact + regression-gate smoke: a tiny grid run twice,
 # both artifacts schema-validated, then gated. The strict gate is the
 # deterministic self-diff; the cross-run diff only proves the gate can
@@ -221,6 +298,7 @@ if [[ "$FAST" == 0 ]]; then
   svc_obs_smoke build
   load_smoke build
   store_smoke build
+  router_smoke build
   bench_smoke build
 
   echo "=== bench baseline gate ==="
@@ -265,6 +343,7 @@ obs_smoke build-asan
 svc_obs_smoke build-asan
 load_smoke build-asan
 store_smoke build-asan
+router_smoke build-asan
 bench_smoke build-asan
 
 echo "=== store corruption-rejection tests (sanitized) ==="
@@ -311,11 +390,12 @@ echo "=== TSan build + concurrency tests ==="
 run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMCR_SANITIZE_THREAD=ON \
     -DMCR_FAULT_INJECTION=ON
 run cmake --build build-tsan -j "$JOBS" --target test_parallel_driver test_tiled_kernels \
-    test_obs test_svc test_fault mcr_chaos
+    test_obs test_svc test_router test_fault mcr_chaos
 run build-tsan/tests/test_parallel_driver
 run build-tsan/tests/test_tiled_kernels
 run build-tsan/tests/test_obs
 run build-tsan/tests/test_svc
+run build-tsan/tests/test_router
 run build-tsan/tests/test_fault
 # Worker-death-heavy plan under TSan: retire/respawn vs. destructor is
 # the raciest path in the pool's self-healing.

@@ -9,6 +9,11 @@ std::string Options::get(const std::string& key, const std::string& fallback) co
   return it == named.end() ? fallback : it->second;
 }
 
+std::vector<std::string> Options::get_all(const std::string& key) const {
+  const auto it = repeated.find(key);
+  return it == repeated.end() ? std::vector<std::string>{} : it->second;
+}
+
 std::int64_t Options::get_int(const std::string& key, std::int64_t fallback) const {
   const auto it = named.find(key);
   if (it == named.end()) return fallback;
@@ -68,14 +73,20 @@ Options parse(const std::vector<std::string>& args) {
     if (arg[2] == '-') throw std::invalid_argument("malformed option: " + arg);
     const std::string body = arg.substr(2);
     const std::size_t eq = body.find('=');
+    std::string key;
+    std::string value;
     if (eq != std::string::npos) {
-      out.named[body.substr(0, eq)] = body.substr(eq + 1);
+      key = body.substr(0, eq);
+      value = body.substr(eq + 1);
     } else if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
-      out.named[body] = args[i + 1];
+      key = body;
+      value = args[i + 1];
       ++i;
     } else {
-      out.named[body] = "";
+      key = body;
     }
+    out.named[key] = value;
+    out.repeated[key].push_back(value);
   }
   return out;
 }

@@ -13,12 +13,19 @@
 namespace mcr::cli {
 
 struct Options {
-  std::map<std::string, std::string> named;  // flag -> value ("" for bare flags)
+  std::map<std::string, std::string> named;  // flag -> value ("" for bare flags; last wins)
+  /// Every value of every flag, in command-line order. A flag given N
+  /// times has N entries here while `named` keeps only the last — so
+  /// repeatable flags (e.g. mcr_router --worker, mcr_load --target)
+  /// coexist with the last-wins convention the other tools rely on.
+  std::map<std::string, std::vector<std::string>> repeated;
   std::vector<std::string> positional;
 
   [[nodiscard]] bool has(const std::string& key) const { return named.count(key) > 0; }
   /// Value of --key, or fallback when absent.
   [[nodiscard]] std::string get(const std::string& key, const std::string& fallback = "") const;
+  /// All values of --key in the order given; empty when absent.
+  [[nodiscard]] std::vector<std::string> get_all(const std::string& key) const;
   /// Integer value of --key; throws std::invalid_argument on garbage.
   [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
   /// get_int constrained to [min, max]; throws std::invalid_argument

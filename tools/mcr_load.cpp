@@ -1,6 +1,6 @@
 // mcr_load — load generator / replay harness for the mcr solve service.
 //
-//   mcr_load --socket PATH | --port N
+//   mcr_load --socket PATH | --port N | --target SPEC [--target SPEC ...]
 //            [--rps R | --ramp R1:S1,R2:S2,...]   open-loop offered load
 //            [--concurrency K]                    closed-loop workers
 //            [--connections N] [--duration S] [--requests N]
@@ -39,6 +39,12 @@
 //                    replay from cache).
 //   --ramp           phases of RPS:SECONDS stepping the offered rate,
 //                    e.g. 200:10,500:10,1000:10 for a three-step ramp
+//   --target SPEC    endpoint to drive: unix:PATH, HOST:PORT, or PORT.
+//                    Repeatable — worker i connects to target i mod N,
+//                    so one harness can drive several routers (or a
+//                    worker fleet directly, as the control experiment
+//                    against the routed path). --socket/--port are
+//                    shorthand for a single target.
 //
 // The end-of-run report prints client-side p50/p95/p99/p99.9 over
 // exact latency samples, throughput, a per-code error table, and cache
@@ -50,6 +56,10 @@
 // least one transport error (or a fatal setup failure); 2 = usage.
 // --strict widens the failure condition: any *service* error (a non-ok
 // protocol response) also exits 1, so CI can assert a clean run.
+// Retryable error codes (BUSY, UPSTREAM_UNAVAILABLE, ...) on
+// idempotent verbs are retried up to twice before counting as errors —
+// the client half of the errors.h retry contract — and the retry count
+// is reported so flakiness stays visible even when absorbed.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -71,6 +81,7 @@
 #include "svc/client.h"
 #include "svc/errors.h"
 #include "svc/protocol.h"
+#include "svc/router.h"
 
 namespace {
 
@@ -211,13 +222,14 @@ struct WorkerStats {
   std::map<std::string, std::uint64_t> verbs;   // issued, by verb
   std::uint64_t ok = 0;
   std::uint64_t transport_errors = 0;
+  std::uint64_t retries = 0;  // retryable-code retries that were issued
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
 };
 
 struct LoadConfig {
-  std::string socket_path;
-  int tcp_port = -1;
+  /// Endpoints, round-robin by worker index (worker i -> i mod N).
+  std::vector<mcr::svc::BackendAddress> targets;
   bool open_loop = false;
   std::vector<Phase> phases;  // open loop
   std::size_t connections = 4;
@@ -231,9 +243,11 @@ struct LoadConfig {
   std::uint64_t seed = 1;
 };
 
-mcr::svc::Client connect(const LoadConfig& cfg) {
-  return cfg.tcp_port >= 0 ? mcr::svc::Client::connect_tcp(cfg.tcp_port)
-                           : mcr::svc::Client::connect_unix(cfg.socket_path);
+mcr::svc::Client connect(const LoadConfig& cfg, std::size_t worker_index) {
+  const mcr::svc::BackendAddress& t = cfg.targets[worker_index % cfg.targets.size()];
+  return t.kind == mcr::svc::BackendAddress::Kind::kUnix
+             ? mcr::svc::Client::connect_unix(t.path)
+             : mcr::svc::Client::connect_tcp(t.host, t.port);
 }
 
 /// Cold seeds must never repeat across the whole run (any repeat would
@@ -299,41 +313,62 @@ void issue_one(mcr::svc::Client& client, const LoadConfig& cfg, Prng& prng,
     payload = R"({"verb":"SOLVERS"})";
   }
   ++stats.verbs[verb];
-  try {
-    const mcr::json::Value resp = client.request(payload);
-    if (resp.string_or("status", "") == "ok") {
-      ++stats.ok;
-      stats.latencies_ms.push_back(
-          std::chrono::duration<double, std::milli>(Clock::now() - intended)
-              .count());
-      if (resp.has("cached")) {
-        if (resp.at("cached").as_bool()) {
-          ++stats.cache_hits;
-        } else {
-          ++stats.cache_misses;
-        }
-      }
-    } else {
-      ++stats.errors[resp.string_or("code", "UNKNOWN")];
-    }
-  } catch (const mcr::svc::TransportError&) {
-    ++stats.transport_errors;
+  // Every verb here except RELOAD is idempotent (errors.h: "Retrying
+  // SOLVE is always safe: results are cached and single-flighted by
+  // fingerprint"), so a response carrying a *retryable* error code
+  // (BUSY, UPSTREAM_UNAVAILABLE, ...) is re-sent a bounded number of
+  // times before it counts as an error. That is the documented client
+  // contract — a worker SIGKILLed mid-response behind a router
+  // surfaces as one retryable UPSTREAM_UNAVAILABLE, not a failed run.
+  const bool idempotent = verb != "reload";
+  const int max_attempts = idempotent ? 3 : 1;
+  for (int attempt = 1;; ++attempt) {
     try {
-      client.reconnect();
+      const mcr::json::Value resp = client.request(payload);
+      if (resp.string_or("status", "") == "ok") {
+        ++stats.ok;
+        stats.latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - intended)
+                .count());
+        if (resp.has("cached")) {
+          if (resp.at("cached").as_bool()) {
+            ++stats.cache_hits;
+          } else {
+            ++stats.cache_misses;
+          }
+        }
+        return;
+      }
+      const std::string code = resp.string_or("code", "UNKNOWN");
+      if (attempt < max_attempts &&
+          mcr::svc::ServiceError::is_retryable_code(code)) {
+        ++stats.retries;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10 * attempt));
+        continue;
+      }
+      ++stats.errors[code];
+      return;
     } catch (const mcr::svc::TransportError&) {
-      // Endpoint gone (server died?). Back off so a dead server costs
-      // ~20 failed sends per worker-second, not a busy loop.
-      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      ++stats.transport_errors;
+      try {
+        client.reconnect();
+      } catch (const mcr::svc::TransportError&) {
+        // Endpoint gone (server died?). Back off so a dead server costs
+        // ~20 failed sends per worker-second, not a busy loop.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      return;
     }
   }
 }
 
-void open_loop_worker(const LoadConfig& cfg, ArrivalSchedule& schedule,
-                      Clock::time_point start, std::uint64_t worker_seed,
+void open_loop_worker(const LoadConfig& cfg, std::size_t worker_index,
+                      ArrivalSchedule& schedule, Clock::time_point start,
+                      std::uint64_t worker_seed,
                       std::atomic<std::uint64_t>& issued, WorkerStats& stats) {
   Prng prng(worker_seed);
   try {
-    mcr::svc::Client client = connect(cfg);
+    mcr::svc::Client client = connect(cfg, worker_index);
     while (const std::optional<double> t = schedule.next()) {
       if (cfg.request_cap != 0 && issued.fetch_add(1) >= cfg.request_cap) return;
       const Clock::time_point intended =
@@ -349,13 +384,13 @@ void open_loop_worker(const LoadConfig& cfg, ArrivalSchedule& schedule,
   }
 }
 
-void closed_loop_worker(const LoadConfig& cfg, Clock::time_point deadline,
-                        std::uint64_t worker_seed,
+void closed_loop_worker(const LoadConfig& cfg, std::size_t worker_index,
+                        Clock::time_point deadline, std::uint64_t worker_seed,
                         std::atomic<std::uint64_t>& issued,
                         WorkerStats& stats) {
   Prng prng(worker_seed);
   try {
-    mcr::svc::Client client = connect(cfg);
+    mcr::svc::Client client = connect(cfg, worker_index);
     while (Clock::now() < deadline) {
       if (cfg.request_cap != 0 && issued.fetch_add(1) >= cfg.request_cap) return;
       issue_one(client, cfg, prng, Clock::now(), stats);
@@ -407,24 +442,33 @@ int main(int argc, char** argv) {
       std::cout << obs::version_string("mcr_load");
       return 0;
     }
-    if (!opt.positional.empty() || (!opt.has("socket") && !opt.has("port"))) {
+    if (!opt.positional.empty() ||
+        (!opt.has("socket") && !opt.has("port") && !opt.has("target"))) {
       std::cerr
-          << "usage: mcr_load --socket PATH | --port N\n"
+          << "usage: mcr_load --socket PATH | --port N | --target SPEC ...\n"
              "                [--rps R | --ramp R1:S1,R2:S2,...] open loop\n"
              "                [--concurrency K]                  closed loop\n"
              "                [--connections N] [--duration S] [--requests N]\n"
              "                [--mix solve=90,stats=5,ping=5] [--cold-pct P]\n"
              "                [--reload-paths A.mcrpack,B.mcrpack] [--strict]\n"
              "                [--graph-n N] [--seed N] [--output PATH]\n"
-             "                [--version]\n";
+             "                [--version]\n"
+             "       SPEC is unix:PATH, HOST:PORT, or PORT (repeatable;\n"
+             "       worker i drives target i mod N)\n";
       return 2;
     }
 
     LoadConfig cfg;
-    cfg.socket_path = opt.get("socket");
-    cfg.tcp_port = opt.has("port")
-                       ? static_cast<int>(opt.get_int_in("port", 0, 1, 65535))
-                       : -1;
+    for (const std::string& spec : opt.get_all("target")) {
+      cfg.targets.push_back(svc::parse_backend_address(spec));
+    }
+    if (opt.has("socket")) {
+      cfg.targets.push_back(svc::parse_backend_address("unix:" + opt.get("socket")));
+    }
+    if (opt.has("port")) {
+      cfg.targets.push_back(svc::parse_backend_address(
+          std::to_string(opt.get_int_in("port", 0, 1, 65535))));
+    }
     cfg.open_loop = opt.has("rps") || opt.has("ramp");
     if (cfg.open_loop && opt.has("concurrency")) {
       std::cerr << "mcr_load: --concurrency is closed-loop; it cannot be "
@@ -467,12 +511,13 @@ int main(int argc, char** argv) {
       }
     }
 
-    // Probe the endpoint once before spawning workers so a wrong path
+    // Probe every endpoint once before spawning workers so a wrong path
     // fails with one clear message instead of N.
-    {
-      svc::Client probe = connect(cfg);
+    for (std::size_t i = 0; i < cfg.targets.size(); ++i) {
+      svc::Client probe = connect(cfg, i);
       if (!probe.ping()) {
-        std::cerr << "mcr_load: endpoint did not answer PING\n";
+        std::cerr << "mcr_load: endpoint " << cfg.targets[i].name
+                  << " did not answer PING\n";
         return 1;
       }
     }
@@ -491,12 +536,12 @@ int main(int argc, char** argv) {
       const std::uint64_t ws = seeder.fork_seed();
       WorkerStats& stats = per_worker[i];
       if (cfg.open_loop) {
-        workers.emplace_back([&, ws] {
-          open_loop_worker(cfg, schedule, start, ws, issued, stats);
+        workers.emplace_back([&, ws, i] {
+          open_loop_worker(cfg, i, schedule, start, ws, issued, stats);
         });
       } else {
-        workers.emplace_back([&, ws] {
-          closed_loop_worker(cfg, deadline, ws, issued, stats);
+        workers.emplace_back([&, ws, i] {
+          closed_loop_worker(cfg, i, deadline, ws, issued, stats);
         });
       }
     }
@@ -513,6 +558,7 @@ int main(int argc, char** argv) {
       for (const auto& [verb, n] : w.verbs) total.verbs[verb] += n;
       total.ok += w.ok;
       total.transport_errors += w.transport_errors;
+      total.retries += w.retries;
       total.cache_hits += w.cache_hits;
       total.cache_misses += w.cache_misses;
     }
@@ -536,7 +582,8 @@ int main(int argc, char** argv) {
               << wall_s << " s wall\n";
     std::cout << "  completed " << total.ok << " ok, " << error_total
               << " service errors, " << total.transport_errors
-              << " transport errors (" << rps << " rps ok)\n";
+              << " transport errors, " << total.retries << " retries ("
+              << rps << " rps ok)\n";
     std::cout << "  latency ms: p50 " << fmt_opt_ms(p50) << "  p95 "
               << fmt_opt_ms(p95) << "  p99 " << fmt_opt_ms(p99) << "  p99.9 "
               << fmt_opt_ms(p999) << "  mean "
@@ -611,6 +658,7 @@ int main(int argc, char** argv) {
         out += "\"" + svc::json_escape(code) + "\":" + std::to_string(n);
       }
       out += "},\"transport_errors\":" + std::to_string(total.transport_errors);
+      out += ",\"retries\":" + std::to_string(total.retries);
       out += ",\"cache\":{\"hits\":" + std::to_string(total.cache_hits);
       out += ",\"misses\":" + std::to_string(total.cache_misses) + "}}";
       std::ofstream f(opt.get("output"));

@@ -92,7 +92,8 @@ verbs:
   top [--interval S] [--count N]
                               refreshing live view (windowed percentiles,
                               rps, saturation gauges, cache hit ratio)
-  health                      liveness + queue depth + last-solve age
+  health [--json]             liveness + queue depth + last-solve age
+                              (human summary by default; exit 8 = degraded)
   reload [--path FILE]        hot-swap the server's dataset (.mcrpack)
   trace [--trace-id H] [--verb V] [--min-ms N] [--limit N] [--out FILE]
                               fetch request traces (Chrome JSON)
@@ -112,6 +113,8 @@ exit codes:
   5  DEADLINE_EXCEEDED  the request's deadline elapsed
   6  NOT_FOUND          fingerprint not resident (LOAD it again)
   7  SHUTTING_DOWN      server is draining
+  8  degraded           health: reachable but draining / unhealthy /
+                        queue at capacity (vs 3 = unreachable)
 )";
 
 /// The scriptable exit-code contract: transient, retryable conditions
@@ -149,6 +152,63 @@ int finish(const json::Value& response) {
   std::cerr << "mcr_query: " << code << ": "
             << response.string_or("message", "(no message)") << "\n";
   return exit_code_for(code);
+}
+
+/// Renders a HEALTH response. `--json` keeps the raw payload for
+/// scripts; the default is a human summary where the -1.0
+/// last_solve_age_seconds sentinel reads as "never". Exit code 8 means
+/// *degraded*: the endpoint answered, but it is draining, unhealthy,
+/// or its solve queue is at capacity — distinct from 3 (unreachable)
+/// so probes can branch on "restart it" vs "stop sending it traffic".
+int do_health(const json::Value& r, const std::string& raw, bool as_json) {
+  const bool healthy = r.has("healthy") && r.at("healthy").as_bool();
+  const bool draining = r.has("draining") && r.at("draining").as_bool();
+  const double depth = r.number_or("queue_depth", 0.0);
+  const double capacity = r.number_or("queue_capacity", 0.0);
+  const bool saturated = capacity > 0.0 && depth >= capacity;
+  const bool degraded = !healthy || draining || saturated;
+  if (as_json) {
+    std::cout << raw << "\n";
+    return degraded ? 8 : 0;
+  }
+  std::ostringstream out;
+  out << (degraded ? "degraded" : "healthy");
+  if (!healthy) out << " (healthy=false)";
+  if (draining) out << " (draining)";
+  if (saturated) out << " (queue at capacity)";
+  out << "\n";
+  if (r.has("service")) out << "  service:    " << r.at("service").as_string() << "\n";
+  if (r.has("backends_total")) {
+    // Router-tier HEALTH: fleet shape instead of a solve queue.
+    out << "  backends:   " << r.number_or("backends_up", 0.0) << "/"
+        << r.at("backends_total").as_double() << " up";
+    if (const double d = r.number_or("backends_draining", 0.0); d > 0.0) {
+      out << ", " << d << " draining";
+    }
+    out << "\n";
+  }
+  if (r.has("queue_depth")) {
+    out << "  queue:      " << depth << "/" << capacity << " (in flight "
+        << r.number_or("in_flight", 0.0) << ")\n";
+  }
+  if (r.has("connections")) {
+    out << "  clients:    " << r.at("connections").as_double() << "\n";
+  }
+  if (r.has("uptime_seconds")) {
+    out << "  uptime:     " << std::fixed << std::setprecision(1)
+        << r.at("uptime_seconds").as_double() << "s\n";
+  }
+  if (r.has("last_solve_age_seconds")) {
+    const double age = r.at("last_solve_age_seconds").as_double();
+    out << "  last solve: ";
+    if (age < 0.0) {
+      out << "never\n";  // the -1 sentinel: no solve since startup
+    } else {
+      out << std::fixed << std::setprecision(1) << age << "s ago\n";
+    }
+  }
+  std::cout << out.str();
+  return degraded ? 8 : 0;
 }
 
 int do_solve(svc::Client& client, const cli::Options& opt) {
@@ -530,8 +590,7 @@ int main(int argc, char** argv) {
       const std::string raw = client.request_raw(R"({"verb":"HEALTH"})");
       const json::Value r = json::parse(raw);
       if (const int rc = finish(r); rc != 0) return rc;
-      std::cout << raw << "\n";
-      return 0;
+      return do_health(r, raw, opt.has("json"));
     }
     if (verb == "ping") {
       if (!client.ping()) {

@@ -1,6 +1,6 @@
 // mcr_serve — the resident solve service daemon.
 //
-//   mcr_serve --socket /tmp/mcr.sock [--listen PORT] [--threads N]
+//   mcr_serve --socket /tmp/mcr.sock [--listen [HOST:]PORT] [--threads N]
 //             [--tile-arcs N] [--queue K] [--batch N] [--cache N]
 //             [--graphs N] [--max-frame BYTES] [--preload FILE]...
 //             [--dataset FILE.mcrpack]
@@ -10,8 +10,10 @@
 //             [--stats-interval SECONDS] [--stats-out PATH]
 //
 //   --socket PATH    Unix-domain listener (the normal deployment)
-//   --listen PORT    additional TCP listener on 127.0.0.1:PORT
-//                    (0 = ephemeral; the bound port is printed)
+//   --listen [HOST:]PORT  additional TCP listener; HOST defaults to
+//                    127.0.0.1 (use 0.0.0.0 to sit behind an mcr_router
+//                    on another host). PORT 0 = ephemeral; the bound
+//                    port is printed
 //   --threads N      worker threads per dispatched solve (0 = hardware)
 //   --tile-arcs N    arc-tile granularity for intra-SCC parallelism in
 //                    dispatched solves (0 = untiled; bit-identical
@@ -66,6 +68,7 @@
 #include "cli.h"
 #include "obs/build_info.h"
 #include "obs/trace_recorder.h"
+#include "svc/router.h"
 #include "svc/server.h"
 
 namespace {
@@ -103,7 +106,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (!opt.positional.empty() || (!opt.has("socket") && !opt.has("listen"))) {
-      std::cerr << "usage: mcr_serve --socket PATH [--listen PORT] [--threads N]\n"
+      std::cerr << "usage: mcr_serve --socket PATH [--listen [HOST:]PORT] [--threads N]\n"
                    "                 [--tile-arcs N] [--queue K] [--batch N]\n"
                    "                 [--cache N] [--graphs N]\n"
                    "                 [--max-frame BYTES] [--preload FILE[,FILE...]]\n"
@@ -120,9 +123,16 @@ int main(int argc, char** argv) {
     obs::TraceRecorder recorder;
     svc::ServerOptions so;
     so.unix_socket_path = opt.get("socket");
-    so.tcp_port = opt.has("listen")
-                      ? static_cast<int>(opt.get_int_in("listen", 0, 0, 65535))
-                      : -1;
+    if (opt.has("listen")) {
+      const svc::BackendAddress listen =
+          svc::parse_backend_address(opt.get("listen"), /*allow_port_zero=*/true);
+      if (listen.kind != svc::BackendAddress::Kind::kTcp) {
+        std::cerr << "mcr_serve: --listen expects [HOST:]PORT\n";
+        return 2;
+      }
+      so.tcp_bind_host = listen.host;
+      so.tcp_port = listen.port;
+    }
     so.solve_threads = static_cast<int>(opt.get_int_in("threads", 0, 0, 4096));
     so.solve_tile_arcs =
         static_cast<std::int32_t>(opt.get_int_in("tile-arcs", 0, 0, 1 << 30));
@@ -178,8 +188,8 @@ int main(int argc, char** argv) {
       std::cout << "mcr_serve: listening on unix:" << so.unix_socket_path << "\n";
     }
     if (so.tcp_port >= 0) {
-      std::cout << "mcr_serve: listening on tcp:127.0.0.1:" << server.tcp_port()
-                << "\n";
+      std::cout << "mcr_serve: listening on tcp:" << so.tcp_bind_host << ":"
+                << server.tcp_port() << "\n";
     }
     std::cout << "mcr_serve: ready (queue " << so.queue_capacity << ", cache "
               << so.cache_entries << " entries, batch <= " << so.batch_max << ")"
