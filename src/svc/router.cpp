@@ -321,7 +321,32 @@ void Router::start() {
     throw std::runtime_error("Router::start: no listener configured");
   }
 
-  // Listeners: same shape as svc::Server.
+  // Listeners: same shape as svc::Server. Setup is guarded: a failure
+  // partway (TCP bind after the unix listener bound, pipe exhaustion)
+  // must not leak the fds already opened or leave the socket file
+  // behind — running_ is still false, so stop_and_drain() would never
+  // reclaim them, and the leaked bound file would shadow a later
+  // start() on the same path. The guard disarms once setup completes.
+  bool unix_bound = false;
+  struct ListenerGuard {
+    Router* router;
+    const bool* unix_bound;
+    bool armed = true;
+    ~ListenerGuard() {
+      if (!armed) return;
+      Router& r = *router;
+      if (r.unix_fd_ >= 0) ::close(r.unix_fd_);
+      if (r.tcp_fd_ >= 0) ::close(r.tcp_fd_);
+      r.unix_fd_ = r.tcp_fd_ = -1;
+      r.bound_tcp_port_ = -1;
+      for (int& fd : r.wake_pipe_) {
+        if (fd >= 0) ::close(fd);
+        fd = -1;
+      }
+      if (*unix_bound) ::unlink(r.options_.unix_socket_path.c_str());
+    }
+  } guard{this, &unix_bound};
+
   if (!options_.unix_socket_path.empty()) {
     unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (unix_fd_ < 0) throw_errno("socket(AF_UNIX)");
@@ -354,6 +379,7 @@ void Router::start() {
         throw_errno("bind(" + options_.unix_socket_path + ")");
       }
     }
+    unix_bound = true;
     if (::listen(unix_fd_, 128) != 0) throw_errno("listen(unix)");
   }
   if (options_.tcp_port >= 0) {
@@ -390,6 +416,7 @@ void Router::start() {
     }
   }
   if (::pipe(wake_pipe_) != 0) throw_errno("pipe");
+  guard.armed = false;
 
   started_at_ = std::chrono::steady_clock::now();
   running_.store(true);
@@ -654,15 +681,15 @@ std::vector<std::size_t> Router::candidate_order(const json::Value& request,
 
 // --- Router: upstream plumbing -------------------------------------------
 
-std::unique_ptr<Client> Router::acquire_connection(Backend& b) {
-  {
-    std::lock_guard lock(b.mutex);
-    if (!b.idle.empty()) {
-      std::unique_ptr<Client> c = std::move(b.idle.back());
-      b.idle.pop_back();
-      return c;
-    }
-  }
+std::unique_ptr<Client> Router::pop_idle_connection(Backend& b) {
+  std::lock_guard lock(b.mutex);
+  if (b.idle.empty()) return nullptr;
+  std::unique_ptr<Client> c = std::move(b.idle.back());
+  b.idle.pop_back();
+  return c;
+}
+
+std::unique_ptr<Client> Router::dial_connection(Backend& b) {
   try {
     if (b.address.kind == BackendAddress::Kind::kUnix) {
       return std::make_unique<Client>(Client::connect_unix(b.address.path));
@@ -678,13 +705,9 @@ void Router::release_connection(Backend& b, std::unique_ptr<Client> client) {
   if (b.idle.size() < options_.pool_capacity) b.idle.push_back(std::move(client));
 }
 
-Router::Forward Router::forward_once(Backend& b, std::string_view payload) {
+Router::Forward Router::roundtrip(Backend& b, std::unique_ptr<Client> client,
+                                  std::string_view payload) {
   Forward out;
-  std::unique_ptr<Client> client = acquire_connection(b);
-  if (client == nullptr) {
-    out.status = Forward::Status::kNoBytes;  // connect failed: nothing sent
-    return out;
-  }
   if (!write_full(client->fd(), encode_frame(payload))) {
     out.status = Forward::Status::kNoBytes;  // no response byte arrived
     return out;
@@ -710,6 +733,26 @@ Router::Forward Router::forward_once(Backend& b, std::string_view payload) {
   }
   out.status = Forward::Status::kPartial;
   return out;
+}
+
+Router::Forward Router::forward_once(Backend& b, std::string_view payload) {
+  // A pooled connection may have gone stale while idle (the worker
+  // restarted or timed it out) — indistinguishable, from one no-bytes
+  // failure, from a dead backend. Staleness indicts the pool entry, not
+  // the worker, so a pooled no-bytes failure retries once on a fresh
+  // dial and only the fresh attempt's outcome reaches the caller (and
+  // through it the breaker). Partial responses are never retried.
+  if (std::unique_ptr<Client> pooled = pop_idle_connection(b)) {
+    Forward out = roundtrip(b, std::move(pooled), payload);
+    if (out.status != Forward::Status::kNoBytes) return out;
+  }
+  std::unique_ptr<Client> fresh = dial_connection(b);
+  if (fresh == nullptr) {
+    Forward out;
+    out.status = Forward::Status::kNoBytes;  // connect failed: nothing sent
+    return out;
+  }
+  return roundtrip(b, std::move(fresh), payload);
 }
 
 bool Router::backend_admit(Backend& b, bool ignore_draining) {
@@ -770,13 +813,17 @@ std::string Router::forward_with_failover(
   std::string retryable_response;  // last BUSY/SHUTTING_DOWN answer seen
   for (const std::size_t idx : order) {
     if (attempts >= options_.max_attempts) break;
-    Backend& b = *backends_[idx];
-    if (!backend_admit(b, /*ignore_draining=*/false)) continue;
     if (std::chrono::steady_clock::now() >= deadline) {
       // The retry budget is carved from the deadline: when it is spent,
-      // answer locally instead of burning a worker's time.
+      // answer locally instead of burning a worker's time. Checked
+      // BEFORE backend_admit(): admit() may consume a half-open
+      // breaker's single trial slot, and an attempt abandoned here
+      // would never report back, wedging the breaker half-open and the
+      // backend out of rotation for good.
       return error_payload(kErrDeadline, "deadline exceeded in router");
     }
+    Backend& b = *backends_[idx];
+    if (!backend_admit(b, /*ignore_draining=*/false)) continue;
     ++attempts;
     if (attempts > 1) metrics_.counter("mcr_router_failovers_total").add(1);
     b.requests_total->add(1);

@@ -255,10 +255,20 @@ class Router {
                                          const std::string& trace_id);
   [[nodiscard]] std::string handle_health(const std::string& trace_id);
 
+  /// One attempt against a backend. A pooled connection that fails
+  /// before any response byte is assumed stale and the request is
+  /// retried once on a freshly dialed connection; only a fresh-dial
+  /// failure is reported (a worker restart must not trip the breaker
+  /// through leftover pool entries).
   [[nodiscard]] Forward forward_once(Backend& b, std::string_view payload);
-  /// Pops an idle pooled connection or dials a new one; null on
-  /// connect failure.
-  [[nodiscard]] std::unique_ptr<Client> acquire_connection(Backend& b);
+  /// One request/response exchange on an established connection; the
+  /// connection is pooled again on success, dropped otherwise.
+  [[nodiscard]] Forward roundtrip(Backend& b, std::unique_ptr<Client> client,
+                                  std::string_view payload);
+  /// Pops an idle pooled connection; null when the pool is empty.
+  [[nodiscard]] std::unique_ptr<Client> pop_idle_connection(Backend& b);
+  /// Dials a new connection; null on connect failure.
+  [[nodiscard]] std::unique_ptr<Client> dial_connection(Backend& b);
   void release_connection(Backend& b, std::unique_ptr<Client> client);
 
   /// Breaker/gauge bookkeeping around one attempt.

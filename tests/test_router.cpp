@@ -487,6 +487,118 @@ TEST(RouterFleet, TraceContextIsMintedAndClientIdsPropagate) {
   EXPECT_EQ(echoed.string_or("trace_id", ""), "feedfacefeedface");
 }
 
+TEST(RouterFleet, ExpiredDeadlineDoesNotLeakTheHalfOpenTrial) {
+  svc::RouterOptions ro;
+  ro.breaker.failure_threshold = 1;
+  ro.breaker.cooldown_initial_ms = 1.0;  // expire instantly for the test
+  ro.breaker.cooldown_max_ms = 1.0;
+  Fleet fleet(2, std::move(ro));
+  svc::Client client = fleet.client();
+  const Graph g = make_ring(24, 5);
+  const std::string fp = client.load_dimacs_text(dimacs_text(g));
+  const auto replicas = fleet.router->replica_indices("fp:" + fp);
+  ASSERT_EQ(replicas.size(), 2u);
+  const std::size_t victim = replicas[0];
+  const std::string victim_path = fleet.worker_paths[victim];
+
+  // One transport failure (threshold 1) opens the victim's breaker.
+  fleet.workers[victim]->stop_and_drain();
+  EXPECT_EQ(client.solve(fp).string_or("status", ""), "ok");  // failover
+  ASSERT_EQ(fleet.router->backend_snapshots()[victim].breaker,
+            svc::CircuitBreaker::State::kOpen);
+
+  // Past the 1ms cooldown an already-expired request arrives. It must
+  // be refused BEFORE the breaker is consulted: admit() on an expired
+  // open breaker consumes the half-open state's single trial slot, and
+  // an attempt abandoned on the deadline early-return would never
+  // report back — wedging the breaker half-open so that no probe (the
+  // prober goes through admit() too) could ever re-close it.
+  std::this_thread::sleep_for(5ms);
+  const json::Value r = client.request(
+      R"({"verb":"SOLVE","fingerprint":")" + fp + R"(","deadline_ms":0.000001})");
+  EXPECT_EQ(r.string_or("code", ""), svc::kErrDeadline);
+
+  // The revived worker must be re-admittable: the next probe is the
+  // half-open trial and re-closes the breaker.
+  svc::ServerOptions so;
+  so.unix_socket_path = victim_path;
+  svc::Server revived(so);
+  revived.start();
+  std::this_thread::sleep_for(5ms);
+  fleet.router->probe_now();
+  const auto snap = fleet.router->backend_snapshots();
+  EXPECT_TRUE(snap[victim].up);
+  EXPECT_EQ(snap[victim].breaker, svc::CircuitBreaker::State::kClosed);
+  revived.stop_and_drain();
+}
+
+TEST(RouterFleet, StalePooledConnectionsDoNotFeedTheBreaker) {
+  svc::RouterOptions ro;
+  ro.breaker.failure_threshold = 1;  // one counted failure would open a breaker
+  Fleet fleet(2, std::move(ro));
+  svc::Client client = fleet.client();
+  const Graph g = make_ring(24, 5);
+  // The LOAD fan-out parks one pooled upstream connection per replica.
+  const std::string fp = client.load_dimacs_text(dimacs_text(g));
+  EXPECT_EQ(client.solve(fp).string_or("status", ""), "ok");
+
+  // Restart every worker in place: the pooled connections all went
+  // stale with the old processes, while the fleet itself is healthy.
+  for (std::size_t i = 0; i < fleet.workers.size(); ++i) {
+    fleet.workers[i]->stop_and_drain();
+    svc::ServerOptions so;
+    so.unix_socket_path = fleet.worker_paths[i];
+    fleet.workers[i] = std::make_unique<svc::Server>(so);
+    fleet.workers[i]->start();
+  }
+
+  // The next requests ride (and discard) the stale pool entries; each
+  // must be retried on a fresh dial without the breaker hearing about
+  // it. With failure_threshold = 1 a single miscounted failure would
+  // open a breaker and sink this LOAD fan-out.
+  EXPECT_EQ(client.load_dimacs_text(dimacs_text(g)), fp);
+  EXPECT_EQ(client.solve(fp).string_or("status", ""), "ok");
+  for (const auto& snap : fleet.router->backend_snapshots()) {
+    EXPECT_TRUE(snap.up) << snap.name;
+    EXPECT_EQ(snap.breaker, svc::CircuitBreaker::State::kClosed) << snap.name;
+    EXPECT_EQ(snap.failures, 0u) << snap.name;
+  }
+}
+
+TEST(RouterStart, PartialStartFailureLeavesNoListenerResidue) {
+  // Occupy a TCP port so the second router's TCP bind fails after its
+  // unix listener has already bound.
+  svc::RouterOptions holder_opts;
+  holder_opts.workers.push_back(svc::parse_backend_address("unix:/tmp/w_none.sock"));
+  holder_opts.unix_socket_path = unique_socket_path();
+  holder_opts.tcp_port = 0;  // ephemeral
+  holder_opts.probe_interval_ms = 0.0;
+  svc::Router holder(std::move(holder_opts));
+  holder.start();
+  ASSERT_GT(holder.tcp_port(), 0);
+
+  svc::RouterOptions ro;
+  ro.workers.push_back(svc::parse_backend_address("unix:/tmp/w_none.sock"));
+  ro.unix_socket_path = unique_socket_path();
+  ro.tcp_port = holder.tcp_port();  // taken: bind must fail
+  ro.probe_interval_ms = 0.0;
+  const std::string path = ro.unix_socket_path;
+  svc::Router router(std::move(ro));
+  EXPECT_THROW(router.start(), std::runtime_error);
+  // The partially-built listeners were torn down: no orphaned socket
+  // file (which would shadow a later bind as "stale"), not running.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+  EXPECT_FALSE(router.running());
+
+  // And the same router starts cleanly once the conflict clears.
+  holder.stop_and_drain();
+  router.start();
+  EXPECT_TRUE(router.running());
+  EXPECT_EQ(::access(path.c_str(), F_OK), 0);
+  router.stop_and_drain();
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
 TEST(RouterFleet, DrainingWorkerGetsNoNewRequests) {
   Fleet fleet(2);
   svc::Client client = fleet.client();

@@ -125,6 +125,19 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    // Handlers go in BEFORE start(): a supervisor restarting quickly can
+    // deliver SIGTERM during startup, and the default action would skip
+    // stop_and_drain() (dropping in-flight work, orphaning the socket
+    // file). With the pipe armed first, an early signal simply makes the
+    // wait loop below return immediately and the drain path still runs.
+    if (::pipe(g_signal_pipe) != 0) {
+      std::cerr << "mcr_router: cannot create signal pipe\n";
+      return 1;
+    }
+    std::signal(SIGPIPE, SIG_IGN);
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+
     svc::Router router(std::move(ro));
     router.start();
     // Read back the (possibly moved-from) config via the router itself.
@@ -141,13 +154,6 @@ int main(int argc, char** argv) {
               << opt.get_int("replicas", 2) << ", attempts "
               << opt.get_int("attempts", 3) << ")" << std::endl;
 
-    if (::pipe(g_signal_pipe) != 0) {
-      std::cerr << "mcr_router: cannot create signal pipe\n";
-      return 1;
-    }
-    std::signal(SIGPIPE, SIG_IGN);
-    std::signal(SIGTERM, on_signal);
-    std::signal(SIGINT, on_signal);
     for (;;) {
       char byte = 0;
       const ssize_t got = ::read(g_signal_pipe[0], &byte, 1);
